@@ -1,0 +1,30 @@
+//! Fig. 10: final test accuracy as the non-IID level p sweeps over {0, 1, 2, 4, 5, 10}.
+
+use mergesfl::experiment::Approach;
+use mergesfl_bench::{datasets_from_env, run_and_report, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let levels = [0.0f32, 1.0, 2.0, 4.0, 5.0, 10.0];
+    println!("Fig. 10 — final accuracy vs non-IID level p\n");
+    for dataset in datasets_from_env() {
+        println!("== {} ==", dataset.name());
+        let mut table: Vec<(String, Vec<f32>)> =
+            Approach::evaluation_set().iter().map(|a| (a.name().to_string(), Vec::new())).collect();
+        for &p in &levels {
+            println!(" p = {p}");
+            let config = scale.config(dataset, p, 101);
+            for (i, &approach) in Approach::evaluation_set().iter().enumerate() {
+                let result = run_and_report(approach, &config);
+                table[i].1.push(result.best_accuracy());
+            }
+        }
+        println!("\n accuracy by non-IID level {levels:?}:");
+        for (name, accs) in &table {
+            let cells: Vec<String> = accs.iter().map(|a| format!("{a:.3}")).collect();
+            println!("  {:<14} {}", name, cells.join("  "));
+        }
+        println!();
+    }
+    println!("Expected shape: accuracy decreases with p for every approach, least for MergeSFL.");
+}

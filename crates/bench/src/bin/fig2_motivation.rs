@@ -1,0 +1,30 @@
+//! Figs. 2–3 (motivation): SFL-T vs SFL-FM vs SFL-BR on the CIFAR-10 analogue with non-IID
+//! data — test accuracy over time, average waiting time and completion/training time.
+
+use mergesfl::experiment::Approach;
+use mergesfl_bench::{format_curve, run_and_report, Scale};
+use mergesfl_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut config = scale.config(DatasetKind::Cifar10, 10.0, 21);
+    // The motivation experiment uses a small cohort of 10 workers (paper Section II).
+    config.num_workers = config.num_workers.min(10);
+    config.participants_per_round = config.participants_per_round.min(5);
+
+    println!("Fig. 2/3 — motivation: SFL variants on CIFAR-10 analogue, non-IID (p = 10)");
+    let mut results = Vec::new();
+    for approach in Approach::motivation_set() {
+        results.push(run_and_report(approach, &config));
+    }
+    println!("\nAccuracy-over-time curves (Fig. 2a / Fig. 3):");
+    for r in &results {
+        println!("  {:<8} {}", r.approach, format_curve(r));
+    }
+    println!("\nAverage waiting time per round (Fig. 2b):");
+    for r in &results {
+        println!("  {:<8} {:.2} s", r.approach, r.mean_waiting_time());
+    }
+    println!("\nExpected shape: SFL-FM reaches the highest accuracy; SFL-BR has the lowest waiting time");
+    println!("and reaches moderate accuracy faster than SFL-T.");
+}

@@ -1,0 +1,18 @@
+//! Fig. 6: test accuracy vs simulated training time for the five approaches on the four
+//! datasets with IID data (p = 0).
+
+use mergesfl_bench::{datasets_from_env, format_curve, run_evaluation_set, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 6 — test accuracy over time, IID data (p = 0)\n");
+    for dataset in datasets_from_env() {
+        let results = run_evaluation_set(dataset, 0.0, scale, 61);
+        println!("curves:");
+        for r in &results {
+            println!("  {:<14} {}", r.approach, format_curve(r));
+        }
+        println!();
+    }
+    println!("Expected shape: similar final accuracy for all approaches, with MergeSFL converging fastest.");
+}

@@ -1,0 +1,28 @@
+//! Fig. 8: network traffic consumed to reach target accuracies, per approach and dataset.
+
+use mergesfl_bench::{datasets_from_env, run_evaluation_set, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 8 — network traffic (MB) to reach target accuracies, non-IID data (p = 10)\n");
+    for dataset in datasets_from_env() {
+        let results = run_evaluation_set(dataset, 10.0, scale, 81);
+        // Use targets achievable by all approaches: fractions of the weakest best accuracy.
+        let weakest = results.iter().map(|r| r.best_accuracy()).fold(f32::INFINITY, f32::min);
+        let targets = [0.5 * weakest, 0.75 * weakest, 0.95 * weakest];
+        println!("traffic to target accuracy (targets: {:.3} / {:.3} / {:.3}):", targets[0], targets[1], targets[2]);
+        for r in &results {
+            let row: Vec<String> = targets
+                .iter()
+                .map(|&t| match r.traffic_to_accuracy(t) {
+                    Some(mb) => format!("{mb:>9.1}"),
+                    None => format!("{:>9}", "-"),
+                })
+                .collect();
+            println!("  {:<14} {}  (total {:.1} MB)", r.approach, row.join(" "), r.total_traffic_mb());
+        }
+        println!();
+    }
+    println!("Expected shape: SFL approaches (MergeSFL, AdaSFL, LocFedMix-SL) consume far less traffic than");
+    println!("full-model FL (PyramidFL, FedAvg); MergeSFL consumes the least to reach each target.");
+}

@@ -1,0 +1,160 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper (see DESIGN.md §3
+//! for the index). They all read the experiment scale from the `MERGESFL_SCALE` environment
+//! variable:
+//!
+//! * `quick` (default) — minutes-scale runs that show the qualitative shape of every figure;
+//! * `standard` — larger runs closer to the paper's setting;
+//! * `paper` — the paper's 80-worker, full-round-budget setting (hours of CPU time).
+//!
+//! Results are printed as aligned text tables and, when `MERGESFL_JSON=1`, additionally as
+//! JSON lines for machine consumption (EXPERIMENTS.md is produced from these).
+
+use mergesfl::config::RunConfig;
+use mergesfl::experiment::{run, Approach};
+use mergesfl::metrics::RunResult;
+use mergesfl_data::DatasetKind;
+
+/// Experiment scale selected through the `MERGESFL_SCALE` environment variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-to-minutes runs (default).
+    Quick,
+    /// Larger runs, tens of minutes.
+    Standard,
+    /// The paper's full setting, hours of CPU time.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (`MERGESFL_SCALE`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("MERGESFL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "paper" => Self::Paper,
+            "standard" => Self::Standard,
+            _ => Self::Quick,
+        }
+    }
+
+    /// Builds the run configuration for a dataset and non-IID level at this scale.
+    pub fn config(&self, dataset: DatasetKind, non_iid_level: f32, seed: u64) -> RunConfig {
+        match self {
+            Self::Quick => RunConfig::quick(dataset, non_iid_level, seed),
+            Self::Standard => RunConfig::standard(dataset, non_iid_level, seed),
+            Self::Paper => RunConfig::paper(dataset, non_iid_level, seed),
+        }
+    }
+}
+
+/// Whether JSON-lines output was requested (`MERGESFL_JSON=1`).
+pub fn json_output() -> bool {
+    std::env::var("MERGESFL_JSON").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Runs one approach and prints a one-line summary; returns the full result.
+pub fn run_and_report(approach: Approach, config: &RunConfig) -> RunResult {
+    let result = run(approach, config);
+    println!(
+        "  {:<18} final_acc={:.3}  best_acc={:.3}  sim_time={:>10.1}s  traffic={:>9.1}MB  avg_wait={:>7.2}s",
+        result.approach,
+        result.final_accuracy(),
+        result.best_accuracy(),
+        result.total_sim_time(),
+        result.total_traffic_mb(),
+        result.mean_waiting_time(),
+    );
+    if json_output() {
+        println!("JSON {}", result.to_json());
+    }
+    result
+}
+
+/// Runs the paper's five evaluation approaches on one dataset and returns their results.
+pub fn run_evaluation_set(dataset: DatasetKind, non_iid_level: f32, scale: Scale, seed: u64) -> Vec<RunResult> {
+    let config = scale.config(dataset, non_iid_level, seed);
+    println!(
+        "== {} (p = {}) — {} workers, {} rounds ==",
+        dataset.name(),
+        non_iid_level,
+        config.num_workers,
+        config.rounds
+    );
+    Approach::evaluation_set()
+        .iter()
+        .map(|&a| run_and_report(a, &config))
+        .collect()
+}
+
+/// Formats an accuracy-over-time curve as `time:acc` pairs for compact printing.
+pub fn format_curve(result: &RunResult) -> String {
+    result
+        .accuracy_curve()
+        .iter()
+        .map(|(t, a)| format!("{t:.0}s:{a:.3}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Datasets restricted by the optional `MERGESFL_DATASETS` env var (comma-separated subset
+/// of `har,speech,cifar10,image100`); defaults to all four.
+pub fn datasets_from_env() -> Vec<DatasetKind> {
+    let Ok(raw) = std::env::var("MERGESFL_DATASETS") else {
+        return DatasetKind::all().to_vec();
+    };
+    let mut out = Vec::new();
+    for token in raw.split(',') {
+        match token.trim().to_lowercase().as_str() {
+            "har" => out.push(DatasetKind::Har),
+            "speech" => out.push(DatasetKind::Speech),
+            "cifar10" | "cifar" => out.push(DatasetKind::Cifar10),
+            "image100" | "image" => out.push(DatasetKind::Image100),
+            "" => {}
+            other => eprintln!("ignoring unknown dataset '{other}'"),
+        }
+    }
+    if out.is_empty() {
+        DatasetKind::all().to_vec()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        // The test environment does not set MERGESFL_SCALE.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        let c = Scale::Quick.config(DatasetKind::Har, 0.0, 1);
+        assert!(c.rounds <= 20);
+    }
+
+    #[test]
+    fn scales_produce_increasingly_large_configs() {
+        let q = Scale::Quick.config(DatasetKind::Cifar10, 10.0, 1);
+        let s = Scale::Standard.config(DatasetKind::Cifar10, 10.0, 1);
+        let p = Scale::Paper.config(DatasetKind::Cifar10, 10.0, 1);
+        assert!(q.rounds < s.rounds && s.rounds < p.rounds);
+        assert!(q.num_workers <= s.num_workers && s.num_workers <= p.num_workers);
+    }
+
+    #[test]
+    fn curve_formatting_is_compact() {
+        let mut r = RunResult::new("X", "Y", 0.0);
+        r.push(mergesfl::metrics::RoundRecord {
+            round: 0,
+            sim_time: 12.0,
+            accuracy: Some(0.5),
+            train_loss: 1.0,
+            avg_waiting_time: 0.0,
+            traffic_mb: 1.0,
+            participants: 1,
+            total_batch: 8,
+            cohort_kl: 0.0,
+        });
+        assert_eq!(format_curve(&r), "12s:0.500");
+    }
+}

@@ -1,0 +1,60 @@
+//! Baseline and ablation presets.
+//!
+//! Every approach the paper compares against is expressed as a preset over one of the two
+//! engines: the SFL-family baselines re-use [`crate::sfl::SflEngine`] with mechanisms
+//! switched off, and the FL-family baselines re-use [`crate::fl::FlEngine`]. This module
+//! groups the presets so downstream code (benches, examples) can enumerate them.
+
+use crate::fl::FlStrategy;
+use crate::sfl::SflStrategy;
+
+/// The SFL-family baselines and ablations of the evaluation section.
+pub fn sfl_baselines() -> Vec<SflStrategy> {
+    vec![
+        SflStrategy::merge_sfl(),
+        SflStrategy::merge_sfl_without_fm(),
+        SflStrategy::merge_sfl_without_br(),
+        SflStrategy::ada_sfl(),
+        SflStrategy::locfedmix_sl(),
+    ]
+}
+
+/// The motivation-section variants (Section II, Figs. 2–4).
+pub fn motivation_variants() -> Vec<SflStrategy> {
+    vec![SflStrategy::sfl_t(), SflStrategy::sfl_fm(), SflStrategy::sfl_br()]
+}
+
+/// The FL-family baselines of the evaluation section.
+pub fn fl_baselines() -> Vec<FlStrategy> {
+    vec![FlStrategy::fedavg(), FlStrategy::pyramidfl()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_sets_cover_the_paper() {
+        let sfl: Vec<&str> = sfl_baselines().iter().map(|s| s.name).collect();
+        assert!(sfl.contains(&"MergeSFL"));
+        assert!(sfl.contains(&"AdaSFL"));
+        assert!(sfl.contains(&"LocFedMix-SL"));
+        let fl: Vec<&str> = fl_baselines().iter().map(|s| s.name).collect();
+        assert_eq!(fl, vec!["FedAvg", "PyramidFL"]);
+        assert_eq!(motivation_variants().len(), 3);
+    }
+
+    #[test]
+    fn merge_sfl_enables_everything() {
+        let s = SflStrategy::merge_sfl();
+        assert!(s.feature_merging && s.batch_regulation && s.kl_selection && s.finetune);
+    }
+
+    #[test]
+    fn ablations_disable_exactly_one_mechanism() {
+        let without_fm = SflStrategy::merge_sfl_without_fm();
+        assert!(!without_fm.feature_merging && without_fm.batch_regulation);
+        let without_br = SflStrategy::merge_sfl_without_br();
+        assert!(without_br.feature_merging && !without_br.batch_regulation);
+    }
+}

@@ -1,0 +1,173 @@
+//! Experiment configuration.
+
+use mergesfl_data::DatasetKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one training run (one approach on one dataset at one non-IID level).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Which dataset/task to train on.
+    pub dataset: DatasetKind,
+    /// Non-IID level `p = 1/δ` (0 = IID); the paper evaluates p ∈ {0, 1, 2, 4, 5, 10}.
+    pub non_iid_level: f32,
+    /// Number of workers in the cluster (the paper's testbed has 80).
+    pub num_workers: usize,
+    /// Number of communication rounds to run.
+    pub rounds: usize,
+    /// Local updating frequency τ (iterations per round). `None` uses the paper's default
+    /// for the dataset.
+    pub local_iterations: Option<usize>,
+    /// Default maximum batch size `D` assigned to the fastest worker.
+    pub max_batch: usize,
+    /// Batch size used by approaches without batch-size regulation.
+    pub uniform_batch: usize,
+    /// Number of workers selected per round by approaches that select a fixed-size cohort
+    /// (FedAvg, PyramidFL, and the upper bound for MergeSFL's genetic selection).
+    pub participants_per_round: usize,
+    /// KL threshold ε for MergeSFL's batch fine-tuning step.
+    pub kl_epsilon: f32,
+    /// Mean parameter-server ingress bandwidth budget in Mb/s.
+    pub ps_ingress_mean_mbps: f64,
+    /// Evaluate the global model every this many rounds.
+    pub eval_every: usize,
+    /// Maximum number of test samples used per evaluation (subsampled for speed).
+    pub eval_samples: usize,
+    /// Number of training samples to generate (`None` uses the dataset default).
+    pub train_size: Option<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Moving-average factor α for worker-state estimation (paper uses 0.8).
+    pub estimate_alpha: f32,
+}
+
+impl RunConfig {
+    /// Full-scale configuration mirroring the paper's setup for a dataset (80 workers and
+    /// the paper's round budget). Heavy — intended for the figure-regeneration binaries.
+    pub fn paper(dataset: DatasetKind, non_iid_level: f32, seed: u64) -> Self {
+        let spec = dataset.spec();
+        Self {
+            dataset,
+            non_iid_level,
+            num_workers: 80,
+            rounds: spec.paper_rounds,
+            local_iterations: None,
+            max_batch: 32,
+            uniform_batch: 16,
+            participants_per_round: 10,
+            kl_epsilon: 0.05,
+            ps_ingress_mean_mbps: 300.0,
+            eval_every: 5,
+            eval_samples: 400,
+            train_size: None,
+            seed,
+            estimate_alpha: 0.8,
+        }
+    }
+
+    /// A scaled-down configuration that keeps the experimental structure (heterogeneous
+    /// cluster, selection, regulation) but finishes in seconds on one CPU core. Used by the
+    /// default bench binaries, the examples and the integration tests.
+    pub fn quick(dataset: DatasetKind, non_iid_level: f32, seed: u64) -> Self {
+        Self {
+            dataset,
+            non_iid_level,
+            num_workers: 20,
+            rounds: 12,
+            local_iterations: Some(4),
+            max_batch: 16,
+            uniform_batch: 8,
+            participants_per_round: 6,
+            kl_epsilon: 0.05,
+            ps_ingress_mean_mbps: 150.0,
+            eval_every: 2,
+            eval_samples: 200,
+            train_size: Some(1200),
+            seed,
+            estimate_alpha: 0.8,
+        }
+    }
+
+    /// A configuration sized between [`RunConfig::quick`] and [`RunConfig::paper`], used by
+    /// the figure-regeneration binaries by default.
+    pub fn standard(dataset: DatasetKind, non_iid_level: f32, seed: u64) -> Self {
+        Self {
+            dataset,
+            non_iid_level,
+            num_workers: 40,
+            rounds: 30,
+            local_iterations: Some(6),
+            max_batch: 24,
+            uniform_batch: 12,
+            participants_per_round: 8,
+            kl_epsilon: 0.05,
+            ps_ingress_mean_mbps: 200.0,
+            eval_every: 3,
+            eval_samples: 300,
+            train_size: Some(2000),
+            seed,
+            estimate_alpha: 0.8,
+        }
+    }
+
+    /// Effective local updating frequency τ for this run.
+    pub fn tau(&self) -> usize {
+        self.local_iterations
+            .unwrap_or_else(|| self.dataset.spec().local_iterations)
+    }
+
+    /// Validates internal consistency; panics with a descriptive message on error.
+    pub fn validate(&self) {
+        assert!(self.num_workers > 0, "RunConfig: need at least one worker");
+        assert!(self.rounds > 0, "RunConfig: need at least one round");
+        assert!(self.max_batch > 0, "RunConfig: max batch must be positive");
+        assert!(self.uniform_batch > 0, "RunConfig: uniform batch must be positive");
+        assert!(
+            self.participants_per_round > 0 && self.participants_per_round <= self.num_workers,
+            "RunConfig: participants_per_round must be in [1, num_workers]"
+        );
+        assert!(self.non_iid_level >= 0.0, "RunConfig: non-IID level must be non-negative");
+        assert!(self.kl_epsilon >= 0.0, "RunConfig: KL epsilon must be non-negative");
+        assert!(self.eval_every > 0, "RunConfig: eval_every must be positive");
+        assert!((0.0..=1.0).contains(&self.estimate_alpha), "RunConfig: alpha must be in [0, 1]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_paper_round_budget() {
+        let c = RunConfig::paper(DatasetKind::Har, 10.0, 1);
+        assert_eq!(c.rounds, 150);
+        assert_eq!(c.num_workers, 80);
+        assert_eq!(c.tau(), 10);
+        c.validate();
+    }
+
+    #[test]
+    fn quick_config_is_small_and_valid() {
+        for kind in DatasetKind::all() {
+            let c = RunConfig::quick(kind, 0.0, 2);
+            assert!(c.rounds <= 20);
+            assert!(c.num_workers <= 40);
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn tau_override_takes_precedence() {
+        let mut c = RunConfig::paper(DatasetKind::Cifar10, 0.0, 3);
+        assert_eq!(c.tau(), 30);
+        c.local_iterations = Some(5);
+        assert_eq!(c.tau(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "participants_per_round")]
+    fn validate_rejects_too_many_participants() {
+        let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+        c.participants_per_round = c.num_workers + 1;
+        c.validate();
+    }
+}

@@ -1,0 +1,255 @@
+//! Batch-size regulation (paper Section IV-A, Eq. 9–10).
+//!
+//! The fastest worker (smallest per-sample cost `µ + β`) receives the default maximum batch
+//! size `D`; every other worker receives a batch size scaled down by the ratio of the
+//! fastest worker's per-sample cost to its own, so that all workers finish their local
+//! iterations at roughly the same time. The paper writes the scaling with a floor operator;
+//! because the fastest worker's cost ratio is ≤ 1 for every other worker, a literal floor
+//! would zero out every slower worker, so — as clearly intended — the ratio is rounded and
+//! clamped to at least one sample.
+
+/// Result of batch-size regulation for a set of workers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchAssignment {
+    /// Batch size per worker (aligned with the input cost slice).
+    pub batch_sizes: Vec<usize>,
+    /// Index (into the input slice) of the fastest worker, which received the maximum batch.
+    pub fastest: usize,
+}
+
+/// Computes regulated batch sizes (Eq. 9): the fastest worker gets `max_batch`, every other
+/// worker gets `max_batch` scaled by the cost ratio, clamped to `[1, max_batch]`.
+pub fn regulate_batch_sizes(per_sample_costs: &[f64], max_batch: usize) -> BatchAssignment {
+    assert!(!per_sample_costs.is_empty(), "regulate_batch_sizes: no workers");
+    assert!(max_batch > 0, "regulate_batch_sizes: max batch must be positive");
+    assert!(
+        per_sample_costs.iter().all(|&c| c.is_finite() && c > 0.0),
+        "regulate_batch_sizes: per-sample costs must be positive"
+    );
+    let fastest = per_sample_costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty slice");
+    let fastest_cost = per_sample_costs[fastest];
+    let batch_sizes = per_sample_costs
+        .iter()
+        .map(|&cost| {
+            let scaled = (max_batch as f64 * fastest_cost / cost).round() as usize;
+            scaled.clamp(1, max_batch)
+        })
+        .collect();
+    BatchAssignment { batch_sizes, fastest }
+}
+
+/// Scales batch sizes proportionally so that the per-iteration feature traffic
+/// `Σ d_i · c` uses as much of the ingress budget `B^h` as possible without exceeding it
+/// (Alg. 1 line 7, constraint Eq. 10). Batch sizes never drop below one sample.
+pub fn rescale_to_budget(
+    batch_sizes: &[usize],
+    feature_bytes_per_sample: f64,
+    budget_bytes: f64,
+) -> Vec<usize> {
+    assert!(!batch_sizes.is_empty(), "rescale_to_budget: no workers");
+    assert!(feature_bytes_per_sample > 0.0, "rescale_to_budget: feature size must be positive");
+    assert!(budget_bytes > 0.0, "rescale_to_budget: budget must be positive");
+    let current: f64 = batch_sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
+    if current <= 0.0 {
+        return batch_sizes.to_vec();
+    }
+    let factor = budget_bytes / current;
+    let mut scaled: Vec<usize> = batch_sizes
+        .iter()
+        .map(|&d| ((d as f64 * factor).floor() as usize).max(1))
+        .collect();
+    // Flooring may still overshoot when the budget forces batches below one sample each;
+    // trim the largest batches until the constraint holds (or every batch is one sample).
+    loop {
+        let total: f64 = scaled.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
+        if total <= budget_bytes || scaled.iter().all(|&d| d <= 1) {
+            break;
+        }
+        if let Some(largest) = (0..scaled.len()).max_by_key(|&i| scaled[i]) {
+            if scaled[largest] > 1 {
+                scaled[largest] -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+    scaled
+}
+
+/// Like [`rescale_to_budget`], but additionally caps the *scale-up* so that no worker's
+/// batch exceeds `max_batch` **and the relative proportions produced by regulation are
+/// preserved**: the common scale factor is the smaller of "what the budget allows" and
+/// "what keeps the largest batch at `max_batch`". Scaling *down* to fit a tight budget is
+/// never limited by the cap.
+pub fn rescale_to_budget_capped(
+    batch_sizes: &[usize],
+    feature_bytes_per_sample: f64,
+    budget_bytes: f64,
+    max_batch: usize,
+) -> Vec<usize> {
+    assert!(!batch_sizes.is_empty(), "rescale_to_budget_capped: no workers");
+    assert!(max_batch >= 1, "rescale_to_budget_capped: max batch must be positive");
+    let current: f64 = batch_sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
+    let largest = batch_sizes.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let budget_factor = budget_bytes / current.max(1e-9);
+    let cap_factor = max_batch as f64 / largest;
+    // Shrink freely when over budget; grow only as far as both the budget and the cap allow.
+    let factor = if budget_factor < 1.0 {
+        budget_factor
+    } else {
+        budget_factor.min(cap_factor).max(1.0)
+    };
+    let mut scaled: Vec<usize> = batch_sizes
+        .iter()
+        .map(|&d| ((d as f64 * factor).floor() as usize).clamp(1, max_batch))
+        .collect();
+    // Trim the largest batches if flooring/min-clamping still overshoots the budget.
+    loop {
+        let total: f64 = scaled.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
+        if total <= budget_bytes || scaled.iter().all(|&d| d <= 1) {
+            break;
+        }
+        if let Some(largest) = (0..scaled.len()).max_by_key(|&i| scaled[i]) {
+            if scaled[largest] > 1 {
+                scaled[largest] -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+    scaled
+}
+
+/// Predicted duration (seconds) of each worker's local phase given its batch size and
+/// per-sample cost, for `tau` local iterations (paper Eq. 7).
+pub fn predicted_durations(batch_sizes: &[usize], per_sample_costs: &[f64], tau: usize) -> Vec<f64> {
+    assert_eq!(batch_sizes.len(), per_sample_costs.len(), "predicted_durations: length mismatch");
+    batch_sizes
+        .iter()
+        .zip(per_sample_costs)
+        .map(|(&d, &c)| tau as f64 * d as f64 * c)
+        .collect()
+}
+
+/// Average waiting time implied by a set of predicted durations (paper Eq. 8).
+pub fn predicted_waiting_time(durations: &[f64]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let max = durations.iter().cloned().fold(0.0, f64::max);
+    durations.iter().map(|&t| max - t).sum::<f64>() / durations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastest_worker_gets_max_batch() {
+        let costs = vec![0.4, 0.1, 0.2];
+        let a = regulate_batch_sizes(&costs, 32);
+        assert_eq!(a.fastest, 1);
+        assert_eq!(a.batch_sizes[1], 32);
+    }
+
+    #[test]
+    fn slower_workers_get_proportionally_smaller_batches() {
+        let costs = vec![0.1, 0.2, 0.4];
+        let a = regulate_batch_sizes(&costs, 32);
+        assert_eq!(a.batch_sizes, vec![32, 16, 8]);
+    }
+
+    #[test]
+    fn very_slow_workers_still_get_one_sample() {
+        let costs = vec![0.01, 10.0];
+        let a = regulate_batch_sizes(&costs, 16);
+        assert_eq!(a.batch_sizes[1], 1);
+    }
+
+    #[test]
+    fn regulation_balances_durations() {
+        // After regulation the per-iteration durations d_i * cost_i should be nearly equal,
+        // which is the whole point of batch-size regulation.
+        let costs = vec![0.05, 0.1, 0.25, 0.5];
+        let a = regulate_batch_sizes(&costs, 64);
+        let durations: Vec<f64> = a
+            .batch_sizes
+            .iter()
+            .zip(&costs)
+            .map(|(&d, &c)| d as f64 * c)
+            .collect();
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.2, "durations {durations:?} not balanced");
+    }
+
+    #[test]
+    fn rescale_shrinks_to_fit_budget() {
+        let sizes = vec![32, 16, 8];
+        // 56 samples * 1000 bytes = 56 kB, budget 28 kB → roughly halve.
+        let scaled = rescale_to_budget(&sizes, 1000.0, 28_000.0);
+        let total: usize = scaled.iter().sum();
+        assert!(total * 1000 <= 28_000);
+        assert!(scaled.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn rescale_grows_to_use_budget() {
+        let sizes = vec![4, 2];
+        let scaled = rescale_to_budget(&sizes, 1000.0, 60_000.0);
+        let total: usize = scaled.iter().sum();
+        assert!(total > 6, "should scale up, got {scaled:?}");
+        assert!(total * 1000 <= 60_000);
+    }
+
+    #[test]
+    fn rescale_respects_minimum_of_one() {
+        let sizes = vec![2, 2, 2];
+        let scaled = rescale_to_budget(&sizes, 1000.0, 1500.0);
+        assert!(scaled.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn durations_and_waiting_time() {
+        let durations = predicted_durations(&[10, 5], &[0.1, 0.1], 4);
+        assert_eq!(durations, vec![4.0, 2.0]);
+        assert!((predicted_waiting_time(&durations) - 1.0).abs() < 1e-9);
+        assert_eq!(predicted_waiting_time(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-sample costs must be positive")]
+    fn rejects_zero_cost() {
+        let _ = regulate_batch_sizes(&[0.0, 0.1], 8);
+    }
+
+    #[test]
+    fn capped_rescale_preserves_regulation_ratios_under_a_loose_budget() {
+        // With effectively unlimited budget, the capped rescale must not flatten the
+        // regulated ratios: the largest batch is already at D, so nothing changes.
+        let regulated = vec![16usize, 8, 4, 1];
+        let scaled = rescale_to_budget_capped(&regulated, 1024.0, 1e12, 16);
+        assert_eq!(scaled, regulated);
+    }
+
+    #[test]
+    fn capped_rescale_grows_proportionally_until_the_cap() {
+        // Largest batch is 8 and the cap is 32: the whole assignment can grow 4x before the
+        // cap binds, keeping the 2:1 ratio.
+        let scaled = rescale_to_budget_capped(&[8, 4], 1.0, 1e12, 32);
+        assert_eq!(scaled, vec![32, 16]);
+    }
+
+    #[test]
+    fn capped_rescale_still_shrinks_for_tight_budgets() {
+        let scaled = rescale_to_budget_capped(&[16, 8, 4], 1000.0, 14_000.0, 16);
+        let total: usize = scaled.iter().sum();
+        assert!(total * 1000 <= 14_000);
+        assert!(scaled.iter().all(|&d| d >= 1));
+    }
+}

@@ -1,0 +1,183 @@
+//! Worker state estimation (paper Section IV-A, Eq. 5–6).
+//!
+//! Before each round the PS collects the latest per-sample computing time `µ̂_i` and
+//! transmission time `β̂_i` reported by every worker, and smooths them with a moving
+//! average (`α = 0.8` in the paper's experiments) to obtain the estimates used by the
+//! control module. The PS ingress bandwidth `B^h` is likewise estimated from the budgets
+//! observed in previous rounds.
+
+use serde::{Deserialize, Serialize};
+
+/// Moving-average estimate of one worker's per-sample computing and transmission time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerEstimate {
+    /// Estimated computing time per sample, seconds (`µ_i^h`).
+    pub compute_per_sample: f64,
+    /// Estimated transmission time per sample, seconds (`β_i^h`).
+    pub transfer_per_sample: f64,
+    observations: usize,
+}
+
+impl WorkerEstimate {
+    /// Combined per-sample cost `µ_i + β_i`.
+    pub fn per_sample_cost(&self) -> f64 {
+        self.compute_per_sample + self.transfer_per_sample
+    }
+
+    /// Number of observations folded into the estimate.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+/// Moving-average state estimator for all workers plus the PS ingress bandwidth.
+#[derive(Clone, Debug)]
+pub struct StateEstimator {
+    alpha: f64,
+    workers: Vec<Option<WorkerEstimate>>,
+    ingress_estimate: Option<f64>,
+}
+
+impl StateEstimator {
+    /// Creates an estimator for `num_workers` workers with moving-average factor `alpha`.
+    ///
+    /// `alpha` is the weight on the *previous* estimate, as in the paper's Eq. 5–6.
+    pub fn new(num_workers: usize, alpha: f64) -> Self {
+        assert!(num_workers > 0, "StateEstimator: need at least one worker");
+        assert!((0.0..=1.0).contains(&alpha), "StateEstimator: alpha must be in [0, 1]");
+        Self { alpha, workers: vec![None; num_workers], ingress_estimate: None }
+    }
+
+    /// Number of workers tracked.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Folds a fresh observation `(µ̂_i, β̂_i)` from worker `i` into its estimate.
+    pub fn observe_worker(&mut self, worker_id: usize, compute_per_sample: f64, transfer_per_sample: f64) {
+        assert!(worker_id < self.workers.len(), "StateEstimator: worker {worker_id} out of range");
+        assert!(
+            compute_per_sample >= 0.0 && transfer_per_sample >= 0.0,
+            "StateEstimator: negative observation"
+        );
+        let entry = &mut self.workers[worker_id];
+        match entry {
+            Some(est) => {
+                est.compute_per_sample =
+                    self.alpha * est.compute_per_sample + (1.0 - self.alpha) * compute_per_sample;
+                est.transfer_per_sample =
+                    self.alpha * est.transfer_per_sample + (1.0 - self.alpha) * transfer_per_sample;
+                est.observations += 1;
+            }
+            None => {
+                *entry = Some(WorkerEstimate {
+                    compute_per_sample,
+                    transfer_per_sample,
+                    observations: 1,
+                });
+            }
+        }
+    }
+
+    /// Folds a fresh observation of the PS ingress budget into its estimate.
+    pub fn observe_ingress(&mut self, bytes_per_sec: f64) {
+        assert!(bytes_per_sec >= 0.0, "StateEstimator: negative ingress budget");
+        self.ingress_estimate = Some(match self.ingress_estimate {
+            Some(prev) => self.alpha * prev + (1.0 - self.alpha) * bytes_per_sec,
+            None => bytes_per_sec,
+        });
+    }
+
+    /// Current estimate for a worker, if it has reported at least once.
+    pub fn worker(&self, worker_id: usize) -> Option<&WorkerEstimate> {
+        self.workers.get(worker_id).and_then(|w| w.as_ref())
+    }
+
+    /// Current estimate for a worker, falling back to the mean of known workers (or a
+    /// conservative default) when the worker has never reported. This lets the control
+    /// module plan a round that includes never-before-selected workers.
+    pub fn worker_or_default(&self, worker_id: usize) -> WorkerEstimate {
+        if let Some(est) = self.worker(worker_id) {
+            return est.clone();
+        }
+        let known: Vec<&WorkerEstimate> = self.workers.iter().flatten().collect();
+        if known.is_empty() {
+            return WorkerEstimate { compute_per_sample: 0.1, transfer_per_sample: 0.05, observations: 0 };
+        }
+        let n = known.len() as f64;
+        WorkerEstimate {
+            compute_per_sample: known.iter().map(|e| e.compute_per_sample).sum::<f64>() / n,
+            transfer_per_sample: known.iter().map(|e| e.transfer_per_sample).sum::<f64>() / n,
+            observations: 0,
+        }
+    }
+
+    /// Current estimate of the PS ingress budget (bytes per second), or the provided
+    /// fallback when no observation exists yet.
+    pub fn ingress_or(&self, fallback: f64) -> f64 {
+        self.ingress_estimate.unwrap_or(fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_is_taken_verbatim() {
+        let mut est = StateEstimator::new(4, 0.8);
+        est.observe_worker(2, 0.5, 0.1);
+        let w = est.worker(2).unwrap();
+        assert_eq!(w.compute_per_sample, 0.5);
+        assert_eq!(w.transfer_per_sample, 0.1);
+        assert_eq!(w.observations(), 1);
+    }
+
+    #[test]
+    fn moving_average_matches_paper_formula() {
+        let mut est = StateEstimator::new(1, 0.8);
+        est.observe_worker(0, 1.0, 0.4);
+        est.observe_worker(0, 0.5, 0.2);
+        let w = est.worker(0).unwrap();
+        // µ = 0.8*1.0 + 0.2*0.5 = 0.9 ; β = 0.8*0.4 + 0.2*0.2 = 0.36
+        assert!((w.compute_per_sample - 0.9).abs() < 1e-9);
+        assert!((w.transfer_per_sample - 0.36).abs() < 1e-9);
+        assert!((w.per_sample_cost() - 1.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_worker_falls_back_to_mean_of_known() {
+        let mut est = StateEstimator::new(3, 0.5);
+        est.observe_worker(0, 0.2, 0.1);
+        est.observe_worker(1, 0.4, 0.3);
+        let fallback = est.worker_or_default(2);
+        assert!((fallback.compute_per_sample - 0.3).abs() < 1e-9);
+        assert!((fallback.transfer_per_sample - 0.2).abs() < 1e-9);
+        assert_eq!(fallback.observations(), 0);
+    }
+
+    #[test]
+    fn no_observations_gives_conservative_default() {
+        let est = StateEstimator::new(2, 0.8);
+        let d = est.worker_or_default(0);
+        assert!(d.compute_per_sample > 0.0);
+        assert!(est.worker(0).is_none());
+    }
+
+    #[test]
+    fn ingress_estimate_smooths() {
+        let mut est = StateEstimator::new(1, 0.8);
+        assert_eq!(est.ingress_or(123.0), 123.0);
+        est.observe_ingress(100.0);
+        est.observe_ingress(200.0);
+        // 0.8*100 + 0.2*200 = 120
+        assert!((est.ingress_or(0.0) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_worker_id() {
+        let mut est = StateEstimator::new(1, 0.8);
+        est.observe_worker(5, 0.1, 0.1);
+    }
+}

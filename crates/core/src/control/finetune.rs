@@ -1,0 +1,210 @@
+//! Batch-size fine-tuning under a KL constraint (paper Alg. 1, line 6).
+//!
+//! After the genetic selection there may still be a gap between the selected cohort's label
+//! mixture `Φ^h` and the IID reference `Φ0`. The paper fine-tunes the selected workers'
+//! batch sizes to bring `KL(Φ^h‖Φ0)` under a threshold `ε` while minimising the added
+//! waiting time `Δ(S^h) = (1/R) Σ Δd_i (µ_i + β_i)` (Eq. 14), formulated as a Lagrangian
+//! dual problem. This implementation solves the same problem with a greedy coordinate
+//! search: at each step it applies the single ±1 batch change that yields the largest KL
+//! reduction per unit of added waiting time — i.e. the steepest feasible direction of the
+//! Lagrangian — and stops once the constraint is met or no move helps.
+
+use mergesfl_data::LabelDistribution;
+
+/// Result of the fine-tuning step.
+#[derive(Clone, Debug)]
+pub struct FinetuneOutcome {
+    /// Adjusted batch sizes (aligned with the input order).
+    pub batch_sizes: Vec<usize>,
+    /// KL divergence after adjustment.
+    pub kl: f32,
+    /// Added average waiting time Δ(S^h) relative to the regulated batch sizes (seconds per
+    /// iteration).
+    pub added_waiting: f64,
+}
+
+/// Parameters of the fine-tuning search.
+#[derive(Clone, Copy, Debug)]
+pub struct FinetuneConfig {
+    /// Target KL threshold ε.
+    pub kl_epsilon: f32,
+    /// Maximum number of ±1 coordinate moves (safety bound).
+    pub max_moves: usize,
+    /// Lower bound on any worker's batch size.
+    pub min_batch: usize,
+    /// Upper bound on any worker's batch size.
+    pub max_batch: usize,
+}
+
+impl FinetuneConfig {
+    /// Creates a config with the given ε and batch bounds.
+    pub fn new(kl_epsilon: f32, min_batch: usize, max_batch: usize) -> Self {
+        assert!(kl_epsilon >= 0.0, "FinetuneConfig: epsilon must be non-negative");
+        assert!(min_batch >= 1 && min_batch <= max_batch, "FinetuneConfig: invalid batch bounds");
+        Self { kl_epsilon, max_moves: 512, min_batch, max_batch }
+    }
+}
+
+fn mixture_kl(
+    batch_sizes: &[usize],
+    label_dists: &[&LabelDistribution],
+    iid_reference: &LabelDistribution,
+) -> f32 {
+    let weights: Vec<f32> = batch_sizes.iter().map(|&d| d as f32).collect();
+    LabelDistribution::mixture(label_dists, &weights).kl_divergence(iid_reference)
+}
+
+/// Fine-tunes the batch sizes of the selected cohort so that the cohort's label mixture
+/// satisfies `KL(Φ^h‖Φ0) ≤ ε`, while minimising the added waiting time.
+///
+/// `per_sample_costs` holds `µ_i + β_i` for each selected worker, used to cost each ±1 move.
+pub fn finetune_batches(
+    batch_sizes: &[usize],
+    label_dists: &[&LabelDistribution],
+    per_sample_costs: &[f64],
+    iid_reference: &LabelDistribution,
+    config: &FinetuneConfig,
+) -> FinetuneOutcome {
+    let n = batch_sizes.len();
+    assert!(n > 0, "finetune_batches: empty cohort");
+    assert_eq!(label_dists.len(), n, "finetune_batches: label distribution count mismatch");
+    assert_eq!(per_sample_costs.len(), n, "finetune_batches: cost count mismatch");
+
+    let original = batch_sizes.to_vec();
+    let mut current = batch_sizes.to_vec();
+    let mut current_kl = mixture_kl(&current, label_dists, iid_reference);
+    let mut moves = 0usize;
+
+    while current_kl > config.kl_epsilon && moves < config.max_moves {
+        let mut best: Option<(usize, isize, f32, f64)> = None; // (worker, delta, new_kl, gain_per_cost)
+        for i in 0..n {
+            for &delta in &[-1isize, 1] {
+                let new_size = current[i] as isize + delta;
+                if new_size < config.min_batch as isize || new_size > config.max_batch as isize {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial[i] = new_size as usize;
+                let kl = mixture_kl(&trial, label_dists, iid_reference);
+                if kl >= current_kl {
+                    continue;
+                }
+                // Cost of the move: only deviations from the regulated batch add waiting
+                // time, so moving *towards* the original assignment is free.
+                let old_dev = (current[i] as isize - original[i] as isize).abs() as f64;
+                let new_dev = (new_size - original[i] as isize).abs() as f64;
+                let added_cost = (new_dev - old_dev).max(0.0) * per_sample_costs[i];
+                let gain = (current_kl - kl) as f64 / (added_cost + 1e-9);
+                if best.map(|(_, _, _, g)| gain > g).unwrap_or(true) {
+                    best = Some((i, delta, kl, gain));
+                }
+            }
+        }
+        match best {
+            Some((i, delta, kl, _)) => {
+                current[i] = (current[i] as isize + delta) as usize;
+                current_kl = kl;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+
+    let added_waiting: f64 = current
+        .iter()
+        .zip(&original)
+        .zip(per_sample_costs)
+        .map(|((&new, &old), &cost)| (new as isize - old as isize).unsigned_abs() as f64 * cost)
+        .sum::<f64>()
+        / n as f64;
+
+    FinetuneOutcome { batch_sizes: current, kl: current_kl, added_waiting }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed(p0: f32) -> LabelDistribution {
+        LabelDistribution::new(vec![p0, 1.0 - p0])
+    }
+
+    #[test]
+    fn already_satisfied_constraint_leaves_batches_unchanged() {
+        let dists = [skewed(0.5), skewed(0.5)];
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let config = FinetuneConfig::new(0.05, 1, 64);
+        let out = finetune_batches(&[16, 16], &refs, &[0.1, 0.1], &phi0, &config);
+        assert_eq!(out.batch_sizes, vec![16, 16]);
+        assert_eq!(out.added_waiting, 0.0);
+        assert!(out.kl <= 0.05);
+    }
+
+    #[test]
+    fn rebalances_batches_to_reduce_kl() {
+        // Worker 0 holds mostly class 0, worker 1 mostly class 1, but worker 0 has a much
+        // larger batch: the mixture is skewed towards class 0 until batches are rebalanced.
+        let dists = [skewed(0.9), skewed(0.1)];
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let initial = [24usize, 8usize];
+        let initial_kl = mixture_kl(&initial, &refs, &phi0);
+        let config = FinetuneConfig::new(0.001, 1, 64);
+        let out = finetune_batches(&initial, &refs, &[0.1, 0.1], &phi0, &config);
+        assert!(out.kl < initial_kl, "KL should drop ({} -> {})", initial_kl, out.kl);
+        assert!(out.kl <= 0.001 + 1e-4, "KL {} above threshold", out.kl);
+        // The resulting mixture must be close to uniform (the constraint allows stopping a
+        // little short of perfectly equal batches).
+        let weights: Vec<f32> = out.batch_sizes.iter().map(|&d| d as f32).collect();
+        let mixture = LabelDistribution::mixture(&refs, &weights);
+        assert!(mixture.total_variation(&phi0) < 0.05, "mixture {:?} too far from uniform", mixture);
+    }
+
+    #[test]
+    fn respects_batch_bounds() {
+        let dists = [skewed(1.0), skewed(0.0)];
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let config = FinetuneConfig::new(0.0, 2, 10);
+        let out = finetune_batches(&[10, 2], &refs, &[0.1, 0.1], &phi0, &config);
+        assert!(out.batch_sizes.iter().all(|&d| (2..=10).contains(&d)));
+    }
+
+    #[test]
+    fn added_waiting_reflects_deviation_and_costs() {
+        let dists = [skewed(0.9), skewed(0.1)];
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let config = FinetuneConfig::new(0.001, 1, 64);
+        let out = finetune_batches(&[24, 8], &refs, &[0.2, 0.05], &phi0, &config);
+        // Waiting is (|Δd_0| * 0.2 + |Δd_1| * 0.05) / 2 and must be positive since batches moved.
+        let expected: f64 = ((out.batch_sizes[0] as isize - 24).unsigned_abs() as f64 * 0.2
+            + (out.batch_sizes[1] as isize - 8).unsigned_abs() as f64 * 0.05)
+            / 2.0;
+        assert!((out.added_waiting - expected).abs() < 1e-9);
+        assert!(out.added_waiting > 0.0);
+    }
+
+    #[test]
+    fn prefers_adjusting_cheap_workers() {
+        // Both adjustments can fix the skew, but worker 1 is 10x cheaper to adjust; the
+        // greedy Lagrangian direction should lean on worker 1.
+        let dists = [skewed(0.9), skewed(0.1)];
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let config = FinetuneConfig::new(0.001, 1, 64);
+        let out = finetune_batches(&[20, 10], &refs, &[1.0, 0.1], &phi0, &config);
+        let dev0 = (out.batch_sizes[0] as isize - 20).abs();
+        let dev1 = (out.batch_sizes[1] as isize - 10).abs();
+        assert!(dev1 >= dev0, "expected the cheap worker to absorb the adjustment: {:?}", out.batch_sizes);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cohort")]
+    fn rejects_empty_cohort() {
+        let phi0 = LabelDistribution::uniform(2);
+        let config = FinetuneConfig::new(0.1, 1, 8);
+        let _ = finetune_batches(&[], &[], &[], &phi0, &config);
+    }
+}

@@ -1,0 +1,361 @@
+//! Genetic-algorithm worker selection (paper Alg. 1, lines 3–5).
+//!
+//! Given per-worker label distributions `V_i`, regulated batch sizes `d_i` and the PS
+//! ingress budget `B^h`, the control module selects a worker set `S^h` whose batch-weighted
+//! label mixture `Φ^h` is as close as possible (in KL divergence) to the IID reference
+//! `Φ0`, subject to the per-iteration feature-traffic constraint `Σ_{i∈S} d_i · c ≤ B^h`
+//! and a cap on the cohort size. Candidate sets are encoded as bit strings over the
+//! priority-ranked top-`m` workers and evolved with tournament selection, uniform crossover
+//! and bit-flip mutation.
+
+use mergesfl_data::LabelDistribution;
+use mergesfl_nn::rng::seeded;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Tunable parameters of the genetic search.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneticConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-bit mutation probability.
+    pub mutation_rate: f64,
+    /// Probability of taking a gene from the first parent during crossover.
+    pub crossover_mix: f64,
+    /// Penalty weight applied per byte of budget violation (scaled by the feature size).
+    pub infeasibility_penalty: f64,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        Self {
+            population: 24,
+            generations: 40,
+            mutation_rate: 0.08,
+            crossover_mix: 0.5,
+            infeasibility_penalty: 10.0,
+        }
+    }
+}
+
+/// A selection problem instance for one round.
+pub struct SelectionProblem<'a> {
+    /// Candidate worker ids, ordered by priority (highest first). The GA only considers
+    /// these workers (the paper seeds the initial population with the top-`m` by priority).
+    pub candidates: &'a [usize],
+    /// Label distribution `V_i` per candidate (aligned with `candidates`).
+    pub label_dists: &'a [&'a LabelDistribution],
+    /// Regulated batch size `d_i` per candidate (aligned with `candidates`).
+    pub batch_sizes: &'a [usize],
+    /// IID reference distribution `Φ0`.
+    pub iid_reference: &'a LabelDistribution,
+    /// Feature bytes per sample (the constant `c` of Eq. 10).
+    pub feature_bytes_per_sample: f64,
+    /// Ingress budget `B^h` in bytes per iteration.
+    pub budget_bytes: f64,
+    /// Maximum cohort size (0 = unlimited).
+    pub max_selected: usize,
+}
+
+/// Result of the genetic selection.
+#[derive(Clone, Debug)]
+pub struct SelectionOutcome {
+    /// Selected worker ids (subset of the candidates, in candidate order).
+    pub selected: Vec<usize>,
+    /// KL divergence of the selected cohort's mixture from the IID reference.
+    pub kl: f32,
+    /// Whether the solution satisfies the traffic budget.
+    pub feasible: bool,
+}
+
+/// Evaluates the KL divergence of a candidate subset's batch-weighted label mixture.
+pub fn subset_kl(
+    mask: &[bool],
+    label_dists: &[&LabelDistribution],
+    batch_sizes: &[usize],
+    iid_reference: &LabelDistribution,
+) -> f32 {
+    let mut dists = Vec::new();
+    let mut weights = Vec::new();
+    for (i, &selected) in mask.iter().enumerate() {
+        if selected {
+            dists.push(label_dists[i]);
+            weights.push(batch_sizes[i] as f32);
+        }
+    }
+    if dists.is_empty() {
+        return f32::INFINITY;
+    }
+    LabelDistribution::mixture(&dists, &weights).kl_divergence(iid_reference)
+}
+
+fn traffic_bytes(mask: &[bool], batch_sizes: &[usize], feature_bytes: f64) -> f64 {
+    mask.iter()
+        .zip(batch_sizes)
+        .filter(|(&m, _)| m)
+        .map(|(_, &d)| d as f64 * feature_bytes)
+        .sum()
+}
+
+fn fitness(problem: &SelectionProblem<'_>, config: &GeneticConfig, mask: &[bool]) -> f64 {
+    let selected = mask.iter().filter(|&&m| m).count();
+    if selected == 0 {
+        return f64::INFINITY;
+    }
+    let kl = subset_kl(mask, problem.label_dists, problem.batch_sizes, problem.iid_reference) as f64;
+    let traffic = traffic_bytes(mask, problem.batch_sizes, problem.feature_bytes_per_sample);
+    let mut penalty = 0.0;
+    if traffic > problem.budget_bytes {
+        penalty += config.infeasibility_penalty * (traffic / problem.budget_bytes - 1.0);
+    }
+    if problem.max_selected > 0 && selected > problem.max_selected {
+        penalty += config.infeasibility_penalty * (selected - problem.max_selected) as f64;
+    }
+    // Prefer larger cohorts among equally IID ones: more merged features per iteration means
+    // better utilisation of the budget (mirrors the paper's "collect enough features" goal).
+    let coverage_bonus = 1e-3 * selected as f64;
+    kl + penalty - coverage_bonus
+}
+
+/// Runs the genetic algorithm and returns the best worker subset found.
+pub fn select_workers(problem: &SelectionProblem<'_>, config: &GeneticConfig, seed: u64) -> SelectionOutcome {
+    let n = problem.candidates.len();
+    assert!(n > 0, "select_workers: no candidates");
+    assert_eq!(problem.label_dists.len(), n, "select_workers: label distribution count mismatch");
+    assert_eq!(problem.batch_sizes.len(), n, "select_workers: batch size count mismatch");
+    let mut rng = seeded(seed);
+
+    // Initial population: greedy prefixes of the priority ranking plus random masks.
+    let mut population: Vec<Vec<bool>> = Vec::with_capacity(config.population);
+    let cap = if problem.max_selected == 0 { n } else { problem.max_selected.min(n) };
+    for k in 1..=cap {
+        let mut mask = vec![false; n];
+        for m in mask.iter_mut().take(k) {
+            *m = true;
+        }
+        population.push(mask);
+        if population.len() >= config.population {
+            break;
+        }
+    }
+    while population.len() < config.population {
+        let mask: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        population.push(mask);
+    }
+
+    let mut best = population[0].clone();
+    let mut best_fit = fitness(problem, config, &best);
+
+    for _ in 0..config.generations {
+        let fits: Vec<f64> = population.iter().map(|m| fitness(problem, config, m)).collect();
+        for (mask, &fit) in population.iter().zip(&fits) {
+            if fit < best_fit {
+                best_fit = fit;
+                best = mask.clone();
+            }
+        }
+        // Tournament selection + uniform crossover + mutation.
+        let mut next = Vec::with_capacity(population.len());
+        next.push(best.clone()); // elitism
+        while next.len() < population.len() {
+            let pick = |rng: &mut StdRng| -> usize {
+                let a = rng.gen_range(0..population.len());
+                let b = rng.gen_range(0..population.len());
+                if fits[a] <= fits[b] {
+                    a
+                } else {
+                    b
+                }
+            };
+            let pa = pick(&mut rng);
+            let pb = pick(&mut rng);
+            let mut child: Vec<bool> = (0..n)
+                .map(|i| {
+                    if rng.gen_bool(config.crossover_mix) {
+                        population[pa][i]
+                    } else {
+                        population[pb][i]
+                    }
+                })
+                .collect();
+            for gene in child.iter_mut() {
+                if rng.gen_bool(config.mutation_rate) {
+                    *gene = !*gene;
+                }
+            }
+            next.push(child);
+        }
+        population = next;
+    }
+
+    // Final repair: drop selected workers (lowest priority first, i.e. from the back of the
+    // candidate ordering) until the budget and cohort-size constraints hold.
+    let mut mask = best;
+    loop {
+        let selected = mask.iter().filter(|&&m| m).count();
+        let traffic = traffic_bytes(&mask, problem.batch_sizes, problem.feature_bytes_per_sample);
+        let over_budget = traffic > problem.budget_bytes && selected > 1;
+        let over_count = problem.max_selected > 0 && selected > problem.max_selected;
+        if !over_budget && !over_count {
+            break;
+        }
+        if let Some(last) = (0..mask.len()).rev().find(|&i| mask[i]) {
+            mask[last] = false;
+        } else {
+            break;
+        }
+    }
+    if mask.iter().all(|&m| !m) {
+        mask[0] = true;
+    }
+
+    let kl = subset_kl(&mask, problem.label_dists, problem.batch_sizes, problem.iid_reference);
+    let traffic = traffic_bytes(&mask, problem.batch_sizes, problem.feature_bytes_per_sample);
+    let selected = mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| problem.candidates[i])
+        .collect();
+    SelectionOutcome { selected, kl, feasible: traffic <= problem.budget_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(class: usize, num_classes: usize) -> LabelDistribution {
+        let mut v = vec![0.0f32; num_classes];
+        v[class] = 1.0;
+        LabelDistribution::new(v)
+    }
+
+    #[test]
+    fn selects_complementary_workers_under_non_iid() {
+        // Four workers each holding one of four classes: the only way to reach KL ≈ 0 is to
+        // select all four with equal batch sizes.
+        let dists: Vec<LabelDistribution> = (0..4).map(|c| one_hot(c, 4)).collect();
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let batch_sizes = vec![8usize; 4];
+        let candidates = vec![0, 1, 2, 3];
+        let phi0 = LabelDistribution::uniform(4);
+        let problem = SelectionProblem {
+            candidates: &candidates,
+            label_dists: &refs,
+            batch_sizes: &batch_sizes,
+            iid_reference: &phi0,
+            feature_bytes_per_sample: 1.0,
+            budget_bytes: 1e9,
+            max_selected: 0,
+        };
+        let outcome = select_workers(&problem, &GeneticConfig::default(), 1);
+        assert_eq!(outcome.selected.len(), 4);
+        assert!(outcome.kl < 1e-3, "KL {} should be ~0", outcome.kl);
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn respects_traffic_budget() {
+        let dists: Vec<LabelDistribution> = (0..6).map(|c| one_hot(c % 3, 3)).collect();
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let batch_sizes = vec![10usize; 6];
+        let candidates: Vec<usize> = (0..6).collect();
+        let phi0 = LabelDistribution::uniform(3);
+        let problem = SelectionProblem {
+            candidates: &candidates,
+            label_dists: &refs,
+            batch_sizes: &batch_sizes,
+            iid_reference: &phi0,
+            feature_bytes_per_sample: 100.0,
+            // Budget only allows three workers' worth of features (3 * 10 * 100).
+            budget_bytes: 3000.0,
+            max_selected: 0,
+        };
+        let outcome = select_workers(&problem, &GeneticConfig::default(), 2);
+        assert!(outcome.selected.len() <= 3);
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn respects_max_selected() {
+        let dists: Vec<LabelDistribution> = (0..8).map(|_| LabelDistribution::uniform(2)).collect();
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let batch_sizes = vec![4usize; 8];
+        let candidates: Vec<usize> = (10..18).collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let problem = SelectionProblem {
+            candidates: &candidates,
+            label_dists: &refs,
+            batch_sizes: &batch_sizes,
+            iid_reference: &phi0,
+            feature_bytes_per_sample: 1.0,
+            budget_bytes: 1e9,
+            max_selected: 3,
+        };
+        let outcome = select_workers(&problem, &GeneticConfig::default(), 3);
+        assert!(outcome.selected.len() <= 3);
+        assert!(!outcome.selected.is_empty());
+        // Returned ids come from the candidate list, not positional indices.
+        assert!(outcome.selected.iter().all(|id| (10..18).contains(id)));
+    }
+
+    #[test]
+    fn ga_beats_or_matches_random_prefix_selection() {
+        // Workers with skewed two-class distributions; the GA should find a mixture closer
+        // to uniform than simply taking the first k candidates.
+        let dists: Vec<LabelDistribution> = vec![
+            LabelDistribution::new(vec![0.9, 0.1]),
+            LabelDistribution::new(vec![0.8, 0.2]),
+            LabelDistribution::new(vec![0.85, 0.15]),
+            LabelDistribution::new(vec![0.1, 0.9]),
+            LabelDistribution::new(vec![0.2, 0.8]),
+        ];
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let batch_sizes = vec![8usize; 5];
+        let candidates: Vec<usize> = (0..5).collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let problem = SelectionProblem {
+            candidates: &candidates,
+            label_dists: &refs,
+            batch_sizes: &batch_sizes,
+            iid_reference: &phi0,
+            feature_bytes_per_sample: 1.0,
+            budget_bytes: 1e9,
+            max_selected: 0,
+        };
+        let outcome = select_workers(&problem, &GeneticConfig::default(), 4);
+        let prefix_mask = vec![true, true, true, false, false];
+        let prefix_kl = subset_kl(&prefix_mask, &refs, &batch_sizes, &phi0);
+        assert!(outcome.kl <= prefix_kl + 1e-6, "GA KL {} worse than naive prefix {}", outcome.kl, prefix_kl);
+    }
+
+    #[test]
+    fn subset_kl_of_empty_mask_is_infinite() {
+        let d = LabelDistribution::uniform(2);
+        let kl = subset_kl(&[false], &[&d], &[4], &d);
+        assert!(kl.is_infinite());
+    }
+
+    #[test]
+    fn selection_is_deterministic_given_seed() {
+        let dists: Vec<LabelDistribution> = (0..5).map(|c| one_hot(c % 2, 2)).collect();
+        let refs: Vec<&LabelDistribution> = dists.iter().collect();
+        let batch_sizes = vec![4usize; 5];
+        let candidates: Vec<usize> = (0..5).collect();
+        let phi0 = LabelDistribution::uniform(2);
+        let problem = SelectionProblem {
+            candidates: &candidates,
+            label_dists: &refs,
+            batch_sizes: &batch_sizes,
+            iid_reference: &phi0,
+            feature_bytes_per_sample: 1.0,
+            budget_bytes: 1e9,
+            max_selected: 4,
+        };
+        let a = select_workers(&problem, &GeneticConfig::default(), 9);
+        let b = select_workers(&problem, &GeneticConfig::default(), 9);
+        assert_eq!(a.selected, b.selected);
+    }
+}

@@ -1,0 +1,409 @@
+//! The MergeSFL control module (paper Section IV-A, Alg. 1).
+//!
+//! At the beginning of every communication round the control module:
+//!
+//! 1. estimates each worker's per-sample computing time `µ_i^h` and transmission time
+//!    `β_i^h` with moving averages, plus the PS ingress budget `B^h` ([`estimate`]);
+//! 2. regulates batch sizes so the fastest worker gets the default maximum batch `D` and
+//!    slower workers get proportionally smaller batches ([`batch`], Eq. 9);
+//! 3. ranks workers by participation-frequency priority ([`priority`], Eq. 13) and runs a
+//!    genetic algorithm over the top-priority candidates to pick a cohort `S^h` whose
+//!    batch-weighted label mixture is closest to the IID reference under the traffic
+//!    budget ([`genetic`], Eq. 10–12);
+//! 4. fine-tunes the cohort's batch sizes until `KL(Φ^h‖Φ0) ≤ ε` with minimal added
+//!    waiting time ([`finetune`], Eq. 14);
+//! 5. rescales batch sizes proportionally to exploit the remaining budget (Alg. 1 line 7).
+
+pub mod batch;
+pub mod estimate;
+pub mod finetune;
+pub mod genetic;
+pub mod priority;
+
+pub use batch::{
+    predicted_durations, predicted_waiting_time, regulate_batch_sizes, rescale_to_budget,
+    rescale_to_budget_capped,
+};
+pub use estimate::{StateEstimator, WorkerEstimate};
+pub use finetune::{finetune_batches, FinetuneConfig, FinetuneOutcome};
+pub use genetic::{select_workers, GeneticConfig, SelectionOutcome, SelectionProblem};
+pub use priority::ParticipationTracker;
+
+use mergesfl_data::LabelDistribution;
+use mergesfl_nn::rng::derive_seed;
+
+/// Which parts of the MergeSFL decision pipeline a round plan should use. Baselines and
+/// ablations are expressed by switching parts off.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanOptions {
+    /// Use batch-size regulation (Eq. 9). When off, every worker gets `uniform_batch`.
+    pub batch_regulation: bool,
+    /// Use KL-driven genetic worker selection. When off, the top-priority workers are taken.
+    pub kl_selection: bool,
+    /// Fine-tune batch sizes to push the cohort KL under ε (only meaningful with selection).
+    pub finetune: bool,
+    /// Rescale batch sizes to exploit the ingress budget (Alg. 1 line 7).
+    pub budget_rescale: bool,
+    /// Maximum number of selected workers per round.
+    pub max_participants: usize,
+    /// Batch size used when `batch_regulation` is off.
+    pub uniform_batch: usize,
+}
+
+/// The per-round decision: which workers train, and with which batch sizes.
+#[derive(Clone, Debug)]
+pub struct RoundPlan {
+    /// Selected worker ids.
+    pub selected: Vec<usize>,
+    /// Batch size per selected worker (aligned with `selected`).
+    pub batch_sizes: Vec<usize>,
+    /// KL divergence of the cohort's batch-weighted label mixture from the IID reference.
+    pub cohort_kl: f32,
+    /// Predicted average waiting time of the cohort for this round (seconds).
+    pub predicted_waiting: f64,
+}
+
+impl RoundPlan {
+    /// Total number of samples processed per iteration (the merged mini-batch size).
+    pub fn total_batch(&self) -> usize {
+        self.batch_sizes.iter().sum()
+    }
+}
+
+/// The control module state kept by the parameter server across rounds.
+pub struct ControlModule {
+    estimator: StateEstimator,
+    tracker: ParticipationTracker,
+    label_dists: Vec<LabelDistribution>,
+    iid_reference: LabelDistribution,
+    max_batch: usize,
+    kl_epsilon: f32,
+    feature_bytes_per_sample: f64,
+    tau: usize,
+    genetic: GeneticConfig,
+    seed: u64,
+}
+
+impl ControlModule {
+    /// Creates the control module.
+    ///
+    /// `label_dists` are the per-worker label distributions `V_i` reported before training;
+    /// the IID reference `Φ0` is their average, as defined in the paper.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label_dists: Vec<LabelDistribution>,
+        max_batch: usize,
+        kl_epsilon: f32,
+        estimate_alpha: f64,
+        feature_bytes_per_sample: f64,
+        tau: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!label_dists.is_empty(), "ControlModule: need at least one worker");
+        assert!(max_batch > 0, "ControlModule: max batch must be positive");
+        assert!(tau > 0, "ControlModule: tau must be positive");
+        let refs: Vec<&LabelDistribution> = label_dists.iter().collect();
+        let iid_reference = LabelDistribution::average(&refs);
+        let num_workers = label_dists.len();
+        Self {
+            estimator: StateEstimator::new(num_workers, estimate_alpha),
+            tracker: ParticipationTracker::new(num_workers),
+            label_dists,
+            iid_reference,
+            max_batch,
+            kl_epsilon,
+            feature_bytes_per_sample,
+            tau,
+            genetic: GeneticConfig::default(),
+            seed,
+        }
+    }
+
+    /// Number of workers known to the control module.
+    pub fn num_workers(&self) -> usize {
+        self.label_dists.len()
+    }
+
+    /// The IID reference distribution `Φ0`.
+    pub fn iid_reference(&self) -> &LabelDistribution {
+        &self.iid_reference
+    }
+
+    /// Folds a worker's reported per-sample compute/transfer times into the estimator.
+    pub fn observe_worker(&mut self, worker_id: usize, compute_per_sample: f64, transfer_per_sample: f64) {
+        self.estimator.observe_worker(worker_id, compute_per_sample, transfer_per_sample);
+    }
+
+    /// Folds an observation of the PS ingress budget into the estimator.
+    pub fn observe_ingress(&mut self, bytes_per_sec: f64) {
+        self.estimator.observe_ingress(bytes_per_sec);
+    }
+
+    /// Records that the given workers participated in a finished round (updates `K_i`).
+    pub fn record_participation(&mut self, workers: &[usize]) {
+        self.tracker.record_participation(workers);
+    }
+
+    /// Current participation count of a worker.
+    pub fn participation_count(&self, worker_id: usize) -> usize {
+        self.tracker.count(worker_id)
+    }
+
+    /// Produces the round plan for round `round` (Alg. 1).
+    pub fn plan_round(&mut self, round: usize, ingress_budget_fallback: f64, opts: &PlanOptions) -> RoundPlan {
+        assert!(opts.max_participants > 0, "plan_round: max participants must be positive");
+        assert!(opts.uniform_batch > 0, "plan_round: uniform batch must be positive");
+        let n = self.num_workers();
+        let budget = self.estimator.ingress_or(ingress_budget_fallback);
+
+        // Per-worker cost estimates (µ_i + β_i), falling back to the population mean for
+        // workers that have never reported.
+        let costs: Vec<f64> = (0..n).map(|i| self.estimator.worker_or_default(i).per_sample_cost()).collect();
+
+        // Line 1–2: batch-size regulation over all workers.
+        let all_batches: Vec<usize> = if opts.batch_regulation {
+            regulate_batch_sizes(&costs, self.max_batch).batch_sizes
+        } else {
+            vec![opts.uniform_batch; n]
+        };
+
+        // Line 3–4: priority ranking, candidate pool of the top m = N/2 workers (at least
+        // enough to fill the cohort).
+        let ranked = self.tracker.ranked();
+        let pool_size = (n / 2).max(opts.max_participants).min(n);
+        let candidates: Vec<usize> = ranked.into_iter().take(pool_size).collect();
+
+        // Line 5: cohort selection.
+        let (mut selected, mut cohort_kl) = if opts.kl_selection {
+            let cand_dists: Vec<&LabelDistribution> =
+                candidates.iter().map(|&i| &self.label_dists[i]).collect();
+            let cand_batches: Vec<usize> = candidates.iter().map(|&i| all_batches[i]).collect();
+            let problem = SelectionProblem {
+                candidates: &candidates,
+                label_dists: &cand_dists,
+                batch_sizes: &cand_batches,
+                iid_reference: &self.iid_reference,
+                feature_bytes_per_sample: self.feature_bytes_per_sample,
+                budget_bytes: budget,
+                max_selected: opts.max_participants,
+            };
+            let outcome = select_workers(&problem, &self.genetic, derive_seed(self.seed, round as u64));
+            (outcome.selected, outcome.kl)
+        } else {
+            let selected: Vec<usize> =
+                candidates.iter().copied().take(opts.max_participants).collect();
+            let kl = self.cohort_kl(&selected, &all_batches);
+            (selected, kl)
+        };
+        if selected.is_empty() {
+            selected.push(candidates[0]);
+            cohort_kl = self.cohort_kl(&selected, &all_batches);
+        }
+
+        let mut batch_sizes: Vec<usize> = selected.iter().map(|&i| all_batches[i]).collect();
+        let sel_costs: Vec<f64> = selected.iter().map(|&i| costs[i]).collect();
+
+        // Line 6: batch fine-tuning under the KL constraint.
+        if opts.finetune && opts.kl_selection && cohort_kl > self.kl_epsilon {
+            let sel_dists: Vec<&LabelDistribution> =
+                selected.iter().map(|&i| &self.label_dists[i]).collect();
+            let config = FinetuneConfig::new(self.kl_epsilon, 1, self.max_batch);
+            let outcome =
+                finetune_batches(&batch_sizes, &sel_dists, &sel_costs, &self.iid_reference, &config);
+            batch_sizes = outcome.batch_sizes;
+            cohort_kl = outcome.kl;
+        }
+
+        // Line 7: exploit the remaining ingress budget. The default maximum batch size D is
+        // still an upper bound per worker — scaling up is only allowed to recover headroom
+        // lost to regulation/fine-tuning, not to exceed what a worker can hold in memory.
+        if opts.budget_rescale {
+            batch_sizes = rescale_to_budget_capped(
+                &batch_sizes,
+                self.feature_bytes_per_sample,
+                budget,
+                self.max_batch,
+            );
+            cohort_kl = self.cohort_kl_with(&selected, &batch_sizes);
+        }
+
+        let durations = predicted_durations(&batch_sizes, &sel_costs, self.tau);
+        let predicted_waiting = predicted_waiting_time(&durations);
+        RoundPlan { selected, batch_sizes, cohort_kl, predicted_waiting }
+    }
+
+    fn cohort_kl(&self, selected: &[usize], all_batches: &[usize]) -> f32 {
+        let batches: Vec<usize> = selected.iter().map(|&i| all_batches[i]).collect();
+        self.cohort_kl_with(selected, &batches)
+    }
+
+    fn cohort_kl_with(&self, selected: &[usize], batches: &[usize]) -> f32 {
+        if selected.is_empty() {
+            return f32::INFINITY;
+        }
+        let dists: Vec<&LabelDistribution> = selected.iter().map(|&i| &self.label_dists[i]).collect();
+        let weights: Vec<f32> = batches.iter().map(|&d| d as f32).collect();
+        LabelDistribution::mixture(&dists, &weights).kl_divergence(&self.iid_reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(class: usize, num_classes: usize) -> LabelDistribution {
+        let mut v = vec![0.0f32; num_classes];
+        v[class] = 1.0;
+        LabelDistribution::new(v)
+    }
+
+    fn module(num_workers: usize, num_classes: usize) -> ControlModule {
+        let dists: Vec<LabelDistribution> =
+            (0..num_workers).map(|i| one_hot(i % num_classes, num_classes)).collect();
+        ControlModule::new(dists, 32, 0.05, 0.8, 1024.0, 5, 7)
+    }
+
+    fn default_opts() -> PlanOptions {
+        PlanOptions {
+            batch_regulation: true,
+            kl_selection: true,
+            finetune: true,
+            budget_rescale: false,
+            max_participants: 8,
+            uniform_batch: 8,
+        }
+    }
+
+    fn observe_heterogeneous(m: &mut ControlModule) {
+        let n = m.num_workers();
+        for i in 0..n {
+            // Worker i's per-sample cost grows with i: worker 0 is fastest.
+            m.observe_worker(i, 0.01 * (i + 1) as f64, 0.005);
+        }
+    }
+
+    #[test]
+    fn plan_selects_within_limits() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let plan = m.plan_round(0, 1e9, &default_opts());
+        assert!(!plan.selected.is_empty());
+        assert!(plan.selected.len() <= 8);
+        assert_eq!(plan.selected.len(), plan.batch_sizes.len());
+        assert!(plan.batch_sizes.iter().all(|&d| d >= 1 && d <= 32));
+        assert!(plan.total_batch() > 0);
+    }
+
+    #[test]
+    fn kl_selection_produces_near_iid_cohort() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let plan = m.plan_round(0, 1e9, &default_opts());
+        assert!(plan.cohort_kl < 0.1, "cohort KL {} too high", plan.cohort_kl);
+    }
+
+    #[test]
+    fn batch_regulation_gives_faster_workers_larger_batches() {
+        let mut m = module(8, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.kl_selection = false;
+        opts.finetune = false;
+        opts.max_participants = 8;
+        let plan = m.plan_round(0, 1e9, &opts);
+        // Worker 0 (fastest) must appear and carry the largest batch among the selected.
+        let pos0 = plan.selected.iter().position(|&w| w == 0);
+        assert!(pos0.is_some());
+        let d0 = plan.batch_sizes[pos0.unwrap()];
+        assert_eq!(d0, *plan.batch_sizes.iter().max().unwrap());
+    }
+
+    #[test]
+    fn without_regulation_batches_are_uniform() {
+        let mut m = module(8, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.batch_regulation = false;
+        let plan = m.plan_round(0, 1e9, &opts);
+        assert!(plan.batch_sizes.iter().all(|&d| d == opts.uniform_batch));
+    }
+
+    #[test]
+    fn priority_rotation_spreads_participation() {
+        let mut m = module(12, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.kl_selection = false;
+        opts.max_participants = 4;
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..6 {
+            let plan = m.plan_round(round, 1e9, &opts);
+            m.record_participation(&plan.selected);
+            seen.extend(plan.selected);
+        }
+        // With priority-based rotation, far more than 4 distinct workers participate.
+        assert!(seen.len() >= 10, "only {} distinct workers participated", seen.len());
+    }
+
+    #[test]
+    fn regulation_reduces_predicted_waiting_time() {
+        let mut with_reg = module(12, 4);
+        let mut without_reg = module(12, 4);
+        observe_heterogeneous(&mut with_reg);
+        observe_heterogeneous(&mut without_reg);
+        let mut opts_on = default_opts();
+        opts_on.kl_selection = false;
+        opts_on.finetune = false;
+        let mut opts_off = opts_on;
+        opts_off.batch_regulation = false;
+        let plan_on = with_reg.plan_round(0, 1e9, &opts_on);
+        let plan_off = without_reg.plan_round(0, 1e9, &opts_off);
+        assert!(
+            plan_on.predicted_waiting < plan_off.predicted_waiting,
+            "regulated waiting {} should beat uniform waiting {}",
+            plan_on.predicted_waiting,
+            plan_off.predicted_waiting
+        );
+    }
+
+    #[test]
+    fn budget_rescale_respects_budget() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.budget_rescale = true;
+        // Tight budget: 20 kB per iteration at 1 kB per sample.
+        m.observe_ingress(20_000.0);
+        let plan = m.plan_round(0, 20_000.0, &opts);
+        let traffic = plan.total_batch() as f64 * 1024.0;
+        assert!(traffic <= 20_000.0 * 1.05, "traffic {traffic} exceeds budget");
+    }
+
+    #[test]
+    fn budget_rescale_never_exceeds_max_batch() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.budget_rescale = true;
+        // Effectively unlimited budget: batches must still be capped at D = 32.
+        m.observe_ingress(1e12);
+        let plan = m.plan_round(0, 1e12, &opts);
+        assert!(plan.batch_sizes.iter().all(|&d| d <= 32), "batches {:?} exceed D", plan.batch_sizes);
+    }
+
+    #[test]
+    fn plan_works_before_any_observation() {
+        let mut m = module(8, 4);
+        let plan = m.plan_round(0, 1e9, &default_opts());
+        assert!(!plan.selected.is_empty());
+    }
+
+    #[test]
+    fn participation_counts_update() {
+        let mut m = module(4, 2);
+        m.record_participation(&[0, 2]);
+        assert_eq!(m.participation_count(0), 1);
+        assert_eq!(m.participation_count(1), 0);
+        assert_eq!(m.participation_count(2), 1);
+    }
+}

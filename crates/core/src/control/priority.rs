@@ -1,0 +1,105 @@
+//! Participation-frequency priorities (paper Eq. 13).
+//!
+//! To balance every worker's contribution, MergeSFL tracks how many times each worker has
+//! participated (`K_i`) and gives rarely selected workers a higher priority:
+//! `p_i = Σ_j (K_j + 1) / (K_i + 1)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks per-worker participation counts and derives selection priorities.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParticipationTracker {
+    counts: Vec<usize>,
+}
+
+impl ParticipationTracker {
+    /// Creates a tracker for `num_workers` workers with zero participation.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "ParticipationTracker: need at least one worker");
+        Self { counts: vec![0; num_workers] }
+    }
+
+    /// Number of workers tracked.
+    pub fn num_workers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Participation count `K_i` of a worker.
+    pub fn count(&self, worker_id: usize) -> usize {
+        self.counts[worker_id]
+    }
+
+    /// Records that the given workers participated in a round.
+    pub fn record_participation(&mut self, workers: &[usize]) {
+        for &w in workers {
+            assert!(w < self.counts.len(), "ParticipationTracker: worker {w} out of range");
+            self.counts[w] += 1;
+        }
+    }
+
+    /// Priority `p_i` of one worker (higher = more likely to be selected).
+    pub fn priority(&self, worker_id: usize) -> f64 {
+        let total: usize = self.counts.iter().map(|k| k + 1).sum();
+        total as f64 / (self.counts[worker_id] + 1) as f64
+    }
+
+    /// Priorities of every worker.
+    pub fn priorities(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.priority(i)).collect()
+    }
+
+    /// Worker ids sorted by descending priority (ties broken by id for determinism).
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.counts.len()).collect();
+        ids.sort_by(|&a, &b| {
+            self.priority(b)
+                .partial_cmp(&self.priority(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tracker_gives_equal_priorities() {
+        let t = ParticipationTracker::new(4);
+        let p = t.priorities();
+        assert!(p.iter().all(|&x| (x - p[0]).abs() < 1e-9));
+        // Each priority is Σ(K+1)/(K_i+1) = 4/1 = 4.
+        assert!((p[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequently_selected_workers_lose_priority() {
+        let mut t = ParticipationTracker::new(3);
+        t.record_participation(&[0, 0, 0, 1]);
+        assert_eq!(t.count(0), 3);
+        assert_eq!(t.count(1), 1);
+        assert_eq!(t.count(2), 0);
+        assert!(t.priority(2) > t.priority(1));
+        assert!(t.priority(1) > t.priority(0));
+    }
+
+    #[test]
+    fn ranking_orders_by_priority_then_id() {
+        let mut t = ParticipationTracker::new(4);
+        t.record_participation(&[1, 1, 3]);
+        let ranked = t.ranked();
+        // Workers 0 and 2 are tied at K=0; they come first in id order, then 3 (K=1), then 1 (K=2).
+        assert_eq!(ranked, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn priority_formula_matches_paper() {
+        let mut t = ParticipationTracker::new(2);
+        t.record_participation(&[0]);
+        // Σ(K_j+1) = (1+1) + (0+1) = 3; p_0 = 3/2, p_1 = 3/1.
+        assert!((t.priority(0) - 1.5).abs() < 1e-9);
+        assert!((t.priority(1) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Unified experiment runner.
+//!
+//! [`Approach`] enumerates every training approach in the paper; [`run`] executes one
+//! approach under a [`RunConfig`] and returns the full [`RunResult`] trace. The bench
+//! binaries and examples are thin loops over this function.
+
+use crate::config::RunConfig;
+use crate::fl::{FlEngine, FlStrategy};
+use crate::metrics::RunResult;
+use crate::sfl::{SflEngine, SflStrategy};
+use serde::{Deserialize, Serialize};
+
+/// Every approach evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Approach {
+    /// The proposed system: feature merging + batch-size regulation + KL-driven selection.
+    MergeSfl,
+    /// MergeSFL with feature merging disabled (ablation, Fig. 11).
+    MergeSflWithoutFm,
+    /// MergeSFL with batch-size regulation disabled (ablation, Fig. 11).
+    MergeSflWithoutBr,
+    /// AdaSFL: SFL with adaptive batch sizes but no statistical-heterogeneity handling.
+    AdaSfl,
+    /// LocFedMix-SL: typical SFL with multiple local updates and fixed batch sizes.
+    LocFedMixSl,
+    /// FedAvg: classic full-model federated averaging.
+    FedAvg,
+    /// PyramidFL: full-model FL with fine-grained utility-based client selection.
+    PyramidFl,
+    /// SFL-T: typical SFL (motivation section).
+    SflT,
+    /// SFL-FM: SFL with feature merging only (motivation section).
+    SflFm,
+    /// SFL-BR: SFL with batch-size regulation only (motivation section).
+    SflBr,
+}
+
+impl Approach {
+    /// The five approaches of the main evaluation (Figs. 6–10), in the paper's order.
+    pub fn evaluation_set() -> [Approach; 5] {
+        [Self::MergeSfl, Self::PyramidFl, Self::AdaSfl, Self::LocFedMixSl, Self::FedAvg]
+    }
+
+    /// The motivation-section variants (Figs. 2–4).
+    pub fn motivation_set() -> [Approach; 3] {
+        [Self::SflT, Self::SflFm, Self::SflBr]
+    }
+
+    /// The ablation set of Fig. 11.
+    pub fn ablation_set() -> [Approach; 3] {
+        [Self::MergeSfl, Self::MergeSflWithoutFm, Self::MergeSflWithoutBr]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::MergeSfl => "MergeSFL",
+            Self::MergeSflWithoutFm => "MergeSFL w/o FM",
+            Self::MergeSflWithoutBr => "MergeSFL w/o BR",
+            Self::AdaSfl => "AdaSFL",
+            Self::LocFedMixSl => "LocFedMix-SL",
+            Self::FedAvg => "FedAvg",
+            Self::PyramidFl => "PyramidFL",
+            Self::SflT => "SFL-T",
+            Self::SflFm => "SFL-FM",
+            Self::SflBr => "SFL-BR",
+        }
+    }
+
+    /// Whether this approach is in the split-federated-learning family (as opposed to
+    /// full-model FL).
+    pub fn is_sfl(&self) -> bool {
+        !matches!(self, Self::FedAvg | Self::PyramidFl)
+    }
+}
+
+/// Runs one approach under the given configuration and returns its metric trace.
+pub fn run(approach: Approach, config: &RunConfig) -> RunResult {
+    match approach {
+        Approach::MergeSfl => SflEngine::new(SflStrategy::merge_sfl(), config).run(),
+        Approach::MergeSflWithoutFm => {
+            SflEngine::new(SflStrategy::merge_sfl_without_fm(), config).run()
+        }
+        Approach::MergeSflWithoutBr => {
+            SflEngine::new(SflStrategy::merge_sfl_without_br(), config).run()
+        }
+        Approach::AdaSfl => SflEngine::new(SflStrategy::ada_sfl(), config).run(),
+        Approach::LocFedMixSl => SflEngine::new(SflStrategy::locfedmix_sl(), config).run(),
+        Approach::SflT => SflEngine::new(SflStrategy::sfl_t(), config).run(),
+        Approach::SflFm => SflEngine::new(SflStrategy::sfl_fm(), config).run(),
+        Approach::SflBr => SflEngine::new(SflStrategy::sfl_br(), config).run(),
+        Approach::FedAvg => FlEngine::new(FlStrategy::fedavg(), config).run(),
+        Approach::PyramidFl => FlEngine::new(FlStrategy::pyramidfl(), config).run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergesfl_data::DatasetKind;
+
+    fn tiny(seed: u64) -> RunConfig {
+        let mut c = RunConfig::quick(DatasetKind::Har, 5.0, seed);
+        c.num_workers = 8;
+        c.rounds = 3;
+        c.local_iterations = Some(2);
+        c.participants_per_round = 4;
+        c.train_size = Some(400);
+        c.eval_every = 1;
+        c.eval_samples = 100;
+        c
+    }
+
+    #[test]
+    fn every_approach_runs_end_to_end() {
+        let config = tiny(3);
+        for approach in [
+            Approach::MergeSfl,
+            Approach::AdaSfl,
+            Approach::LocFedMixSl,
+            Approach::FedAvg,
+            Approach::PyramidFl,
+        ] {
+            let result = run(approach, &config);
+            assert_eq!(result.records.len(), config.rounds, "{:?}", approach);
+            assert_eq!(result.approach, approach.name());
+        }
+    }
+
+    #[test]
+    fn approach_sets_match_paper_composition() {
+        assert_eq!(Approach::evaluation_set().len(), 5);
+        assert_eq!(Approach::motivation_set().len(), 3);
+        assert_eq!(Approach::ablation_set()[0], Approach::MergeSfl);
+        assert!(Approach::MergeSfl.is_sfl());
+        assert!(!Approach::FedAvg.is_sfl());
+        assert!(Approach::PyramidFl.name().contains("Pyramid"));
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let config = tiny(11);
+        let a = run(Approach::MergeSfl, &config);
+        let b = run(Approach::MergeSfl, &config);
+        assert_eq!(a.final_accuracy(), b.final_accuracy());
+        assert_eq!(a.total_traffic_mb(), b.total_traffic_mb());
+    }
+}

@@ -1,0 +1,352 @@
+//! Full-model federated learning engine (the FedAvg and PyramidFL baselines).
+//!
+//! Unlike SFL, every selected worker trains the *entire* model locally for τ iterations and
+//! ships the whole model to the PS for aggregation, which is exactly what makes these
+//! baselines expensive on resource-constrained devices: per-round traffic is two full-model
+//! transfers per worker and local compute covers the full network.
+//!
+//! * **FedAvg** selects workers round-robin by participation priority and uses an identical
+//!   batch size everywhere.
+//! * **PyramidFL** ranks workers by a utility that combines statistical utility (shard size
+//!   and label divergence — more informative data first) and system utility (faster workers
+//!   first), with an exploration bonus for rarely selected workers, approximating the
+//!   fine-grained divergence-aware selection of the original system.
+
+use crate::config::RunConfig;
+use crate::control::{ParticipationTracker, StateEstimator};
+use crate::metrics::{RoundRecord, RunResult};
+use mergesfl_data::{partition_dirichlet, synth, Dataset, DatasetSpec, LabelDistribution, Partition, WorkerLoader};
+use mergesfl_nn::model::weighted_average_states;
+use mergesfl_nn::optim::LrSchedule;
+use mergesfl_nn::rng::derive_seed;
+use mergesfl_nn::zoo;
+use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
+use mergesfl_simnet::{
+    Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
+};
+
+/// How an FL baseline picks its per-round cohort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlSelection {
+    /// Rotate through workers by participation priority (FedAvg-style random participation).
+    RoundRobin,
+    /// PyramidFL-style utility-based selection (data utility × system utility + exploration).
+    Utility,
+}
+
+/// Strategy preset for a full-model FL baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct FlStrategy {
+    /// Display name of the approach.
+    pub name: &'static str,
+    /// Cohort selection rule.
+    pub selection: FlSelection,
+}
+
+impl FlStrategy {
+    /// The FedAvg baseline.
+    pub fn fedavg() -> Self {
+        Self { name: "FedAvg", selection: FlSelection::RoundRobin }
+    }
+
+    /// The PyramidFL baseline.
+    pub fn pyramidfl() -> Self {
+        Self { name: "PyramidFL", selection: FlSelection::Utility }
+    }
+}
+
+struct FlWorker {
+    model: Sequential,
+    optimizer: Sgd,
+    loader: WorkerLoader,
+    shard_size: usize,
+}
+
+/// The assembled full-model FL training run.
+pub struct FlEngine {
+    strategy: FlStrategy,
+    config: RunConfig,
+    spec: DatasetSpec,
+    train: Dataset,
+    test: Dataset,
+    cluster: Cluster,
+    clock: SimClock,
+    traffic: TrafficMeter,
+    estimator: StateEstimator,
+    tracker: ParticipationTracker,
+    label_dists: Vec<LabelDistribution>,
+    iid_reference: LabelDistribution,
+    workers: Vec<FlWorker>,
+    global_model: Vec<f32>,
+    eval_model: Sequential,
+    loss: SoftmaxCrossEntropy,
+    lr_schedule: LrSchedule,
+    full_model_bytes: f64,
+    result: RunResult,
+}
+
+impl FlEngine {
+    /// Builds the FL experiment state for a strategy and configuration.
+    pub fn new(strategy: FlStrategy, config: &RunConfig) -> Self {
+        config.validate();
+        let mut spec = config.dataset.spec();
+        if let Some(train_size) = config.train_size {
+            spec.train_size = train_size;
+        }
+        let (train, test) = synth::generate_default(&spec, derive_seed(config.seed, 1));
+        let min_per_worker = (config.max_batch * 2).min(train.len() / config.num_workers).max(4);
+        let partition: Partition = partition_dirichlet(
+            &train,
+            config.num_workers,
+            config.non_iid_level,
+            min_per_worker,
+            derive_seed(config.seed, 2),
+        );
+
+        let profile = ModelProfile::for_architecture(spec.architecture);
+        let cluster = Cluster::new(
+            &ClusterConfig {
+                num_workers: config.num_workers,
+                ps_ingress_mean_mbps: config.ps_ingress_mean_mbps,
+                seed: derive_seed(config.seed, 3),
+            },
+            profile,
+        );
+
+        let model_seed = derive_seed(config.seed, 4);
+        let global = zoo::build(spec.architecture, spec.num_classes, model_seed).model;
+        let global_model = global.state();
+        let workers = partition
+            .indices
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| FlWorker {
+                model: zoo::build(spec.architecture, spec.num_classes, model_seed).model,
+                optimizer: Sgd::new(spec.initial_lr, 0.0, 0.0),
+                loader: WorkerLoader::new(shard.clone(), derive_seed(config.seed, 200 + i as u64)),
+                shard_size: shard.len(),
+            })
+            .collect();
+        let eval_model = zoo::build(spec.architecture, spec.num_classes, model_seed).model;
+
+        let refs: Vec<&LabelDistribution> = partition.label_dists.iter().collect();
+        let iid_reference = LabelDistribution::average(&refs);
+        let lr_schedule = LrSchedule::new(spec.initial_lr, spec.lr_decay);
+        let result = RunResult::new(strategy.name, spec.name, config.non_iid_level);
+
+        Self {
+            strategy,
+            config: config.clone(),
+            spec,
+            train,
+            test,
+            cluster,
+            clock: SimClock::new(),
+            traffic: TrafficMeter::new(),
+            estimator: StateEstimator::new(config.num_workers, config.estimate_alpha as f64),
+            tracker: ParticipationTracker::new(config.num_workers),
+            label_dists: partition.label_dists,
+            iid_reference,
+            workers,
+            global_model,
+            eval_model,
+            loss: SoftmaxCrossEntropy::new(),
+            lr_schedule,
+            full_model_bytes: profile.full_model_bytes,
+            result,
+        }
+    }
+
+    /// Runs every configured round and returns the collected metrics.
+    pub fn run(mut self) -> RunResult {
+        for round in 0..self.config.rounds {
+            self.run_round(round);
+        }
+        self.result
+    }
+
+    fn select_cohort(&self) -> Vec<usize> {
+        let k = self.config.participants_per_round;
+        match self.strategy.selection {
+            FlSelection::RoundRobin => self.tracker.ranked().into_iter().take(k).collect(),
+            FlSelection::Utility => {
+                let total_samples: f64 =
+                    self.workers.iter().map(|w| w.shard_size as f64).sum::<f64>().max(1.0);
+                let mut scored: Vec<(usize, f64)> = (0..self.workers.len())
+                    .map(|i| {
+                        let est = self.estimator.worker_or_default(i);
+                        let data_utility = (self.workers[i].shard_size as f64 / total_samples)
+                            * (1.0 + self.label_dists[i].kl_divergence(&self.iid_reference) as f64);
+                        let system_utility = 1.0 / est.per_sample_cost().max(1e-6).sqrt();
+                        let exploration = 1.0 / (self.tracker.count(i) as f64 + 1.0);
+                        (i, data_utility * system_utility + 0.05 * exploration)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                scored.into_iter().take(k).map(|(i, _)| i).collect()
+            }
+        }
+    }
+
+    fn run_round(&mut self, round: usize) {
+        self.cluster.begin_round(round);
+        let tau = self.config.tau();
+        let batch = self.config.uniform_batch;
+
+        for state in self.cluster.all_worker_states() {
+            // FL workers do not ship per-sample features, so only compute time matters for
+            // the utility estimate; transfer is charged at the model-sync boundary.
+            self.estimator.observe_worker(state.worker_id, state.full_compute_per_sample, 0.0);
+        }
+        let selected = self.select_cohort();
+        let lr = self.lr_schedule.at_round(round);
+
+        // Broadcast the global model, local training, then collect models for aggregation.
+        let mut states = Vec::with_capacity(selected.len());
+        let mut weights = Vec::with_capacity(selected.len());
+        let mut loss_sum = 0.0f32;
+        for &w in &selected {
+            self.traffic.record(TrafficCategory::FullModel, self.full_model_bytes);
+            let worker = &mut self.workers[w];
+            worker.model.load_state(&self.global_model);
+            worker.optimizer.reset_state();
+            worker.optimizer.set_lr(lr);
+            for _ in 0..tau {
+                let (inputs, labels) = worker.loader.next_batch(&self.train, batch);
+                worker.model.zero_grad();
+                let logits = worker.model.forward(&inputs, true);
+                let out = self.loss.forward(&logits, &labels);
+                worker.model.backward(&out.grad);
+                worker.optimizer.step(&mut worker.model);
+                loss_sum += out.loss;
+            }
+            states.push(worker.model.state());
+            weights.push(worker.shard_size as f32);
+            self.traffic.record(TrafficCategory::FullModel, self.full_model_bytes);
+        }
+        self.global_model = weighted_average_states(&states, &weights);
+        self.tracker.record_participation(&selected);
+
+        // Timing: local compute plus the (dominant) full-model down/upload per worker.
+        let mut durations = Vec::with_capacity(selected.len());
+        for &w in &selected {
+            let state = self.cluster.worker_state(w);
+            let compute = mergesfl_simnet::clock::worker_duration(
+                tau,
+                batch,
+                state.full_compute_per_sample,
+                0.0,
+            );
+            let sync = self.cluster.transfer_seconds(w, 2.0 * self.full_model_bytes);
+            durations.push(compute + sync);
+        }
+        let timing = RoundTiming::new(durations, 0.0);
+        self.clock.advance_round(&timing);
+
+        let evaluate = round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
+        let accuracy = if evaluate { Some(self.evaluate_global()) } else { None };
+        self.result.push(RoundRecord {
+            round,
+            sim_time: self.clock.elapsed_seconds(),
+            accuracy,
+            train_loss: loss_sum / (tau * selected.len().max(1)) as f32,
+            avg_waiting_time: timing.average_waiting_time(),
+            traffic_mb: self.traffic.total_megabytes(),
+            participants: selected.len(),
+            total_batch: batch * selected.len(),
+            cohort_kl: {
+                let dists: Vec<&LabelDistribution> =
+                    selected.iter().map(|&i| &self.label_dists[i]).collect();
+                let w: Vec<f32> = vec![1.0; selected.len()];
+                LabelDistribution::mixture(&dists, &w).kl_divergence(&self.iid_reference)
+            },
+        });
+    }
+
+    fn evaluate_global(&mut self) -> f32 {
+        self.eval_model.load_state(&self.global_model);
+        let n = self.config.eval_samples.min(self.test.len());
+        let indices: Vec<usize> = (0..n).collect();
+        let (inputs, labels) = self.test.batch(&indices);
+        let logits = self.eval_model.forward(&inputs, false);
+        self.loss.forward(&logits, &labels).accuracy
+    }
+
+    /// Dataset spec this engine trains on.
+    pub fn dataset_spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergesfl_data::DatasetKind;
+
+    fn tiny_config() -> RunConfig {
+        let mut c = RunConfig::quick(DatasetKind::Har, 5.0, 7);
+        c.num_workers = 8;
+        c.rounds = 4;
+        c.local_iterations = Some(2);
+        c.participants_per_round = 4;
+        c.train_size = Some(400);
+        c.eval_every = 2;
+        c.eval_samples = 120;
+        c
+    }
+
+    #[test]
+    fn fedavg_runs_and_improves() {
+        let mut config = tiny_config();
+        config.non_iid_level = 0.0;
+        config.rounds = 8;
+        config.local_iterations = Some(4);
+        let result = FlEngine::new(FlStrategy::fedavg(), &config).run();
+        assert_eq!(result.records.len(), 8);
+        assert!(result.best_accuracy() > 0.25, "accuracy {}", result.best_accuracy());
+    }
+
+    #[test]
+    fn pyramidfl_runs() {
+        let result = FlEngine::new(FlStrategy::pyramidfl(), &tiny_config()).run();
+        assert_eq!(result.records.len(), 4);
+        assert!(result.final_accuracy() >= 0.0);
+        assert_eq!(result.approach, "PyramidFL");
+    }
+
+    #[test]
+    fn fl_consumes_more_traffic_per_round_than_sfl() {
+        use crate::sfl::{SflEngine, SflStrategy};
+        let config = tiny_config();
+        let fl = FlEngine::new(FlStrategy::fedavg(), &config).run();
+        let sfl = SflEngine::new(SflStrategy::merge_sfl(), &config).run();
+        assert!(
+            fl.total_traffic_mb() > sfl.total_traffic_mb(),
+            "FL traffic {} should exceed SFL traffic {}",
+            fl.total_traffic_mb(),
+            sfl.total_traffic_mb()
+        );
+    }
+
+    #[test]
+    fn both_fl_baselines_incur_waiting_time_from_heterogeneity() {
+        let config = tiny_config();
+        let fedavg = FlEngine::new(FlStrategy::fedavg(), &config).run();
+        let pyramid = FlEngine::new(FlStrategy::pyramidfl(), &config).run();
+        // Uniform batch sizes on a heterogeneous cluster always leave waiting time; both
+        // baselines must report it (MergeSFL's regulation is what removes it — see the
+        // engine tests and Fig. 9 bench).
+        assert!(fedavg.mean_waiting_time() > 0.0);
+        assert!(pyramid.mean_waiting_time() > 0.0);
+        assert!(fedavg.mean_waiting_time().is_finite() && pyramid.mean_waiting_time().is_finite());
+    }
+
+    #[test]
+    fn cohort_size_respects_config() {
+        let config = tiny_config();
+        let result = FlEngine::new(FlStrategy::fedavg(), &config).run();
+        for r in &result.records {
+            assert_eq!(r.participants, config.participants_per_round);
+        }
+    }
+}

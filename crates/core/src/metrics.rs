@@ -1,0 +1,196 @@
+//! Run metrics: per-round records and whole-run summaries.
+//!
+//! These are the quantities the paper's evaluation reports: test accuracy over simulated
+//! time (Figs. 6–7), time-to-accuracy, network traffic to reach a target accuracy (Fig. 8),
+//! and average per-round waiting time (Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements taken at the end of one communication round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Communication round index (0-based).
+    pub round: usize,
+    /// Simulated wall-clock time elapsed since the start of training (seconds).
+    pub sim_time: f64,
+    /// Test accuracy of the global model, if evaluated this round.
+    pub accuracy: Option<f32>,
+    /// Mean training loss observed during the round.
+    pub train_loss: f32,
+    /// Average waiting time of participating workers this round (seconds).
+    pub avg_waiting_time: f64,
+    /// Cumulative network traffic since the start of training (megabytes).
+    pub traffic_mb: f64,
+    /// Number of workers that participated in this round.
+    pub participants: usize,
+    /// Sum of the participants' batch sizes (the merged mini-batch size).
+    pub total_batch: usize,
+    /// KL divergence of the selected cohort's label mixture from the IID reference.
+    pub cohort_kl: f32,
+}
+
+/// The full trace of one training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Name of the approach that produced this run (e.g. "MergeSFL").
+    pub approach: String,
+    /// Dataset name (e.g. "CIFAR-10").
+    pub dataset: String,
+    /// Non-IID level `p` of the run.
+    pub non_iid_level: f32,
+    /// Per-round records, in order.
+    pub records: Vec<RoundRecord>,
+}
+
+impl RunResult {
+    /// Creates an empty result for an approach/dataset pair.
+    pub fn new(approach: &str, dataset: &str, non_iid_level: f32) -> Self {
+        Self { approach: approach.to_string(), dataset: dataset.to_string(), non_iid_level, records: Vec::new() }
+    }
+
+    /// Appends a round record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// The last recorded accuracy (0.0 if the model was never evaluated).
+    pub fn final_accuracy(&self) -> f32 {
+        self.records
+            .iter()
+            .rev()
+            .find_map(|r| r.accuracy)
+            .unwrap_or(0.0)
+    }
+
+    /// The best accuracy observed at any evaluation point.
+    pub fn best_accuracy(&self) -> f32 {
+        self.records
+            .iter()
+            .filter_map(|r| r.accuracy)
+            .fold(0.0, f32::max)
+    }
+
+    /// Total simulated training time (seconds).
+    pub fn total_sim_time(&self) -> f64 {
+        self.records.last().map(|r| r.sim_time).unwrap_or(0.0)
+    }
+
+    /// Total network traffic (megabytes).
+    pub fn total_traffic_mb(&self) -> f64 {
+        self.records.last().map(|r| r.traffic_mb).unwrap_or(0.0)
+    }
+
+    /// Mean of the per-round average waiting times (seconds).
+    pub fn mean_waiting_time(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.avg_waiting_time).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Simulated time (seconds) at which the run first reached `target` accuracy, if ever.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy.map(|a| a >= target).unwrap_or(false))
+            .map(|r| r.sim_time)
+    }
+
+    /// Network traffic (megabytes) consumed when the run first reached `target` accuracy.
+    pub fn traffic_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy.map(|a| a >= target).unwrap_or(false))
+            .map(|r| r.traffic_mb)
+    }
+
+    /// The (sim_time, accuracy) series of evaluation points — the curves of Figs. 6–7.
+    pub fn accuracy_curve(&self) -> Vec<(f64, f32)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.accuracy.map(|a| (r.sim_time, a)))
+            .collect()
+    }
+
+    /// Serialises the result as a JSON string (used by the bench binaries to persist runs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("RunResult is always serialisable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, time: f64, acc: Option<f32>, traffic: f64) -> RoundRecord {
+        RoundRecord {
+            round,
+            sim_time: time,
+            accuracy: acc,
+            train_loss: 1.0,
+            avg_waiting_time: 2.0,
+            traffic_mb: traffic,
+            participants: 5,
+            total_batch: 40,
+            cohort_kl: 0.01,
+        }
+    }
+
+    fn sample_run() -> RunResult {
+        let mut r = RunResult::new("MergeSFL", "CIFAR-10", 10.0);
+        r.push(record(0, 10.0, Some(0.2), 5.0));
+        r.push(record(1, 20.0, None, 10.0));
+        r.push(record(2, 30.0, Some(0.5), 15.0));
+        r.push(record(3, 40.0, Some(0.6), 20.0));
+        r
+    }
+
+    #[test]
+    fn final_and_best_accuracy() {
+        let r = sample_run();
+        assert_eq!(r.final_accuracy(), 0.6);
+        assert_eq!(r.best_accuracy(), 0.6);
+        assert_eq!(r.total_sim_time(), 40.0);
+        assert_eq!(r.total_traffic_mb(), 20.0);
+    }
+
+    #[test]
+    fn time_and_traffic_to_accuracy() {
+        let r = sample_run();
+        assert_eq!(r.time_to_accuracy(0.5), Some(30.0));
+        assert_eq!(r.traffic_to_accuracy(0.5), Some(15.0));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn accuracy_curve_skips_unevaluated_rounds() {
+        let r = sample_run();
+        let curve = r.accuracy_curve();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[1], (30.0, 0.5));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunResult::new("FedAvg", "HAR", 0.0);
+        assert_eq!(r.final_accuracy(), 0.0);
+        assert_eq!(r.total_sim_time(), 0.0);
+        assert_eq!(r.mean_waiting_time(), 0.0);
+        assert!(r.time_to_accuracy(0.1).is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_run();
+        let json = r.to_json();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), r.records.len());
+        assert_eq!(back.approach, "MergeSFL");
+    }
+
+    #[test]
+    fn mean_waiting_time_averages_rounds() {
+        let r = sample_run();
+        assert!((r.mean_waiting_time() - 2.0).abs() < 1e-9);
+    }
+}

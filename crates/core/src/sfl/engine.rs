@@ -1,0 +1,502 @@
+//! The split-federated-learning round loop.
+//!
+//! [`SflEngine`] wires together the synthetic dataset, the Dirichlet partition, the edge
+//! cluster simulator, the control module and the worker/server training state, and runs the
+//! configured number of communication rounds. Which of the paper's SFL-family approaches it
+//! realises is decided by an [`SflStrategy`]: MergeSFL enables every mechanism, the
+//! ablations and baselines switch individual mechanisms off.
+
+use crate::config::RunConfig;
+use crate::control::{ControlModule, PlanOptions, RoundPlan};
+use crate::metrics::{RoundRecord, RunResult};
+use crate::sfl::server::SflServer;
+use crate::sfl::worker::SflWorker;
+use mergesfl_data::{partition_dirichlet, synth, Dataset, DatasetSpec, Partition};
+use mergesfl_nn::optim::LrSchedule;
+use mergesfl_nn::rng::derive_seed;
+use mergesfl_nn::zoo;
+use mergesfl_nn::Sequential;
+use mergesfl_simnet::{
+    Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
+};
+
+/// Which MergeSFL mechanisms an SFL run uses. Each baseline/ablation is a preset.
+#[derive(Clone, Copy, Debug)]
+pub struct SflStrategy {
+    /// Display name of the approach.
+    pub name: &'static str,
+    /// Merge features from all selected workers into one mixed sequence per iteration
+    /// (off = typical SFL: the top model is updated per worker, sequentially).
+    pub feature_merging: bool,
+    /// Regulate batch sizes to the workers' speeds (off = identical batch sizes).
+    pub batch_regulation: bool,
+    /// Use KL-driven genetic worker selection (off = priority/round-robin selection).
+    pub kl_selection: bool,
+    /// Fine-tune batch sizes until the cohort KL is under ε.
+    pub finetune: bool,
+    /// Rescale batch sizes to exploit the PS ingress budget.
+    pub budget_rescale: bool,
+    /// Weight bottom-model aggregation by batch size (off = uniform weights).
+    pub weighted_aggregation: bool,
+}
+
+impl SflStrategy {
+    /// Full MergeSFL: every mechanism enabled (the paper's proposed system).
+    pub fn merge_sfl() -> Self {
+        Self {
+            name: "MergeSFL",
+            feature_merging: true,
+            batch_regulation: true,
+            kl_selection: true,
+            finetune: true,
+            budget_rescale: true,
+            weighted_aggregation: true,
+        }
+    }
+
+    /// MergeSFL without feature merging (ablation of Fig. 11).
+    pub fn merge_sfl_without_fm() -> Self {
+        Self { name: "MergeSFL w/o FM", feature_merging: false, ..Self::merge_sfl() }
+    }
+
+    /// MergeSFL without batch-size regulation (ablation of Fig. 11).
+    pub fn merge_sfl_without_br() -> Self {
+        Self { name: "MergeSFL w/o BR", batch_regulation: false, ..Self::merge_sfl() }
+    }
+
+    /// AdaSFL baseline: adaptive batch sizes for heterogeneous workers, but no feature
+    /// merging and no statistical-heterogeneity-aware selection.
+    pub fn ada_sfl() -> Self {
+        Self {
+            name: "AdaSFL",
+            feature_merging: false,
+            batch_regulation: true,
+            kl_selection: false,
+            finetune: false,
+            budget_rescale: true,
+            weighted_aggregation: true,
+        }
+    }
+
+    /// LocFedMix-SL baseline: typical SFL with multiple local updates, identical fixed batch
+    /// sizes and no heterogeneity-aware control.
+    pub fn locfedmix_sl() -> Self {
+        Self {
+            name: "LocFedMix-SL",
+            feature_merging: false,
+            batch_regulation: false,
+            kl_selection: false,
+            finetune: false,
+            budget_rescale: false,
+            weighted_aggregation: false,
+        }
+    }
+
+    /// SFL-T (motivation Section II): typical SFL, no merging, no regulation.
+    pub fn sfl_t() -> Self {
+        Self { name: "SFL-T", ..Self::locfedmix_sl() }
+    }
+
+    /// SFL-FM (motivation Section II): typical SFL plus feature merging only.
+    pub fn sfl_fm() -> Self {
+        Self { name: "SFL-FM", feature_merging: true, ..Self::locfedmix_sl() }
+    }
+
+    /// SFL-BR (motivation Section II): typical SFL plus batch-size regulation only.
+    pub fn sfl_br() -> Self {
+        Self {
+            name: "SFL-BR",
+            batch_regulation: true,
+            budget_rescale: true,
+            weighted_aggregation: true,
+            ..Self::locfedmix_sl()
+        }
+    }
+}
+
+/// The assembled SFL training run.
+pub struct SflEngine {
+    strategy: SflStrategy,
+    config: RunConfig,
+    spec: DatasetSpec,
+    train: Dataset,
+    test: Dataset,
+    partition: Partition,
+    cluster: Cluster,
+    clock: SimClock,
+    traffic: TrafficMeter,
+    control: ControlModule,
+    server: SflServer,
+    workers: Vec<SflWorker>,
+    eval_bottom: Sequential,
+    lr_schedule: LrSchedule,
+    bottom_param_bytes: f64,
+    result: RunResult,
+}
+
+impl SflEngine {
+    /// Builds the full experiment state for a strategy and configuration.
+    pub fn new(strategy: SflStrategy, config: &RunConfig) -> Self {
+        config.validate();
+        let mut spec = config.dataset.spec();
+        if let Some(train_size) = config.train_size {
+            spec.train_size = train_size;
+        }
+        let (train, test) = synth::generate_default(&spec, derive_seed(config.seed, 1));
+        let min_per_worker = (config.max_batch * 2).min(train.len() / config.num_workers).max(4);
+        let partition = partition_dirichlet(
+            &train,
+            config.num_workers,
+            config.non_iid_level,
+            min_per_worker,
+            derive_seed(config.seed, 2),
+        );
+
+        let profile = ModelProfile::for_architecture(spec.architecture);
+        let cluster = Cluster::new(
+            &ClusterConfig {
+                num_workers: config.num_workers,
+                ps_ingress_mean_mbps: config.ps_ingress_mean_mbps,
+                seed: derive_seed(config.seed, 3),
+            },
+            profile,
+        );
+
+        // Global model: one split instance for the server (top + initial global bottom),
+        // one bottom replica per worker, one replica for evaluation. All replicas are built
+        // from the same seed, so they start identical.
+        let model_seed = derive_seed(config.seed, 4);
+        let split = zoo::build(spec.architecture, spec.num_classes, model_seed).into_split();
+        let global_bottom = split.bottom.state();
+        let server = SflServer::new(split.top, global_bottom);
+
+        let workers = partition
+            .indices
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let bottom =
+                    zoo::build(spec.architecture, spec.num_classes, model_seed).into_split().bottom;
+                SflWorker::new(i, bottom, shard.clone(), derive_seed(config.seed, 100 + i as u64))
+            })
+            .collect();
+        let eval_bottom =
+            zoo::build(spec.architecture, spec.num_classes, model_seed).into_split().bottom;
+
+        let control = ControlModule::new(
+            partition.label_dists.clone(),
+            config.max_batch,
+            config.kl_epsilon,
+            config.estimate_alpha as f64,
+            profile.feature_bytes_per_sample,
+            config.tau(),
+            derive_seed(config.seed, 5),
+        );
+
+        let lr_schedule = LrSchedule::new(spec.initial_lr, spec.lr_decay);
+        let result = RunResult::new(strategy.name, spec.name, config.non_iid_level);
+        let bottom_param_bytes = profile.bottom_model_bytes;
+
+        Self {
+            strategy,
+            config: config.clone(),
+            spec,
+            train,
+            test,
+            partition,
+            cluster,
+            clock: SimClock::new(),
+            traffic: TrafficMeter::new(),
+            control,
+            server,
+            workers,
+            eval_bottom,
+            lr_schedule,
+            bottom_param_bytes,
+            result,
+        }
+    }
+
+    /// The per-round plan options implied by the strategy and configuration.
+    fn plan_options(&self) -> PlanOptions {
+        PlanOptions {
+            batch_regulation: self.strategy.batch_regulation,
+            kl_selection: self.strategy.kl_selection,
+            finetune: self.strategy.finetune,
+            budget_rescale: self.strategy.budget_rescale,
+            max_participants: self.config.participants_per_round,
+            uniform_batch: self.config.uniform_batch,
+        }
+    }
+
+    /// Runs every configured round and returns the collected metrics.
+    pub fn run(mut self) -> RunResult {
+        for round in 0..self.config.rounds {
+            self.run_round(round);
+        }
+        self.result
+    }
+
+    /// Runs a single communication round.
+    fn run_round(&mut self, round: usize) {
+        self.cluster.begin_round(round);
+        let tau = self.config.tau();
+
+        // --- Control: collect state, plan the round (Alg. 1). ---
+        for state in self.cluster.all_worker_states() {
+            self.control.observe_worker(
+                state.worker_id,
+                state.bottom_compute_per_sample,
+                state.transfer_per_sample,
+            );
+        }
+        let ingress_budget = self.cluster.ps_ingress_budget();
+        self.control.observe_ingress(ingress_budget);
+        let plan = self.control.plan_round(round, ingress_budget, &self.plan_options());
+
+        // --- Training module. ---
+        let lr = self.lr_schedule.at_round(round);
+        let reference_batch =
+            (plan.total_batch() / plan.selected.len().max(1)).max(1);
+        // With feature merging the top model takes ONE step per iteration on the merged
+        // batch (normalised by Σ d_i), whereas typical SFL takes one step per worker (each
+        // normalised by d_i). Following the linear-scaling rule the paper adopts for
+        // batch-proportional learning rates (Section IV-B), the merged step uses a learning
+        // rate scaled with the number of merged mini-batches (capped for stability) so both
+        // modes apply a comparable step magnitude per iteration — only the *direction*
+        // differs, which is exactly the effect feature merging is meant to isolate (Fig. 4).
+        let top_merge_scale = if self.strategy.feature_merging {
+            (plan.selected.len().max(1) as f32).min(4.0)
+        } else {
+            1.0
+        };
+        self.server.set_lr(lr * top_merge_scale);
+
+        // Broadcast the latest global bottom model to the selected workers.
+        let global = self.server.global_bottom().to_vec();
+        for &w in &plan.selected {
+            self.workers[w].load_bottom(&global);
+            self.traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
+        }
+
+        let mut loss_sum = 0.0f32;
+        for _k in 0..tau {
+            // Worker forward passes produce feature uploads.
+            let uploads: Vec<_> = plan
+                .selected
+                .iter()
+                .zip(&plan.batch_sizes)
+                .map(|(&w, &d)| self.workers[w].forward_iteration(&self.train, d))
+                .collect();
+            for u in &uploads {
+                let bytes =
+                    u.batch_size() as f64 * self.cluster.profile().feature_bytes_per_sample;
+                self.traffic.record(TrafficCategory::Features, bytes);
+                self.traffic.record(TrafficCategory::Gradients, bytes);
+            }
+
+            // Server-side top update: merged or per-worker, depending on the strategy.
+            let step = if self.strategy.feature_merging {
+                self.server.process_merged(&uploads)
+            } else {
+                self.server.process_sequential(&uploads)
+            };
+            loss_sum += step.loss;
+
+            // Gradient dispatching and worker-side bottom updates. Dispatched gradients are
+            // normalised by Σ d_i under merging but by d_i otherwise; multiplying the base
+            // learning rate by Σ d_i / d_i makes the bottom-model step of each worker have
+            // exactly the same magnitude in both modes, so merging changes only the update
+            // *direction*.
+            for (worker_id, grad) in step.gradients {
+                let pos = plan
+                    .selected
+                    .iter()
+                    .position(|&w| w == worker_id)
+                    .expect("gradient for unselected worker");
+                let d_i = plan.batch_sizes[pos];
+                let bottom_merge_scale = if self.strategy.feature_merging {
+                    plan.total_batch() as f32 / d_i.max(1) as f32
+                } else {
+                    1.0
+                };
+                self.workers[worker_id].apply_gradient(
+                    &grad,
+                    lr * bottom_merge_scale,
+                    d_i,
+                    reference_batch,
+                );
+            }
+        }
+
+        // Bottom-model aggregation (Eq. 17 with batch-size weights, Eq. 4 otherwise).
+        let states: Vec<Vec<f32>> =
+            plan.selected.iter().map(|&w| self.workers[w].bottom_state()).collect();
+        let weights: Vec<f32> = if self.strategy.weighted_aggregation {
+            plan.batch_sizes.iter().map(|&d| d as f32).collect()
+        } else {
+            vec![1.0; plan.selected.len()]
+        };
+        self.server.aggregate_bottoms(&states, &weights);
+        for _ in &plan.selected {
+            self.traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
+        }
+        self.control.record_participation(&plan.selected);
+
+        // --- Simulated timing (Eq. 7–8). ---
+        let timing = self.round_timing(&plan, tau);
+        self.clock.advance_round(&timing);
+
+        // --- Evaluation and bookkeeping. ---
+        let evaluate =
+            round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
+        let accuracy = if evaluate { Some(self.evaluate_global()) } else { None };
+        self.result.push(RoundRecord {
+            round,
+            sim_time: self.clock.elapsed_seconds(),
+            accuracy,
+            train_loss: loss_sum / tau as f32,
+            avg_waiting_time: timing.average_waiting_time(),
+            traffic_mb: self.traffic.total_megabytes(),
+            participants: plan.selected.len(),
+            total_batch: plan.total_batch(),
+            cohort_kl: plan.cohort_kl,
+        });
+    }
+
+    /// Computes the simulated round timing for the selected cohort.
+    fn round_timing(&self, plan: &RoundPlan, tau: usize) -> RoundTiming {
+        let mut durations = Vec::with_capacity(plan.selected.len());
+        let mut sync_overhead: f64 = 0.0;
+        for (&w, &d) in plan.selected.iter().zip(&plan.batch_sizes) {
+            let state = self.cluster.worker_state(w);
+            durations.push(mergesfl_simnet::clock::worker_duration(
+                tau,
+                d,
+                state.bottom_compute_per_sample,
+                state.transfer_per_sample,
+            ));
+            // Bottom-model download + upload per round, charged at the worker's link speed.
+            let sync = self.cluster.transfer_seconds(w, 2.0 * self.bottom_param_bytes);
+            sync_overhead = sync_overhead.max(sync);
+        }
+        RoundTiming::new(durations, sync_overhead)
+    }
+
+    /// Evaluates the combined global model on a subsample of the test set.
+    fn evaluate_global(&mut self) -> f32 {
+        let n = self.config.eval_samples.min(self.test.len());
+        let indices: Vec<usize> = (0..n).collect();
+        let (inputs, labels) = self.test.batch(&indices);
+        let (_, accuracy) = self.server.evaluate(&mut self.eval_bottom, &inputs, &labels);
+        accuracy
+    }
+
+    /// The mean KL divergence of the underlying data partition (exposed for diagnostics).
+    pub fn partition_divergence(&self) -> f32 {
+        self.partition.mean_divergence()
+    }
+
+    /// Dataset spec this engine trains on.
+    pub fn dataset_spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergesfl_data::DatasetKind;
+
+    fn tiny_config(non_iid: f32) -> RunConfig {
+        let mut c = RunConfig::quick(DatasetKind::Har, non_iid, 42);
+        c.num_workers = 8;
+        c.rounds = 4;
+        c.local_iterations = Some(2);
+        c.participants_per_round = 4;
+        c.train_size = Some(400);
+        c.eval_every = 2;
+        c.eval_samples = 120;
+        c
+    }
+
+    #[test]
+    fn merge_sfl_runs_and_records_every_round() {
+        let config = tiny_config(10.0);
+        let result = SflEngine::new(SflStrategy::merge_sfl(), &config).run();
+        assert_eq!(result.records.len(), 4);
+        assert!(result.final_accuracy() > 0.0);
+        assert!(result.total_sim_time() > 0.0);
+        assert!(result.total_traffic_mb() > 0.0);
+        for r in &result.records {
+            assert!(r.participants >= 1 && r.participants <= 4);
+            assert!(r.total_batch >= r.participants);
+            assert!(r.train_loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn all_strategy_presets_run() {
+        let config = tiny_config(5.0);
+        for strategy in [
+            SflStrategy::merge_sfl(),
+            SflStrategy::merge_sfl_without_fm(),
+            SflStrategy::merge_sfl_without_br(),
+            SflStrategy::ada_sfl(),
+            SflStrategy::locfedmix_sl(),
+            SflStrategy::sfl_t(),
+            SflStrategy::sfl_fm(),
+            SflStrategy::sfl_br(),
+        ] {
+            let result = SflEngine::new(strategy, &config).run();
+            assert_eq!(result.records.len(), config.rounds, "{}", strategy.name);
+            assert!(result.final_accuracy() >= 0.0, "{}", strategy.name);
+        }
+    }
+
+    #[test]
+    fn training_improves_over_random_guessing() {
+        let mut config = tiny_config(0.0);
+        config.rounds = 8;
+        config.local_iterations = Some(4);
+        let result = SflEngine::new(SflStrategy::merge_sfl(), &config).run();
+        // HAR analogue has 6 classes; random guessing is ~0.17.
+        assert!(
+            result.best_accuracy() > 0.3,
+            "accuracy {} did not beat random guessing",
+            result.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn batch_regulation_lowers_waiting_time() {
+        let config = tiny_config(0.0);
+        let with_br = SflEngine::new(SflStrategy::merge_sfl(), &config).run();
+        let without_br = SflEngine::new(SflStrategy::merge_sfl_without_br(), &config).run();
+        assert!(
+            with_br.mean_waiting_time() < without_br.mean_waiting_time(),
+            "waiting with BR {} should be below without BR {}",
+            with_br.mean_waiting_time(),
+            without_br.mean_waiting_time()
+        );
+    }
+
+    #[test]
+    fn traffic_grows_monotonically() {
+        let config = tiny_config(0.0);
+        let result = SflEngine::new(SflStrategy::ada_sfl(), &config).run();
+        let mut prev = 0.0;
+        for r in &result.records {
+            assert!(r.traffic_mb >= prev);
+            prev = r.traffic_mb;
+        }
+    }
+
+    #[test]
+    fn partition_divergence_reflects_non_iid_level() {
+        let iid = SflEngine::new(SflStrategy::merge_sfl(), &tiny_config(0.0));
+        let non_iid = SflEngine::new(SflStrategy::merge_sfl(), &tiny_config(10.0));
+        assert!(non_iid.partition_divergence() > iid.partition_divergence());
+        assert_eq!(iid.dataset_spec().name, "HAR");
+    }
+}

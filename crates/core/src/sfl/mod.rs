@@ -1,0 +1,18 @@
+//! Split-federated-learning training engine.
+//!
+//! [`merge`] implements feature merging and gradient dispatching, [`worker`] the worker-side
+//! bottom-model training, [`server`] the top-model updates and bottom-model aggregation, and
+//! [`engine`] the complete round loop that combines them with the control module and the
+//! cluster simulator. Every SFL-family approach in the paper (MergeSFL, its ablations,
+//! AdaSFL, LocFedMix-SL and the motivation variants SFL-T/FM/BR) is an [`engine::SflStrategy`]
+//! preset over the same engine.
+
+pub mod engine;
+pub mod merge;
+pub mod server;
+pub mod worker;
+
+pub use engine::{SflEngine, SflStrategy};
+pub use merge::{dispatch_gradients, merge_features, FeatureUpload, MergedBatch};
+pub use server::{SflServer, TopStep};
+pub use worker::SflWorker;

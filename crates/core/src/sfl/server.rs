@@ -1,0 +1,213 @@
+//! Parameter-server side of split federated learning.
+//!
+//! The server owns the top model. Per iteration it either processes one *merged* feature
+//! sequence (MergeSFL) or the features of each worker separately (typical SFL), producing
+//! the split-layer gradients that are dispatched back. At the end of a round it aggregates
+//! the workers' bottom models with batch-size weights (paper Eq. 17) or uniformly (Eq. 4).
+
+use crate::sfl::merge::{dispatch_gradients, merge_features, FeatureUpload, MergedBatch};
+use mergesfl_nn::model::weighted_average_states;
+use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy, Tensor};
+
+/// Outcome of one top-model update.
+#[derive(Clone, Debug)]
+pub struct TopStep {
+    /// Mean training loss of the processed features.
+    pub loss: f32,
+    /// Training accuracy of the processed features.
+    pub accuracy: f32,
+    /// Split-layer gradients per worker, in upload order.
+    pub gradients: Vec<(usize, Tensor)>,
+}
+
+/// The split-federated-learning parameter server.
+pub struct SflServer {
+    top: Sequential,
+    optimizer: Sgd,
+    loss: SoftmaxCrossEntropy,
+    global_bottom: Vec<f32>,
+}
+
+impl SflServer {
+    /// Creates the server from the top model and the initial global bottom-model state.
+    pub fn new(top: Sequential, global_bottom: Vec<f32>) -> Self {
+        assert!(!top.is_empty(), "SflServer: top model must have layers");
+        Self { top, optimizer: Sgd::new(0.05, 0.0, 0.0), loss: SoftmaxCrossEntropy::new(), global_bottom }
+    }
+
+    /// The current global bottom-model state broadcast to selected workers each round.
+    pub fn global_bottom(&self) -> &[f32] {
+        &self.global_bottom
+    }
+
+    /// Sets the learning rate used for top-model updates this round.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.optimizer.set_lr(lr);
+    }
+
+    /// Processes a round of uploads **with feature merging**: one forward/backward pass of
+    /// the top model over the mixed feature sequence, then gradient dispatching.
+    pub fn process_merged(&mut self, uploads: &[FeatureUpload]) -> TopStep {
+        let merged = merge_features(uploads);
+        self.step_on(&merged)
+    }
+
+    /// Processes uploads **without feature merging** (typical SFL): the top model is updated
+    /// once per worker, in sequence, each update using only that worker's features.
+    pub fn process_sequential(&mut self, uploads: &[FeatureUpload]) -> TopStep {
+        assert!(!uploads.is_empty(), "process_sequential: no uploads");
+        let mut gradients = Vec::with_capacity(uploads.len());
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f32;
+        let mut samples = 0usize;
+        for upload in uploads {
+            let single = merge_features(std::slice::from_ref(upload));
+            let step = self.step_on(&single);
+            loss_sum += step.loss * upload.batch_size() as f32;
+            acc_sum += step.accuracy * upload.batch_size() as f32;
+            samples += upload.batch_size();
+            gradients.extend(step.gradients);
+        }
+        TopStep {
+            loss: loss_sum / samples as f32,
+            accuracy: acc_sum / samples as f32,
+            gradients,
+        }
+    }
+
+    fn step_on(&mut self, merged: &MergedBatch) -> TopStep {
+        self.top.zero_grad();
+        let logits = self.top.forward(&merged.features, true);
+        let out = self.loss.forward(&logits, &merged.labels);
+        let grad_features = self.top.backward(&out.grad);
+        self.optimizer.step(&mut self.top);
+        self.top.zero_grad();
+        let gradients = dispatch_gradients(merged, &grad_features);
+        TopStep { loss: out.loss, accuracy: out.accuracy, gradients }
+    }
+
+    /// Aggregates bottom models pushed by the selected workers, weighting each by its batch
+    /// size (paper Eq. 17). Passing equal weights reproduces plain FedAvg aggregation.
+    pub fn aggregate_bottoms(&mut self, states: &[Vec<f32>], weights: &[f32]) {
+        let aggregated = weighted_average_states(states, weights);
+        assert_eq!(
+            aggregated.len(),
+            self.global_bottom.len(),
+            "aggregate_bottoms: bottom model size changed"
+        );
+        self.global_bottom = aggregated;
+    }
+
+    /// Evaluates the combined global model (aggregated bottom + current top) on a dataset
+    /// slice, returning `(loss, accuracy)`. The bottom replica passed in is loaded with the
+    /// global state before evaluation.
+    pub fn evaluate(
+        &mut self,
+        bottom_replica: &mut Sequential,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> (f32, f32) {
+        bottom_replica.load_state(&self.global_bottom);
+        let features = bottom_replica.forward(inputs, false);
+        let logits = self.top.forward(&features, false);
+        let out = self.loss.forward(&logits, labels);
+        (out.loss, out.accuracy)
+    }
+
+    /// Serialises the top model (used by tests to check that updates happen).
+    pub fn top_state(&self) -> Vec<f32> {
+        self.top.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergesfl_nn::layers::{Linear, Relu};
+    use mergesfl_nn::rng::seeded;
+
+    fn toy_top() -> Sequential {
+        let mut rng = seeded(1);
+        Sequential::new()
+            .push(Box::new(Linear::new(&mut rng, 8, 16)))
+            .push(Box::new(Relu::new()))
+            .push(Box::new(Linear::new(&mut rng, 16, 4)))
+    }
+
+    fn upload(worker: usize, batch: usize, class: usize) -> FeatureUpload {
+        let features = Tensor::full(&[batch, 8], 0.3 + class as f32 * 0.2);
+        FeatureUpload::new(worker, features, vec![class; batch])
+    }
+
+    #[test]
+    fn merged_processing_returns_gradients_for_every_worker() {
+        let mut server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let uploads = vec![upload(0, 3, 0), upload(1, 5, 1), upload(2, 2, 3)];
+        let step = server.process_merged(&uploads);
+        assert_eq!(step.gradients.len(), 3);
+        assert_eq!(step.gradients[0].0, 0);
+        assert_eq!(step.gradients[0].1.batch(), 3);
+        assert_eq!(step.gradients[1].1.batch(), 5);
+        assert!(step.loss > 0.0);
+    }
+
+    #[test]
+    fn merged_processing_updates_top_model_once() {
+        let mut server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let before = server.top_state();
+        let _ = server.process_merged(&[upload(0, 4, 0), upload(1, 4, 1)]);
+        assert_ne!(before, server.top_state());
+    }
+
+    #[test]
+    fn sequential_processing_matches_upload_order_and_sizes() {
+        let mut server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let uploads = vec![upload(5, 2, 0), upload(9, 6, 1)];
+        let step = server.process_sequential(&uploads);
+        assert_eq!(step.gradients.len(), 2);
+        assert_eq!(step.gradients[0].0, 5);
+        assert_eq!(step.gradients[0].1.batch(), 2);
+        assert_eq!(step.gradients[1].0, 9);
+        assert_eq!(step.gradients[1].1.batch(), 6);
+    }
+
+    #[test]
+    fn merged_and_sequential_updates_differ_under_non_iid_uploads() {
+        // Same initial top model, same uploads (each worker single-class): merging updates
+        // the top model on the mixed batch, sequential updating takes two skewed steps. The
+        // resulting top models must differ — this is the effect the paper's Fig. 4 shows.
+        let uploads = vec![upload(0, 6, 0), upload(1, 6, 1)];
+        let mut merged_server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let mut seq_server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let _ = merged_server.process_merged(&uploads);
+        let _ = seq_server.process_sequential(&uploads);
+        assert_ne!(merged_server.top_state(), seq_server.top_state());
+    }
+
+    #[test]
+    fn aggregation_replaces_global_bottom_with_weighted_average() {
+        let mut server = SflServer::new(toy_top(), vec![0.0; 4]);
+        server.aggregate_bottoms(&[vec![1.0; 4], vec![3.0; 4]], &[1.0, 1.0]);
+        assert_eq!(server.global_bottom(), &[2.0, 2.0, 2.0, 2.0]);
+        server.aggregate_bottoms(&[vec![0.0; 4], vec![4.0; 4]], &[3.0, 1.0]);
+        assert_eq!(server.global_bottom(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn evaluate_combines_bottom_and_top() {
+        let mut rng = seeded(2);
+        let bottom = Sequential::new()
+            .push(Box::new(Linear::new(&mut rng, 6, 8)))
+            .push(Box::new(Relu::new()));
+        let global = bottom.state();
+        let mut replica = Sequential::new()
+            .push(Box::new(Linear::new(&mut rng, 6, 8)))
+            .push(Box::new(Relu::new()));
+        let mut server = SflServer::new(toy_top(), global);
+        let inputs = Tensor::full(&[5, 6], 0.2);
+        let labels = vec![0, 1, 2, 3, 0];
+        let (loss, acc) = server.evaluate(&mut replica, &inputs, &labels);
+        assert!(loss > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

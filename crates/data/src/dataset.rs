@@ -1,0 +1,130 @@
+//! In-memory labelled dataset.
+
+use mergesfl_nn::Tensor;
+
+/// A labelled classification dataset held fully in memory.
+///
+/// `inputs` has shape `[n, ...sample_shape]`; `labels[i]` is the integer class of sample `i`.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    inputs: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that labels are in range and counts match.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(inputs.batch(), labels.len(), "Dataset: sample/label count mismatch");
+        assert!(num_classes > 0, "Dataset: must have at least one class");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "Dataset: label out of range for {num_classes} classes"
+        );
+        Self { inputs, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Per-sample shape (without the batch dimension).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.inputs.shape()[1..]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Full input tensor.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// Extracts a mini-batch for the given sample indices.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let x = self.inputs.gather_batch(indices);
+        let y = indices.iter().map(|&i| self.labels[i]).collect();
+        (x, y)
+    }
+
+    /// Number of samples per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Creates a new dataset containing only the given indices (used to materialise a
+    /// worker's local shard).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let (inputs, labels) = self.batch(indices);
+        Dataset { inputs, labels, num_classes: self.num_classes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let inputs = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]);
+        Dataset::new(inputs, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.sample_shape(), &[3]);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn batch_gathers_rows_and_labels() {
+        let d = toy();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.shape(), &[2, 3]);
+        assert_eq!(x.data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn subset_is_self_contained() {
+        let d = toy();
+        let s = d.subset(&[1, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[1, 1]);
+        assert_eq!(s.class_counts(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let inputs = Tensor::zeros(&[1, 2]);
+        let _ = Dataset::new(inputs, vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample/label count mismatch")]
+    fn rejects_count_mismatch() {
+        let inputs = Tensor::zeros(&[2, 2]);
+        let _ = Dataset::new(inputs, vec![0], 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Dataset catalogue mirroring the paper's four evaluation tasks.
+
+use mergesfl_nn::zoo::Architecture;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four tasks a dataset corresponds to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Human Activity Recognition (6 classes); trained with CNN-H in the paper.
+    Har,
+    /// Google Speech commands (35 classes); trained with CNN-S.
+    Speech,
+    /// CIFAR-10 (10 classes); trained with AlexNet.
+    Cifar10,
+    /// IMAGE-100, a 100-class ImageNet subset; trained with VGG16.
+    Image100,
+}
+
+/// Static description of a dataset: class count, sample shape, sizes and the paper's
+/// training hyper-parameters for the matching model.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Which task this is.
+    pub kind: DatasetKind,
+    /// Human-readable name used in experiment output.
+    pub name: &'static str,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Per-sample input shape (matches the corresponding architecture in `mergesfl-nn`).
+    pub sample_shape: Vec<usize>,
+    /// Default number of training samples in the scaled-down synthetic analogue.
+    pub train_size: usize,
+    /// Default number of test samples.
+    pub test_size: usize,
+    /// Architecture the paper pairs with this dataset.
+    pub architecture: Architecture,
+    /// Initial learning rate used in the paper for this task.
+    pub initial_lr: f32,
+    /// Per-round learning-rate decay used in the paper for this task.
+    pub lr_decay: f32,
+    /// Local updating frequency τ (iterations per round) used in the paper.
+    pub local_iterations: usize,
+    /// Default communication-round budget in the paper (150 for CNN-H, 250 otherwise).
+    pub paper_rounds: usize,
+}
+
+impl DatasetKind {
+    /// All dataset kinds, in the order the paper presents them.
+    pub fn all() -> [DatasetKind; 4] {
+        [Self::Har, Self::Speech, Self::Cifar10, Self::Image100]
+    }
+
+    /// Full specification for this dataset kind.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Self::Har => DatasetSpec {
+                kind: *self,
+                name: "HAR",
+                num_classes: 6,
+                sample_shape: vec![1, 12, 12],
+                train_size: 2400,
+                test_size: 600,
+                architecture: Architecture::CnnH,
+                initial_lr: 0.1,
+                lr_decay: 0.98,
+                local_iterations: 10,
+                paper_rounds: 150,
+            },
+            Self::Speech => DatasetSpec {
+                kind: *self,
+                name: "Speech",
+                num_classes: 35,
+                sample_shape: vec![1, 64],
+                train_size: 2800,
+                test_size: 700,
+                architecture: Architecture::CnnS,
+                initial_lr: 0.1,
+                lr_decay: 0.993,
+                local_iterations: 30,
+                paper_rounds: 250,
+            },
+            Self::Cifar10 => DatasetSpec {
+                kind: *self,
+                name: "CIFAR-10",
+                num_classes: 10,
+                sample_shape: vec![3, 16, 16],
+                train_size: 3000,
+                test_size: 600,
+                architecture: Architecture::AlexNetLite,
+                initial_lr: 0.1,
+                lr_decay: 0.993,
+                local_iterations: 30,
+                paper_rounds: 250,
+            },
+            Self::Image100 => DatasetSpec {
+                kind: *self,
+                name: "IMAGE-100",
+                num_classes: 100,
+                sample_shape: vec![3, 8, 8],
+                train_size: 4000,
+                test_size: 800,
+                architecture: Architecture::Vgg16Lite,
+                initial_lr: 0.1,
+                lr_decay: 0.993,
+                local_iterations: 40,
+                paper_rounds: 250,
+            },
+        }
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        self.spec().name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_paper() {
+        assert_eq!(DatasetKind::Har.spec().num_classes, 6);
+        assert_eq!(DatasetKind::Speech.spec().num_classes, 35);
+        assert_eq!(DatasetKind::Cifar10.spec().num_classes, 10);
+        assert_eq!(DatasetKind::Image100.spec().num_classes, 100);
+    }
+
+    #[test]
+    fn architectures_match_paper_pairing() {
+        assert_eq!(DatasetKind::Har.spec().architecture, Architecture::CnnH);
+        assert_eq!(DatasetKind::Speech.spec().architecture, Architecture::CnnS);
+        assert_eq!(DatasetKind::Cifar10.spec().architecture, Architecture::AlexNetLite);
+        assert_eq!(DatasetKind::Image100.spec().architecture, Architecture::Vgg16Lite);
+    }
+
+    #[test]
+    fn hyper_parameters_match_paper() {
+        let har = DatasetKind::Har.spec();
+        assert_eq!(har.local_iterations, 10);
+        assert_eq!(har.paper_rounds, 150);
+        assert!((har.lr_decay - 0.98).abs() < 1e-6);
+        let vgg = DatasetKind::Image100.spec();
+        assert_eq!(vgg.local_iterations, 40);
+        assert!((vgg.lr_decay - 0.993).abs() < 1e-6);
+        for kind in DatasetKind::all() {
+            assert!((kind.spec().initial_lr - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sample_shapes_are_nonempty() {
+        for kind in DatasetKind::all() {
+            let spec = kind.spec();
+            assert!(!spec.sample_shape.is_empty());
+            assert!(spec.train_size > spec.test_size);
+        }
+    }
+}

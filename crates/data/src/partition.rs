@@ -1,0 +1,266 @@
+//! Non-IID data partitioning across workers.
+//!
+//! The paper draws each worker's class proportions from a Dirichlet distribution
+//! `v ~ Dir(δ q)` where `q` is the global class prior and `δ` controls identicalness; it
+//! then defines the non-IID level `p = 1/δ` and evaluates `p ∈ {0, 1, 2, 4, 5, 10}`
+//! (`p = 0` being IID). [`partition_dirichlet`] reproduces that scheme.
+
+use crate::dataset::Dataset;
+use crate::label_dist::LabelDistribution;
+use mergesfl_nn::rng::{derive_seed, seeded};
+use rand::Rng;
+use rand_distr::{Dirichlet, Distribution};
+
+/// The result of partitioning a dataset over `N` workers.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `indices[i]` holds the dataset sample indices assigned to worker `i`.
+    pub indices: Vec<Vec<usize>>,
+    /// `label_dists[i]` is the empirical label distribution `V_i` of worker `i`.
+    pub label_dists: Vec<LabelDistribution>,
+    /// The non-IID level `p = 1/δ` this partition was generated with (0 for IID).
+    pub non_iid_level: f32,
+}
+
+impl Partition {
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Total number of assigned samples (equals the dataset size).
+    pub fn total_samples(&self) -> usize {
+        self.indices.iter().map(|v| v.len()).sum()
+    }
+
+    /// The IID reference distribution `Φ0`, i.e. the average of all worker distributions.
+    pub fn iid_reference(&self) -> LabelDistribution {
+        let refs: Vec<&LabelDistribution> = self.label_dists.iter().collect();
+        LabelDistribution::average(&refs)
+    }
+
+    /// Mean KL divergence of the workers' label distributions from the IID reference —
+    /// a scalar summary of how statistically heterogeneous the partition is.
+    pub fn mean_divergence(&self) -> f32 {
+        let phi0 = self.iid_reference();
+        let sum: f32 = self.label_dists.iter().map(|v| v.kl_divergence(&phi0)).sum();
+        sum / self.label_dists.len().max(1) as f32
+    }
+}
+
+/// Partitions a dataset IID across `num_workers` workers (the paper's `p = 0` case).
+pub fn partition_iid(dataset: &Dataset, num_workers: usize, seed: u64) -> Partition {
+    assert!(num_workers > 0, "partition_iid: need at least one worker");
+    let mut rng = seeded(seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut indices = vec![Vec::new(); num_workers];
+    for (pos, idx) in order.into_iter().enumerate() {
+        indices[pos % num_workers].push(idx);
+    }
+    finish_partition(dataset, indices, 0.0)
+}
+
+/// Partitions a dataset across workers with a Dirichlet-controlled non-IID level.
+///
+/// `non_iid_level` is the paper's `p = 1/δ`; `p = 0` falls back to [`partition_iid`]. Larger
+/// `p` concentrates each worker's data on fewer classes. Every worker is guaranteed at least
+/// `min_per_worker` samples so that no worker is left without data to train on.
+pub fn partition_dirichlet(
+    dataset: &Dataset,
+    num_workers: usize,
+    non_iid_level: f32,
+    min_per_worker: usize,
+    seed: u64,
+) -> Partition {
+    assert!(num_workers > 0, "partition_dirichlet: need at least one worker");
+    assert!(non_iid_level >= 0.0, "partition_dirichlet: non-IID level must be non-negative");
+    if non_iid_level == 0.0 {
+        return partition_iid(dataset, num_workers, seed);
+    }
+    let delta = 1.0 / non_iid_level;
+    let num_classes = dataset.num_classes();
+    let mut rng = seeded(derive_seed(seed, 17));
+
+    // Group sample indices by class, shuffled within each class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &label) in dataset.labels().iter().enumerate() {
+        by_class[label].push(i);
+    }
+    for class_indices in &mut by_class {
+        for i in (1..class_indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            class_indices.swap(i, j);
+        }
+    }
+
+    // For every class, split its samples across workers with Dirichlet(δ) proportions.
+    // (The global prior q is uniform because the synthetic datasets are class-balanced.)
+    let alpha = vec![delta.max(1e-3) as f64; num_workers];
+    let dirichlet = Dirichlet::new(&alpha).expect("valid Dirichlet parameters");
+    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); num_workers];
+    for class_indices in &by_class {
+        if class_indices.is_empty() {
+            continue;
+        }
+        let proportions = dirichlet.sample(&mut rng);
+        // Convert proportions to cumulative cut points over this class's samples.
+        let n = class_indices.len();
+        let mut cuts = Vec::with_capacity(num_workers);
+        let mut acc = 0.0f64;
+        for &p in proportions.iter().take(num_workers - 1) {
+            acc += p;
+            cuts.push(((acc * n as f64).round() as usize).min(n));
+        }
+        cuts.push(n);
+        let mut start = 0usize;
+        for (worker, &end) in cuts.iter().enumerate() {
+            let end = end.max(start);
+            indices[worker].extend_from_slice(&class_indices[start..end]);
+            start = end;
+        }
+    }
+
+    rebalance_minimum(&mut indices, min_per_worker, &mut rng);
+    finish_partition(dataset, indices, non_iid_level)
+}
+
+/// Moves samples from the largest shards to any worker below the minimum, so every worker
+/// can participate in training.
+fn rebalance_minimum<R: Rng>(indices: &mut [Vec<usize>], min_per_worker: usize, rng: &mut R) {
+    if min_per_worker == 0 {
+        return;
+    }
+    loop {
+        let Some(poorest) = (0..indices.len()).find(|&i| indices[i].len() < min_per_worker) else {
+            break;
+        };
+        let richest = (0..indices.len())
+            .max_by_key(|&i| indices[i].len())
+            .expect("at least one worker");
+        if indices[richest].len() <= min_per_worker {
+            // Not enough data to satisfy the minimum everywhere; stop rather than loop.
+            break;
+        }
+        let take = rng.gen_range(0..indices[richest].len());
+        let sample = indices[richest].swap_remove(take);
+        indices[poorest].push(sample);
+    }
+}
+
+fn finish_partition(dataset: &Dataset, indices: Vec<Vec<usize>>, non_iid_level: f32) -> Partition {
+    let label_dists = indices
+        .iter()
+        .map(|shard| {
+            let labels: Vec<usize> = shard.iter().map(|&i| dataset.labels()[i]).collect();
+            LabelDistribution::from_labels(&labels, dataset.num_classes())
+        })
+        .collect();
+    Partition { indices, label_dists, non_iid_level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+    use crate::synth::generate_default;
+
+    fn toy_dataset() -> Dataset {
+        let spec = DatasetKind::Cifar10.spec();
+        generate_default(&spec, 5).0
+    }
+
+    #[test]
+    fn iid_partition_covers_every_sample_once() {
+        let d = toy_dataset();
+        let p = partition_iid(&d, 8, 1);
+        assert_eq!(p.num_workers(), 8);
+        assert_eq!(p.total_samples(), d.len());
+        let mut seen = vec![false; d.len()];
+        for shard in &p.indices {
+            for &i in shard {
+                assert!(!seen[i], "sample {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn iid_partition_has_low_divergence() {
+        let d = toy_dataset();
+        let p = partition_iid(&d, 10, 2);
+        assert!(p.mean_divergence() < 0.05, "IID divergence {}", p.mean_divergence());
+        assert_eq!(p.non_iid_level, 0.0);
+    }
+
+    #[test]
+    fn dirichlet_partition_covers_every_sample_once() {
+        let d = toy_dataset();
+        let p = partition_dirichlet(&d, 10, 10.0, 4, 3);
+        assert_eq!(p.total_samples(), d.len());
+        let mut seen = vec![false; d.len()];
+        for shard in &p.indices {
+            for &i in shard {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn higher_non_iid_level_increases_divergence() {
+        let d = toy_dataset();
+        let low = partition_dirichlet(&d, 10, 1.0, 4, 7).mean_divergence();
+        let high = partition_dirichlet(&d, 10, 10.0, 4, 7).mean_divergence();
+        assert!(
+            high > low,
+            "divergence should grow with non-IID level (p=1: {low}, p=10: {high})"
+        );
+    }
+
+    #[test]
+    fn level_zero_falls_back_to_iid() {
+        let d = toy_dataset();
+        let p = partition_dirichlet(&d, 6, 0.0, 0, 9);
+        assert_eq!(p.non_iid_level, 0.0);
+        assert!(p.mean_divergence() < 0.05);
+    }
+
+    #[test]
+    fn minimum_shard_size_is_respected() {
+        let d = toy_dataset();
+        let p = partition_dirichlet(&d, 20, 10.0, 8, 11);
+        for shard in &p.indices {
+            assert!(shard.len() >= 8, "shard of size {} below minimum", shard.len());
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_given_seed() {
+        let d = toy_dataset();
+        let a = partition_dirichlet(&d, 10, 5.0, 4, 13);
+        let b = partition_dirichlet(&d, 10, 5.0, 4, 13);
+        assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn size_weighted_mixture_recovers_global_distribution() {
+        // Pooling every worker's data back together (weighting each V_i by its shard size)
+        // must recover the balanced global class distribution, whatever the non-IID level.
+        let d = toy_dataset();
+        let p = partition_dirichlet(&d, 10, 10.0, 4, 17);
+        let refs: Vec<&LabelDistribution> = p.label_dists.iter().collect();
+        let weights: Vec<f32> = p.indices.iter().map(|s| s.len() as f32).collect();
+        let pooled = LabelDistribution::mixture(&refs, &weights);
+        let uniform = LabelDistribution::uniform(d.num_classes());
+        assert!(pooled.total_variation(&uniform) < 0.02);
+        // The unweighted IID reference Φ0 is still a valid distribution over all classes.
+        let phi0 = p.iid_reference();
+        assert!((phi0.probs().iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Synthetic dataset generation.
+//!
+//! Real HAR / Google Speech / CIFAR-10 / IMAGE-100 data is not available in this
+//! environment, so each task is replaced by a class-conditional synthetic analogue with the
+//! same number of classes and the input shape expected by the corresponding architecture.
+//!
+//! Each class `c` is assigned a random prototype signal; a sample of class `c` is the
+//! prototype plus Gaussian noise plus a small random global shift. The signal-to-noise ratio
+//! is chosen so that the scaled-down models reach high accuracy only after many SGD steps,
+//! which preserves the property the paper's experiments rely on: convergence speed and final
+//! accuracy respond to how well the training procedure handles non-IID data.
+
+use crate::dataset::Dataset;
+use crate::datasets::DatasetSpec;
+use mergesfl_nn::rng::{derive_seed, seeded};
+use mergesfl_nn::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Controls the difficulty of the synthetic task.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Standard deviation of the class prototypes.
+    pub prototype_scale: f32,
+    /// Standard deviation of per-sample additive noise.
+    pub noise_scale: f32,
+    /// Standard deviation of the per-sample global shift (models per-device sensor bias).
+    pub shift_scale: f32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self { prototype_scale: 0.8, noise_scale: 0.9, shift_scale: 0.2 }
+    }
+}
+
+/// Generates the train and test splits of a synthetic analogue for a dataset spec.
+///
+/// Class frequencies follow the global prior of the original datasets: balanced classes.
+/// The same seed always produces the same data; train and test are drawn from the same
+/// class-conditional distribution but with disjoint noise streams.
+pub fn generate(spec: &DatasetSpec, config: SynthConfig, seed: u64) -> (Dataset, Dataset) {
+    let prototypes = class_prototypes(spec, config, seed);
+    let train = generate_split(spec, config, &prototypes, spec.train_size, derive_seed(seed, 1));
+    let test = generate_split(spec, config, &prototypes, spec.test_size, derive_seed(seed, 2));
+    (train, test)
+}
+
+/// Generates train/test splits with the default difficulty.
+pub fn generate_default(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
+    generate(spec, SynthConfig::default(), seed)
+}
+
+fn class_prototypes(spec: &DatasetSpec, config: SynthConfig, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = seeded(derive_seed(seed, 0));
+    let dim: usize = spec.sample_shape.iter().product();
+    let normal = Normal::new(0.0, config.prototype_scale as f64).expect("valid normal");
+    (0..spec.num_classes)
+        .map(|_| (0..dim).map(|_| normal.sample(&mut rng) as f32).collect())
+        .collect()
+}
+
+fn generate_split(
+    spec: &DatasetSpec,
+    config: SynthConfig,
+    prototypes: &[Vec<f32>],
+    size: usize,
+    seed: u64,
+) -> Dataset {
+    let mut rng = seeded(seed);
+    let dim: usize = spec.sample_shape.iter().product();
+    let noise = Normal::new(0.0, config.noise_scale as f64).expect("valid normal");
+    let shift = Normal::new(0.0, config.shift_scale as f64).expect("valid normal");
+
+    let mut data = Vec::with_capacity(size * dim);
+    let mut labels = Vec::with_capacity(size);
+    for i in 0..size {
+        // Round-robin over classes keeps the global distribution balanced regardless of size.
+        let class = i % spec.num_classes;
+        let offset = shift.sample(&mut rng) as f32;
+        let proto = &prototypes[class];
+        for &p in proto.iter().take(dim) {
+            data.push(p + offset + noise.sample(&mut rng) as f32);
+        }
+        labels.push(class);
+    }
+    // Shuffle so that index order carries no label information.
+    let mut order: Vec<usize> = (0..size).collect();
+    for i in (1..size).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut shuffled = Vec::with_capacity(size * dim);
+    let mut shuffled_labels = Vec::with_capacity(size);
+    for &idx in &order {
+        shuffled.extend_from_slice(&data[idx * dim..(idx + 1) * dim]);
+        shuffled_labels.push(labels[idx]);
+    }
+
+    let mut shape = vec![size];
+    shape.extend_from_slice(&spec.sample_shape);
+    Dataset::new(Tensor::from_vec(shuffled, &shape), shuffled_labels, spec.num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+
+    #[test]
+    fn generated_sizes_and_shapes_match_spec() {
+        let spec = DatasetKind::Har.spec();
+        let (train, test) = generate_default(&spec, 1);
+        assert_eq!(train.len(), spec.train_size);
+        assert_eq!(test.len(), spec.test_size);
+        assert_eq!(train.sample_shape(), spec.sample_shape.as_slice());
+        assert_eq!(train.num_classes(), spec.num_classes);
+    }
+
+    #[test]
+    fn classes_are_roughly_balanced() {
+        let spec = DatasetKind::Cifar10.spec();
+        let (train, _) = generate_default(&spec, 2);
+        let counts = train.class_counts();
+        let expected = spec.train_size / spec.num_classes;
+        for c in counts {
+            assert!((c as isize - expected as isize).unsigned_abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetKind::Har.spec();
+        let (a, _) = generate_default(&spec, 7);
+        let (b, _) = generate_default(&spec, 7);
+        assert_eq!(a.inputs().data(), b.inputs().data());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = DatasetKind::Har.spec();
+        let (a, _) = generate_default(&spec, 1);
+        let (b, _) = generate_default(&spec, 2);
+        assert_ne!(a.inputs().data(), b.inputs().data());
+    }
+
+    #[test]
+    fn train_and_test_are_distinct_draws() {
+        let spec = DatasetKind::Har.spec();
+        let (train, test) = generate_default(&spec, 3);
+        // Same distribution but different realisations: the first samples should differ.
+        let n = test.sample_shape().iter().product::<usize>();
+        assert_ne!(&train.inputs().data()[..n], &test.inputs().data()[..n]);
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_prototype() {
+        // Sanity check that the synthetic task is learnable: a nearest-class-mean classifier
+        // fit on train data should beat random guessing on test data by a wide margin.
+        let spec = DatasetKind::Cifar10.spec();
+        let (train, test) = generate_default(&spec, 11);
+        let dim: usize = spec.sample_shape.iter().product();
+        let mut means = vec![vec![0.0f32; dim]; spec.num_classes];
+        let mut counts = vec![0usize; spec.num_classes];
+        for i in 0..train.len() {
+            let c = train.labels()[i];
+            counts[c] += 1;
+            for d in 0..dim {
+                means[c][d] += train.inputs().data()[i * dim + d];
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f32;
+            }
+        }
+        let mut correct = 0usize;
+        for i in 0..test.len() {
+            let x = &test.inputs().data()[i * dim..(i + 1) * dim];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, m) in means.iter().enumerate() {
+                let d: f32 = x.iter().zip(m).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if best == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / test.len() as f32;
+        assert!(acc > 0.5, "synthetic CIFAR-10 analogue should be separable, got accuracy {acc}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Weight initialisation schemes.
+//!
+//! Layers with ReLU activations use Kaiming/He initialisation; the final classifier layers
+//! use Xavier/Glorot. Both draw from a normal distribution with the appropriate fan-based
+//! standard deviation, using the caller's seeded RNG.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Kaiming/He normal initialisation for a tensor with the given fan-in.
+///
+/// `std = sqrt(2 / fan_in)`, suited to layers followed by ReLU.
+pub fn kaiming_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "kaiming_normal: fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt();
+    let normal = Normal::new(0.0, std).expect("valid normal distribution");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| normal.sample(rng) as f32).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialisation for a tensor with the given fan-in and fan-out.
+///
+/// Samples uniformly from `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    assert!(fan_in + fan_out > 0, "xavier_uniform: fans must be positive");
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let uniform = Uniform::new_inclusive(-limit, limit);
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| uniform.sample(rng) as f32).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn kaiming_has_expected_scale() {
+        let mut rng = seeded(0);
+        let t = kaiming_normal(&mut rng, &[64, 64], 64);
+        let mean = t.mean();
+        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        // Expected variance is 2/64 = 0.03125; allow generous tolerance for 4096 samples.
+        assert!((var - 0.03125).abs() < 0.01, "variance {var} far from 2/fan_in");
+        assert!(mean.abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = seeded(1);
+        let fan_in = 32;
+        let fan_out = 16;
+        let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+        let t = xavier_uniform(&mut rng, &[fan_out, fan_in], fan_in, fan_out);
+        assert!(t.data().iter().all(|x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn init_is_deterministic_given_seed() {
+        let a = kaiming_normal(&mut seeded(9), &[4, 4], 4);
+        let b = kaiming_normal(&mut seeded(9), &[4, 4], 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be positive")]
+    fn kaiming_rejects_zero_fan_in() {
+        let _ = kaiming_normal(&mut seeded(0), &[2, 2], 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Activation layers.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`, applied element-wise to any shape.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| if m { x } else { 0.0 })
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .take()
+            .expect("Relu::backward called without a cached forward pass");
+        assert_eq!(mask.len(), grad_output.len(), "Relu: gradient length mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape())
+    }
+
+    fn reset_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::check_input_gradient;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.5], &[1, 3]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0, -0.5, 4.0], &[2, 2]);
+        let _ = relu.forward(&x, true);
+        let g = relu.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_away_from_kink() {
+        let mut relu = Relu::new();
+        // Values well away from zero so the finite difference is valid.
+        let x = Tensor::from_vec(vec![-2.0, -1.0, 1.0, 2.0, 3.0, -3.0], &[2, 3]);
+        check_input_gradient(&mut relu, &x, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let relu = Relu::new();
+        assert_eq!(relu.num_params(), 0);
+        assert!(relu.params().is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! 2-D convolution (naive direct implementation).
+
+use super::{Layer, Param};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A 2-D convolution over `[batch, in_channels, height, width]` inputs.
+///
+/// Square kernels, symmetric zero padding, configurable stride. The implementation is a
+/// direct (non-im2col) loop nest — models in this workspace are deliberately small, so
+/// clarity and an exact backward pass matter more than throughput.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-initialised weights and zero bias.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0, "Conv2d: invalid config");
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_normal(rng, &[out_channels, in_channels, kernel, kernel], fan_in);
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for a given input spatial size.
+    pub fn output_size(&self, input: usize) -> usize {
+        (input + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        assert_eq!(input.shape().len(), 4, "Conv2d: input must be [N, C, H, W]");
+        assert_eq!(input.shape()[1], self.in_channels, "Conv2d: channel mismatch");
+        assert!(
+            input.shape()[2] + 2 * self.padding >= self.kernel
+                && input.shape()[3] + 2 * self.padding >= self.kernel,
+            "Conv2d: input smaller than kernel"
+        );
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.check_input(input);
+        let (n, c_in, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (h_out, w_out) = (self.output_size(h), self.output_size(w));
+        let k = self.kernel;
+        let s = self.stride;
+        let p = self.padding as isize;
+        let c_out = self.out_channels;
+
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let b = self.bias.value.data();
+        let mut out = vec![0.0f32; n * c_out * h_out * w_out];
+
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..h_out {
+                    for ox in 0..w_out {
+                        let mut acc = b[co];
+                        for ci in 0..c_in {
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((ni * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
+                                    acc += x[xi] * wgt[wi];
+                                }
+                            }
+                        }
+                        out[((ni * c_out + co) * h_out + oy) * w_out + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(out, &[n, c_out, h_out, w_out])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward called without a cached forward pass");
+        let (n, c_in, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (h_out, w_out) = (grad_output.shape()[2], grad_output.shape()[3]);
+        let k = self.kernel;
+        let s = self.stride;
+        let p = self.padding as isize;
+        let c_out = self.out_channels;
+
+        let x = input.data();
+        let go = grad_output.data();
+        let wgt = self.weight.value.data();
+        let mut grad_in = vec![0.0f32; input.len()];
+        let grad_w = self.weight.grad.data_mut();
+        let grad_b = self.bias.grad.data_mut();
+
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..h_out {
+                    for ox in 0..w_out {
+                        let g = go[((ni * c_out + co) * h_out + oy) * w_out + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        grad_b[co] += g;
+                        for ci in 0..c_in {
+                            for ky in 0..k {
+                                let iy = (oy * s + ky) as isize - p;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = (ox * s + kx) as isize - p;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((ni * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
+                                    grad_w[wi] += g * x[xi];
+                                    grad_in[xi] += g * wgt[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(grad_in, input.shape())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn reset_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::check_input_gradient;
+    use crate::rng::seeded;
+
+    #[test]
+    fn output_shape_with_padding_and_stride() {
+        let mut rng = seeded(0);
+        let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+
+        let mut strided = Conv2d::new(&mut rng, 3, 4, 3, 2, 0);
+        let y2 = strided.forward(&x, true);
+        assert_eq!(y2.shape(), &[2, 4, 3, 3]);
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        let mut rng = seeded(1);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 2, 1, 0);
+        // Set the 2x2 kernel to all ones, bias to zero: output is sum of each 2x2 window.
+        conv.weight.value.data_mut().copy_from_slice(&[1.0; 4]);
+        conv.bias.value.fill_zero();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded(2);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1);
+        let x = init::kaiming_normal(&mut rng, &[1, 2, 4, 4], 4);
+        check_input_gradient(&mut conv, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = seeded(3);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 2, 1, 0);
+        let x = init::kaiming_normal(&mut rng, &[2, 1, 3, 3], 3);
+
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.shape()));
+        let analytic = conv.weight.grad.clone();
+
+        let eps = 1e-2f32;
+        for idx in 0..conv.weight.value.len() {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let f_plus = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let f_minus = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!((numeric - a).abs() < 2e-2 * (1.0 + numeric.abs()), "dW mismatch: {numeric} vs {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channel_count() {
+        let mut rng = seeded(4);
+        let mut conv = Conv2d::new(&mut rng, 3, 4, 3, 1, 1);
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        let _ = conv.forward(&x, true);
+    }
+}

@@ -1,0 +1,106 @@
+//! Inverted dropout.
+
+use super::Layer;
+use crate::rng;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inverted dropout: during training, each activation is zeroed with probability `p` and the
+/// survivors are scaled by `1 / (1 - p)`; at evaluation time the layer is the identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)` and a dedicated seed.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
+        Self { p, rng: rng::seeded(seed), mask: None }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match self.mask.take() {
+            Some(mask) => {
+                let data = grad_output.data().iter().zip(&mask).map(|(g, m)| g * m).collect();
+                Tensor::from_vec(data, grad_output.shape())
+            }
+            // Evaluation mode (or p == 0): identity.
+            None => grad_output.clone(),
+        }
+    }
+
+    fn reset_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut layer = Dropout::new(0.5, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y, x);
+        let g = layer.backward(&Tensor::ones(&[2, 2]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn training_preserves_expectation_roughly() {
+        let mut layer = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[1, 4096]);
+        let y = layer.forward(&x, true);
+        // Inverted dropout keeps E[y] = E[x]; with 4096 samples the mean stays near 1.
+        assert!((y.mean() - 1.0).abs() < 0.1, "mean {} drifted", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask_as_forward() {
+        let mut layer = Dropout::new(0.3, 11);
+        let x = Tensor::ones(&[1, 64]);
+        let y = layer.forward(&x, true);
+        let g = layer.backward(&Tensor::ones(&[1, 64]));
+        // The gradient is zero exactly where the output was zero.
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1)")]
+    fn rejects_invalid_probability() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

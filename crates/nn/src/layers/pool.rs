@@ -1,0 +1,208 @@
+//! Max-pooling layers (2-D and 1-D).
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling with a square window, stride equal to the window size.
+pub struct MaxPool2d {
+    window: usize,
+    /// Flat index (into the input) of the argmax of every output element.
+    argmax: Option<Vec<usize>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window size (also used as the stride).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "MaxPool2d: window must be positive");
+        Self { window, argmax: None, input_shape: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "MaxPool2d: input must be [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let k = self.window;
+        assert!(h >= k && w >= k, "MaxPool2d: input smaller than window");
+        let (h_out, w_out) = (h / k, w / k);
+        let x = input.data();
+        let mut out = vec![f32::NEG_INFINITY; n * c * h_out * w_out];
+        let mut argmax = vec![0usize; out.len()];
+
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..h_out {
+                    for ox in 0..w_out {
+                        let oi = ((ni * c + ci) * h_out + oy) * w_out + ox;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * k + ky;
+                                let ix = ox * k + kx;
+                                let xi = ((ni * c + ci) * h + iy) * w + ix;
+                                if x[xi] > out[oi] {
+                                    out[oi] = x[xi];
+                                    argmax[oi] = xi;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_shape = Some(input.shape().to_vec());
+        Tensor::from_vec(out, &[n, c, h_out, w_out])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self
+            .argmax
+            .take()
+            .expect("MaxPool2d::backward called without a cached forward pass");
+        let shape = self.input_shape.take().expect("MaxPool2d: missing input shape");
+        let mut grad_in = vec![0.0f32; shape.iter().product()];
+        for (g, &idx) in grad_output.data().iter().zip(&argmax) {
+            grad_in[idx] += g;
+        }
+        Tensor::from_vec(grad_in, &shape)
+    }
+
+    fn reset_cache(&mut self) {
+        self.argmax = None;
+        self.input_shape = None;
+    }
+}
+
+/// 1-D max pooling with stride equal to the window size.
+pub struct MaxPool1d {
+    window: usize,
+    argmax: Option<Vec<usize>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool1d {
+    /// Creates a 1-D max-pool layer with the given window size (also the stride).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "MaxPool1d: window must be positive");
+        Self { window, argmax: None, input_shape: None }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn name(&self) -> &'static str {
+        "MaxPool1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "MaxPool1d: input must be [N, C, L]");
+        let (n, c, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let k = self.window;
+        assert!(l >= k, "MaxPool1d: input smaller than window");
+        let l_out = l / k;
+        let x = input.data();
+        let mut out = vec![f32::NEG_INFINITY; n * c * l_out];
+        let mut argmax = vec![0usize; out.len()];
+
+        for ni in 0..n {
+            for ci in 0..c {
+                for ol in 0..l_out {
+                    let oi = (ni * c + ci) * l_out + ol;
+                    for kk in 0..k {
+                        let il = ol * k + kk;
+                        let xi = (ni * c + ci) * l + il;
+                        if x[xi] > out[oi] {
+                            out[oi] = x[xi];
+                            argmax[oi] = xi;
+                        }
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_shape = Some(input.shape().to_vec());
+        Tensor::from_vec(out, &[n, c, l_out])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self
+            .argmax
+            .take()
+            .expect("MaxPool1d::backward called without a cached forward pass");
+        let shape = self.input_shape.take().expect("MaxPool1d: missing input shape");
+        let mut grad_in = vec![0.0f32; shape.iter().product()];
+        for (g, &idx) in grad_output.data().iter().zip(&argmax) {
+            grad_in[idx] += g;
+        }
+        Tensor::from_vec(grad_in, &shape)
+    }
+
+    fn reset_cache(&mut self) {
+        self.argmax = None;
+        self.input_shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool2d_picks_window_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                0.0, 5.0, 4.0, 1.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn maxpool2d_backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn maxpool1d_forward_and_backward() {
+        let mut pool = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, 9.0, 0.0], &[1, 1, 6]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[5.0, 3.0, 9.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 1, 3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn pooling_has_no_parameters() {
+        assert_eq!(MaxPool2d::new(2).num_params(), 0);
+        assert_eq!(MaxPool1d::new(2).num_params(), 0);
+    }
+
+    #[test]
+    fn odd_sizes_are_truncated() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+}

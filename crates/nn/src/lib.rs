@@ -1,0 +1,42 @@
+//! # mergesfl-nn
+//!
+//! A small, dependency-light neural-network substrate written from scratch for the
+//! MergeSFL reproduction. It provides:
+//!
+//! * [`Tensor`] — a dense row-major `f32` tensor with the operations the layers need
+//!   (matmul, broadcasting add, batch concatenation/segmentation, reductions).
+//! * [`layers`] — feed-forward layers with exact manual backward passes: [`layers::Linear`],
+//!   [`layers::Conv2d`], [`layers::Conv1d`], [`layers::MaxPool2d`], [`layers::MaxPool1d`],
+//!   [`layers::Relu`], [`layers::Flatten`], [`layers::Dropout`].
+//! * [`loss`] — softmax cross-entropy with logits (loss value, accuracy, input gradient).
+//! * [`optim`] — mini-batch SGD with momentum, weight decay and exponential LR decay,
+//!   matching the schedules used in the paper's experiments.
+//! * [`model`] — [`model::Sequential`] containers with parameter (de)serialisation used for
+//!   federated aggregation.
+//! * [`split`] — [`split::SplitModel`], a model cut at a *split layer* into a bottom part
+//!   (trained on workers) and a top part (trained on the parameter server), the core
+//!   abstraction of split federated learning.
+//! * [`zoo`] — scaled-down analogues of the paper's four architectures (CNN-H, CNN-S,
+//!   AlexNet, VGG16) together with their split points.
+//!
+//! Everything is deterministic given a seed, single-threaded, and CPU-only: the goal is
+//! algorithmic fidelity of SGD over split models, not raw throughput.
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod rng;
+pub mod split;
+pub mod tensor;
+pub mod zoo;
+
+pub use loss::SoftmaxCrossEntropy;
+pub use model::Sequential;
+pub use optim::Sgd;
+pub use split::SplitModel;
+pub use tensor::Tensor;
+
+/// Number of bytes used by a single `f32` element, used for traffic accounting.
+pub const F32_BYTES: usize = 4;

@@ -1,0 +1,158 @@
+//! Loss functions.
+//!
+//! The paper's tasks are all multi-class classification, so the only loss implemented is
+//! softmax cross-entropy with logits. The loss returns the mean loss, the classification
+//! accuracy of the mini-batch, and the gradient with respect to the logits — ready to be
+//! fed into [`crate::model::Sequential::backward`].
+
+use crate::tensor::Tensor;
+
+/// Result of evaluating a loss on a mini-batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the mini-batch.
+    pub loss: f32,
+    /// Fraction of samples whose argmax prediction equals the label.
+    pub accuracy: f32,
+    /// Gradient of the mean loss with respect to the logits, shape `[batch, classes]`.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy with integer class labels.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the row-wise softmax of a `[batch, classes]` logits tensor.
+    pub fn softmax(logits: &Tensor) -> Tensor {
+        assert_eq!(logits.shape().len(), 2, "softmax: logits must be 2-D");
+        let classes = logits.shape()[1];
+        let mut out = Vec::with_capacity(logits.len());
+        for row in logits.data().chunks(classes) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            out.extend(exps.iter().map(|e| e / sum));
+        }
+        Tensor::from_vec(out, logits.shape())
+    }
+
+    /// Evaluates the loss and its gradient for a batch of logits and integer labels.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        assert_eq!(logits.shape().len(), 2, "loss: logits must be 2-D");
+        let batch = logits.shape()[0];
+        let classes = logits.shape()[1];
+        assert_eq!(labels.len(), batch, "loss: label count must match batch size");
+        assert!(batch > 0, "loss: empty batch");
+        for &l in labels {
+            assert!(l < classes, "loss: label {l} out of range for {classes} classes");
+        }
+
+        let probs = Self::softmax(logits);
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        let mut grad = probs.clone();
+        let inv_batch = 1.0 / batch as f32;
+
+        for (i, &label) in labels.iter().enumerate() {
+            let row = &probs.data()[i * classes..(i + 1) * classes];
+            let p = row[label].max(1e-12);
+            loss -= p.ln();
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+            // dL/dlogits = (softmax - onehot) / batch
+            *grad.at2_mut(i, label) -= 1.0;
+        }
+        grad.scale_assign(inv_batch);
+
+        LossOutput {
+            loss: loss * inv_batch,
+            accuracy: correct as f32 / batch as f32,
+            grad,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = SoftmaxCrossEntropy::softmax(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = vec![0, 1, 2, 3];
+        let out = loss.forward(&logits, &labels);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss_and_full_accuracy() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], &[2, 3]);
+        let out = loss.forward(&logits, &[0, 1]);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.accuracy, 1.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.8, 0.1, 0.0, -0.2], &[2, 3]);
+        let labels = vec![2, 0];
+        let out = loss.forward(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric =
+                (loss.forward(&plus, &labels).loss - loss.forward(&minus, &labels).loss) / (2.0 * eps);
+            let analytic = out.grad.data()[idx];
+            assert!((numeric - analytic).abs() < 1e-3, "grad mismatch: {numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.2, 0.4, -0.6, 1.0, -1.0, 0.0], &[2, 3]);
+        let out = loss.forward(&logits, &[1, 2]);
+        for row in out.grad.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn rejects_out_of_range_label() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = loss.forward(&logits, &[5]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains every model with mini-batch SGD; learning rates start at 0.1 and decay
+//! exponentially each round (decay 0.98 for CNN-H, 0.993 for the other models). Workers with
+//! larger batch sizes use proportionally scaled learning rates (Section IV-B, following
+//! Ma et al.), which [`scaled_worker_lr`] implements.
+
+use crate::model::Sequential;
+
+/// Mini-batch SGD with optional momentum and weight decay.
+///
+/// Velocity buffers are kept per parameter inside the optimizer, so one optimizer instance
+/// must stay paired with one model (the pairing is by parameter order and length).
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate, momentum and weight decay.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "Sgd: learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "Sgd: weight decay must be non-negative");
+        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Plain SGD without momentum or weight decay.
+    pub fn plain(lr: f32) -> Self {
+        Self::new(lr, 0.0, 0.0)
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (used by round-level schedules and batch-size scaling).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "Sgd: learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one optimizer step using the gradients currently stored in the model,
+    /// then leaves the gradients untouched (call [`Sequential::zero_grad`] afterwards).
+    pub fn step(&mut self, model: &mut Sequential) {
+        let params = model.params_mut();
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0f32; p.len()]).collect();
+        }
+        for (param, vel) in params.into_iter().zip(self.velocity.iter_mut()) {
+            assert_eq!(param.len(), vel.len(), "Sgd: model/optimizer parameter shape drift");
+            let value = param.value.data_mut();
+            let grad = param.grad.data();
+            for i in 0..value.len() {
+                let mut g = grad[i];
+                if self.weight_decay > 0.0 {
+                    g += self.weight_decay * value[i];
+                }
+                if self.momentum > 0.0 {
+                    vel[i] = self.momentum * vel[i] + g;
+                    g = vel[i];
+                }
+                value[i] -= self.lr * g;
+            }
+        }
+    }
+
+    /// Clears momentum buffers (used after a fresh global model is loaded, so stale worker
+    /// velocity does not leak across rounds).
+    pub fn reset_state(&mut self) {
+        for v in &mut self.velocity {
+            for x in v.iter_mut() {
+                *x = 0.0;
+            }
+        }
+    }
+}
+
+/// Exponentially decaying learning-rate schedule: `lr_h = lr_0 * decay^h`.
+#[derive(Clone, Copy, Debug)]
+pub struct LrSchedule {
+    /// Initial learning rate (round 0).
+    pub initial: f32,
+    /// Per-round multiplicative decay factor in `(0, 1]`.
+    pub decay: f32,
+}
+
+impl LrSchedule {
+    /// Creates a schedule.
+    pub fn new(initial: f32, decay: f32) -> Self {
+        assert!(initial > 0.0, "LrSchedule: initial lr must be positive");
+        assert!(decay > 0.0 && decay <= 1.0, "LrSchedule: decay must be in (0, 1]");
+        Self { initial, decay }
+    }
+
+    /// Learning rate at communication round `round`.
+    pub fn at_round(&self, round: usize) -> f32 {
+        self.initial * self.decay.powi(round as i32)
+    }
+}
+
+/// Scales a base learning rate for a worker according to its batch size, following the
+/// batch-proportional rule the paper adopts from adaptive-batch-size FL (Section IV-B):
+/// `lr_i = lr * d_i / d_ref`, clamped to avoid degenerate values for extreme ratios.
+pub fn scaled_worker_lr(base_lr: f32, batch_size: usize, reference_batch: usize) -> f32 {
+    assert!(reference_batch > 0, "scaled_worker_lr: reference batch must be positive");
+    let ratio = batch_size as f32 / reference_batch as f32;
+    // Clamp the scaling so stragglers with tiny batches still make progress and very large
+    // batches do not destabilise training.
+    let clamped = ratio.clamp(0.1, 4.0);
+    base_lr * clamped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::rng::seeded;
+    use crate::tensor::Tensor;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = seeded(seed);
+        Sequential::new()
+            .push(Box::new(Linear::new(&mut rng, 4, 16)))
+            .push(Box::new(Relu::new()))
+            .push(Box::new(Linear::new(&mut rng, 16, 3)))
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_toy_problem() {
+        let mut model = tiny_model(0);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let loss_fn = SoftmaxCrossEntropy::new();
+        // Three separable points, one per class.
+        let x = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            &[3, 4],
+        );
+        let labels = vec![0, 1, 2];
+
+        let initial = loss_fn.forward(&model.forward(&x, true), &labels).loss;
+        for _ in 0..50 {
+            model.zero_grad();
+            let logits = model.forward(&x, true);
+            let out = loss_fn.forward(&logits, &labels);
+            model.backward(&out.grad);
+            opt.step(&mut model);
+        }
+        let final_out = loss_fn.forward(&model.forward(&x, false), &labels);
+        assert!(final_out.loss < initial * 0.5, "loss {} did not drop from {}", final_out.loss, initial);
+        assert_eq!(final_out.accuracy, 1.0);
+    }
+
+    #[test]
+    fn plain_step_matches_manual_update() {
+        let mut model = tiny_model(1);
+        let before = model.state();
+        // Set every gradient to 1.0.
+        for p in model.params_mut() {
+            for g in p.grad.data_mut() {
+                *g = 1.0;
+            }
+        }
+        let mut opt = Sgd::plain(0.5);
+        opt.step(&mut model);
+        let after = model.state();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - 0.5 - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut model = tiny_model(2);
+        model.zero_grad();
+        let before_norm: f32 = model.state().iter().map(|x| x * x).sum();
+        let mut opt = Sgd::new(0.1, 0.0, 0.1);
+        opt.step(&mut model);
+        let after_norm: f32 = model.state().iter().map(|x| x * x).sum();
+        assert!(after_norm < before_norm);
+    }
+
+    #[test]
+    fn lr_schedule_decays() {
+        let sched = LrSchedule::new(0.1, 0.98);
+        assert!((sched.at_round(0) - 0.1).abs() < 1e-7);
+        assert!(sched.at_round(10) < 0.1);
+        assert!((sched.at_round(1) - 0.098).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_lr_is_proportional_and_clamped() {
+        assert!((scaled_worker_lr(0.1, 64, 64) - 0.1).abs() < 1e-7);
+        assert!((scaled_worker_lr(0.1, 32, 64) - 0.05).abs() < 1e-7);
+        // Clamped below at 0.1x and above at 4x.
+        assert!((scaled_worker_lr(0.1, 1, 1000) - 0.01).abs() < 1e-7);
+        assert!((scaled_worker_lr(0.1, 1000, 1) - 0.4).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_non_positive_lr() {
+        let _ = Sgd::plain(0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Split models: the core abstraction of split federated learning.
+//!
+//! A [`SplitModel`] is a full model cut at a *split layer* into a **bottom** model (kept on
+//! the worker, close to the input) and a **top** model (kept on the parameter server, close
+//! to the output). During training the worker runs the bottom forward pass and ships the
+//! resulting *features* (smashed data) to the server; the server runs the top
+//! forward/backward pass and ships the *gradient at the split layer* back; the worker then
+//! finishes the bottom backward pass.
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// A model split into bottom (worker-side) and top (server-side) submodels.
+pub struct SplitModel {
+    /// Worker-side submodel (input → split layer).
+    pub bottom: Sequential,
+    /// Server-side submodel (split layer → logits).
+    pub top: Sequential,
+    split_index: usize,
+}
+
+impl SplitModel {
+    /// Splits a full model at `split_index` (layers `[0, split_index)` become the bottom).
+    pub fn from_full(full: Sequential, split_index: usize) -> Self {
+        let (bottom, top) = full.split_at(split_index);
+        assert!(!bottom.is_empty(), "SplitModel: bottom model must contain at least one layer");
+        assert!(!top.is_empty(), "SplitModel: top model must contain at least one layer");
+        Self { bottom, top, split_index }
+    }
+
+    /// Index of the split layer in the original model.
+    pub fn split_index(&self) -> usize {
+        self.split_index
+    }
+
+    /// Runs the worker-side forward pass, producing the split-layer features.
+    pub fn forward_bottom(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.bottom.forward(input, train)
+    }
+
+    /// Runs the server-side forward pass on (possibly merged) features, producing logits.
+    pub fn forward_top(&mut self, features: &Tensor, train: bool) -> Tensor {
+        self.top.forward(features, train)
+    }
+
+    /// Runs the server-side backward pass; returns the gradient at the split layer, i.e. the
+    /// gradient that is dispatched back to the workers.
+    pub fn backward_top(&mut self, grad_logits: &Tensor) -> Tensor {
+        self.top.backward(grad_logits)
+    }
+
+    /// Runs the worker-side backward pass given the dispatched split-layer gradient.
+    pub fn backward_bottom(&mut self, grad_features: &Tensor) -> Tensor {
+        self.bottom.backward(grad_features)
+    }
+
+    /// Runs the full model forward (bottom then top), e.g. for evaluation of the combined
+    /// global model.
+    pub fn forward_full(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let features = self.bottom.forward(input, train);
+        self.top.forward(&features, train)
+    }
+
+    /// Total parameter count (bottom + top).
+    pub fn num_params(&self) -> usize {
+        self.bottom.num_params() + self.top.num_params()
+    }
+
+    /// Clears gradients in both submodels.
+    pub fn zero_grad(&mut self) {
+        self.bottom.zero_grad();
+        self.top.zero_grad();
+    }
+}
+
+/// Byte size of a feature (or gradient) tensor produced by one data sample at the split
+/// layer, given the full feature tensor of a batch. Used for per-sample traffic accounting
+/// (the constant `c` in the paper's bandwidth constraint, Eq. 10).
+pub fn per_sample_feature_bytes(features: &Tensor) -> usize {
+    features.per_item() * crate::F32_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::rng::seeded;
+
+    fn full_model(seed: u64) -> Sequential {
+        let mut rng = seeded(seed);
+        Sequential::new()
+            .push(Box::new(Linear::new(&mut rng, 6, 12)))
+            .push(Box::new(Relu::new()))
+            .push(Box::new(Linear::new(&mut rng, 12, 8)))
+            .push(Box::new(Relu::new()))
+            .push(Box::new(Linear::new(&mut rng, 8, 4)))
+    }
+
+    #[test]
+    fn split_forward_equals_full_forward() {
+        let mut full = full_model(0);
+        let mut split = SplitModel::from_full(full_model(0), 2);
+        let x = Tensor::ones(&[3, 6]);
+        let y_full = full.forward(&x, false);
+        let feats = split.forward_bottom(&x, false);
+        let y_split = split.forward_top(&feats, false);
+        assert_eq!(y_full.data(), y_split.data());
+        assert_eq!(split.split_index(), 2);
+    }
+
+    #[test]
+    fn split_training_matches_monolithic_training() {
+        // One SGD step on the split model must produce exactly the same parameters as one
+        // SGD step on the monolithic model — split learning is an exact refactoring of
+        // backprop, not an approximation.
+        let x = Tensor::from_vec(
+            (0..24).map(|v| (v as f32 * 0.17).sin()).collect(),
+            &[4, 6],
+        );
+        let labels = vec![0, 1, 2, 3];
+        let loss_fn = SoftmaxCrossEntropy::new();
+
+        // Monolithic step.
+        let mut full = full_model(7);
+        full.zero_grad();
+        let logits = full.forward(&x, true);
+        let out = loss_fn.forward(&logits, &labels);
+        full.backward(&out.grad);
+        let mut opt = crate::optim::Sgd::plain(0.1);
+        opt.step(&mut full);
+        let full_state = full.state();
+
+        // Split step.
+        let mut split = SplitModel::from_full(full_model(7), 3);
+        split.zero_grad();
+        let feats = split.forward_bottom(&x, true);
+        let logits = split.forward_top(&feats, true);
+        let out = loss_fn.forward(&logits, &labels);
+        let grad_feats = split.backward_top(&out.grad);
+        split.backward_bottom(&grad_feats);
+        let mut opt_b = crate::optim::Sgd::plain(0.1);
+        let mut opt_t = crate::optim::Sgd::plain(0.1);
+        opt_b.step(&mut split.bottom);
+        opt_t.step(&mut split.top);
+
+        let mut split_state = split.bottom.state();
+        split_state.extend(split.top.state());
+        assert_eq!(full_state.len(), split_state.len());
+        for (a, b) in full_state.iter().zip(&split_state) {
+            assert!((a - b).abs() < 1e-6, "split training diverged from monolithic training");
+        }
+    }
+
+    #[test]
+    fn per_sample_feature_bytes_is_per_item() {
+        let feats = Tensor::zeros(&[8, 16]);
+        assert_eq!(per_sample_feature_bytes(&feats), 16 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "top model must contain at least one layer")]
+    fn rejects_degenerate_split() {
+        let _ = SplitModel::from_full(full_model(1), 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! WiFi bandwidth model.
+//!
+//! In the paper's testbed all devices reach the parameter server over WiFi routers; devices
+//! are grouped at 2 m, 8 m, 14 m and 20 m from the router and, due to channel noise and
+//! contention, their measured bandwidth fluctuates between 1 Mb/s and 30 Mb/s. The model
+//! below assigns each distance group a mean rate and draws a log-normally perturbed value
+//! per worker per round, clamped to the measured 1–30 Mb/s envelope. The server-side ingress
+//! bandwidth budget `B^h` is drawn per round around a configurable mean.
+
+use mergesfl_nn::rng::{derive_seed, seeded};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Distance of a device group from its WiFi router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceGroup {
+    /// 2 m from the router.
+    Near2m,
+    /// 8 m from the router.
+    Mid8m,
+    /// 14 m from the router.
+    Far14m,
+    /// 20 m from the router.
+    VeryFar20m,
+}
+
+impl DistanceGroup {
+    /// All groups, nearest first (the paper places 20 devices in each).
+    pub fn all() -> [DistanceGroup; 4] {
+        [Self::Near2m, Self::Mid8m, Self::Far14m, Self::VeryFar20m]
+    }
+
+    /// Mean downlink/uplink bandwidth for this group in Mb/s.
+    pub fn mean_mbps(&self) -> f64 {
+        match self {
+            Self::Near2m => 24.0,
+            Self::Mid8m => 15.0,
+            Self::Far14m => 8.0,
+            Self::VeryFar20m => 3.5,
+        }
+    }
+}
+
+/// Bandwidth bounds measured by the paper with iperf3.
+pub const MIN_MBPS: f64 = 1.0;
+/// Upper bandwidth bound measured by the paper with iperf3.
+pub const MAX_MBPS: f64 = 30.0;
+
+/// Per-round, per-worker bandwidth sampler plus the PS ingress budget.
+#[derive(Clone, Debug)]
+pub struct BandwidthModel {
+    /// Log-normal sigma controlling round-to-round fluctuation.
+    pub sigma: f64,
+    /// Mean parameter-server ingress bandwidth budget in Mb/s (shared across all workers).
+    pub ps_ingress_mean_mbps: f64,
+    seed: u64,
+}
+
+impl BandwidthModel {
+    /// Creates a bandwidth model with the default fluctuation (σ = 0.35) and PS ingress mean.
+    pub fn new(ps_ingress_mean_mbps: f64, seed: u64) -> Self {
+        assert!(ps_ingress_mean_mbps > 0.0, "BandwidthModel: ingress mean must be positive");
+        Self { sigma: 0.35, ps_ingress_mean_mbps, seed }
+    }
+
+    /// Samples the bandwidth (Mb/s) of a worker in a given round, clamped to [1, 30] Mb/s.
+    ///
+    /// The fluctuation has two components, mirroring the paper's testbed: a *persistent*
+    /// per-worker factor (position relative to the router, antenna quality, neighbours on
+    /// the same channel) and a smaller *per-round* jitter (channel noise and contention).
+    /// The persistent component dominates, so a moving-average estimator — which is what
+    /// MergeSFL's control module uses — can actually track a worker's link speed.
+    pub fn worker_mbps(&self, worker_id: usize, group: DistanceGroup, round: usize) -> f64 {
+        let mut worker_rng = seeded(derive_seed(self.seed, 0x5000_0000 | worker_id as u64));
+        let persistent = LogNormal::new(0.0, self.sigma).expect("valid log-normal");
+        let worker_factor: f64 = persistent.sample(&mut worker_rng);
+
+        let mut round_rng = seeded(derive_seed(
+            self.seed,
+            (worker_id as u64) << 32 | round as u64,
+        ));
+        let jitter = LogNormal::new(0.0, self.sigma * 0.3).expect("valid log-normal");
+        let round_factor: f64 = jitter.sample(&mut round_rng);
+
+        (group.mean_mbps() * worker_factor * round_factor).clamp(MIN_MBPS, MAX_MBPS)
+    }
+
+    /// Samples the available PS ingress bandwidth budget `B^h` (bytes per second) for a
+    /// round. The budget fluctuates ±20% around its mean due to background traffic.
+    pub fn ps_ingress_bytes_per_sec(&self, round: usize) -> f64 {
+        let mut rng = seeded(derive_seed(self.seed, 0xB00F_0000 | round as u64));
+        let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+        mbps_to_bytes_per_sec(self.ps_ingress_mean_mbps * jitter)
+    }
+
+    /// Transmission time (seconds) of one data sample's feature/gradient pair for a worker
+    /// with the given bandwidth — the paper's `β_i^h`. The feature upload and the gradient
+    /// download have the same size, so both directions are charged.
+    pub fn transfer_time_per_sample(feature_bytes_per_sample: f64, mbps: f64) -> f64 {
+        assert!(mbps > 0.0, "transfer_time_per_sample: bandwidth must be positive");
+        let bytes = 2.0 * feature_bytes_per_sample; // feature up + gradient down
+        bytes / mbps_to_bytes_per_sec(mbps)
+    }
+}
+
+/// Converts megabits per second to bytes per second.
+pub fn mbps_to_bytes_per_sec(mbps: f64) -> f64 {
+    mbps * 1_000_000.0 / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_bandwidth_stays_in_measured_envelope() {
+        let model = BandwidthModel::new(100.0, 7);
+        for group in DistanceGroup::all() {
+            for round in 0..50 {
+                let b = model.worker_mbps(3, group, round);
+                assert!((MIN_MBPS..=MAX_MBPS).contains(&b), "bandwidth {b} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn nearer_groups_have_higher_average_bandwidth() {
+        let model = BandwidthModel::new(100.0, 11);
+        let avg = |group: DistanceGroup| -> f64 {
+            (0..200).map(|r| model.worker_mbps(0, group, r)).sum::<f64>() / 200.0
+        };
+        let near = avg(DistanceGroup::Near2m);
+        let far = avg(DistanceGroup::VeryFar20m);
+        assert!(near > far + 5.0, "near {near} should exceed far {far}");
+    }
+
+    #[test]
+    fn bandwidth_fluctuates_across_rounds() {
+        let model = BandwidthModel::new(100.0, 13);
+        let a = model.worker_mbps(1, DistanceGroup::Mid8m, 0);
+        let b = model.worker_mbps(1, DistanceGroup::Mid8m, 1);
+        assert_ne!(a, b);
+        // Deterministic for the same (worker, round).
+        assert_eq!(a, model.worker_mbps(1, DistanceGroup::Mid8m, 0));
+    }
+
+    #[test]
+    fn bandwidth_is_temporally_correlated_per_worker() {
+        // The persistent per-worker component must dominate: a worker's round-to-round
+        // variation is much smaller than the spread across workers, so moving-average
+        // estimates are meaningful.
+        let model = BandwidthModel::new(100.0, 19);
+        let per_worker_mean = |w: usize| -> f64 {
+            (0..50).map(|r| model.worker_mbps(w, DistanceGroup::Mid8m, r)).sum::<f64>() / 50.0
+        };
+        let per_worker_std = |w: usize| -> f64 {
+            let m = per_worker_mean(w);
+            ((0..50)
+                .map(|r| {
+                    let x = model.worker_mbps(w, DistanceGroup::Mid8m, r);
+                    (x - m) * (x - m)
+                })
+                .sum::<f64>()
+                / 50.0)
+                .sqrt()
+        };
+        let means: Vec<f64> = (0..20).map(per_worker_mean).collect();
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        let across_std = (means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>()
+            / means.len() as f64)
+            .sqrt();
+        let within_std = (0..20).map(per_worker_std).sum::<f64>() / 20.0;
+        assert!(
+            across_std > within_std,
+            "across-worker spread {across_std} should exceed within-worker spread {within_std}"
+        );
+    }
+
+    #[test]
+    fn ingress_budget_fluctuates_around_mean() {
+        let model = BandwidthModel::new(200.0, 17);
+        let mean_bytes = mbps_to_bytes_per_sec(200.0);
+        for round in 0..20 {
+            let b = model.ps_ingress_bytes_per_sec(round);
+            assert!(b >= 0.79 * mean_bytes && b <= 1.21 * mean_bytes);
+        }
+    }
+
+    #[test]
+    fn transfer_time_counts_both_directions() {
+        // 1 KB features at 8 Mb/s = 1 MB/s: up + down = 2 KB => 2 ms.
+        let t = BandwidthModel::transfer_time_per_sample(1024.0, 8.0);
+        assert!((t - 0.002048).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert!((mbps_to_bytes_per_sec(8.0) - 1_000_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulated time accounting.
+//!
+//! The paper's timing model (Section IV-A): a worker `i` assigned batch size `d_i` in round
+//! `h` spends `t_i^h = τ · d_i · (µ_i^h + β_i^h)` on local iterations, the round completes
+//! when the slowest participating worker finishes, and the average waiting time is
+//! `W^h = (1/R) Σ (t^h − t_i^h)`. [`SimClock`] accumulates completion times across rounds so
+//! experiments can report time-to-accuracy on the simulated hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing of one communication round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundTiming {
+    /// Duration of every participating worker (seconds).
+    pub worker_durations: Vec<f64>,
+    /// Extra per-round overhead that does not overlap with computation, e.g. model
+    /// broadcast and aggregation transfer time (seconds).
+    pub sync_overhead: f64,
+}
+
+impl RoundTiming {
+    /// Creates the timing record for a round.
+    pub fn new(worker_durations: Vec<f64>, sync_overhead: f64) -> Self {
+        assert!(!worker_durations.is_empty(), "RoundTiming: no participating workers");
+        assert!(
+            worker_durations.iter().all(|&t| t.is_finite() && t >= 0.0),
+            "RoundTiming: invalid worker duration"
+        );
+        assert!(sync_overhead >= 0.0, "RoundTiming: negative overhead");
+        Self { worker_durations, sync_overhead }
+    }
+
+    /// Duration of the slowest worker (the synchronisation barrier), excluding overhead.
+    pub fn barrier_time(&self) -> f64 {
+        self.worker_durations.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Wall-clock completion time of the round: barrier time plus synchronisation overhead.
+    pub fn completion_time(&self) -> f64 {
+        self.barrier_time() + self.sync_overhead
+    }
+
+    /// Average waiting time across the participating workers (paper Eq. 8).
+    pub fn average_waiting_time(&self) -> f64 {
+        let barrier = self.barrier_time();
+        let total: f64 = self.worker_durations.iter().map(|t| barrier - t).sum();
+        total / self.worker_durations.len() as f64
+    }
+}
+
+/// Computes a worker's round duration `t_i^h = τ · d_i · (µ_i^h + β_i^h)` (paper Eq. 7).
+pub fn worker_duration(
+    local_iterations: usize,
+    batch_size: usize,
+    compute_time_per_sample: f64,
+    transfer_time_per_sample: f64,
+) -> f64 {
+    local_iterations as f64 * batch_size as f64 * (compute_time_per_sample + transfer_time_per_sample)
+}
+
+/// Accumulates simulated time across communication rounds.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    elapsed: f64,
+    rounds: usize,
+    total_waiting: f64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by one round and returns the round's completion time.
+    pub fn advance_round(&mut self, timing: &RoundTiming) -> f64 {
+        let completion = timing.completion_time();
+        self.elapsed += completion;
+        self.total_waiting += timing.average_waiting_time();
+        self.rounds += 1;
+        completion
+    }
+
+    /// Advances the clock by an arbitrary non-negative amount (e.g. an initial broadcast).
+    pub fn advance_by(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "SimClock: invalid advance");
+        self.elapsed += seconds;
+    }
+
+    /// Total simulated seconds elapsed.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Number of rounds advanced so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Mean of the per-round average waiting times (the series of the paper's Fig. 9).
+    pub fn mean_waiting_time(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_waiting / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_duration_formula() {
+        // τ=10, d=8, µ=0.05, β=0.01 → 10*8*0.06 = 4.8 s
+        let t = worker_duration(10, 8, 0.05, 0.01);
+        assert!((t - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_is_slowest_worker() {
+        let timing = RoundTiming::new(vec![1.0, 5.0, 3.0], 0.5);
+        assert_eq!(timing.barrier_time(), 5.0);
+        assert_eq!(timing.completion_time(), 5.5);
+    }
+
+    #[test]
+    fn waiting_time_matches_manual_computation() {
+        let timing = RoundTiming::new(vec![2.0, 4.0, 6.0], 0.0);
+        // Waits: 4 + 2 + 0 = 6, average 2.
+        assert!((timing.average_waiting_time() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_durations_have_zero_waiting_time() {
+        let timing = RoundTiming::new(vec![3.0; 5], 1.0);
+        assert_eq!(timing.average_waiting_time(), 0.0);
+    }
+
+    #[test]
+    fn clock_accumulates_rounds() {
+        let mut clock = SimClock::new();
+        clock.advance_round(&RoundTiming::new(vec![1.0, 2.0], 0.0));
+        clock.advance_round(&RoundTiming::new(vec![4.0, 4.0], 1.0));
+        assert_eq!(clock.rounds(), 2);
+        assert!((clock.elapsed_seconds() - 7.0).abs() < 1e-9);
+        // Waiting: round 1 avg 0.5, round 2 avg 0 → mean 0.25.
+        assert!((clock.mean_waiting_time() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_by_adds_overhead() {
+        let mut clock = SimClock::new();
+        clock.advance_by(10.0);
+        assert_eq!(clock.elapsed_seconds(), 10.0);
+        assert_eq!(clock.rounds(), 0);
+        assert_eq!(clock.mean_waiting_time(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no participating workers")]
+    fn rejects_empty_round() {
+        let _ = RoundTiming::new(vec![], 0.0);
+    }
+}

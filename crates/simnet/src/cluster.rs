@@ -1,0 +1,286 @@
+//! The assembled heterogeneous edge cluster.
+//!
+//! Reproduces the paper's testbed composition: 80 Jetson devices (30 TX2, 40 NX, 10 AGX)
+//! split into four groups of 20 placed at 2 m / 8 m / 14 m / 20 m from their WiFi routers.
+//! Device performance modes are re-drawn every 20 communication rounds; per-worker bandwidth
+//! is re-drawn every round. Scaling to other cluster sizes (the paper's Fig. 12 uses 100–400
+//! simulated workers) keeps the same 3:4:1 device-kind mix and round-robin distance groups.
+
+use crate::bandwidth::{mbps_to_bytes_per_sec, BandwidthModel, DistanceGroup};
+use crate::device::{DeviceKind, SimDevice};
+use crate::profile::ModelProfile;
+use mergesfl_nn::rng::derive_seed;
+use serde::{Deserialize, Serialize};
+
+/// How often device performance modes are re-drawn (in communication rounds), as in the paper.
+pub const MODE_SWITCH_PERIOD: usize = 20;
+
+/// Configuration of a simulated cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Total number of workers.
+    pub num_workers: usize,
+    /// Mean parameter-server ingress bandwidth budget in Mb/s.
+    pub ps_ingress_mean_mbps: f64,
+    /// RNG seed controlling device modes and bandwidth draws.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's default 80-device testbed.
+    pub fn paper_testbed(seed: u64) -> Self {
+        Self { num_workers: 80, ps_ingress_mean_mbps: 300.0, seed }
+    }
+
+    /// A smaller cluster for quick experiments and tests.
+    pub fn small(num_workers: usize, seed: u64) -> Self {
+        Self { num_workers, ps_ingress_mean_mbps: 150.0, seed }
+    }
+}
+
+/// Snapshot of one worker's true (simulator-side) state in a round. The control module does
+/// not see this directly; it sees the noisy/lagged observations it collects from workers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerState {
+    /// Worker identifier.
+    pub worker_id: usize,
+    /// Which Jetson kit the worker is.
+    pub kind: DeviceKind,
+    /// Current performance mode.
+    pub mode: usize,
+    /// Computing time per sample for the worker-side (bottom) model, seconds.
+    pub bottom_compute_per_sample: f64,
+    /// Computing time per sample for the full model (FL baselines), seconds.
+    pub full_compute_per_sample: f64,
+    /// Bandwidth to the PS this round, Mb/s.
+    pub bandwidth_mbps: f64,
+    /// Transfer time per sample (feature up + gradient down), seconds.
+    pub transfer_per_sample: f64,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    devices: Vec<SimDevice>,
+    groups: Vec<DistanceGroup>,
+    bandwidth: BandwidthModel,
+    profile: ModelProfile,
+    current_round: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster for a given model profile.
+    ///
+    /// Device kinds follow the paper's 30:40:10 TX2/NX/AGX ratio (i.e. 3:4:1), assigned
+    /// round-robin so any prefix of workers keeps roughly the same mix; distance groups
+    /// cycle through the four placements, giving groups of equal size.
+    pub fn new(config: &ClusterConfig, profile: ModelProfile) -> Self {
+        assert!(config.num_workers > 0, "Cluster: need at least one worker");
+        let kind_pattern = [
+            DeviceKind::JetsonTx2,
+            DeviceKind::JetsonNx,
+            DeviceKind::JetsonNx,
+            DeviceKind::JetsonTx2,
+            DeviceKind::JetsonNx,
+            DeviceKind::JetsonAgx,
+            DeviceKind::JetsonTx2,
+            DeviceKind::JetsonNx,
+        ];
+        let devices = (0..config.num_workers)
+            .map(|i| {
+                let kind = kind_pattern[i % kind_pattern.len()];
+                SimDevice::new(i, kind, derive_seed(config.seed, i as u64))
+            })
+            .collect();
+        let group_pattern = DistanceGroup::all();
+        let groups = (0..config.num_workers)
+            .map(|i| group_pattern[(i / group_pattern.len().max(1)) % group_pattern.len()])
+            .collect();
+        let bandwidth = BandwidthModel::new(config.ps_ingress_mean_mbps, derive_seed(config.seed, 0xBA4D));
+        Self { devices, groups, bandwidth, profile, current_round: 0 }
+    }
+
+    /// Number of workers in the cluster.
+    pub fn num_workers(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The model profile used for timing/traffic accounting.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Advances the cluster to round `round`: re-draws performance modes every
+    /// [`MODE_SWITCH_PERIOD`] rounds.
+    pub fn begin_round(&mut self, round: usize) {
+        if round > 0 && round % MODE_SWITCH_PERIOD == 0 && round != self.current_round {
+            for dev in &mut self.devices {
+                dev.switch_mode();
+            }
+        }
+        self.current_round = round;
+    }
+
+    /// Ground-truth state of one worker in the current round.
+    pub fn worker_state(&self, worker_id: usize) -> WorkerState {
+        assert!(worker_id < self.devices.len(), "Cluster: worker {worker_id} out of range");
+        let dev = &self.devices[worker_id];
+        let group = self.groups[worker_id];
+        let bandwidth_mbps = self.bandwidth.worker_mbps(worker_id, group, self.current_round);
+        WorkerState {
+            worker_id,
+            kind: dev.kind,
+            mode: dev.mode(),
+            bottom_compute_per_sample: dev.compute_time_per_sample(self.profile.bottom_gflop_per_sample),
+            full_compute_per_sample: dev.compute_time_per_sample(self.profile.full_gflop_per_sample),
+            bandwidth_mbps,
+            transfer_per_sample: BandwidthModel::transfer_time_per_sample(
+                self.profile.feature_bytes_per_sample,
+                bandwidth_mbps,
+            ),
+        }
+    }
+
+    /// Ground-truth state of every worker in the current round.
+    pub fn all_worker_states(&self) -> Vec<WorkerState> {
+        (0..self.num_workers()).map(|i| self.worker_state(i)).collect()
+    }
+
+    /// The PS ingress bandwidth budget `B^h` for the current round, in bytes per second.
+    pub fn ps_ingress_budget(&self) -> f64 {
+        self.bandwidth.ps_ingress_bytes_per_sec(self.current_round)
+    }
+
+    /// Time (seconds) to transfer `bytes` over a worker's current link.
+    pub fn transfer_seconds(&self, worker_id: usize, bytes: f64) -> f64 {
+        let state = self.worker_state(worker_id);
+        bytes / mbps_to_bytes_per_sec(state.bandwidth_mbps)
+    }
+
+    /// Distance group of a worker.
+    pub fn distance_group(&self, worker_id: usize) -> DistanceGroup {
+        self.groups[worker_id]
+    }
+
+    /// Composition of the cluster as (TX2, NX, AGX) counts.
+    pub fn composition(&self) -> (usize, usize, usize) {
+        let mut tx2 = 0;
+        let mut nx = 0;
+        let mut agx = 0;
+        for d in &self.devices {
+            match d.kind {
+                DeviceKind::JetsonTx2 => tx2 += 1,
+                DeviceKind::JetsonNx => nx += 1,
+                DeviceKind::JetsonAgx => agx += 1,
+            }
+        }
+        (tx2, nx, agx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mergesfl_nn::zoo::Architecture;
+
+    fn paper_cluster() -> Cluster {
+        Cluster::new(
+            &ClusterConfig::paper_testbed(1),
+            ModelProfile::for_architecture(Architecture::AlexNetLite),
+        )
+    }
+
+    #[test]
+    fn paper_testbed_composition_matches_30_40_10() {
+        let cluster = paper_cluster();
+        assert_eq!(cluster.num_workers(), 80);
+        let (tx2, nx, agx) = cluster.composition();
+        assert_eq!(tx2, 30);
+        assert_eq!(nx, 40);
+        assert_eq!(agx, 10);
+    }
+
+    #[test]
+    fn distance_groups_are_balanced() {
+        let cluster = paper_cluster();
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..cluster.num_workers() {
+            *counts.entry(format!("{:?}", cluster.distance_group(i))).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (_, c) in counts {
+            assert_eq!(c, 20);
+        }
+    }
+
+    #[test]
+    fn worker_states_are_heterogeneous() {
+        let mut cluster = paper_cluster();
+        cluster.begin_round(0);
+        let states = cluster.all_worker_states();
+        let min = states.iter().map(|s| s.bottom_compute_per_sample).fold(f64::INFINITY, f64::min);
+        let max = states.iter().map(|s| s.bottom_compute_per_sample).fold(0.0, f64::max);
+        // The paper says capabilities can differ by more than tenfold.
+        assert!(max / min > 10.0, "heterogeneity ratio {} too small", max / min);
+    }
+
+    #[test]
+    fn modes_switch_every_twenty_rounds() {
+        let mut cluster = paper_cluster();
+        cluster.begin_round(0);
+        let before: Vec<usize> = cluster.all_worker_states().iter().map(|s| s.mode).collect();
+        // Rounds 1..19 must not change modes.
+        for r in 1..20 {
+            cluster.begin_round(r);
+        }
+        let mid: Vec<usize> = cluster.all_worker_states().iter().map(|s| s.mode).collect();
+        assert_eq!(before, mid);
+        cluster.begin_round(20);
+        let after: Vec<usize> = cluster.all_worker_states().iter().map(|s| s.mode).collect();
+        assert_ne!(before, after, "modes should change at round 20");
+    }
+
+    #[test]
+    fn bottom_compute_is_cheaper_than_full_compute() {
+        let mut cluster = paper_cluster();
+        cluster.begin_round(3);
+        for s in cluster.all_worker_states() {
+            assert!(s.bottom_compute_per_sample < s.full_compute_per_sample);
+            assert!(s.transfer_per_sample > 0.0);
+            assert!((1.0..=30.0).contains(&s.bandwidth_mbps));
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_device_mix() {
+        let cluster = Cluster::new(
+            &ClusterConfig::small(400, 9),
+            ModelProfile::for_architecture(Architecture::AlexNetLite),
+        );
+        let (tx2, nx, agx) = cluster.composition();
+        assert_eq!(tx2 + nx + agx, 400);
+        // Same 3:4:1 proportions as the paper's testbed.
+        assert_eq!(tx2, 150);
+        assert_eq!(nx, 200);
+        assert_eq!(agx, 50);
+    }
+
+    #[test]
+    fn ingress_budget_is_positive_and_varies() {
+        let mut cluster = paper_cluster();
+        cluster.begin_round(0);
+        let a = cluster.ps_ingress_budget();
+        cluster.begin_round(1);
+        let b = cluster.ps_ingress_budget();
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transfer_seconds_scale_with_bytes() {
+        let mut cluster = paper_cluster();
+        cluster.begin_round(0);
+        let one = cluster.transfer_seconds(0, 1_000_000.0);
+        let two = cluster.transfer_seconds(0, 2_000_000.0);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+}

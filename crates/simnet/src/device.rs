@@ -1,0 +1,212 @@
+//! Jetson device profiles and per-sample compute-time modelling.
+//!
+//! The paper's testbed uses three Jetson kits (Table II): TX2 (4 performance modes),
+//! Xavier NX (8 modes) and AGX Xavier (8 modes). An AGX in its highest-performance mode
+//! trains roughly 100× faster than a TX2 in its lowest-performance mode, and devices switch
+//! modes every 20 communication rounds to model time-varying on-device resources.
+
+use mergesfl_nn::rng::seeded;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which Jetson kit a simulated worker is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Jetson TX2: 256-core Pascal GPU, 1.33 TFLOPs, 8 GB LPDDR4, 4 performance modes.
+    JetsonTx2,
+    /// Jetson Xavier NX: 384-core Volta GPU, 21 TOPs, 8 GB LPDDR4x, 8 performance modes.
+    JetsonNx,
+    /// Jetson AGX Xavier: 512-core Volta GPU, 32 TOPs, 32 GB LPDDR4x, 8 performance modes.
+    JetsonAgx,
+}
+
+/// Static specification of a device kind (Table II of the paper).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak AI performance as quoted by the paper (informational).
+    pub ai_performance: &'static str,
+    /// GPU description (informational).
+    pub gpu: &'static str,
+    /// CPU description (informational).
+    pub cpu: &'static str,
+    /// Memory description (informational).
+    pub memory: &'static str,
+    /// Number of selectable performance modes.
+    pub num_modes: usize,
+    /// Effective training throughput (GFLOP/s of forward+backward work) in the *slowest*
+    /// performance mode. Mode `m` scales this up geometrically towards `max_throughput`.
+    pub min_throughput: f64,
+    /// Effective training throughput in the *fastest* performance mode.
+    pub max_throughput: f64,
+}
+
+impl DeviceKind {
+    /// All device kinds.
+    pub fn all() -> [DeviceKind; 3] {
+        [Self::JetsonTx2, Self::JetsonNx, Self::JetsonAgx]
+    }
+
+    /// Static profile for this kind. Throughputs are calibrated so that an AGX in its best
+    /// mode is ~100× faster than a TX2 in its worst mode, as stated in the paper.
+    pub fn profile(&self) -> DeviceProfile {
+        match self {
+            Self::JetsonTx2 => DeviceProfile {
+                kind: *self,
+                name: "Jetson TX2",
+                ai_performance: "1.33 TFLOPs",
+                gpu: "256-core Pascal",
+                cpu: "Denver 2 and ARM A57 (4+2 cores)",
+                memory: "8 GB LPDDR4",
+                num_modes: 4,
+                min_throughput: 0.4,
+                max_throughput: 2.0,
+            },
+            Self::JetsonNx => DeviceProfile {
+                kind: *self,
+                name: "Jetson NX",
+                ai_performance: "21 TOPs",
+                gpu: "384-core Volta",
+                cpu: "6-core Carmel ARM v8.2",
+                memory: "8 GB LPDDR4x",
+                num_modes: 8,
+                min_throughput: 1.5,
+                max_throughput: 14.0,
+            },
+            Self::JetsonAgx => DeviceProfile {
+                kind: *self,
+                name: "Jetson AGX",
+                ai_performance: "32 TOPs",
+                gpu: "512-core Volta",
+                cpu: "8-core Carmel ARM v8.2",
+                memory: "32 GB LPDDR4x",
+                num_modes: 8,
+                min_throughput: 4.0,
+                max_throughput: 40.0,
+            },
+        }
+    }
+}
+
+/// A simulated edge device with a current performance mode.
+#[derive(Clone, Debug)]
+pub struct SimDevice {
+    /// Stable identifier of the worker in the cluster.
+    pub id: usize,
+    /// Which Jetson kit this device is.
+    pub kind: DeviceKind,
+    mode: usize,
+    rng: StdRng,
+}
+
+impl SimDevice {
+    /// Creates a device with a random initial performance mode.
+    pub fn new(id: usize, kind: DeviceKind, seed: u64) -> Self {
+        let mut rng = seeded(seed);
+        let mode = rng.gen_range(0..kind.profile().num_modes);
+        Self { id, kind, mode, rng }
+    }
+
+    /// Current performance mode (0 is the fastest mode, matching NVIDIA's numbering).
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Re-draws the performance mode uniformly at random. The cluster calls this every 20
+    /// communication rounds to model time-varying on-device resources.
+    pub fn switch_mode(&mut self) {
+        self.mode = self.rng.gen_range(0..self.kind.profile().num_modes);
+    }
+
+    /// Effective training throughput (GFLOP/s) in the current mode.
+    ///
+    /// Mode 0 is the fastest; the slowest mode is `num_modes - 1`. Intermediate modes are
+    /// geometrically interpolated, which matches the roughly multiplicative frequency steps
+    /// of the real nvpmodel presets.
+    pub fn throughput_gflops(&self) -> f64 {
+        let profile = self.kind.profile();
+        let n = profile.num_modes;
+        if n == 1 {
+            return profile.max_throughput;
+        }
+        let ratio = profile.min_throughput / profile.max_throughput;
+        let t = self.mode as f64 / (n - 1) as f64;
+        profile.max_throughput * ratio.powf(t)
+    }
+
+    /// Computing time (seconds) for one data sample of a workload of `gflop_per_sample`
+    /// GFLOPs — the paper's `µ_i^h`.
+    pub fn compute_time_per_sample(&self, gflop_per_sample: f64) -> f64 {
+        assert!(gflop_per_sample > 0.0, "compute_time_per_sample: workload must be positive");
+        gflop_per_sample / self.throughput_gflops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_counts_match_paper() {
+        assert_eq!(DeviceKind::JetsonTx2.profile().num_modes, 4);
+        assert_eq!(DeviceKind::JetsonNx.profile().num_modes, 8);
+        assert_eq!(DeviceKind::JetsonAgx.profile().num_modes, 8);
+    }
+
+    #[test]
+    fn agx_best_is_about_100x_tx2_worst() {
+        let agx_best = DeviceKind::JetsonAgx.profile().max_throughput;
+        let tx2_worst = DeviceKind::JetsonTx2.profile().min_throughput;
+        let ratio = agx_best / tx2_worst;
+        assert!((80.0..=120.0).contains(&ratio), "ratio {ratio} outside the paper's ~100x");
+    }
+
+    #[test]
+    fn mode_zero_is_fastest() {
+        let mut dev = SimDevice::new(0, DeviceKind::JetsonNx, 1);
+        dev.mode = 0;
+        let fast = dev.throughput_gflops();
+        dev.mode = dev.kind.profile().num_modes - 1;
+        let slow = dev.throughput_gflops();
+        assert!(fast > slow);
+        assert!((slow - dev.kind.profile().min_throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_throughput() {
+        let mut dev = SimDevice::new(0, DeviceKind::JetsonAgx, 2);
+        dev.mode = 0;
+        let fast = dev.compute_time_per_sample(1.0);
+        dev.mode = 7;
+        let slow = dev.compute_time_per_sample(1.0);
+        assert!(slow > fast);
+        assert!((fast - 1.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_mode_stays_in_range_and_eventually_varies() {
+        let mut dev = SimDevice::new(3, DeviceKind::JetsonTx2, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            dev.switch_mode();
+            assert!(dev.mode() < 4);
+            seen.insert(dev.mode());
+        }
+        assert!(seen.len() > 1, "mode never changed over 64 switches");
+    }
+
+    #[test]
+    fn devices_are_deterministic_given_seed() {
+        let mut a = SimDevice::new(0, DeviceKind::JetsonNx, 9);
+        let mut b = SimDevice::new(0, DeviceKind::JetsonNx, 9);
+        for _ in 0..10 {
+            a.switch_mode();
+            b.switch_mode();
+            assert_eq!(a.mode(), b.mode());
+        }
+    }
+}

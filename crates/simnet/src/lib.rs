@@ -1,0 +1,39 @@
+//! # mergesfl-simnet
+//!
+//! A discrete-event simulator of the paper's physical edge testbed: 80 NVIDIA Jetson
+//! devices (30 TX2, 40 NX, 10 AGX) connected to a GPU-workstation parameter server over
+//! WiFi. The simulator provides everything the MergeSFL control module measures or
+//! estimates about the environment:
+//!
+//! * [`device`] — Jetson device profiles (Table II), per-device performance modes, and the
+//!   per-sample computing time `µ_i^h`.
+//! * [`profile`] — paper-scale model/feature sizes used for timing and traffic accounting
+//!   (the lite models trained by `mergesfl-nn` are architecture-faithful but much smaller;
+//!   timing and traffic are charged at the paper's scale so figures land in the same
+//!   regime as the paper's).
+//! * [`bandwidth`] — WiFi bandwidth model: four distance groups, 1–30 Mb/s fluctuation,
+//!   and the parameter-server ingress bandwidth budget `B^h`.
+//! * [`cluster`] — the assembled heterogeneous cluster with per-round state (mode switches
+//!   every 20 rounds, freshly drawn bandwidth each round).
+//! * [`clock`] — round/iteration timing: worker duration `t_i^h = τ d_i (µ_i^h + β_i^h)`,
+//!   completion time, and average waiting time `W^h` (paper Eq. 7–8).
+//! * [`traffic`] — byte-level accounting of model synchronisation, feature uploads and
+//!   gradient downloads.
+//!
+//! The simulation of time is completely decoupled from wall-clock execution: training runs
+//! as fast as the CPU allows while the simulator charges the time the paper's hardware
+//! would have taken.
+
+pub mod bandwidth;
+pub mod clock;
+pub mod cluster;
+pub mod device;
+pub mod profile;
+pub mod traffic;
+
+pub use bandwidth::{BandwidthModel, DistanceGroup};
+pub use clock::{RoundTiming, SimClock};
+pub use cluster::{Cluster, ClusterConfig, WorkerState};
+pub use device::{DeviceKind, DeviceProfile, SimDevice};
+pub use profile::ModelProfile;
+pub use traffic::{TrafficCategory, TrafficMeter};

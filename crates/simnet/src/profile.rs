@@ -1,0 +1,110 @@
+//! Paper-scale model profiles used for timing and traffic accounting.
+//!
+//! The models actually trained by `mergesfl-nn` are scaled-down analogues (so that CPU-only
+//! training converges in minutes), but the *simulated* time and traffic are charged at the
+//! scale of the paper's real models: a VGG16 is 321 MB, its bottom model 56 MB, and a
+//! batch-64 feature tensor at the 13th layer about 3 MB. Keeping the two scales separate
+//! means accuracy curves come from real SGD dynamics while time/traffic figures land in the
+//! same regime as the paper's testbed.
+
+use mergesfl_nn::zoo::Architecture;
+use serde::{Deserialize, Serialize};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Paper-scale cost model of one architecture.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Size of the full model in bytes (what FedAvg/PyramidFL must exchange per worker).
+    pub full_model_bytes: f64,
+    /// Size of the bottom (worker-side) model in bytes (what SFL exchanges at aggregation).
+    pub bottom_model_bytes: f64,
+    /// Feature (smashed data) size per sample at the split layer, in bytes — the constant
+    /// `c` of the paper's bandwidth constraint (Eq. 10). Gradients at the split layer have
+    /// the same size.
+    pub feature_bytes_per_sample: f64,
+    /// Training workload (forward + backward) per sample in GFLOPs for a full-model update.
+    pub full_gflop_per_sample: f64,
+    /// Training workload per sample in GFLOPs for the worker-side bottom model only.
+    pub bottom_gflop_per_sample: f64,
+}
+
+impl ModelProfile {
+    /// Paper-scale profile for an architecture.
+    ///
+    /// AlexNet (136 MB) and VGG16 (321 MB, 56 MB bottom, ~3 MB features at batch 64) use the
+    /// figures quoted in the paper; CNN-H and CNN-S use sizes consistent with their layer
+    /// counts and input dimensions.
+    pub fn for_architecture(arch: Architecture) -> Self {
+        match arch {
+            Architecture::CnnH => Self {
+                full_model_bytes: 4.5 * MB,
+                bottom_model_bytes: 0.35 * MB,
+                feature_bytes_per_sample: 2.0 * 1024.0,
+                full_gflop_per_sample: 0.018,
+                bottom_gflop_per_sample: 0.012,
+            },
+            Architecture::CnnS => Self {
+                full_model_bytes: 7.0 * MB,
+                bottom_model_bytes: 0.6 * MB,
+                feature_bytes_per_sample: 1.5 * 1024.0,
+                full_gflop_per_sample: 0.05,
+                bottom_gflop_per_sample: 0.04,
+            },
+            Architecture::AlexNetLite => Self {
+                full_model_bytes: 136.0 * MB,
+                bottom_model_bytes: 4.0 * MB,
+                feature_bytes_per_sample: 9.0 * 1024.0,
+                full_gflop_per_sample: 0.35,
+                bottom_gflop_per_sample: 0.25,
+            },
+            Architecture::Vgg16Lite => Self {
+                full_model_bytes: 321.0 * MB,
+                bottom_model_bytes: 56.0 * MB,
+                feature_bytes_per_sample: 3.0 * MB / 64.0,
+                full_gflop_per_sample: 2.8,
+                bottom_gflop_per_sample: 2.2,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_matches_paper_quoted_sizes() {
+        let p = ModelProfile::for_architecture(Architecture::Vgg16Lite);
+        assert!((p.full_model_bytes / MB - 321.0).abs() < 1.0);
+        assert!((p.bottom_model_bytes / MB - 56.0).abs() < 1.0);
+        // Batch-64 features are about 3 MB.
+        assert!((p.feature_bytes_per_sample * 64.0 / MB - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn alexnet_matches_paper_quoted_size() {
+        let p = ModelProfile::for_architecture(Architecture::AlexNetLite);
+        assert!((p.full_model_bytes / MB - 136.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bottom_is_smaller_than_full_for_every_architecture() {
+        for arch in Architecture::all() {
+            let p = ModelProfile::for_architecture(arch);
+            assert!(p.bottom_model_bytes < p.full_model_bytes, "{arch:?}");
+            assert!(p.bottom_gflop_per_sample < p.full_gflop_per_sample, "{arch:?}");
+            assert!(p.feature_bytes_per_sample > 0.0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn feature_per_sample_is_much_smaller_than_bottom_model() {
+        // The communication argument of SFL: per-iteration feature traffic is tiny compared
+        // to shipping models around.
+        for arch in Architecture::all() {
+            let p = ModelProfile::for_architecture(arch);
+            assert!(p.feature_bytes_per_sample * 64.0 < p.full_model_bytes, "{arch:?}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Network-traffic accounting.
+//!
+//! The paper's Fig. 8 reports the total traffic each approach consumes to reach a target
+//! accuracy, broken into model exchanges (full models for FL, bottom models for SFL) and
+//! feature/gradient exchanges. [`TrafficMeter`] accumulates bytes per category and exposes
+//! totals in bytes and megabytes.
+
+use serde::{Deserialize, Serialize};
+
+/// What a chunk of traffic was for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficCategory {
+    /// Full-model upload/download (FedAvg, PyramidFL).
+    FullModel,
+    /// Bottom-model upload/download at SFL aggregation boundaries.
+    BottomModel,
+    /// Split-layer feature upload (worker → PS).
+    Features,
+    /// Split-layer gradient download (PS → worker).
+    Gradients,
+}
+
+impl TrafficCategory {
+    /// All categories.
+    pub fn all() -> [TrafficCategory; 4] {
+        [Self::FullModel, Self::BottomModel, Self::Features, Self::Gradients]
+    }
+}
+
+/// Accumulates bytes of traffic per category.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrafficMeter {
+    full_model: f64,
+    bottom_model: f64,
+    features: f64,
+    gradients: f64,
+}
+
+impl TrafficMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` of traffic in a category. Negative amounts are rejected.
+    pub fn record(&mut self, category: TrafficCategory, bytes: f64) {
+        assert!(bytes >= 0.0, "TrafficMeter: negative traffic");
+        match category {
+            TrafficCategory::FullModel => self.full_model += bytes,
+            TrafficCategory::BottomModel => self.bottom_model += bytes,
+            TrafficCategory::Features => self.features += bytes,
+            TrafficCategory::Gradients => self.gradients += bytes,
+        }
+    }
+
+    /// Bytes recorded in one category.
+    pub fn bytes(&self, category: TrafficCategory) -> f64 {
+        match category {
+            TrafficCategory::FullModel => self.full_model,
+            TrafficCategory::BottomModel => self.bottom_model,
+            TrafficCategory::Features => self.features,
+            TrafficCategory::Gradients => self.gradients,
+        }
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> f64 {
+        self.full_model + self.bottom_model + self.features + self.gradients
+    }
+
+    /// Total traffic in megabytes (the unit of the paper's Fig. 8).
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes() / (1024.0 * 1024.0)
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &TrafficMeter) {
+        self.full_model += other.full_model;
+        self.bottom_model += other.bottom_model;
+        self.features += other.features;
+        self.gradients += other.gradients;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut m = TrafficMeter::new();
+        m.record(TrafficCategory::Features, 1000.0);
+        m.record(TrafficCategory::Gradients, 500.0);
+        m.record(TrafficCategory::BottomModel, 250.0);
+        assert_eq!(m.bytes(TrafficCategory::Features), 1000.0);
+        assert_eq!(m.total_bytes(), 1750.0);
+        assert_eq!(m.bytes(TrafficCategory::FullModel), 0.0);
+    }
+
+    #[test]
+    fn megabyte_conversion() {
+        let mut m = TrafficMeter::new();
+        m.record(TrafficCategory::FullModel, 2.0 * 1024.0 * 1024.0);
+        assert!((m.total_megabytes() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_categories() {
+        let mut a = TrafficMeter::new();
+        a.record(TrafficCategory::Features, 10.0);
+        let mut b = TrafficMeter::new();
+        b.record(TrafficCategory::Features, 5.0);
+        b.record(TrafficCategory::FullModel, 7.0);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficCategory::Features), 15.0);
+        assert_eq!(a.bytes(TrafficCategory::FullModel), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative traffic")]
+    fn rejects_negative_traffic() {
+        TrafficMeter::new().record(TrafficCategory::Features, -1.0);
+    }
+}

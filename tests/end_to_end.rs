@@ -1,0 +1,94 @@
+//! Cross-crate integration tests: full training runs of every approach on the quick
+//! configuration, checking the qualitative claims of the paper hold end to end.
+
+use mergesfl::config::RunConfig;
+use mergesfl::experiment::{run, Approach};
+use mergesfl_data::DatasetKind;
+
+fn tiny(dataset: DatasetKind, p: f32, seed: u64) -> RunConfig {
+    let mut c = RunConfig::quick(dataset, p, seed);
+    c.num_workers = 10;
+    c.rounds = 6;
+    c.local_iterations = Some(3);
+    c.participants_per_round = 5;
+    c.train_size = Some(600);
+    c.eval_every = 2;
+    c.eval_samples = 150;
+    c
+}
+
+#[test]
+fn every_paper_approach_trains_end_to_end() {
+    let config = tiny(DatasetKind::Har, 5.0, 3);
+    for approach in Approach::evaluation_set() {
+        let result = run(approach, &config);
+        assert_eq!(result.records.len(), config.rounds, "{:?}", approach);
+        assert!(result.final_accuracy() > 0.0, "{:?} never evaluated above zero", approach);
+        assert!(result.total_sim_time() > 0.0);
+        assert!(result.total_traffic_mb() > 0.0);
+    }
+}
+
+#[test]
+fn sfl_saves_traffic_compared_to_full_model_fl() {
+    // The paper's Fig. 8 shape: model splitting saves most of the traffic because only
+    // bottom models and per-sample features cross the network.
+    let config = tiny(DatasetKind::Cifar10, 0.0, 5);
+    let merge = run(Approach::MergeSfl, &config);
+    let fedavg = run(Approach::FedAvg, &config);
+    assert!(
+        merge.total_traffic_mb() < fedavg.total_traffic_mb(),
+        "MergeSFL traffic {} should be below FedAvg traffic {}",
+        merge.total_traffic_mb(),
+        fedavg.total_traffic_mb()
+    );
+}
+
+#[test]
+fn batch_regulation_reduces_waiting_time_on_heterogeneous_cluster() {
+    // The paper's Fig. 9 shape: approaches with batch regulation wait far less than
+    // fixed-batch approaches. AdaSFL vs LocFedMix-SL isolates exactly that mechanism (both
+    // use the same cohort selection; only the batch assignment differs).
+    let config = tiny(DatasetKind::Har, 0.0, 7);
+    let adasfl = run(Approach::AdaSfl, &config);
+    let locfedmix = run(Approach::LocFedMixSl, &config);
+    assert!(
+        adasfl.mean_waiting_time() < locfedmix.mean_waiting_time(),
+        "AdaSFL waiting {} should be below LocFedMix-SL waiting {}",
+        adasfl.mean_waiting_time(),
+        locfedmix.mean_waiting_time()
+    );
+}
+
+#[test]
+fn feature_merging_helps_under_non_iid_data() {
+    // The paper's Fig. 11 shape: under non-IID data MergeSFL reaches at least the accuracy
+    // of its no-feature-merging ablation (and typically more).
+    let mut config = tiny(DatasetKind::Har, 10.0, 11);
+    config.rounds = 8;
+    let merge = run(Approach::MergeSfl, &config);
+    let without_fm = run(Approach::MergeSflWithoutFm, &config);
+    assert!(
+        merge.best_accuracy() >= without_fm.best_accuracy() - 0.03,
+        "MergeSFL accuracy {} unexpectedly far below its w/o-FM ablation {}",
+        merge.best_accuracy(),
+        without_fm.best_accuracy()
+    );
+}
+
+#[test]
+fn runs_are_reproducible_for_a_fixed_seed() {
+    let config = tiny(DatasetKind::Har, 5.0, 13);
+    let a = run(Approach::MergeSfl, &config);
+    let b = run(Approach::MergeSfl, &config);
+    assert_eq!(a.final_accuracy(), b.final_accuracy());
+    assert_eq!(a.total_sim_time(), b.total_sim_time());
+    assert_eq!(a.total_traffic_mb(), b.total_traffic_mb());
+}
+
+#[test]
+fn different_seeds_produce_different_trajectories() {
+    let a = run(Approach::MergeSfl, &tiny(DatasetKind::Har, 5.0, 17));
+    let b = run(Approach::MergeSfl, &tiny(DatasetKind::Har, 5.0, 18));
+    assert_ne!(a.total_sim_time(), b.total_sim_time());
+}

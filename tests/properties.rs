@@ -1,0 +1,113 @@
+//! Property-based tests (proptest) of the core invariants the system relies on:
+//! merge/dispatch round-trips, aggregation weights, label-distribution mixtures and
+//! batch-size regulation.
+
+use mergesfl::control::{regulate_batch_sizes, rescale_to_budget};
+use mergesfl::sfl::{dispatch_gradients, merge_features, FeatureUpload};
+use mergesfl_data::LabelDistribution;
+use mergesfl_nn::model::weighted_average_states;
+use mergesfl_nn::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging worker features and splitting the merged tensor back always recovers each
+    /// worker's rows exactly, whatever the batch sizes.
+    #[test]
+    fn merge_then_dispatch_roundtrip(sizes in prop::collection::vec(1usize..6, 1..6), dim in 1usize..8) {
+        let uploads: Vec<FeatureUpload> = sizes.iter().enumerate().map(|(w, &d)| {
+            let data: Vec<f32> = (0..d * dim).map(|i| (w * 1000 + i) as f32).collect();
+            FeatureUpload::new(w, Tensor::from_vec(data, &[d, dim]), vec![0; d])
+        }).collect();
+        let merged = merge_features(&uploads);
+        prop_assert_eq!(merged.total(), sizes.iter().sum::<usize>());
+        let grad = merged.features.clone();
+        let dispatched = dispatch_gradients(&merged, &grad);
+        for (upload, (worker, part)) in uploads.iter().zip(&dispatched) {
+            prop_assert_eq!(upload.worker_id, *worker);
+            prop_assert_eq!(part.data(), upload.features.data());
+        }
+    }
+
+    /// Weighted aggregation always lies inside the element-wise min/max envelope of the
+    /// input states and preserves exact equality when all states are identical.
+    #[test]
+    fn aggregation_stays_in_envelope(
+        states in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4), 1..5),
+        raw_weights in prop::collection::vec(0.1f32..10.0, 1..5),
+    ) {
+        let n = states.len().min(raw_weights.len());
+        let states = &states[..n];
+        let weights = &raw_weights[..n];
+        let avg = weighted_average_states(states, weights);
+        for j in 0..4 {
+            let lo = states.iter().map(|s| s[j]).fold(f32::INFINITY, f32::min);
+            let hi = states.iter().map(|s| s[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[j] >= lo - 1e-4 && avg[j] <= hi + 1e-4);
+        }
+    }
+
+    /// A mixture of label distributions is itself a valid distribution, and mixing a
+    /// distribution with itself is the identity.
+    #[test]
+    fn mixtures_are_valid_distributions(
+        counts_a in prop::collection::vec(0u32..50, 2..8),
+        counts_b in prop::collection::vec(0u32..50, 2..8),
+        w_a in 1.0f32..20.0,
+        w_b in 1.0f32..20.0,
+    ) {
+        let classes = counts_a.len().min(counts_b.len());
+        let make = |c: &[u32]| {
+            let mut v: Vec<f32> = c[..classes].iter().map(|&x| x as f32).collect();
+            if v.iter().all(|&x| x == 0.0) { v[0] = 1.0; }
+            LabelDistribution::new(v)
+        };
+        let a = make(&counts_a);
+        let b = make(&counts_b);
+        let mix = LabelDistribution::mixture(&[&a, &b], &[w_a, w_b]);
+        let sum: f32 = mix.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(mix.probs().iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        let self_mix = LabelDistribution::mixture(&[&a, &a], &[w_a, w_b]);
+        prop_assert!(self_mix.total_variation(&a) < 1e-5);
+        prop_assert!(a.kl_divergence(&a) < 1e-6);
+    }
+
+    /// Batch-size regulation always yields sizes in [1, D], assigns D to the fastest worker,
+    /// and never gives a slower worker a larger batch than a faster one.
+    #[test]
+    fn regulation_invariants(costs in prop::collection::vec(0.01f64..2.0, 1..20), max_batch in 1usize..64) {
+        let assignment = regulate_batch_sizes(&costs, max_batch);
+        prop_assert_eq!(assignment.batch_sizes.len(), costs.len());
+        prop_assert!(assignment.batch_sizes.iter().all(|&d| d >= 1 && d <= max_batch));
+        prop_assert_eq!(assignment.batch_sizes[assignment.fastest], max_batch);
+        for i in 0..costs.len() {
+            for j in 0..costs.len() {
+                if costs[i] < costs[j] {
+                    prop_assert!(assignment.batch_sizes[i] >= assignment.batch_sizes[j]);
+                }
+            }
+        }
+    }
+
+    /// Rescaling to a budget never produces zero batches and never exceeds the budget when
+    /// the budget admits at least one sample per worker.
+    #[test]
+    fn rescale_invariants(
+        sizes in prop::collection::vec(1usize..32, 1..10),
+        feature_bytes in 16.0f64..4096.0,
+        budget_factor in 0.5f64..4.0,
+    ) {
+        let current: f64 = sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes;
+        let budget = current * budget_factor;
+        let scaled = rescale_to_budget(&sizes, feature_bytes, budget);
+        prop_assert_eq!(scaled.len(), sizes.len());
+        prop_assert!(scaled.iter().all(|&d| d >= 1));
+        let min_possible = sizes.len() as f64 * feature_bytes;
+        let total: f64 = scaled.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes;
+        if budget >= min_possible {
+            prop_assert!(total <= budget * 1.0001, "total {} exceeds budget {}", total, budget);
+        }
+    }
+}
