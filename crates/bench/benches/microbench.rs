@@ -37,14 +37,18 @@ fn bench_feature_merging(c: &mut Criterion) {
         let uploads: Vec<FeatureUpload> = (0..workers)
             .map(|w| FeatureUpload::new(w, Tensor::full(&[16, 64], w as f32), vec![w % 10; 16]))
             .collect();
-        group.bench_with_input(BenchmarkId::new("merge_features", workers), &uploads, |b, uploads| {
-            b.iter(|| black_box(merge_features(uploads)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("merge_features", workers),
+            &uploads,
+            |b, uploads| b.iter(|| black_box(merge_features(uploads))),
+        );
         let merged = merge_features(&uploads);
         let grad = Tensor::full(merged.features.shape(), 0.01);
-        group.bench_with_input(BenchmarkId::new("dispatch_gradients", workers), &workers, |b, _| {
-            b.iter(|| black_box(dispatch_gradients(&merged, &grad)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_gradients", workers),
+            &workers,
+            |b, _| b.iter(|| black_box(dispatch_gradients(&merged, &grad))),
+        );
     }
     group.finish();
 }

@@ -9,8 +9,10 @@ fn main() {
     println!("Fig. 10 — final accuracy vs non-IID level p\n");
     for dataset in datasets_from_env() {
         println!("== {} ==", dataset.name());
-        let mut table: Vec<(String, Vec<f32>)> =
-            Approach::evaluation_set().iter().map(|a| (a.name().to_string(), Vec::new())).collect();
+        let mut table: Vec<(String, Vec<f32>)> = Approach::evaluation_set()
+            .iter()
+            .map(|a| (a.name().to_string(), Vec::new()))
+            .collect();
         for &p in &levels {
             println!(" p = {p}");
             let config = scale.config(dataset, p, 101);

@@ -21,6 +21,10 @@ fn main() {
         }
         println!();
     }
-    println!("Expected shape: w/o FM matches MergeSFL on IID data but loses accuracy on non-IID data;");
-    println!("w/o BR matches final accuracy on non-IID data but converges more slowly (longer rounds).");
+    println!(
+        "Expected shape: w/o FM matches MergeSFL on IID data but loses accuracy on non-IID data;"
+    );
+    println!(
+        "w/o BR matches final accuracy on non-IID data but converges more slowly (longer rounds)."
+    );
 }

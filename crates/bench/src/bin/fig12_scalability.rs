@@ -11,7 +11,9 @@ fn main() {
         Scale::Quick => vec![20, 40, 60, 80],
         _ => vec![100, 200, 300, 400],
     };
-    println!("Fig. 12 — scalability with the number of workers (CIFAR-10 analogue, non-IID p = 10)\n");
+    println!(
+        "Fig. 12 — scalability with the number of workers (CIFAR-10 analogue, non-IID p = 10)\n"
+    );
     let mut merge_results = Vec::new();
     for &n in &worker_counts {
         let mut config = scale.config(DatasetKind::Cifar10, 10.0, 121);

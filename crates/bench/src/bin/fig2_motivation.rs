@@ -25,6 +25,8 @@ fn main() {
     for r in &results {
         println!("  {:<8} {:.2} s", r.approach, r.mean_waiting_time());
     }
-    println!("\nExpected shape: SFL-FM reaches the highest accuracy; SFL-BR has the lowest waiting time");
+    println!(
+        "\nExpected shape: SFL-FM reaches the highest accuracy; SFL-BR has the lowest waiting time"
+    );
     println!("and reaches moderate accuracy faster than SFL-T.");
 }

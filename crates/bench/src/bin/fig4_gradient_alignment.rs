@@ -6,10 +6,13 @@
 
 use mergesfl::sfl::{FeatureUpload, SflServer};
 use mergesfl_data::{synth, DatasetKind};
-use mergesfl_nn::{zoo, SoftmaxCrossEntropy, Sgd, Tensor};
+use mergesfl_nn::{zoo, Sgd, SoftmaxCrossEntropy, Tensor};
 
 fn delta(before: &[f32], after: &[f32]) -> Tensor {
-    Tensor::from_vec(after.iter().zip(before).map(|(a, b)| a - b).collect(), &[before.len()])
+    Tensor::from_vec(
+        after.iter().zip(before).map(|(a, b)| a - b).collect(),
+        &[before.len()],
+    )
 }
 
 fn main() {
@@ -21,7 +24,10 @@ fn main() {
     let per_worker = 16usize;
     let mut worker_batches = Vec::new();
     for class in 0..3usize {
-        let idx: Vec<usize> = (0..train.len()).filter(|&i| train.labels()[i] == class).take(per_worker).collect();
+        let idx: Vec<usize> = (0..train.len())
+            .filter(|&i| train.labels()[i] == class)
+            .take(per_worker)
+            .collect();
         worker_batches.push(train.batch(&idx));
     }
 
@@ -39,7 +45,10 @@ fn main() {
     central.backward(&out.grad);
     Sgd::plain(0.1).step(&mut central);
     let split_at = zoo::build(spec.architecture, spec.num_classes, 99).split_index;
-    let bottom_len = zoo::build(spec.architecture, spec.num_classes, 99).into_split().bottom.num_params();
+    let bottom_len = zoo::build(spec.architecture, spec.num_classes, 99)
+        .into_split()
+        .bottom
+        .num_params();
     let _ = split_at;
     let central_delta = delta(&before[bottom_len..], &central.state()[bottom_len..]);
 
@@ -50,7 +59,11 @@ fn main() {
         let mut server = SflServer::new(split.top, split.bottom.state());
         server.set_lr(0.1);
         let mut bottoms: Vec<_> = (0..3)
-            .map(|_| zoo::build(spec.architecture, spec.num_classes, 99).into_split().bottom)
+            .map(|_| {
+                zoo::build(spec.architecture, spec.num_classes, 99)
+                    .into_split()
+                    .bottom
+            })
             .collect();
         let uploads: Vec<FeatureUpload> = worker_batches
             .iter()
@@ -69,8 +82,14 @@ fn main() {
     let t_delta = run_sfl(false);
 
     println!("Fig. 4 — alignment of the top-model update with centralized SGD (cosine similarity)");
-    println!("  SFL-FM vs SGD: {:.4}", fm_delta.cosine_similarity(&central_delta));
-    println!("  SFL-T  vs SGD: {:.4}", t_delta.cosine_similarity(&central_delta));
+    println!(
+        "  SFL-FM vs SGD: {:.4}",
+        fm_delta.cosine_similarity(&central_delta)
+    );
+    println!(
+        "  SFL-T  vs SGD: {:.4}",
+        t_delta.cosine_similarity(&central_delta)
+    );
     println!("\nExpected shape: SFL-FM is close to 1.0 (same direction as the IID gradient);");
     println!("SFL-T deviates because sequential non-IID updates bend the trajectory.");
 }

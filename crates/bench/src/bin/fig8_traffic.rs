@@ -8,9 +8,15 @@ fn main() {
     for dataset in datasets_from_env() {
         let results = run_evaluation_set(dataset, 10.0, scale, 81);
         // Use targets achievable by all approaches: fractions of the weakest best accuracy.
-        let weakest = results.iter().map(|r| r.best_accuracy()).fold(f32::INFINITY, f32::min);
+        let weakest = results
+            .iter()
+            .map(|r| r.best_accuracy())
+            .fold(f32::INFINITY, f32::min);
         let targets = [0.5 * weakest, 0.75 * weakest, 0.95 * weakest];
-        println!("traffic to target accuracy (targets: {:.3} / {:.3} / {:.3}):", targets[0], targets[1], targets[2]);
+        println!(
+            "traffic to target accuracy (targets: {:.3} / {:.3} / {:.3}):",
+            targets[0], targets[1], targets[2]
+        );
         for r in &results {
             let row: Vec<String> = targets
                 .iter()
@@ -19,10 +25,17 @@ fn main() {
                     None => format!("{:>9}", "-"),
                 })
                 .collect();
-            println!("  {:<14} {}  (total {:.1} MB)", r.approach, row.join(" "), r.total_traffic_mb());
+            println!(
+                "  {:<14} {}  (total {:.1} MB)",
+                r.approach,
+                row.join(" "),
+                r.total_traffic_mb()
+            );
         }
         println!();
     }
     println!("Expected shape: SFL approaches (MergeSFL, AdaSFL, LocFedMix-SL) consume far less traffic than");
-    println!("full-model FL (PyramidFL, FedAvg); MergeSFL consumes the least to reach each target.");
+    println!(
+        "full-model FL (PyramidFL, FedAvg); MergeSFL consumes the least to reach each target."
+    );
 }

@@ -13,9 +13,17 @@ fn main() {
         let p = kind.profile();
         println!(
             "{:<12} {:<16} {:<18} {:<32} {:<16} {:>6} {:>10.1} – {:<8.1}",
-            p.name, p.ai_performance, p.gpu, p.cpu, p.memory, p.num_modes, p.min_throughput, p.max_throughput
+            p.name,
+            p.ai_performance,
+            p.gpu,
+            p.cpu,
+            p.memory,
+            p.num_modes,
+            p.min_throughput,
+            p.max_throughput
         );
     }
-    let ratio = DeviceKind::JetsonAgx.profile().max_throughput / DeviceKind::JetsonTx2.profile().min_throughput;
+    let ratio = DeviceKind::JetsonAgx.profile().max_throughput
+        / DeviceKind::JetsonTx2.profile().min_throughput;
     println!("\nAGX (best mode) vs TX2 (worst mode) speed ratio: {ratio:.0}x (paper: ~100x)");
 }

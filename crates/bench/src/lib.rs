@@ -30,7 +30,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment (`MERGESFL_SCALE`), defaulting to quick.
     pub fn from_env() -> Self {
-        match std::env::var("MERGESFL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("MERGESFL_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "paper" => Self::Paper,
             "standard" => Self::Standard,
             _ => Self::Quick,
@@ -49,7 +53,9 @@ impl Scale {
 
 /// Whether JSON-lines output was requested (`MERGESFL_JSON=1`).
 pub fn json_output() -> bool {
-    std::env::var("MERGESFL_JSON").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MERGESFL_JSON")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Runs one approach and prints a one-line summary; returns the full result.
@@ -71,7 +77,12 @@ pub fn run_and_report(approach: Approach, config: &RunConfig) -> RunResult {
 }
 
 /// Runs the paper's five evaluation approaches on one dataset and returns their results.
-pub fn run_evaluation_set(dataset: DatasetKind, non_iid_level: f32, scale: Scale, seed: u64) -> Vec<RunResult> {
+pub fn run_evaluation_set(
+    dataset: DatasetKind,
+    non_iid_level: f32,
+    scale: Scale,
+    seed: u64,
+) -> Vec<RunResult> {
     let config = scale.config(dataset, non_iid_level, seed);
     println!(
         "== {} (p = {}) — {} workers, {} rounds ==",

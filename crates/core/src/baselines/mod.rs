@@ -21,7 +21,11 @@ pub fn sfl_baselines() -> Vec<SflStrategy> {
 
 /// The motivation-section variants (Section II, Figs. 2–4).
 pub fn motivation_variants() -> Vec<SflStrategy> {
-    vec![SflStrategy::sfl_t(), SflStrategy::sfl_fm(), SflStrategy::sfl_br()]
+    vec![
+        SflStrategy::sfl_t(),
+        SflStrategy::sfl_fm(),
+        SflStrategy::sfl_br(),
+    ]
 }
 
 /// The FL-family baselines of the evaluation section.

@@ -38,6 +38,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Moving-average factor α for worker-state estimation (paper uses 0.8).
     pub estimate_alpha: f32,
+    /// Fan per-round worker training out across OS threads. Runs are bit-identical to
+    /// sequential execution: every worker owns an RNG derived from the base seed via
+    /// `derive_seed`, and results are always reduced in cohort order.
+    pub parallel: bool,
 }
 
 impl RunConfig {
@@ -61,6 +65,7 @@ impl RunConfig {
             train_size: None,
             seed,
             estimate_alpha: 0.8,
+            parallel: true,
         }
     }
 
@@ -84,6 +89,7 @@ impl RunConfig {
             train_size: Some(1200),
             seed,
             estimate_alpha: 0.8,
+            parallel: true,
         }
     }
 
@@ -106,6 +112,7 @@ impl RunConfig {
             train_size: Some(2000),
             seed,
             estimate_alpha: 0.8,
+            parallel: true,
         }
     }
 
@@ -120,15 +127,30 @@ impl RunConfig {
         assert!(self.num_workers > 0, "RunConfig: need at least one worker");
         assert!(self.rounds > 0, "RunConfig: need at least one round");
         assert!(self.max_batch > 0, "RunConfig: max batch must be positive");
-        assert!(self.uniform_batch > 0, "RunConfig: uniform batch must be positive");
+        assert!(
+            self.uniform_batch > 0,
+            "RunConfig: uniform batch must be positive"
+        );
         assert!(
             self.participants_per_round > 0 && self.participants_per_round <= self.num_workers,
             "RunConfig: participants_per_round must be in [1, num_workers]"
         );
-        assert!(self.non_iid_level >= 0.0, "RunConfig: non-IID level must be non-negative");
-        assert!(self.kl_epsilon >= 0.0, "RunConfig: KL epsilon must be non-negative");
-        assert!(self.eval_every > 0, "RunConfig: eval_every must be positive");
-        assert!((0.0..=1.0).contains(&self.estimate_alpha), "RunConfig: alpha must be in [0, 1]");
+        assert!(
+            self.non_iid_level >= 0.0,
+            "RunConfig: non-IID level must be non-negative"
+        );
+        assert!(
+            self.kl_epsilon >= 0.0,
+            "RunConfig: KL epsilon must be non-negative"
+        );
+        assert!(
+            self.eval_every > 0,
+            "RunConfig: eval_every must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.estimate_alpha),
+            "RunConfig: alpha must be in [0, 1]"
+        );
     }
 }
 

@@ -20,8 +20,14 @@ pub struct BatchAssignment {
 /// Computes regulated batch sizes (Eq. 9): the fastest worker gets `max_batch`, every other
 /// worker gets `max_batch` scaled by the cost ratio, clamped to `[1, max_batch]`.
 pub fn regulate_batch_sizes(per_sample_costs: &[f64], max_batch: usize) -> BatchAssignment {
-    assert!(!per_sample_costs.is_empty(), "regulate_batch_sizes: no workers");
-    assert!(max_batch > 0, "regulate_batch_sizes: max batch must be positive");
+    assert!(
+        !per_sample_costs.is_empty(),
+        "regulate_batch_sizes: no workers"
+    );
+    assert!(
+        max_batch > 0,
+        "regulate_batch_sizes: max batch must be positive"
+    );
     assert!(
         per_sample_costs.iter().all(|&c| c.is_finite() && c > 0.0),
         "regulate_batch_sizes: per-sample costs must be positive"
@@ -40,7 +46,10 @@ pub fn regulate_batch_sizes(per_sample_costs: &[f64], max_batch: usize) -> Batch
             scaled.clamp(1, max_batch)
         })
         .collect();
-    BatchAssignment { batch_sizes, fastest }
+    BatchAssignment {
+        batch_sizes,
+        fastest,
+    }
 }
 
 /// Scales batch sizes proportionally so that the per-iteration feature traffic
@@ -52,9 +61,16 @@ pub fn rescale_to_budget(
     budget_bytes: f64,
 ) -> Vec<usize> {
     assert!(!batch_sizes.is_empty(), "rescale_to_budget: no workers");
-    assert!(feature_bytes_per_sample > 0.0, "rescale_to_budget: feature size must be positive");
-    assert!(budget_bytes > 0.0, "rescale_to_budget: budget must be positive");
-    let current: f64 = batch_sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
+    assert!(
+        feature_bytes_per_sample > 0.0,
+        "rescale_to_budget: feature size must be positive"
+    );
+    assert!(
+        budget_bytes > 0.0,
+        "rescale_to_budget: budget must be positive"
+    );
+    let current: f64 =
+        batch_sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
     if current <= 0.0 {
         return batch_sizes.to_vec();
     }
@@ -92,9 +108,16 @@ pub fn rescale_to_budget_capped(
     budget_bytes: f64,
     max_batch: usize,
 ) -> Vec<usize> {
-    assert!(!batch_sizes.is_empty(), "rescale_to_budget_capped: no workers");
-    assert!(max_batch >= 1, "rescale_to_budget_capped: max batch must be positive");
-    let current: f64 = batch_sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
+    assert!(
+        !batch_sizes.is_empty(),
+        "rescale_to_budget_capped: no workers"
+    );
+    assert!(
+        max_batch >= 1,
+        "rescale_to_budget_capped: max batch must be positive"
+    );
+    let current: f64 =
+        batch_sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes_per_sample;
     let largest = batch_sizes.iter().copied().max().unwrap_or(1).max(1) as f64;
     let budget_factor = budget_bytes / current.max(1e-9);
     let cap_factor = max_batch as f64 / largest;
@@ -127,8 +150,16 @@ pub fn rescale_to_budget_capped(
 
 /// Predicted duration (seconds) of each worker's local phase given its batch size and
 /// per-sample cost, for `tau` local iterations (paper Eq. 7).
-pub fn predicted_durations(batch_sizes: &[usize], per_sample_costs: &[f64], tau: usize) -> Vec<f64> {
-    assert_eq!(batch_sizes.len(), per_sample_costs.len(), "predicted_durations: length mismatch");
+pub fn predicted_durations(
+    batch_sizes: &[usize],
+    per_sample_costs: &[f64],
+    tau: usize,
+) -> Vec<f64> {
+    assert_eq!(
+        batch_sizes.len(),
+        per_sample_costs.len(),
+        "predicted_durations: length mismatch"
+    );
     batch_sizes
         .iter()
         .zip(per_sample_costs)

@@ -44,8 +44,15 @@ impl StateEstimator {
     /// `alpha` is the weight on the *previous* estimate, as in the paper's Eq. 5–6.
     pub fn new(num_workers: usize, alpha: f64) -> Self {
         assert!(num_workers > 0, "StateEstimator: need at least one worker");
-        assert!((0.0..=1.0).contains(&alpha), "StateEstimator: alpha must be in [0, 1]");
-        Self { alpha, workers: vec![None; num_workers], ingress_estimate: None }
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "StateEstimator: alpha must be in [0, 1]"
+        );
+        Self {
+            alpha,
+            workers: vec![None; num_workers],
+            ingress_estimate: None,
+        }
     }
 
     /// Number of workers tracked.
@@ -54,8 +61,16 @@ impl StateEstimator {
     }
 
     /// Folds a fresh observation `(µ̂_i, β̂_i)` from worker `i` into its estimate.
-    pub fn observe_worker(&mut self, worker_id: usize, compute_per_sample: f64, transfer_per_sample: f64) {
-        assert!(worker_id < self.workers.len(), "StateEstimator: worker {worker_id} out of range");
+    pub fn observe_worker(
+        &mut self,
+        worker_id: usize,
+        compute_per_sample: f64,
+        transfer_per_sample: f64,
+    ) {
+        assert!(
+            worker_id < self.workers.len(),
+            "StateEstimator: worker {worker_id} out of range"
+        );
         assert!(
             compute_per_sample >= 0.0 && transfer_per_sample >= 0.0,
             "StateEstimator: negative observation"
@@ -81,7 +96,10 @@ impl StateEstimator {
 
     /// Folds a fresh observation of the PS ingress budget into its estimate.
     pub fn observe_ingress(&mut self, bytes_per_sec: f64) {
-        assert!(bytes_per_sec >= 0.0, "StateEstimator: negative ingress budget");
+        assert!(
+            bytes_per_sec >= 0.0,
+            "StateEstimator: negative ingress budget"
+        );
         self.ingress_estimate = Some(match self.ingress_estimate {
             Some(prev) => self.alpha * prev + (1.0 - self.alpha) * bytes_per_sec,
             None => bytes_per_sec,
@@ -102,7 +120,11 @@ impl StateEstimator {
         }
         let known: Vec<&WorkerEstimate> = self.workers.iter().flatten().collect();
         if known.is_empty() {
-            return WorkerEstimate { compute_per_sample: 0.1, transfer_per_sample: 0.05, observations: 0 };
+            return WorkerEstimate {
+                compute_per_sample: 0.1,
+                transfer_per_sample: 0.05,
+                observations: 0,
+            };
         }
         let n = known.len() as f64;
         WorkerEstimate {

@@ -39,9 +39,20 @@ pub struct FinetuneConfig {
 impl FinetuneConfig {
     /// Creates a config with the given ε and batch bounds.
     pub fn new(kl_epsilon: f32, min_batch: usize, max_batch: usize) -> Self {
-        assert!(kl_epsilon >= 0.0, "FinetuneConfig: epsilon must be non-negative");
-        assert!(min_batch >= 1 && min_batch <= max_batch, "FinetuneConfig: invalid batch bounds");
-        Self { kl_epsilon, max_moves: 512, min_batch, max_batch }
+        assert!(
+            kl_epsilon >= 0.0,
+            "FinetuneConfig: epsilon must be non-negative"
+        );
+        assert!(
+            min_batch >= 1 && min_batch <= max_batch,
+            "FinetuneConfig: invalid batch bounds"
+        );
+        Self {
+            kl_epsilon,
+            max_moves: 512,
+            min_batch,
+            max_batch,
+        }
     }
 }
 
@@ -67,8 +78,16 @@ pub fn finetune_batches(
 ) -> FinetuneOutcome {
     let n = batch_sizes.len();
     assert!(n > 0, "finetune_batches: empty cohort");
-    assert_eq!(label_dists.len(), n, "finetune_batches: label distribution count mismatch");
-    assert_eq!(per_sample_costs.len(), n, "finetune_batches: cost count mismatch");
+    assert_eq!(
+        label_dists.len(),
+        n,
+        "finetune_batches: label distribution count mismatch"
+    );
+    assert_eq!(
+        per_sample_costs.len(),
+        n,
+        "finetune_batches: cost count mismatch"
+    );
 
     let original = batch_sizes.to_vec();
     let mut current = batch_sizes.to_vec();
@@ -118,7 +137,11 @@ pub fn finetune_batches(
         .sum::<f64>()
         / n as f64;
 
-    FinetuneOutcome { batch_sizes: current, kl: current_kl, added_waiting }
+    FinetuneOutcome {
+        batch_sizes: current,
+        kl: current_kl,
+        added_waiting,
+    }
 }
 
 #[cfg(test)]
@@ -152,13 +175,22 @@ mod tests {
         let initial_kl = mixture_kl(&initial, &refs, &phi0);
         let config = FinetuneConfig::new(0.001, 1, 64);
         let out = finetune_batches(&initial, &refs, &[0.1, 0.1], &phi0, &config);
-        assert!(out.kl < initial_kl, "KL should drop ({} -> {})", initial_kl, out.kl);
+        assert!(
+            out.kl < initial_kl,
+            "KL should drop ({} -> {})",
+            initial_kl,
+            out.kl
+        );
         assert!(out.kl <= 0.001 + 1e-4, "KL {} above threshold", out.kl);
         // The resulting mixture must be close to uniform (the constraint allows stopping a
         // little short of perfectly equal batches).
         let weights: Vec<f32> = out.batch_sizes.iter().map(|&d| d as f32).collect();
         let mixture = LabelDistribution::mixture(&refs, &weights);
-        assert!(mixture.total_variation(&phi0) < 0.05, "mixture {:?} too far from uniform", mixture);
+        assert!(
+            mixture.total_variation(&phi0) < 0.05,
+            "mixture {:?} too far from uniform",
+            mixture
+        );
     }
 
     #[test]
@@ -197,7 +229,11 @@ mod tests {
         let out = finetune_batches(&[20, 10], &refs, &[1.0, 0.1], &phi0, &config);
         let dev0 = (out.batch_sizes[0] as isize - 20).abs();
         let dev1 = (out.batch_sizes[1] as isize - 10).abs();
-        assert!(dev1 >= dev0, "expected the cheap worker to absorb the adjustment: {:?}", out.batch_sizes);
+        assert!(
+            dev1 >= dev0,
+            "expected the cheap worker to absorb the adjustment: {:?}",
+            out.batch_sizes
+        );
     }
 
     #[test]

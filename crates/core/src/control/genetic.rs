@@ -104,7 +104,12 @@ fn fitness(problem: &SelectionProblem<'_>, config: &GeneticConfig, mask: &[bool]
     if selected == 0 {
         return f64::INFINITY;
     }
-    let kl = subset_kl(mask, problem.label_dists, problem.batch_sizes, problem.iid_reference) as f64;
+    let kl = subset_kl(
+        mask,
+        problem.label_dists,
+        problem.batch_sizes,
+        problem.iid_reference,
+    ) as f64;
     let traffic = traffic_bytes(mask, problem.batch_sizes, problem.feature_bytes_per_sample);
     let mut penalty = 0.0;
     if traffic > problem.budget_bytes {
@@ -120,16 +125,32 @@ fn fitness(problem: &SelectionProblem<'_>, config: &GeneticConfig, mask: &[bool]
 }
 
 /// Runs the genetic algorithm and returns the best worker subset found.
-pub fn select_workers(problem: &SelectionProblem<'_>, config: &GeneticConfig, seed: u64) -> SelectionOutcome {
+pub fn select_workers(
+    problem: &SelectionProblem<'_>,
+    config: &GeneticConfig,
+    seed: u64,
+) -> SelectionOutcome {
     let n = problem.candidates.len();
     assert!(n > 0, "select_workers: no candidates");
-    assert_eq!(problem.label_dists.len(), n, "select_workers: label distribution count mismatch");
-    assert_eq!(problem.batch_sizes.len(), n, "select_workers: batch size count mismatch");
+    assert_eq!(
+        problem.label_dists.len(),
+        n,
+        "select_workers: label distribution count mismatch"
+    );
+    assert_eq!(
+        problem.batch_sizes.len(),
+        n,
+        "select_workers: batch size count mismatch"
+    );
     let mut rng = seeded(seed);
 
     // Initial population: greedy prefixes of the priority ranking plus random masks.
     let mut population: Vec<Vec<bool>> = Vec::with_capacity(config.population);
-    let cap = if problem.max_selected == 0 { n } else { problem.max_selected.min(n) };
+    let cap = if problem.max_selected == 0 {
+        n
+    } else {
+        problem.max_selected.min(n)
+    };
     for k in 1..=cap {
         let mut mask = vec![false; n];
         for m in mask.iter_mut().take(k) {
@@ -149,7 +170,10 @@ pub fn select_workers(problem: &SelectionProblem<'_>, config: &GeneticConfig, se
     let mut best_fit = fitness(problem, config, &best);
 
     for _ in 0..config.generations {
-        let fits: Vec<f64> = population.iter().map(|m| fitness(problem, config, m)).collect();
+        let fits: Vec<f64> = population
+            .iter()
+            .map(|m| fitness(problem, config, m))
+            .collect();
         for (mask, &fit) in population.iter().zip(&fits) {
             if fit < best_fit {
                 best_fit = fit;
@@ -211,7 +235,12 @@ pub fn select_workers(problem: &SelectionProblem<'_>, config: &GeneticConfig, se
         mask[0] = true;
     }
 
-    let kl = subset_kl(&mask, problem.label_dists, problem.batch_sizes, problem.iid_reference);
+    let kl = subset_kl(
+        &mask,
+        problem.label_dists,
+        problem.batch_sizes,
+        problem.iid_reference,
+    );
     let traffic = traffic_bytes(&mask, problem.batch_sizes, problem.feature_bytes_per_sample);
     let selected = mask
         .iter()
@@ -219,7 +248,11 @@ pub fn select_workers(problem: &SelectionProblem<'_>, config: &GeneticConfig, se
         .filter(|(_, &m)| m)
         .map(|(i, _)| problem.candidates[i])
         .collect();
-    SelectionOutcome { selected, kl, feasible: traffic <= problem.budget_bytes }
+    SelectionOutcome {
+        selected,
+        kl,
+        feasible: traffic <= problem.budget_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -328,7 +361,12 @@ mod tests {
         let outcome = select_workers(&problem, &GeneticConfig::default(), 4);
         let prefix_mask = vec![true, true, true, false, false];
         let prefix_kl = subset_kl(&prefix_mask, &refs, &batch_sizes, &phi0);
-        assert!(outcome.kl <= prefix_kl + 1e-6, "GA KL {} worse than naive prefix {}", outcome.kl, prefix_kl);
+        assert!(
+            outcome.kl <= prefix_kl + 1e-6,
+            "GA KL {} worse than naive prefix {}",
+            outcome.kl,
+            prefix_kl
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl ControlModule {
         tau: usize,
         seed: u64,
     ) -> Self {
-        assert!(!label_dists.is_empty(), "ControlModule: need at least one worker");
+        assert!(
+            !label_dists.is_empty(),
+            "ControlModule: need at least one worker"
+        );
         assert!(max_batch > 0, "ControlModule: max batch must be positive");
         assert!(tau > 0, "ControlModule: tau must be positive");
         let refs: Vec<&LabelDistribution> = label_dists.iter().collect();
@@ -130,8 +133,14 @@ impl ControlModule {
     }
 
     /// Folds a worker's reported per-sample compute/transfer times into the estimator.
-    pub fn observe_worker(&mut self, worker_id: usize, compute_per_sample: f64, transfer_per_sample: f64) {
-        self.estimator.observe_worker(worker_id, compute_per_sample, transfer_per_sample);
+    pub fn observe_worker(
+        &mut self,
+        worker_id: usize,
+        compute_per_sample: f64,
+        transfer_per_sample: f64,
+    ) {
+        self.estimator
+            .observe_worker(worker_id, compute_per_sample, transfer_per_sample);
     }
 
     /// Folds an observation of the PS ingress budget into the estimator.
@@ -150,15 +159,28 @@ impl ControlModule {
     }
 
     /// Produces the round plan for round `round` (Alg. 1).
-    pub fn plan_round(&mut self, round: usize, ingress_budget_fallback: f64, opts: &PlanOptions) -> RoundPlan {
-        assert!(opts.max_participants > 0, "plan_round: max participants must be positive");
-        assert!(opts.uniform_batch > 0, "plan_round: uniform batch must be positive");
+    pub fn plan_round(
+        &mut self,
+        round: usize,
+        ingress_budget_fallback: f64,
+        opts: &PlanOptions,
+    ) -> RoundPlan {
+        assert!(
+            opts.max_participants > 0,
+            "plan_round: max participants must be positive"
+        );
+        assert!(
+            opts.uniform_batch > 0,
+            "plan_round: uniform batch must be positive"
+        );
         let n = self.num_workers();
         let budget = self.estimator.ingress_or(ingress_budget_fallback);
 
         // Per-worker cost estimates (µ_i + β_i), falling back to the population mean for
         // workers that have never reported.
-        let costs: Vec<f64> = (0..n).map(|i| self.estimator.worker_or_default(i).per_sample_cost()).collect();
+        let costs: Vec<f64> = (0..n)
+            .map(|i| self.estimator.worker_or_default(i).per_sample_cost())
+            .collect();
 
         // Line 1–2: batch-size regulation over all workers.
         let all_batches: Vec<usize> = if opts.batch_regulation {
@@ -187,11 +209,18 @@ impl ControlModule {
                 budget_bytes: budget,
                 max_selected: opts.max_participants,
             };
-            let outcome = select_workers(&problem, &self.genetic, derive_seed(self.seed, round as u64));
+            let outcome = select_workers(
+                &problem,
+                &self.genetic,
+                derive_seed(self.seed, round as u64),
+            );
             (outcome.selected, outcome.kl)
         } else {
-            let selected: Vec<usize> =
-                candidates.iter().copied().take(opts.max_participants).collect();
+            let selected: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .take(opts.max_participants)
+                .collect();
             let kl = self.cohort_kl(&selected, &all_batches);
             (selected, kl)
         };
@@ -208,8 +237,13 @@ impl ControlModule {
             let sel_dists: Vec<&LabelDistribution> =
                 selected.iter().map(|&i| &self.label_dists[i]).collect();
             let config = FinetuneConfig::new(self.kl_epsilon, 1, self.max_batch);
-            let outcome =
-                finetune_batches(&batch_sizes, &sel_dists, &sel_costs, &self.iid_reference, &config);
+            let outcome = finetune_batches(
+                &batch_sizes,
+                &sel_dists,
+                &sel_costs,
+                &self.iid_reference,
+                &config,
+            );
             batch_sizes = outcome.batch_sizes;
             cohort_kl = outcome.kl;
         }
@@ -229,7 +263,12 @@ impl ControlModule {
 
         let durations = predicted_durations(&batch_sizes, &sel_costs, self.tau);
         let predicted_waiting = predicted_waiting_time(&durations);
-        RoundPlan { selected, batch_sizes, cohort_kl, predicted_waiting }
+        RoundPlan {
+            selected,
+            batch_sizes,
+            cohort_kl,
+            predicted_waiting,
+        }
     }
 
     fn cohort_kl(&self, selected: &[usize], all_batches: &[usize]) -> f32 {
@@ -241,7 +280,8 @@ impl ControlModule {
         if selected.is_empty() {
             return f32::INFINITY;
         }
-        let dists: Vec<&LabelDistribution> = selected.iter().map(|&i| &self.label_dists[i]).collect();
+        let dists: Vec<&LabelDistribution> =
+            selected.iter().map(|&i| &self.label_dists[i]).collect();
         let weights: Vec<f32> = batches.iter().map(|&d| d as f32).collect();
         LabelDistribution::mixture(&dists, &weights).kl_divergence(&self.iid_reference)
     }
@@ -258,8 +298,9 @@ mod tests {
     }
 
     fn module(num_workers: usize, num_classes: usize) -> ControlModule {
-        let dists: Vec<LabelDistribution> =
-            (0..num_workers).map(|i| one_hot(i % num_classes, num_classes)).collect();
+        let dists: Vec<LabelDistribution> = (0..num_workers)
+            .map(|i| one_hot(i % num_classes, num_classes))
+            .collect();
         ControlModule::new(dists, 32, 0.05, 0.8, 1024.0, 5, 7)
     }
 
@@ -290,7 +331,7 @@ mod tests {
         assert!(!plan.selected.is_empty());
         assert!(plan.selected.len() <= 8);
         assert_eq!(plan.selected.len(), plan.batch_sizes.len());
-        assert!(plan.batch_sizes.iter().all(|&d| d >= 1 && d <= 32));
+        assert!(plan.batch_sizes.iter().all(|&d| (1..=32).contains(&d)));
         assert!(plan.total_batch() > 0);
     }
 
@@ -299,7 +340,11 @@ mod tests {
         let mut m = module(16, 4);
         observe_heterogeneous(&mut m);
         let plan = m.plan_round(0, 1e9, &default_opts());
-        assert!(plan.cohort_kl < 0.1, "cohort KL {} too high", plan.cohort_kl);
+        assert!(
+            plan.cohort_kl < 0.1,
+            "cohort KL {} too high",
+            plan.cohort_kl
+        );
     }
 
     #[test]
@@ -342,7 +387,11 @@ mod tests {
             seen.extend(plan.selected);
         }
         // With priority-based rotation, far more than 4 distinct workers participate.
-        assert!(seen.len() >= 10, "only {} distinct workers participated", seen.len());
+        assert!(
+            seen.len() >= 10,
+            "only {} distinct workers participated",
+            seen.len()
+        );
     }
 
     #[test]
@@ -376,7 +425,10 @@ mod tests {
         m.observe_ingress(20_000.0);
         let plan = m.plan_round(0, 20_000.0, &opts);
         let traffic = plan.total_batch() as f64 * 1024.0;
-        assert!(traffic <= 20_000.0 * 1.05, "traffic {traffic} exceeds budget");
+        assert!(
+            traffic <= 20_000.0 * 1.05,
+            "traffic {traffic} exceeds budget"
+        );
     }
 
     #[test]
@@ -388,7 +440,11 @@ mod tests {
         // Effectively unlimited budget: batches must still be capped at D = 32.
         m.observe_ingress(1e12);
         let plan = m.plan_round(0, 1e12, &opts);
-        assert!(plan.batch_sizes.iter().all(|&d| d <= 32), "batches {:?} exceed D", plan.batch_sizes);
+        assert!(
+            plan.batch_sizes.iter().all(|&d| d <= 32),
+            "batches {:?} exceed D",
+            plan.batch_sizes
+        );
     }
 
     #[test]

@@ -15,8 +15,13 @@ pub struct ParticipationTracker {
 impl ParticipationTracker {
     /// Creates a tracker for `num_workers` workers with zero participation.
     pub fn new(num_workers: usize) -> Self {
-        assert!(num_workers > 0, "ParticipationTracker: need at least one worker");
-        Self { counts: vec![0; num_workers] }
+        assert!(
+            num_workers > 0,
+            "ParticipationTracker: need at least one worker"
+        );
+        Self {
+            counts: vec![0; num_workers],
+        }
     }
 
     /// Number of workers tracked.
@@ -32,7 +37,10 @@ impl ParticipationTracker {
     /// Records that the given workers participated in a round.
     pub fn record_participation(&mut self, workers: &[usize]) {
         for &w in workers {
-            assert!(w < self.counts.len(), "ParticipationTracker: worker {w} out of range");
+            assert!(
+                w < self.counts.len(),
+                "ParticipationTracker: worker {w} out of range"
+            );
             self.counts[w] += 1;
         }
     }

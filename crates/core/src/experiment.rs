@@ -38,7 +38,13 @@ pub enum Approach {
 impl Approach {
     /// The five approaches of the main evaluation (Figs. 6–10), in the paper's order.
     pub fn evaluation_set() -> [Approach; 5] {
-        [Self::MergeSfl, Self::PyramidFl, Self::AdaSfl, Self::LocFedMixSl, Self::FedAvg]
+        [
+            Self::MergeSfl,
+            Self::PyramidFl,
+            Self::AdaSfl,
+            Self::LocFedMixSl,
+            Self::FedAvg,
+        ]
     }
 
     /// The motivation-section variants (Figs. 2–4).
@@ -48,7 +54,11 @@ impl Approach {
 
     /// The ablation set of Fig. 11.
     pub fn ablation_set() -> [Approach; 3] {
-        [Self::MergeSfl, Self::MergeSflWithoutFm, Self::MergeSflWithoutBr]
+        [
+            Self::MergeSfl,
+            Self::MergeSflWithoutFm,
+            Self::MergeSflWithoutBr,
+        ]
     }
 
     /// Display name matching the paper.

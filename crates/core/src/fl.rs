@@ -15,7 +15,9 @@
 use crate::config::RunConfig;
 use crate::control::{ParticipationTracker, StateEstimator};
 use crate::metrics::{RoundRecord, RunResult};
-use mergesfl_data::{partition_dirichlet, synth, Dataset, DatasetSpec, LabelDistribution, Partition, WorkerLoader};
+use mergesfl_data::{
+    partition_dirichlet, synth, Dataset, DatasetSpec, LabelDistribution, Partition, WorkerLoader,
+};
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::optim::LrSchedule;
 use mergesfl_nn::rng::derive_seed;
@@ -24,6 +26,7 @@ use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy};
 use mergesfl_simnet::{
     Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
 };
+use rayon::prelude::*;
 
 /// How an FL baseline picks its per-round cohort.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,12 +49,18 @@ pub struct FlStrategy {
 impl FlStrategy {
     /// The FedAvg baseline.
     pub fn fedavg() -> Self {
-        Self { name: "FedAvg", selection: FlSelection::RoundRobin }
+        Self {
+            name: "FedAvg",
+            selection: FlSelection::RoundRobin,
+        }
     }
 
     /// The PyramidFL baseline.
     pub fn pyramidfl() -> Self {
-        Self { name: "PyramidFL", selection: FlSelection::Utility }
+        Self {
+            name: "PyramidFL",
+            selection: FlSelection::Utility,
+        }
     }
 }
 
@@ -94,7 +103,9 @@ impl FlEngine {
             spec.train_size = train_size;
         }
         let (train, test) = synth::generate_default(&spec, derive_seed(config.seed, 1));
-        let min_per_worker = (config.max_batch * 2).min(train.len() / config.num_workers).max(4);
+        let min_per_worker = (config.max_batch * 2)
+            .min(train.len() / config.num_workers)
+            .max(4);
         let partition: Partition = partition_dirichlet(
             &train,
             config.num_workers,
@@ -122,7 +133,8 @@ impl FlEngine {
             .enumerate()
             .map(|(i, shard)| FlWorker {
                 model: zoo::build(spec.architecture, spec.num_classes, model_seed).model,
-                optimizer: Sgd::new(spec.initial_lr, 0.0, 0.0),
+                optimizer: Sgd::new(spec.initial_lr, 0.0, 0.0)
+                    .with_max_grad_norm(crate::sfl::server::GRAD_CLIP_NORM),
                 loader: WorkerLoader::new(shard.clone(), derive_seed(config.seed, 200 + i as u64)),
                 shard_size: shard.len(),
             })
@@ -170,8 +182,12 @@ impl FlEngine {
         match self.strategy.selection {
             FlSelection::RoundRobin => self.tracker.ranked().into_iter().take(k).collect(),
             FlSelection::Utility => {
-                let total_samples: f64 =
-                    self.workers.iter().map(|w| w.shard_size as f64).sum::<f64>().max(1.0);
+                let total_samples: f64 = self
+                    .workers
+                    .iter()
+                    .map(|w| w.shard_size as f64)
+                    .sum::<f64>()
+                    .max(1.0);
                 let mut scored: Vec<(usize, f64)> = (0..self.workers.len())
                     .map(|i| {
                         let est = self.estimator.worker_or_default(i);
@@ -196,34 +212,62 @@ impl FlEngine {
         for state in self.cluster.all_worker_states() {
             // FL workers do not ship per-sample features, so only compute time matters for
             // the utility estimate; transfer is charged at the model-sync boundary.
-            self.estimator.observe_worker(state.worker_id, state.full_compute_per_sample, 0.0);
+            self.estimator
+                .observe_worker(state.worker_id, state.full_compute_per_sample, 0.0);
         }
         let selected = self.select_cohort();
         let lr = self.lr_schedule.at_round(round);
 
-        // Broadcast the global model, local training, then collect models for aggregation.
-        let mut states = Vec::with_capacity(selected.len());
-        let mut weights = Vec::with_capacity(selected.len());
+        // Broadcast the global model, run local training (optionally fanned out across
+        // threads), then collect models for aggregation. Parallel and sequential execution
+        // are bit-identical: each worker's loader owns a derived-seed RNG, and states,
+        // weights and losses are always reduced in cohort order.
         let mut loss_sum = 0.0f32;
-        for &w in &selected {
-            self.traffic.record(TrafficCategory::FullModel, self.full_model_bytes);
-            let worker = &mut self.workers[w];
-            worker.model.load_state(&self.global_model);
-            worker.optimizer.reset_state();
-            worker.optimizer.set_lr(lr);
-            for _ in 0..tau {
-                let (inputs, labels) = worker.loader.next_batch(&self.train, batch);
-                worker.model.zero_grad();
-                let logits = worker.model.forward(&inputs, true);
-                let out = self.loss.forward(&logits, &labels);
-                worker.model.backward(&out.grad);
-                worker.optimizer.step(&mut worker.model);
-                loss_sum += out.loss;
+        let (states, weights): (Vec<Vec<f32>>, Vec<f32>) = {
+            let train = &self.train;
+            let global = &self.global_model;
+            let loss = &self.loss;
+            // Full-model download + upload per selected worker (recorded up front; the
+            // totals are what the traffic meter reports).
+            for _ in &selected {
+                self.traffic
+                    .record(TrafficCategory::FullModel, self.full_model_bytes);
+                self.traffic
+                    .record(TrafficCategory::FullModel, self.full_model_bytes);
             }
-            states.push(worker.model.state());
-            weights.push(worker.shard_size as f32);
-            self.traffic.record(TrafficCategory::FullModel, self.full_model_bytes);
-        }
+            let cohort: Vec<&mut FlWorker> =
+                crate::util::select_disjoint_mut(&mut self.workers, &selected);
+            // τ local iterations over the worker's shard; returns (state, weight, loss).
+            let train_one = |worker: &mut FlWorker| -> (Vec<f32>, f32, f32) {
+                worker.model.load_state(global);
+                worker.optimizer.reset_state();
+                worker.optimizer.set_lr(lr);
+                let mut local_loss = 0.0f32;
+                for _ in 0..tau {
+                    let (inputs, labels) = worker.loader.next_batch(train, batch);
+                    worker.model.zero_grad();
+                    let logits = worker.model.forward(&inputs, true);
+                    let out = loss.forward(&logits, &labels);
+                    worker.model.backward(&out.grad);
+                    worker.optimizer.step(&mut worker.model);
+                    local_loss += out.loss;
+                }
+                (worker.model.state(), worker.shard_size as f32, local_loss)
+            };
+            let outcomes: Vec<(Vec<f32>, f32, f32)> = if self.config.parallel {
+                cohort.into_par_iter().map(train_one).collect()
+            } else {
+                cohort.into_iter().map(train_one).collect()
+            };
+            let mut states = Vec::with_capacity(outcomes.len());
+            let mut weights = Vec::with_capacity(outcomes.len());
+            for (state, weight, local_loss) in outcomes {
+                states.push(state);
+                weights.push(weight);
+                loss_sum += local_loss;
+            }
+            (states, weights)
+        };
         self.global_model = weighted_average_states(&states, &weights);
         self.tracker.record_participation(&selected);
 
@@ -237,14 +281,21 @@ impl FlEngine {
                 state.full_compute_per_sample,
                 0.0,
             );
-            let sync = self.cluster.transfer_seconds(w, 2.0 * self.full_model_bytes);
+            let sync = self
+                .cluster
+                .transfer_seconds(w, 2.0 * self.full_model_bytes);
             durations.push(compute + sync);
         }
         let timing = RoundTiming::new(durations, 0.0);
         self.clock.advance_round(&timing);
 
-        let evaluate = round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
-        let accuracy = if evaluate { Some(self.evaluate_global()) } else { None };
+        let evaluate =
+            round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
+        let accuracy = if evaluate {
+            Some(self.evaluate_global())
+        } else {
+            None
+        };
         self.result.push(RoundRecord {
             round,
             sim_time: self.clock.elapsed_seconds(),
@@ -303,7 +354,11 @@ mod tests {
         config.local_iterations = Some(4);
         let result = FlEngine::new(FlStrategy::fedavg(), &config).run();
         assert_eq!(result.records.len(), 8);
-        assert!(result.best_accuracy() > 0.25, "accuracy {}", result.best_accuracy());
+        assert!(
+            result.best_accuracy() > 0.25,
+            "accuracy {}",
+            result.best_accuracy()
+        );
     }
 
     #[test]

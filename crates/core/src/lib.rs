@@ -37,8 +37,10 @@ pub mod config;
 pub mod control;
 pub mod experiment;
 pub mod fl;
+pub mod json;
 pub mod metrics;
 pub mod sfl;
+mod util;
 
 pub use config::RunConfig;
 pub use experiment::{run, Approach};

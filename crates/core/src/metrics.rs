@@ -4,10 +4,11 @@
 //! time (Figs. 6–7), time-to-accuracy, network traffic to reach a target accuracy (Fig. 8),
 //! and average per-round waiting time (Fig. 9).
 
+use crate::json::{self, JsonValue};
 use serde::{Deserialize, Serialize};
 
 /// Measurements taken at the end of one communication round.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Communication round index (0-based).
     pub round: usize,
@@ -30,7 +31,7 @@ pub struct RoundRecord {
 }
 
 /// The full trace of one training run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Name of the approach that produced this run (e.g. "MergeSFL").
     pub approach: String,
@@ -45,7 +46,12 @@ pub struct RunResult {
 impl RunResult {
     /// Creates an empty result for an approach/dataset pair.
     pub fn new(approach: &str, dataset: &str, non_iid_level: f32) -> Self {
-        Self { approach: approach.to_string(), dataset: dataset.to_string(), non_iid_level, records: Vec::new() }
+        Self {
+            approach: approach.to_string(),
+            dataset: dataset.to_string(),
+            non_iid_level,
+            records: Vec::new(),
+        }
     }
 
     /// Appends a round record.
@@ -114,7 +120,98 @@ impl RunResult {
 
     /// Serialises the result as a JSON string (used by the bench binaries to persist runs).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("RunResult is always serialisable")
+        let mut out = String::with_capacity(128 + self.records.len() * 160);
+        out.push_str("{\"approach\":");
+        json::write_escaped(&mut out, &self.approach);
+        out.push_str(",\"dataset\":");
+        json::write_escaped(&mut out, &self.dataset);
+        out.push_str(",\"non_iid_level\":");
+        json::write_f64(&mut out, f64::from(self.non_iid_level));
+        out.push_str(",\"records\":[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            use std::fmt::Write as _;
+            let _ = write!(out, "{{\"round\":{},\"sim_time\":", r.round);
+            json::write_f64(&mut out, r.sim_time);
+            out.push_str(",\"accuracy\":");
+            match r.accuracy {
+                Some(a) => json::write_f64(&mut out, f64::from(a)),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"train_loss\":");
+            json::write_f64(&mut out, f64::from(r.train_loss));
+            out.push_str(",\"avg_waiting_time\":");
+            json::write_f64(&mut out, r.avg_waiting_time);
+            out.push_str(",\"traffic_mb\":");
+            json::write_f64(&mut out, r.traffic_mb);
+            let _ = write!(
+                out,
+                ",\"participants\":{},\"total_batch\":{},\"cohort_kl\":",
+                r.participants, r.total_batch
+            );
+            json::write_f64(&mut out, f64::from(r.cohort_kl));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a result previously produced by [`RunResult::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        // `to_json` writes non-finite floats as `null` (JSON has no NaN/inf), so a float
+        // field that parses as null round-trips back to NaN rather than failing — a
+        // diverged run's trace must stay readable. Integer fields still reject null.
+        let num = |value: &JsonValue, key: &str| -> Result<f64, String> {
+            match value.get(key) {
+                Some(JsonValue::Null) => Ok(f64::NAN),
+                other => other
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("missing numeric field '{key}'")),
+            }
+        };
+        let int = |value: &JsonValue, key: &str| -> Result<usize, String> {
+            let n = value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing integer field '{key}'"))?;
+            if n.is_finite() && n >= 0.0 {
+                Ok(n as usize)
+            } else {
+                Err(format!("field '{key}' is not a valid non-negative integer"))
+            }
+        };
+        let mut result = RunResult::new(&str_field("approach")?, &str_field("dataset")?, 0.0);
+        result.non_iid_level = num(&doc, "non_iid_level")? as f32;
+        let records = doc
+            .get("records")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing 'records' array")?;
+        for r in records {
+            result.push(RoundRecord {
+                round: int(r, "round")?,
+                sim_time: num(r, "sim_time")?,
+                accuracy: match r.get("accuracy") {
+                    Some(JsonValue::Null) | None => None,
+                    Some(v) => Some(v.as_f64().ok_or("non-numeric 'accuracy'")? as f32),
+                },
+                train_loss: num(r, "train_loss")? as f32,
+                avg_waiting_time: num(r, "avg_waiting_time")?,
+                traffic_mb: num(r, "traffic_mb")?,
+                participants: int(r, "participants")?,
+                total_batch: int(r, "total_batch")?,
+                cohort_kl: num(r, "cohort_kl")? as f32,
+            });
+        }
+        Ok(result)
     }
 }
 
@@ -183,9 +280,37 @@ mod tests {
     fn json_roundtrip() {
         let r = sample_run();
         let json = r.to_json();
-        let back: RunResult = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.records.len(), r.records.len());
+        let back = RunResult::from_json(&json).unwrap();
+        assert_eq!(back, r);
         assert_eq!(back.approach, "MergeSFL");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_unevaluated_rounds() {
+        let r = sample_run();
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.records[1].accuracy, None);
+        assert_eq!(back.records[0].accuracy, Some(0.2));
+    }
+
+    #[test]
+    fn json_roundtrip_survives_non_finite_losses() {
+        // A diverged run writes NaN/inf floats as `null`; parsing must map them back to
+        // NaN instead of rejecting the document, so the trace stays readable.
+        let mut r = sample_run();
+        r.records[1].train_loss = f32::NAN;
+        r.records[2].avg_waiting_time = f64::INFINITY;
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        assert!(back.records[1].train_loss.is_nan());
+        assert!(back.records[2].avg_waiting_time.is_nan());
+        assert_eq!(back.records[0], r.records[0]);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(RunResult::from_json("not json").is_err());
+        assert!(RunResult::from_json("{}").is_err());
+        assert!(RunResult::from_json(r#"{"approach":"A","dataset":"B"}"#).is_err());
     }
 
     #[test]

@@ -9,16 +9,18 @@
 use crate::config::RunConfig;
 use crate::control::{ControlModule, PlanOptions, RoundPlan};
 use crate::metrics::{RoundRecord, RunResult};
+use crate::sfl::merge::FeatureUpload;
 use crate::sfl::server::SflServer;
 use crate::sfl::worker::SflWorker;
 use mergesfl_data::{partition_dirichlet, synth, Dataset, DatasetSpec, Partition};
 use mergesfl_nn::optim::LrSchedule;
 use mergesfl_nn::rng::derive_seed;
 use mergesfl_nn::zoo;
-use mergesfl_nn::Sequential;
+use mergesfl_nn::{Sequential, Tensor};
 use mergesfl_simnet::{
     Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
 };
+use rayon::prelude::*;
 
 /// Which MergeSFL mechanisms an SFL run uses. Each baseline/ablation is a preset.
 #[derive(Clone, Copy, Debug)]
@@ -56,12 +58,20 @@ impl SflStrategy {
 
     /// MergeSFL without feature merging (ablation of Fig. 11).
     pub fn merge_sfl_without_fm() -> Self {
-        Self { name: "MergeSFL w/o FM", feature_merging: false, ..Self::merge_sfl() }
+        Self {
+            name: "MergeSFL w/o FM",
+            feature_merging: false,
+            ..Self::merge_sfl()
+        }
     }
 
     /// MergeSFL without batch-size regulation (ablation of Fig. 11).
     pub fn merge_sfl_without_br() -> Self {
-        Self { name: "MergeSFL w/o BR", batch_regulation: false, ..Self::merge_sfl() }
+        Self {
+            name: "MergeSFL w/o BR",
+            batch_regulation: false,
+            ..Self::merge_sfl()
+        }
     }
 
     /// AdaSFL baseline: adaptive batch sizes for heterogeneous workers, but no feature
@@ -94,12 +104,19 @@ impl SflStrategy {
 
     /// SFL-T (motivation Section II): typical SFL, no merging, no regulation.
     pub fn sfl_t() -> Self {
-        Self { name: "SFL-T", ..Self::locfedmix_sl() }
+        Self {
+            name: "SFL-T",
+            ..Self::locfedmix_sl()
+        }
     }
 
     /// SFL-FM (motivation Section II): typical SFL plus feature merging only.
     pub fn sfl_fm() -> Self {
-        Self { name: "SFL-FM", feature_merging: true, ..Self::locfedmix_sl() }
+        Self {
+            name: "SFL-FM",
+            feature_merging: true,
+            ..Self::locfedmix_sl()
+        }
     }
 
     /// SFL-BR (motivation Section II): typical SFL plus batch-size regulation only.
@@ -143,7 +160,9 @@ impl SflEngine {
             spec.train_size = train_size;
         }
         let (train, test) = synth::generate_default(&spec, derive_seed(config.seed, 1));
-        let min_per_worker = (config.max_batch * 2).min(train.len() / config.num_workers).max(4);
+        let min_per_worker = (config.max_batch * 2)
+            .min(train.len() / config.num_workers)
+            .max(4);
         let partition = partition_dirichlet(
             &train,
             config.num_workers,
@@ -175,13 +194,20 @@ impl SflEngine {
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let bottom =
-                    zoo::build(spec.architecture, spec.num_classes, model_seed).into_split().bottom;
-                SflWorker::new(i, bottom, shard.clone(), derive_seed(config.seed, 100 + i as u64))
+                let bottom = zoo::build(spec.architecture, spec.num_classes, model_seed)
+                    .into_split()
+                    .bottom;
+                SflWorker::new(
+                    i,
+                    bottom,
+                    shard.clone(),
+                    derive_seed(config.seed, 100 + i as u64),
+                )
             })
             .collect();
-        let eval_bottom =
-            zoo::build(spec.architecture, spec.num_classes, model_seed).into_split().bottom;
+        let eval_bottom = zoo::build(spec.architecture, spec.num_classes, model_seed)
+            .into_split()
+            .bottom;
 
         let control = ControlModule::new(
             partition.label_dists.clone(),
@@ -252,94 +278,144 @@ impl SflEngine {
         }
         let ingress_budget = self.cluster.ps_ingress_budget();
         self.control.observe_ingress(ingress_budget);
-        let plan = self.control.plan_round(round, ingress_budget, &self.plan_options());
+        let plan = self
+            .control
+            .plan_round(round, ingress_budget, &self.plan_options());
 
         // --- Training module. ---
         let lr = self.lr_schedule.at_round(round);
-        let reference_batch =
-            (plan.total_batch() / plan.selected.len().max(1)).max(1);
+        let reference_batch = (plan.total_batch() / plan.selected.len().max(1)).max(1);
         // With feature merging the top model takes ONE step per iteration on the merged
         // batch (normalised by Σ d_i), whereas typical SFL takes one step per worker (each
-        // normalised by d_i). Following the linear-scaling rule the paper adopts for
-        // batch-proportional learning rates (Section IV-B), the merged step uses a learning
-        // rate scaled with the number of merged mini-batches (capped for stability) so both
-        // modes apply a comparable step magnitude per iteration — only the *direction*
-        // differs, which is exactly the effect feature merging is meant to isolate (Fig. 4).
-        let top_merge_scale = if self.strategy.feature_merging {
-            (plan.selected.len().max(1) as f32).min(4.0)
-        } else {
-            1.0
-        };
-        self.server.set_lr(lr * top_merge_scale);
+        // normalised by d_i). The merged step keeps the base learning rate: scaling it with
+        // the number of merged mini-batches (the linear-scaling rule) was measured to
+        // destabilise early rounds at quick scale — gradient spikes on the merged batch
+        // saturate the top model before clipping can help. The merged update therefore
+        // trades raw step count for the unbiased direction merging provides (Fig. 4).
+        self.server.set_lr(lr);
 
-        // Broadcast the latest global bottom model to the selected workers.
-        let global = self.server.global_bottom().to_vec();
-        for &w in &plan.selected {
-            self.workers[w].load_bottom(&global);
-            self.traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
-        }
-
+        // --- Worker training, optionally fanned out across threads. The block scopes the
+        // mutable borrows of `self.workers` so the timing/eval sections below can use
+        // `&self` methods again. Parallel and sequential execution are bit-identical:
+        // every worker owns its derived-seed RNG, uploads and gradient applications are
+        // always handled in cohort (plan) order, and the server-side reduction is
+        // sequential in both modes.
+        let parallel = self.config.parallel;
+        let merging = self.strategy.feature_merging;
+        let total_batch = plan.total_batch();
         let mut loss_sum = 0.0f32;
-        for _k in 0..tau {
-            // Worker forward passes produce feature uploads.
-            let uploads: Vec<_> = plan
-                .selected
-                .iter()
-                .zip(&plan.batch_sizes)
-                .map(|(&w, &d)| self.workers[w].forward_iteration(&self.train, d))
-                .collect();
-            for u in &uploads {
-                let bytes =
-                    u.batch_size() as f64 * self.cluster.profile().feature_bytes_per_sample;
-                self.traffic.record(TrafficCategory::Features, bytes);
-                self.traffic.record(TrafficCategory::Gradients, bytes);
+        {
+            let train = &self.train;
+            // Pull `&mut` references to the selected workers out in plan order, each
+            // borrowed at most once so they can fan out to threads.
+            let mut cohort: Vec<&mut SflWorker> =
+                crate::util::select_disjoint_mut(&mut self.workers, &plan.selected);
+
+            // Broadcast the latest global bottom model to the selected workers.
+            let global = self.server.global_bottom().to_vec();
+            for worker in cohort.iter_mut() {
+                worker.load_bottom(&global);
+                self.traffic
+                    .record(TrafficCategory::BottomModel, self.bottom_param_bytes);
             }
 
-            // Server-side top update: merged or per-worker, depending on the strategy.
-            let step = if self.strategy.feature_merging {
-                self.server.process_merged(&uploads)
-            } else {
-                self.server.process_sequential(&uploads)
-            };
-            loss_sum += step.loss;
-
-            // Gradient dispatching and worker-side bottom updates. Dispatched gradients are
-            // normalised by Σ d_i under merging but by d_i otherwise; multiplying the base
-            // learning rate by Σ d_i / d_i makes the bottom-model step of each worker have
-            // exactly the same magnitude in both modes, so merging changes only the update
-            // *direction*.
-            for (worker_id, grad) in step.gradients {
-                let pos = plan
-                    .selected
-                    .iter()
-                    .position(|&w| w == worker_id)
-                    .expect("gradient for unselected worker");
-                let d_i = plan.batch_sizes[pos];
-                let bottom_merge_scale = if self.strategy.feature_merging {
-                    plan.total_batch() as f32 / d_i.max(1) as f32
+            // Applies one dispatched gradient; captures only `Copy` values so the closure
+            // is `Sync` and usable from worker threads.
+            let apply = |worker: &mut SflWorker, grad: &Tensor, d_i: usize| {
+                // Capped so stragglers with tiny batches (Σd/d_i of 20–40×) cannot be
+                // blown up by one bad merged gradient; clipping bounds the norm, the cap
+                // bounds the systematic amplification.
+                let bottom_merge_scale = if merging {
+                    (total_batch as f32 / d_i.max(1) as f32).min(4.0)
                 } else {
                     1.0
                 };
-                self.workers[worker_id].apply_gradient(
-                    &grad,
-                    lr * bottom_merge_scale,
-                    d_i,
-                    reference_batch,
-                );
-            }
-        }
+                worker.apply_gradient(grad, lr * bottom_merge_scale, d_i, reference_batch);
+            };
 
-        // Bottom-model aggregation (Eq. 17 with batch-size weights, Eq. 4 otherwise).
-        let states: Vec<Vec<f32>> =
-            plan.selected.iter().map(|&w| self.workers[w].bottom_state()).collect();
-        let weights: Vec<f32> = if self.strategy.weighted_aggregation {
-            plan.batch_sizes.iter().map(|&d| d as f32).collect()
-        } else {
-            vec![1.0; plan.selected.len()]
-        };
-        self.server.aggregate_bottoms(&states, &weights);
-        for _ in &plan.selected {
-            self.traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
+            for _k in 0..tau {
+                // Worker forward passes produce feature uploads, in plan order.
+                let uploads: Vec<FeatureUpload> = if parallel {
+                    let tasks: Vec<(&mut SflWorker, usize)> = cohort
+                        .iter_mut()
+                        .map(|w| &mut **w)
+                        .zip(plan.batch_sizes.iter().copied())
+                        .collect();
+                    tasks
+                        .into_par_iter()
+                        .map(|(worker, d)| worker.forward_iteration(train, d))
+                        .collect()
+                } else {
+                    cohort
+                        .iter_mut()
+                        .zip(&plan.batch_sizes)
+                        .map(|(worker, &d)| worker.forward_iteration(train, d))
+                        .collect()
+                };
+                for u in &uploads {
+                    let bytes =
+                        u.batch_size() as f64 * self.cluster.profile().feature_bytes_per_sample;
+                    self.traffic.record(TrafficCategory::Features, bytes);
+                    self.traffic.record(TrafficCategory::Gradients, bytes);
+                }
+
+                // Server-side top update: merged or per-worker, depending on the strategy.
+                let step = if merging {
+                    self.server.process_merged(&uploads)
+                } else {
+                    self.server.process_sequential(&uploads)
+                };
+                loss_sum += step.loss;
+
+                // Gradient dispatching and worker-side bottom updates. Dispatched gradients
+                // are normalised by Σ d_i under merging but by d_i otherwise; multiplying
+                // the base learning rate by Σ d_i / d_i (capped at 4× in `apply` above)
+                // brings the bottom-model step magnitudes of the two modes into line —
+                // exactly equal up to the cap, deliberately attenuated for extreme
+                // stragglers. Gradients are reordered into plan order so the parallel
+                // fan-out lines up with the cohort borrows.
+                let mut grads: Vec<Option<Tensor>> = (0..cohort.len()).map(|_| None).collect();
+                for (worker_id, grad) in step.gradients {
+                    let pos = plan
+                        .selected
+                        .iter()
+                        .position(|&w| w == worker_id)
+                        .expect("gradient for unselected worker");
+                    grads[pos] = Some(grad);
+                }
+                if parallel {
+                    let tasks: Vec<(&mut SflWorker, Tensor, usize)> = cohort
+                        .iter_mut()
+                        .map(|w| &mut **w)
+                        .zip(grads)
+                        .zip(plan.batch_sizes.iter().copied())
+                        .filter_map(|((worker, grad), d)| grad.map(|g| (worker, g, d)))
+                        .collect();
+                    tasks
+                        .into_par_iter()
+                        .for_each(|(worker, grad, d)| apply(worker, &grad, d));
+                } else {
+                    for ((worker, grad), &d) in cohort.iter_mut().zip(grads).zip(&plan.batch_sizes)
+                    {
+                        if let Some(grad) = grad {
+                            apply(worker, &grad, d);
+                        }
+                    }
+                }
+            }
+
+            // Bottom-model aggregation (Eq. 17 with batch-size weights, Eq. 4 otherwise).
+            let states: Vec<Vec<f32>> = cohort.iter().map(|w| w.bottom_state()).collect();
+            let weights: Vec<f32> = if self.strategy.weighted_aggregation {
+                plan.batch_sizes.iter().map(|&d| d as f32).collect()
+            } else {
+                vec![1.0; plan.selected.len()]
+            };
+            self.server.aggregate_bottoms(&states, &weights);
+            for _ in &plan.selected {
+                self.traffic
+                    .record(TrafficCategory::BottomModel, self.bottom_param_bytes);
+            }
         }
         self.control.record_participation(&plan.selected);
 
@@ -349,8 +425,12 @@ impl SflEngine {
 
         // --- Evaluation and bookkeeping. ---
         let evaluate =
-            round % self.config.eval_every == 0 || round + 1 == self.config.rounds;
-        let accuracy = if evaluate { Some(self.evaluate_global()) } else { None };
+            round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
+        let accuracy = if evaluate {
+            Some(self.evaluate_global())
+        } else {
+            None
+        };
         self.result.push(RoundRecord {
             round,
             sim_time: self.clock.elapsed_seconds(),
@@ -377,7 +457,9 @@ impl SflEngine {
                 state.transfer_per_sample,
             ));
             // Bottom-model download + upload per round, charged at the worker's link speed.
-            let sync = self.cluster.transfer_seconds(w, 2.0 * self.bottom_param_bytes);
+            let sync = self
+                .cluster
+                .transfer_seconds(w, 2.0 * self.bottom_param_bytes);
             sync_overhead = sync_overhead.max(sync);
         }
         RoundTiming::new(durations, sync_overhead)
@@ -388,7 +470,9 @@ impl SflEngine {
         let n = self.config.eval_samples.min(self.test.len());
         let indices: Vec<usize> = (0..n).collect();
         let (inputs, labels) = self.test.batch(&indices);
-        let (_, accuracy) = self.server.evaluate(&mut self.eval_bottom, &inputs, &labels);
+        let (_, accuracy) = self
+            .server
+            .evaluate(&mut self.eval_bottom, &inputs, &labels);
         accuracy
     }
 

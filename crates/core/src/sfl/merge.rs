@@ -22,9 +22,17 @@ pub struct FeatureUpload {
 impl FeatureUpload {
     /// Creates an upload, validating that features and labels agree on the batch size.
     pub fn new(worker_id: usize, features: Tensor, labels: Vec<usize>) -> Self {
-        assert_eq!(features.batch(), labels.len(), "FeatureUpload: feature/label count mismatch");
+        assert_eq!(
+            features.batch(),
+            labels.len(),
+            "FeatureUpload: feature/label count mismatch"
+        );
         assert!(!labels.is_empty(), "FeatureUpload: empty upload");
-        Self { worker_id, features, labels }
+        Self {
+            worker_id,
+            features,
+            labels,
+        }
     }
 
     /// Mini-batch size of this upload.
@@ -66,7 +74,12 @@ pub fn merge_features(uploads: &[FeatureUpload]) -> MergedBatch {
         worker_order.push(u.worker_id);
         sizes.push(u.batch_size());
     }
-    MergedBatch { features, labels, worker_order, sizes }
+    MergedBatch {
+        features,
+        labels,
+        worker_order,
+        sizes,
+    }
 }
 
 /// Segments the merged split-layer gradient back into per-worker gradients (gradient
@@ -88,7 +101,10 @@ mod tests {
     use super::*;
 
     fn upload(worker: usize, values: &[f32], labels: &[usize]) -> FeatureUpload {
-        let features = Tensor::from_vec(values.to_vec(), &[labels.len(), values.len() / labels.len()]);
+        let features = Tensor::from_vec(
+            values.to_vec(),
+            &[labels.len(), values.len() / labels.len()],
+        );
         FeatureUpload::new(worker, features, labels.to_vec())
     }
 

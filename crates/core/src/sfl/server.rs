@@ -9,6 +9,11 @@ use crate::sfl::merge::{dispatch_gradients, merge_features, FeatureUpload, Merge
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy, Tensor};
 
+/// Gradient-clipping norm used by both sides of split training (and the FL baselines).
+/// Large enough to be inactive in steady state; small enough that a single bad merged
+/// batch cannot blow a model up in round 0.
+pub const GRAD_CLIP_NORM: f32 = 5.0;
+
 /// Outcome of one top-model update.
 #[derive(Clone, Debug)]
 pub struct TopStep {
@@ -32,7 +37,15 @@ impl SflServer {
     /// Creates the server from the top model and the initial global bottom-model state.
     pub fn new(top: Sequential, global_bottom: Vec<f32>) -> Self {
         assert!(!top.is_empty(), "SflServer: top model must have layers");
-        Self { top, optimizer: Sgd::new(0.05, 0.0, 0.0), loss: SoftmaxCrossEntropy::new(), global_bottom }
+        // Clipping bounds the occasional merged-batch gradient spike in the first rounds,
+        // which would otherwise saturate the top model before training gets going.
+        let optimizer = Sgd::new(0.05, 0.0, 0.0).with_max_grad_norm(GRAD_CLIP_NORM);
+        Self {
+            top,
+            optimizer,
+            loss: SoftmaxCrossEntropy::new(),
+            global_bottom,
+        }
     }
 
     /// The current global bottom-model state broadcast to selected workers each round.
@@ -83,7 +96,11 @@ impl SflServer {
         self.optimizer.step(&mut self.top);
         self.top.zero_grad();
         let gradients = dispatch_gradients(merged, &grad_features);
-        TopStep { loss: out.loss, accuracy: out.accuracy, gradients }
+        TopStep {
+            loss: out.loss,
+            accuracy: out.accuracy,
+            gradients,
+        }
     }
 
     /// Aggregates bottom models pushed by the selected workers, weighting each by its batch

@@ -22,8 +22,18 @@ pub struct SflWorker {
 impl SflWorker {
     /// Creates a worker with its own bottom-model replica and local data shard.
     pub fn new(id: usize, bottom: Sequential, shard: Vec<usize>, seed: u64) -> Self {
-        assert!(!bottom.is_empty(), "SflWorker: bottom model must have layers");
-        Self { id, bottom, optimizer: Sgd::new(0.05, 0.0, 0.0), loader: WorkerLoader::new(shard, seed) }
+        assert!(
+            !bottom.is_empty(),
+            "SflWorker: bottom model must have layers"
+        );
+        let optimizer =
+            Sgd::new(0.05, 0.0, 0.0).with_max_grad_norm(crate::sfl::server::GRAD_CLIP_NORM);
+        Self {
+            id,
+            bottom,
+            optimizer,
+            loader: WorkerLoader::new(shard, seed),
+        }
     }
 
     /// Number of samples in the worker's local shard.
@@ -141,9 +151,8 @@ mod tests {
         let up_l = large.forward_iteration(&data, 4);
         large.apply_gradient(&Tensor::ones(up_l.features.shape()), 0.1, 8, 8);
 
-        let delta = |state: &[f32]| -> f32 {
-            state.iter().zip(&global).map(|(a, b)| (a - b).abs()).sum()
-        };
+        let delta =
+            |state: &[f32]| -> f32 { state.iter().zip(&global).map(|(a, b)| (a - b).abs()).sum() };
         // The worker with the larger batch (relative to the reference) uses a larger LR.
         assert!(delta(&large.bottom_state()) > delta(&small.bottom_state()));
     }

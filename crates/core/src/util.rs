@@ -1,0 +1,32 @@
+//! Small internal helpers shared by the training engines.
+
+/// Pulls mutable references to the `indices`-selected elements out of `items`, in the
+/// order given, so each selected element can be handed to a worker thread. Panics if an
+/// index repeats: every element may be borrowed at most once.
+pub(crate) fn select_disjoint_mut<'a, T>(items: &'a mut [T], indices: &[usize]) -> Vec<&'a mut T> {
+    let mut slots: Vec<Option<&'a mut T>> = items.iter_mut().map(Some).collect();
+    indices
+        .iter()
+        .map(|&i| slots[i].take().expect("element selected at most once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_in_given_order() {
+        let mut items = vec![10, 20, 30, 40];
+        let picked = select_disjoint_mut(&mut items, &[2, 0]);
+        assert_eq!(*picked[0], 30);
+        assert_eq!(*picked[1], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most once")]
+    fn rejects_duplicate_indices() {
+        let mut items = vec![1, 2];
+        let _ = select_disjoint_mut(&mut items, &[1, 1]);
+    }
+}

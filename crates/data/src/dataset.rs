@@ -15,13 +15,21 @@ pub struct Dataset {
 impl Dataset {
     /// Creates a dataset, validating that labels are in range and counts match.
     pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(inputs.batch(), labels.len(), "Dataset: sample/label count mismatch");
+        assert_eq!(
+            inputs.batch(),
+            labels.len(),
+            "Dataset: sample/label count mismatch"
+        );
         assert!(num_classes > 0, "Dataset: must have at least one class");
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "Dataset: label out of range for {num_classes} classes"
         );
-        Self { inputs, labels, num_classes }
+        Self {
+            inputs,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -74,7 +82,11 @@ impl Dataset {
     /// worker's local shard).
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let (inputs, labels) = self.batch(indices);
-        Dataset { inputs, labels, num_classes: self.num_classes }
+        Dataset {
+            inputs,
+            labels,
+            num_classes: self.num_classes,
+        }
     }
 }
 

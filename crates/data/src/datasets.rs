@@ -130,8 +130,14 @@ mod tests {
     fn architectures_match_paper_pairing() {
         assert_eq!(DatasetKind::Har.spec().architecture, Architecture::CnnH);
         assert_eq!(DatasetKind::Speech.spec().architecture, Architecture::CnnS);
-        assert_eq!(DatasetKind::Cifar10.spec().architecture, Architecture::AlexNetLite);
-        assert_eq!(DatasetKind::Image100.spec().architecture, Architecture::Vgg16Lite);
+        assert_eq!(
+            DatasetKind::Cifar10.spec().architecture,
+            Architecture::AlexNetLite
+        );
+        assert_eq!(
+            DatasetKind::Image100.spec().architecture,
+            Architecture::Vgg16Lite
+        );
     }
 
     #[test]

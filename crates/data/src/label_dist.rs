@@ -18,16 +18,27 @@ impl LabelDistribution {
     ///
     /// Panics if the vector is empty, contains negative values, or sums to zero.
     pub fn new(probs: Vec<f32>) -> Self {
-        assert!(!probs.is_empty(), "LabelDistribution: empty probability vector");
-        assert!(probs.iter().all(|&p| p >= 0.0), "LabelDistribution: negative probability");
+        assert!(
+            !probs.is_empty(),
+            "LabelDistribution: empty probability vector"
+        );
+        assert!(
+            probs.iter().all(|&p| p >= 0.0),
+            "LabelDistribution: negative probability"
+        );
         let sum: f32 = probs.iter().sum();
         assert!(sum > 0.0, "LabelDistribution: probabilities sum to zero");
-        Self { probs: probs.iter().map(|p| p / sum).collect() }
+        Self {
+            probs: probs.iter().map(|p| p / sum).collect(),
+        }
     }
 
     /// Builds the empirical label distribution of a set of labels over `num_classes` classes.
     pub fn from_labels(labels: &[usize], num_classes: usize) -> Self {
-        assert!(num_classes > 0, "LabelDistribution: need at least one class");
+        assert!(
+            num_classes > 0,
+            "LabelDistribution: need at least one class"
+        );
         let mut counts = vec![0.0f32; num_classes];
         for &l in labels {
             assert!(l < num_classes, "LabelDistribution: label {l} out of range");
@@ -43,8 +54,13 @@ impl LabelDistribution {
 
     /// The uniform distribution over `num_classes` classes.
     pub fn uniform(num_classes: usize) -> Self {
-        assert!(num_classes > 0, "LabelDistribution: need at least one class");
-        Self { probs: vec![1.0 / num_classes as f32; num_classes] }
+        assert!(
+            num_classes > 0,
+            "LabelDistribution: need at least one class"
+        );
+        Self {
+            probs: vec![1.0 / num_classes as f32; num_classes],
+        }
     }
 
     /// Number of classes.
@@ -92,7 +108,11 @@ impl LabelDistribution {
     /// `self` is not are smoothed with a small epsilon to keep the value finite, matching
     /// the common practical treatment of empirical label histograms.
     pub fn kl_divergence(&self, other: &LabelDistribution) -> f32 {
-        assert_eq!(self.num_classes(), other.num_classes(), "kl_divergence: class count mismatch");
+        assert_eq!(
+            self.num_classes(),
+            other.num_classes(),
+            "kl_divergence: class count mismatch"
+        );
         const EPS: f32 = 1e-8;
         self.probs
             .iter()
@@ -109,7 +129,11 @@ impl LabelDistribution {
 
     /// Total-variation distance to another distribution, in `[0, 1]`.
     pub fn total_variation(&self, other: &LabelDistribution) -> f32 {
-        assert_eq!(self.num_classes(), other.num_classes(), "total_variation: class count mismatch");
+        assert_eq!(
+            self.num_classes(),
+            other.num_classes(),
+            "total_variation: class count mismatch"
+        );
         0.5 * self
             .probs
             .iter()

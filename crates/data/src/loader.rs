@@ -25,7 +25,13 @@ impl WorkerLoader {
     pub fn new(shard: Vec<usize>, seed: u64) -> Self {
         assert!(!shard.is_empty(), "WorkerLoader: empty shard");
         let order: Vec<usize> = (0..shard.len()).collect();
-        let mut loader = Self { shard, order, cursor: 0, epochs_completed: 0, rng: seeded(seed) };
+        let mut loader = Self {
+            shard,
+            order,
+            cursor: 0,
+            epochs_completed: 0,
+            rng: seeded(seed),
+        };
         loader.shuffle();
         loader
     }

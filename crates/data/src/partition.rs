@@ -43,7 +43,11 @@ impl Partition {
     /// a scalar summary of how statistically heterogeneous the partition is.
     pub fn mean_divergence(&self) -> f32 {
         let phi0 = self.iid_reference();
-        let sum: f32 = self.label_dists.iter().map(|v| v.kl_divergence(&phi0)).sum();
+        let sum: f32 = self
+            .label_dists
+            .iter()
+            .map(|v| v.kl_divergence(&phi0))
+            .sum();
         sum / self.label_dists.len().max(1) as f32
     }
 }
@@ -76,8 +80,14 @@ pub fn partition_dirichlet(
     min_per_worker: usize,
     seed: u64,
 ) -> Partition {
-    assert!(num_workers > 0, "partition_dirichlet: need at least one worker");
-    assert!(non_iid_level >= 0.0, "partition_dirichlet: non-IID level must be non-negative");
+    assert!(
+        num_workers > 0,
+        "partition_dirichlet: need at least one worker"
+    );
+    assert!(
+        non_iid_level >= 0.0,
+        "partition_dirichlet: non-IID level must be non-negative"
+    );
     if non_iid_level == 0.0 {
         return partition_iid(dataset, num_workers, seed);
     }
@@ -134,10 +144,7 @@ fn rebalance_minimum<R: Rng>(indices: &mut [Vec<usize>], min_per_worker: usize, 
     if min_per_worker == 0 {
         return;
     }
-    loop {
-        let Some(poorest) = (0..indices.len()).find(|&i| indices[i].len() < min_per_worker) else {
-            break;
-        };
+    while let Some(poorest) = (0..indices.len()).find(|&i| indices[i].len() < min_per_worker) {
         let richest = (0..indices.len())
             .max_by_key(|&i| indices[i].len())
             .expect("at least one worker");
@@ -159,7 +166,11 @@ fn finish_partition(dataset: &Dataset, indices: Vec<Vec<usize>>, non_iid_level: 
             LabelDistribution::from_labels(&labels, dataset.num_classes())
         })
         .collect();
-    Partition { indices, label_dists, non_iid_level }
+    Partition {
+        indices,
+        label_dists,
+        non_iid_level,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +204,11 @@ mod tests {
     fn iid_partition_has_low_divergence() {
         let d = toy_dataset();
         let p = partition_iid(&d, 10, 2);
-        assert!(p.mean_divergence() < 0.05, "IID divergence {}", p.mean_divergence());
+        assert!(
+            p.mean_divergence() < 0.05,
+            "IID divergence {}",
+            p.mean_divergence()
+        );
         assert_eq!(p.non_iid_level, 0.0);
     }
 
@@ -236,7 +251,11 @@ mod tests {
         let d = toy_dataset();
         let p = partition_dirichlet(&d, 20, 10.0, 8, 11);
         for shard in &p.indices {
-            assert!(shard.len() >= 8, "shard of size {} below minimum", shard.len());
+            assert!(
+                shard.len() >= 8,
+                "shard of size {} below minimum",
+                shard.len()
+            );
         }
     }
 

@@ -30,7 +30,11 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        Self { prototype_scale: 0.8, noise_scale: 0.9, shift_scale: 0.2 }
+        Self {
+            prototype_scale: 0.8,
+            noise_scale: 0.9,
+            shift_scale: 0.2,
+        }
     }
 }
 
@@ -41,8 +45,20 @@ impl Default for SynthConfig {
 /// class-conditional distribution but with disjoint noise streams.
 pub fn generate(spec: &DatasetSpec, config: SynthConfig, seed: u64) -> (Dataset, Dataset) {
     let prototypes = class_prototypes(spec, config, seed);
-    let train = generate_split(spec, config, &prototypes, spec.train_size, derive_seed(seed, 1));
-    let test = generate_split(spec, config, &prototypes, spec.test_size, derive_seed(seed, 2));
+    let train = generate_split(
+        spec,
+        config,
+        &prototypes,
+        spec.train_size,
+        derive_seed(seed, 1),
+    );
+    let test = generate_split(
+        spec,
+        config,
+        &prototypes,
+        spec.test_size,
+        derive_seed(seed, 2),
+    );
     (train, test)
 }
 
@@ -99,7 +115,11 @@ fn generate_split(
 
     let mut shape = vec![size];
     shape.extend_from_slice(&spec.sample_shape);
-    Dataset::new(Tensor::from_vec(shuffled, &shape), shuffled_labels, spec.num_classes)
+    Dataset::new(
+        Tensor::from_vec(shuffled, &shape),
+        shuffled_labels,
+        spec.num_classes,
+    )
 }
 
 #[cfg(test)]
@@ -192,6 +212,9 @@ mod tests {
             }
         }
         let acc = correct as f32 / test.len() as f32;
-        assert!(acc > 0.5, "synthetic CIFAR-10 analogue should be separable, got accuracy {acc}");
+        assert!(
+            acc > 0.5,
+            "synthetic CIFAR-10 analogue should be separable, got accuracy {acc}"
+        );
     }
 }

@@ -23,8 +23,16 @@ pub fn kaiming_normal<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize) -> Te
 /// Xavier/Glorot uniform initialisation for a tensor with the given fan-in and fan-out.
 ///
 /// Samples uniformly from `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform<R: Rng>(rng: &mut R, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
-    assert!(fan_in + fan_out > 0, "xavier_uniform: fans must be positive");
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    assert!(
+        fan_in + fan_out > 0,
+        "xavier_uniform: fans must be positive"
+    );
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
     let uniform = Uniform::new_inclusive(-limit, limit);
     let n: usize = shape.iter().product();
@@ -42,9 +50,17 @@ mod tests {
         let mut rng = seeded(0);
         let t = kaiming_normal(&mut rng, &[64, 64], 64);
         let mean = t.mean();
-        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         // Expected variance is 2/64 = 0.03125; allow generous tolerance for 4096 samples.
-        assert!((var - 0.03125).abs() < 0.01, "variance {var} far from 2/fan_in");
+        assert!(
+            (var - 0.03125).abs() < 0.01,
+            "variance {var} far from 2/fan_in"
+        );
         assert!(mean.abs() < 0.02);
     }
 

@@ -38,7 +38,11 @@ impl Layer for Relu {
             .mask
             .take()
             .expect("Relu::backward called without a cached forward pass");
-        assert_eq!(mask.len(), grad_output.len(), "Relu: gradient length mismatch");
+        assert_eq!(
+            mask.len(),
+            grad_output.len(),
+            "Relu: gradient length mismatch"
+        );
         let data = grad_output
             .data()
             .iter()

@@ -27,7 +27,10 @@ impl Conv1d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0, "Conv1d: invalid config");
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "Conv1d: invalid config"
+        );
         let fan_in = in_channels * kernel;
         let weight = init::kaiming_normal(rng, &[out_channels, in_channels, kernel], fan_in);
         Self {
@@ -55,7 +58,11 @@ impl Layer for Conv1d {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.shape().len(), 3, "Conv1d: input must be [N, C, L]");
-        assert_eq!(input.shape()[1], self.in_channels, "Conv1d: channel mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "Conv1d: channel mismatch"
+        );
         let (n, c_in, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let l_out = self.output_len(l);
         let k = self.kernel;

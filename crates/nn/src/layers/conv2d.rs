@@ -31,9 +31,13 @@ impl Conv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0, "Conv2d: invalid config");
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "Conv2d: invalid config"
+        );
         let fan_in = in_channels * kernel * kernel;
-        let weight = init::kaiming_normal(rng, &[out_channels, in_channels, kernel, kernel], fan_in);
+        let weight =
+            init::kaiming_normal(rng, &[out_channels, in_channels, kernel, kernel], fan_in);
         Self {
             in_channels,
             out_channels,
@@ -58,7 +62,11 @@ impl Conv2d {
 
     fn check_input(&self, input: &Tensor) {
         assert_eq!(input.shape().len(), 4, "Conv2d: input must be [N, C, H, W]");
-        assert_eq!(input.shape()[1], self.in_channels, "Conv2d: channel mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "Conv2d: channel mismatch"
+        );
         assert!(
             input.shape()[2] + 2 * self.padding >= self.kernel
                 && input.shape()[3] + 2 * self.padding >= self.kernel,
@@ -219,7 +227,10 @@ mod tests {
         // Set the 2x2 kernel to all ones, bias to zero: output is sum of each 2x2 window.
         conv.weight.value.data_mut().copy_from_slice(&[1.0; 4]);
         conv.bias.value.fill_zero();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
         let y = conv.forward(&x, true);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
@@ -253,7 +264,10 @@ mod tests {
             conv.weight.value.data_mut()[idx] = orig;
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let a = analytic.data()[idx];
-            assert!((numeric - a).abs() < 2e-2 * (1.0 + numeric.abs()), "dW mismatch: {numeric} vs {a}");
+            assert!(
+                (numeric - a).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dW mismatch: {numeric} vs {a}"
+            );
         }
     }
 

@@ -18,7 +18,11 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p` in `[0, 1)` and a dedicated seed.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
-        Self { p, rng: rng::seeded(seed), mask: None }
+        Self {
+            p,
+            rng: rng::seeded(seed),
+            mask: None,
+        }
     }
 
     /// Drop probability.
@@ -40,7 +44,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = input.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
         self.mask = Some(mask);
@@ -50,7 +60,12 @@ impl Layer for Dropout {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         match self.mask.take() {
             Some(mask) => {
-                let data = grad_output.data().iter().zip(&mask).map(|(g, m)| g * m).collect();
+                let data = grad_output
+                    .data()
+                    .iter()
+                    .zip(&mask)
+                    .map(|(g, m)| g * m)
+                    .collect();
                 Tensor::from_vec(data, grad_output.shape())
             }
             // Evaluation mode (or p == 0): identity.

@@ -25,7 +25,10 @@ impl Layer for Flatten {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert!(input.shape().len() >= 2, "Flatten: input must have a batch dimension");
+        assert!(
+            input.shape().len() >= 2,
+            "Flatten: input must have a batch dimension"
+        );
         self.input_shape = Some(input.shape().to_vec());
         let batch = input.batch();
         let features = input.per_item();

@@ -22,8 +22,12 @@ pub struct Linear {
 impl Linear {
     /// Creates a new linear layer with Xavier-initialised weights and zero bias.
     pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "Linear: dimensions must be positive");
-        let weight = init::xavier_uniform(rng, &[out_features, in_features], in_features, out_features);
+        assert!(
+            in_features > 0 && out_features > 0,
+            "Linear: dimensions must be positive"
+        );
+        let weight =
+            init::xavier_uniform(rng, &[out_features, in_features], in_features, out_features);
         Self {
             in_features,
             out_features,
@@ -51,7 +55,11 @@ impl Layer for Linear {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.shape().len(), 2, "Linear: input must be 2-D");
-        assert_eq!(input.shape()[1], self.in_features, "Linear: feature dim mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "Linear: feature dim mismatch"
+        );
         self.cached_input = Some(input.clone());
         // y = x W^T + b
         let wt = self.weight.value.transpose2();
@@ -63,7 +71,11 @@ impl Layer for Linear {
             .cached_input
             .take()
             .expect("Linear::backward called without a cached forward pass");
-        assert_eq!(grad_output.shape()[1], self.out_features, "Linear: grad dim mismatch");
+        assert_eq!(
+            grad_output.shape()[1],
+            self.out_features,
+            "Linear: grad dim mismatch"
+        );
 
         // dL/dW = grad_output^T @ input       -> [out, in]
         // dL/db = sum_rows(grad_output)        -> [out]
@@ -99,7 +111,11 @@ mod tests {
         let mut layer = Linear::new(&mut rng, 4, 3);
         // Zero the weights so output equals the bias broadcast.
         layer.weight.value.fill_zero();
-        layer.bias.value.data_mut().copy_from_slice(&[1.0, 2.0, 3.0]);
+        layer
+            .bias
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
         let x = Tensor::ones(&[2, 4]);
         let y = layer.forward(&x, true);
         assert_eq!(y.shape(), &[2, 3]);
@@ -135,7 +151,10 @@ mod tests {
             layer.weight.value.data_mut()[idx] = orig;
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let a = analytic.data()[idx];
-            assert!((numeric - a).abs() < 1e-2 * (1.0 + numeric.abs()), "dW mismatch: {numeric} vs {a}");
+            assert!(
+                (numeric - a).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "dW mismatch: {numeric} vs {a}"
+            );
         }
     }
 

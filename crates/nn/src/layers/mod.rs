@@ -100,12 +100,7 @@ pub trait Layer: Send {
 /// Only used by tests; exposed here so every layer module (and downstream crates) can reuse
 /// the same checker.
 #[cfg(test)]
-pub(crate) fn check_input_gradient<L: Layer>(
-    layer: &mut L,
-    input: &Tensor,
-    eps: f32,
-    tol: f32,
-) {
+pub(crate) fn check_input_gradient<L: Layer>(layer: &mut L, input: &Tensor, eps: f32, tol: f32) {
     // Loss = sum(output), so dLoss/dOutput = ones.
     let out = layer.forward(input, true);
     let grad_out = Tensor::ones(out.shape());

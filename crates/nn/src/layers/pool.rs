@@ -15,7 +15,11 @@ impl MaxPool2d {
     /// Creates a max-pool layer with the given window size (also used as the stride).
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "MaxPool2d: window must be positive");
-        Self { window, argmax: None, input_shape: None }
+        Self {
+            window,
+            argmax: None,
+            input_shape: None,
+        }
     }
 }
 
@@ -25,7 +29,11 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape().len(), 4, "MaxPool2d: input must be [N, C, H, W]");
+        assert_eq!(
+            input.shape().len(),
+            4,
+            "MaxPool2d: input must be [N, C, H, W]"
+        );
         let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],
@@ -69,7 +77,10 @@ impl Layer for MaxPool2d {
             .argmax
             .take()
             .expect("MaxPool2d::backward called without a cached forward pass");
-        let shape = self.input_shape.take().expect("MaxPool2d: missing input shape");
+        let shape = self
+            .input_shape
+            .take()
+            .expect("MaxPool2d: missing input shape");
         let mut grad_in = vec![0.0f32; shape.iter().product()];
         for (g, &idx) in grad_output.data().iter().zip(&argmax) {
             grad_in[idx] += g;
@@ -94,7 +105,11 @@ impl MaxPool1d {
     /// Creates a 1-D max-pool layer with the given window size (also the stride).
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "MaxPool1d: window must be positive");
-        Self { window, argmax: None, input_shape: None }
+        Self {
+            window,
+            argmax: None,
+            input_shape: None,
+        }
     }
 }
 
@@ -138,7 +153,10 @@ impl Layer for MaxPool1d {
             .argmax
             .take()
             .expect("MaxPool1d::backward called without a cached forward pass");
-        let shape = self.input_shape.take().expect("MaxPool1d: missing input shape");
+        let shape = self
+            .input_shape
+            .take()
+            .expect("MaxPool1d: missing input shape");
         let mut grad_in = vec![0.0f32; shape.iter().product()];
         for (g, &idx) in grad_output.data().iter().zip(&argmax) {
             grad_in[idx] += g;

@@ -47,10 +47,17 @@ impl SoftmaxCrossEntropy {
         assert_eq!(logits.shape().len(), 2, "loss: logits must be 2-D");
         let batch = logits.shape()[0];
         let classes = logits.shape()[1];
-        assert_eq!(labels.len(), batch, "loss: label count must match batch size");
+        assert_eq!(
+            labels.len(),
+            batch,
+            "loss: label count must match batch size"
+        );
         assert!(batch > 0, "loss: empty batch");
         for &l in labels {
-            assert!(l < classes, "loss: label {l} out of range for {classes} classes");
+            assert!(
+                l < classes,
+                "loss: label {l} out of range for {classes} classes"
+            );
         }
 
         let probs = Self::softmax(logits);
@@ -130,10 +137,13 @@ mod tests {
             plus.data_mut()[idx] += eps;
             let mut minus = logits.clone();
             minus.data_mut()[idx] -= eps;
-            let numeric =
-                (loss.forward(&plus, &labels).loss - loss.forward(&minus, &labels).loss) / (2.0 * eps);
+            let numeric = (loss.forward(&plus, &labels).loss - loss.forward(&minus, &labels).loss)
+                / (2.0 * eps);
             let analytic = out.grad.data()[idx];
-            assert!((numeric - analytic).abs() < 1e-3, "grad mismatch: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "grad mismatch: {numeric} vs {analytic}"
+            );
         }
     }
 

@@ -99,7 +99,10 @@ impl Sequential {
 
     /// Mutable access to all parameters of the model, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total number of trainable scalars.
@@ -134,11 +137,18 @@ impl Sequential {
     /// same architecture. Panics if the length does not match.
     pub fn load_state(&mut self, state: &[f32]) {
         let expected = self.num_params();
-        assert_eq!(state.len(), expected, "load_state: expected {expected} values, got {}", state.len());
+        assert_eq!(
+            state.len(),
+            expected,
+            "load_state: expected {expected} values, got {}",
+            state.len()
+        );
         let mut offset = 0usize;
         for p in self.params_mut() {
             let n = p.len();
-            p.value.data_mut().copy_from_slice(&state[offset..offset + n]);
+            p.value
+                .data_mut()
+                .copy_from_slice(&state[offset..offset + n]);
             offset += n;
         }
     }
@@ -164,13 +174,24 @@ impl Sequential {
 /// plain FedAvg aggregation (Eq. 4).
 pub fn weighted_average_states(states: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
     assert!(!states.is_empty(), "weighted_average_states: no states");
-    assert_eq!(states.len(), weights.len(), "weighted_average_states: weight count mismatch");
+    assert_eq!(
+        states.len(),
+        weights.len(),
+        "weighted_average_states: weight count mismatch"
+    );
     let len = states[0].len();
     for s in states {
-        assert_eq!(s.len(), len, "weighted_average_states: state length mismatch");
+        assert_eq!(
+            s.len(),
+            len,
+            "weighted_average_states: state length mismatch"
+        );
     }
     let total: f32 = weights.iter().sum();
-    assert!(total > 0.0, "weighted_average_states: weights must sum to a positive value");
+    assert!(
+        total > 0.0,
+        "weighted_average_states: weights must sum to a positive value"
+    );
     let mut out = vec![0.0f32; len];
     for (state, &w) in states.iter().zip(weights) {
         let coeff = w / total;

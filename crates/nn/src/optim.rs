@@ -15,6 +15,7 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
+    max_grad_norm: Option<f32>,
     velocity: Vec<Vec<f32>>,
 }
 
@@ -22,9 +23,31 @@ impl Sgd {
     /// Creates an SGD optimizer with the given learning rate, momentum and weight decay.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "Sgd: learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0, 1)");
-        assert!(weight_decay >= 0.0, "Sgd: weight decay must be non-negative");
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0, 1)"
+        );
+        assert!(
+            weight_decay >= 0.0,
+            "Sgd: weight decay must be non-negative"
+        );
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            max_grad_norm: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables gradient clipping by global norm: when the L2 norm of the whole model
+    /// gradient exceeds `max_norm`, the update is rescaled to that norm. Stabilises the
+    /// first rounds of split training, where merged batches can produce gradient spikes
+    /// large enough to permanently saturate ReLU layers.
+    pub fn with_max_grad_norm(mut self, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "Sgd: max gradient norm must be positive");
+        self.max_grad_norm = Some(max_norm);
+        self
     }
 
     /// Plain SGD without momentum or weight decay.
@@ -46,16 +69,37 @@ impl Sgd {
     /// Applies one optimizer step using the gradients currently stored in the model,
     /// then leaves the gradients untouched (call [`Sequential::zero_grad`] afterwards).
     pub fn step(&mut self, model: &mut Sequential) {
-        let params = model.params_mut();
+        let mut params = model.params_mut();
         if self.velocity.len() != params.len() {
             self.velocity = params.iter().map(|p| vec![0.0f32; p.len()]).collect();
         }
-        for (param, vel) in params.into_iter().zip(self.velocity.iter_mut()) {
-            assert_eq!(param.len(), vel.len(), "Sgd: model/optimizer parameter shape drift");
+        // Clip by global norm: one scale factor across every parameter tensor, so the
+        // update direction is preserved and only its magnitude is bounded.
+        let clip_scale = match self.max_grad_norm {
+            Some(max_norm) => {
+                let sq_norm: f32 = params
+                    .iter()
+                    .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+                    .sum();
+                let norm = sq_norm.sqrt();
+                if norm.is_finite() && norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        for (param, vel) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            assert_eq!(
+                param.len(),
+                vel.len(),
+                "Sgd: model/optimizer parameter shape drift"
+            );
             let value = param.value.data_mut();
             let grad = param.grad.data();
             for i in 0..value.len() {
-                let mut g = grad[i];
+                let mut g = grad[i] * clip_scale;
                 if self.weight_decay > 0.0 {
                     g += self.weight_decay * value[i];
                 }
@@ -92,7 +136,10 @@ impl LrSchedule {
     /// Creates a schedule.
     pub fn new(initial: f32, decay: f32) -> Self {
         assert!(initial > 0.0, "LrSchedule: initial lr must be positive");
-        assert!(decay > 0.0 && decay <= 1.0, "LrSchedule: decay must be in (0, 1]");
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "LrSchedule: decay must be in (0, 1]"
+        );
         Self { initial, decay }
     }
 
@@ -106,7 +153,10 @@ impl LrSchedule {
 /// batch-proportional rule the paper adopts from adaptive-batch-size FL (Section IV-B):
 /// `lr_i = lr * d_i / d_ref`, clamped to avoid degenerate values for extreme ratios.
 pub fn scaled_worker_lr(base_lr: f32, batch_size: usize, reference_batch: usize) -> f32 {
-    assert!(reference_batch > 0, "scaled_worker_lr: reference batch must be positive");
+    assert!(
+        reference_batch > 0,
+        "scaled_worker_lr: reference batch must be positive"
+    );
     let ratio = batch_size as f32 / reference_batch as f32;
     // Clamp the scaling so stragglers with tiny batches still make progress and very large
     // batches do not destabilise training.
@@ -151,7 +201,12 @@ mod tests {
             opt.step(&mut model);
         }
         let final_out = loss_fn.forward(&model.forward(&x, false), &labels);
-        assert!(final_out.loss < initial * 0.5, "loss {} did not drop from {}", final_out.loss, initial);
+        assert!(
+            final_out.loss < initial * 0.5,
+            "loss {} did not drop from {}",
+            final_out.loss,
+            initial
+        );
         assert_eq!(final_out.accuracy, 1.0);
     }
 

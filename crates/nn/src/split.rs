@@ -23,9 +23,19 @@ impl SplitModel {
     /// Splits a full model at `split_index` (layers `[0, split_index)` become the bottom).
     pub fn from_full(full: Sequential, split_index: usize) -> Self {
         let (bottom, top) = full.split_at(split_index);
-        assert!(!bottom.is_empty(), "SplitModel: bottom model must contain at least one layer");
-        assert!(!top.is_empty(), "SplitModel: top model must contain at least one layer");
-        Self { bottom, top, split_index }
+        assert!(
+            !bottom.is_empty(),
+            "SplitModel: bottom model must contain at least one layer"
+        );
+        assert!(
+            !top.is_empty(),
+            "SplitModel: top model must contain at least one layer"
+        );
+        Self {
+            bottom,
+            top,
+            split_index,
+        }
     }
 
     /// Index of the split layer in the original model.
@@ -114,10 +124,7 @@ mod tests {
         // One SGD step on the split model must produce exactly the same parameters as one
         // SGD step on the monolithic model — split learning is an exact refactoring of
         // backprop, not an approximation.
-        let x = Tensor::from_vec(
-            (0..24).map(|v| (v as f32 * 0.17).sin()).collect(),
-            &[4, 6],
-        );
+        let x = Tensor::from_vec((0..24).map(|v| (v as f32 * 0.17).sin()).collect(), &[4, 6]);
         let labels = vec![0, 1, 2, 3];
         let loss_fn = SoftmaxCrossEntropy::new();
 
@@ -148,7 +155,10 @@ mod tests {
         split_state.extend(split.top.state());
         assert_eq!(full_state.len(), split_state.len());
         for (a, b) in full_state.iter().zip(&split_state) {
-            assert!((a - b).abs() < 1e-6, "split training diverged from monolithic training");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "split training diverged from monolithic training"
+            );
         }
     }
 

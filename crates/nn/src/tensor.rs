@@ -32,25 +32,37 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![1.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![1.0; n],
+        }
     }
 
     /// Creates a tensor filled with a constant value.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
     }
 
     /// The shape of the tensor.
@@ -100,8 +112,17 @@ impl Tensor {
     /// Returns a tensor with the same data and a new shape (element count must match).
     pub fn reshape(&self, shape: &[usize]) -> Self {
         let expected: usize = shape.iter().product();
-        assert_eq!(self.data.len(), expected, "cannot reshape {:?} to {:?}", self.shape, shape);
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Element access for a 2-D tensor.
@@ -120,8 +141,16 @@ impl Tensor {
     /// Element-wise addition; shapes must match exactly.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "add: shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise in-place addition.
@@ -135,21 +164,40 @@ impl Tensor {
     /// Element-wise subtraction; shapes must match exactly.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "sub: shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise multiplication; shapes must match exactly.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "mul: shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Multiplication by a scalar.
     pub fn scale(&self, s: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * s).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place multiplication by a scalar.
@@ -197,7 +245,11 @@ impl Tensor {
     ///
     /// Returns 0.0 when either vector has zero norm.
     pub fn cosine_similarity(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.len(), other.len(), "cosine_similarity: length mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cosine_similarity: length mismatch"
+        );
         let dot: f32 = self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum();
         let denom = self.norm() * other.norm();
         if denom <= f32::EPSILON {
@@ -228,7 +280,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Transpose of a 2-D tensor.
@@ -241,14 +296,20 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor { shape: vec![n, m], data: out }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
     }
 
     /// Adds a 1-D bias of length `n` to every row of a 2-D `[m, n]` tensor.
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "add_row_broadcast: tensor must be 2-D");
         assert_eq!(bias.shape.len(), 1, "add_row_broadcast: bias must be 1-D");
-        assert_eq!(self.shape[1], bias.shape[0], "add_row_broadcast: width mismatch");
+        assert_eq!(
+            self.shape[1], bias.shape[0],
+            "add_row_broadcast: width mismatch"
+        );
         let n = self.shape[1];
         let mut data = self.data.clone();
         for row in data.chunks_mut(n) {
@@ -256,7 +317,10 @@ impl Tensor {
                 *x += b;
             }
         }
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Sums a 2-D `[m, n]` tensor over rows, producing a 1-D `[n]` tensor.
@@ -269,7 +333,10 @@ impl Tensor {
                 *o += x;
             }
         }
-        Tensor { shape: vec![n], data: out }
+        Tensor {
+            shape: vec![n],
+            data: out,
+        }
     }
 
     /// Concatenates tensors along the leading (batch) axis.
@@ -282,7 +349,11 @@ impl Tensor {
         let item_shape: Vec<usize> = parts[0].shape[1..].to_vec();
         let mut total = 0usize;
         for p in parts {
-            assert_eq!(&p.shape[1..], item_shape.as_slice(), "concat_batch: item shape mismatch");
+            assert_eq!(
+                &p.shape[1..],
+                item_shape.as_slice(),
+                "concat_batch: item shape mismatch"
+            );
             total += p.shape[0];
         }
         let mut data = Vec::with_capacity(total * item_shape.iter().product::<usize>().max(1));
@@ -301,7 +372,13 @@ impl Tensor {
     /// gradients in the same order the features were merged.
     pub fn split_batch(&self, sizes: &[usize]) -> Vec<Tensor> {
         let total: usize = sizes.iter().sum();
-        assert_eq!(total, self.batch(), "split_batch: sizes {:?} do not sum to batch {}", sizes, self.batch());
+        assert_eq!(
+            total,
+            self.batch(),
+            "split_batch: sizes {:?} do not sum to batch {}",
+            sizes,
+            self.batch()
+        );
         let per_item = self.per_item();
         let item_shape: Vec<usize> = self.shape[1..].to_vec();
         let mut out = Vec::with_capacity(sizes.len());

@@ -175,13 +175,13 @@ pub fn vgg16_lite(num_classes: usize, seed: u64) -> ArchSpec {
     model.add(Box::new(Conv2d::new(&mut r, 8, 8, 3, 1, 1)));
     model.add(Box::new(Relu::new()));
     model.add(Box::new(MaxPool2d::new(2))); // -> 8 x 4 x 4
-    // Group 2: 2 convs @ 4x4, 12 channels.
+                                            // Group 2: 2 convs @ 4x4, 12 channels.
     model.add(Box::new(Conv2d::new(&mut r, 8, 12, 3, 1, 1)));
     model.add(Box::new(Relu::new()));
     model.add(Box::new(Conv2d::new(&mut r, 12, 12, 3, 1, 1)));
     model.add(Box::new(Relu::new()));
     model.add(Box::new(MaxPool2d::new(2))); // -> 12 x 2 x 2
-    // Group 3: 3 convs @ 2x2, 16 channels.
+                                            // Group 3: 3 convs @ 2x2, 16 channels.
     model.add(Box::new(Conv2d::new(&mut r, 12, 16, 3, 1, 1)));
     model.add(Box::new(Relu::new()));
     model.add(Box::new(Conv2d::new(&mut r, 16, 16, 3, 1, 1)));
@@ -189,7 +189,7 @@ pub fn vgg16_lite(num_classes: usize, seed: u64) -> ArchSpec {
     model.add(Box::new(Conv2d::new(&mut r, 16, 16, 3, 1, 1)));
     model.add(Box::new(Relu::new()));
     model.add(Box::new(MaxPool2d::new(2))); // -> 16 x 1 x 1
-    // Group 4: 3 convs @ 1x1, 16 channels.
+                                            // Group 4: 3 convs @ 1x1, 16 channels.
     for _ in 0..3 {
         model.add(Box::new(Conv2d::new(&mut r, 16, 16, 3, 1, 1)));
         model.add(Box::new(Relu::new()));
@@ -239,7 +239,12 @@ mod tests {
             let mut spec = build(arch, classes, 42);
             let x = batch_input(&spec, 2);
             let y = spec.model.forward(&x, false);
-            assert_eq!(y.shape(), &[2, classes], "logits shape wrong for {:?}", arch);
+            assert_eq!(
+                y.shape(),
+                &[2, classes],
+                "logits shape wrong for {:?}",
+                arch
+            );
             assert!(!y.has_non_finite(), "non-finite logits for {:?}", arch);
         }
     }
@@ -249,10 +254,22 @@ mod tests {
         for arch in Architecture::all() {
             let spec = build(arch, 10, 7);
             let total = spec.model.num_layers();
-            assert!(spec.split_index > 0 && spec.split_index < total, "bad split for {:?}", arch);
+            assert!(
+                spec.split_index > 0 && spec.split_index < total,
+                "bad split for {:?}",
+                arch
+            );
             let split = build(arch, 10, 7).into_split();
-            assert!(split.bottom.num_params() > 0, "bottom of {:?} has no params", arch);
-            assert!(split.top.num_params() > 0, "top of {:?} has no params", arch);
+            assert!(
+                split.bottom.num_params() > 0,
+                "bottom of {:?} has no params",
+                arch
+            );
+            assert!(
+                split.top.num_params() > 0,
+                "top of {:?} has no params",
+                arch
+            );
         }
     }
 
@@ -278,13 +295,21 @@ mod tests {
         let full_params = spec.model.num_params();
         let split = spec.into_split();
         assert!(split.bottom.num_params() < full_params);
-        assert_eq!(split.bottom.num_params() + split.top.num_params(), full_params);
+        assert_eq!(
+            split.bottom.num_params() + split.top.num_params(),
+            full_params
+        );
     }
 
     #[test]
     fn vgg16_lite_has_13_convolutions() {
         let spec = build(Architecture::Vgg16Lite, 100, 1);
-        let convs = spec.model.layer_names().iter().filter(|n| **n == "Conv2d").count();
+        let convs = spec
+            .model
+            .layer_names()
+            .iter()
+            .filter(|n| **n == "Conv2d")
+            .count();
         assert_eq!(convs, 13);
     }
 

@@ -1,0 +1,208 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the API `benches/microbench.rs` uses — `Criterion`,
+//! `bench_function`, `benchmark_group`/`bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock harness:
+//! warm-up, then `sample_size` timed samples, reporting the best and mean
+//! nanoseconds per iteration. No statistics, plots or baselines; the goal is that
+//! `cargo bench` builds, runs, and prints useful per-call costs without crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// (best, mean) nanoseconds per iteration, filled by [`Bencher::iter`].
+    measured: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            measured: None,
+        }
+    }
+
+    /// Times `routine`, storing best/mean nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size the batch so one sample takes roughly a millisecond.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / f64::from(per_sample);
+            best = best.min(nanos);
+            total += nanos;
+        }
+        self.measured = Some((best, total / self.sample_size as f64));
+    }
+}
+
+fn report(id: &str, measured: Option<(f64, f64)>) {
+    match measured {
+        Some((best, mean)) => {
+            println!(
+                "{id:<45} best {:>12}  mean {:>12}",
+                format_nanos(best),
+                format_nanos(mean)
+            );
+        }
+        None => println!("{id:<45} (no measurement: closure never called iter)"),
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(id, bencher.measured);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A group of related benchmarks (purely cosmetic in this shim).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion.sample_size);
+        f(&mut bencher, input);
+        report(&format!("  {}", id.id), bencher.measured);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| std::hint::black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("µs"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+    }
+}

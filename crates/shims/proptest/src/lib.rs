@@ -1,0 +1,223 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset of the API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]` header and
+//!   `arg in strategy` bindings;
+//! * numeric-range strategies (`1usize..6`, `-10.0f32..10.0`, …);
+//! * `prop::collection::vec(strategy, size)` with fixed or ranged sizes;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the test's
+//! name), so failures reproduce exactly. There is no shrinking: a failing case panics
+//! with its case index, which is enough to re-run and debug deterministically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+pub use rand::SeedableRng;
+
+/// Per-test configuration: only the case count is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A value generator: the shim's (non-shrinking) analogue of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut StdRng) -> u32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Collection-size specifications accepted by [`prop::collection::vec`].
+pub trait SizeSpec {
+    /// Picks a concrete length.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeSpec for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeSpec for Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeSpec, Strategy, VecStrategy};
+
+        /// Strategy producing vectors whose elements come from `element` and whose
+        /// length is drawn from `size` (a fixed `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy, Z: SizeSpec>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// FNV-1a hash used to derive a per-test RNG seed from the test's name.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines deterministic property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let mut __rng = <$crate::__StdRng as $crate::SeedableRng>::seed_from_u64(
+                        __seed ^ (u64::from(__case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut __rng); )+
+                    let __run = || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+/// Asserts a condition inside a property test (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_compose(xs in prop::collection::vec(1usize..10, 2..5), y in 0.5f64..2.0) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| (1..10).contains(&x)));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn fixed_size_vecs(v in prop::collection::vec(-1.0f32..1.0, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(crate::fnv1a("abc"), crate::fnv1a("abc"));
+        assert_ne!(crate::fnv1a("abc"), crate::fnv1a("abd"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors the
+//! small slice of the `rand` 0.8 API its members actually use: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] convenience methods `gen`,
+//! `gen_range` and `gen_bool`. The generator is xoshiro256++ seeded through
+//! SplitMix64 — not the same stream as upstream `StdRng`, but every consumer in this
+//! workspace only relies on determinism for a fixed seed, which this provides.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// Seeding interface: the workspace only ever seeds from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the generator's full output range
+/// (the shim's analogue of sampling from `rand::distributions::Standard`).
+pub trait Standard {
+    /// Draws one value; floats land in `[0, 1)`.
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1) with full single precision.
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws uniformly from the range; panics if the range is empty.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Draws uniformly from `[0, bound)` without modulo bias (Lemire's method would be
+/// overkill here; rejection sampling keeps the stream simple and exact).
+fn uniform_below<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "gen_range: empty range");
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(rng, span) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        let span = (end - start) as u64 + 1;
+        if span == 0 {
+            // start == 0 && end == u64::MAX as usize: the full range.
+            return rng.next_u64() as usize;
+        }
+        start + uniform_below(rng, span) as usize
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(rng, span) as u32
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * f64::sample_standard(rng)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * f32::sample_standard(rng)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Returns the next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of `T` from the standard distribution (floats in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&a));
+            let b = rng.gen_range(0usize..=4);
+            assert!(b <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

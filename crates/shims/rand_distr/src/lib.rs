@@ -1,0 +1,229 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr) crate.
+//!
+//! Implements exactly the distributions this workspace samples from — [`Normal`],
+//! [`LogNormal`], [`Uniform`] and [`Dirichlet`] — over the vendored `rand` shim.
+//! Algorithms are textbook (Marsaglia polar for normals, Marsaglia–Tsang for the
+//! gamma draws behind Dirichlet); streams are deterministic for a fixed RNG seed.
+
+use rand::{Rng, Standard};
+
+/// Error returned by distribution constructors for invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Marsaglia polar method. The loop consumes a variable number of draws, which is
+    // fine: determinism only requires a fixed seed to yield a fixed stream.
+    loop {
+        let u = 2.0 * f64::sample_standard(rng) - 1.0;
+        let v = 2.0 * f64::sample_standard(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal: standard deviation must be finite and >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("LogNormal: sigma must be finite and >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Uniform distribution over a closed interval (mirrors `Uniform::new_inclusive`).
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Uniform over `[low, high]`; panics if `low > high` (as upstream does).
+    pub fn new_inclusive(low: f64, high: f64) -> Self {
+        assert!(low <= high, "Uniform: low must not exceed high");
+        Self { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.low + (self.high - self.low) * f64::sample_standard(rng)
+    }
+}
+
+/// Gamma(shape, 1) draw via Marsaglia–Tsang, with the Johnk boost for shape < 1.
+fn gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let boost = f64::sample_standard(rng)
+            .max(f64::MIN_POSITIVE)
+            .powf(1.0 / shape);
+        return gamma(rng, shape + 1.0) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = f64::sample_standard(rng).max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet distribution over the probability simplex.
+#[derive(Clone, Debug)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet distribution; every concentration must be positive.
+    pub fn new(alpha: &[f64]) -> Result<Self, Error> {
+        if alpha.len() < 2 {
+            return Err(Error("Dirichlet: need at least two concentrations"));
+        }
+        if alpha.iter().any(|&a| !a.is_finite() || a <= 0.0) {
+            return Err(Error(
+                "Dirichlet: concentrations must be positive and finite",
+            ));
+        }
+        Ok(Self {
+            alpha: alpha.to_vec(),
+        })
+    }
+}
+
+impl Distribution<Vec<f64>> for Dirichlet {
+    fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> = self.alpha.iter().map(|&a| gamma(rng, a)).collect();
+        let total: f64 = draws.iter().sum();
+        if total > 0.0 {
+            for d in &mut draws {
+                *d /= total;
+            }
+        } else {
+            // Degenerate numerical underflow: fall back to the uniform point.
+            let uniform = 1.0 / draws.len() as f64;
+            draws.iter_mut().for_each(|d| *d = uniform);
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let normal = Normal::new(2.0, 3.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = Uniform::new_inclusive(-0.5, 0.5);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn dirichlet_samples_live_on_the_simplex() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Dirichlet::new(&[0.5, 1.0, 2.0, 4.0]).unwrap();
+        for _ in 0..200 {
+            let p = d.sample(&mut rng);
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|&x| x >= 0.0));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Dirichlet::new(&[1.0]).is_err());
+        assert!(Dirichlet::new(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        for _ in 0..500 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! Only the derive-macro names are provided (as no-ops, see the `serde_derive` shim).
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(Serialize, Deserialize)]`
+//! compiles unchanged across the workspace; actual JSON encoding for run results is
+//! hand-written in `mergesfl::metrics`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace are satisfied by these no-op derives: they accept the
+//! annotated item (including `#[serde(...)]` attributes) and emit nothing. Components that
+//! genuinely need serialisation (the run-result JSON in `mergesfl::metrics`) implement it
+//! by hand; everything else only carries the derives as forward-looking annotations.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -60,8 +60,15 @@ pub struct BandwidthModel {
 impl BandwidthModel {
     /// Creates a bandwidth model with the default fluctuation (σ = 0.35) and PS ingress mean.
     pub fn new(ps_ingress_mean_mbps: f64, seed: u64) -> Self {
-        assert!(ps_ingress_mean_mbps > 0.0, "BandwidthModel: ingress mean must be positive");
-        Self { sigma: 0.35, ps_ingress_mean_mbps, seed }
+        assert!(
+            ps_ingress_mean_mbps > 0.0,
+            "BandwidthModel: ingress mean must be positive"
+        );
+        Self {
+            sigma: 0.35,
+            ps_ingress_mean_mbps,
+            seed,
+        }
     }
 
     /// Samples the bandwidth (Mb/s) of a worker in a given round, clamped to [1, 30] Mb/s.
@@ -98,7 +105,10 @@ impl BandwidthModel {
     /// with the given bandwidth — the paper's `β_i^h`. The feature upload and the gradient
     /// download have the same size, so both directions are charged.
     pub fn transfer_time_per_sample(feature_bytes_per_sample: f64, mbps: f64) -> f64 {
-        assert!(mbps > 0.0, "transfer_time_per_sample: bandwidth must be positive");
+        assert!(
+            mbps > 0.0,
+            "transfer_time_per_sample: bandwidth must be positive"
+        );
         let bytes = 2.0 * feature_bytes_per_sample; // feature up + gradient down
         bytes / mbps_to_bytes_per_sec(mbps)
     }
@@ -119,7 +129,10 @@ mod tests {
         for group in DistanceGroup::all() {
             for round in 0..50 {
                 let b = model.worker_mbps(3, group, round);
-                assert!((MIN_MBPS..=MAX_MBPS).contains(&b), "bandwidth {b} out of range");
+                assert!(
+                    (MIN_MBPS..=MAX_MBPS).contains(&b),
+                    "bandwidth {b} out of range"
+                );
             }
         }
     }
@@ -128,7 +141,10 @@ mod tests {
     fn nearer_groups_have_higher_average_bandwidth() {
         let model = BandwidthModel::new(100.0, 11);
         let avg = |group: DistanceGroup| -> f64 {
-            (0..200).map(|r| model.worker_mbps(0, group, r)).sum::<f64>() / 200.0
+            (0..200)
+                .map(|r| model.worker_mbps(0, group, r))
+                .sum::<f64>()
+                / 200.0
         };
         let near = avg(DistanceGroup::Near2m);
         let far = avg(DistanceGroup::VeryFar20m);
@@ -152,7 +168,10 @@ mod tests {
         // estimates are meaningful.
         let model = BandwidthModel::new(100.0, 19);
         let per_worker_mean = |w: usize| -> f64 {
-            (0..50).map(|r| model.worker_mbps(w, DistanceGroup::Mid8m, r)).sum::<f64>() / 50.0
+            (0..50)
+                .map(|r| model.worker_mbps(w, DistanceGroup::Mid8m, r))
+                .sum::<f64>()
+                / 50.0
         };
         let per_worker_std = |w: usize| -> f64 {
             let m = per_worker_mean(w);

@@ -21,13 +21,19 @@ pub struct RoundTiming {
 impl RoundTiming {
     /// Creates the timing record for a round.
     pub fn new(worker_durations: Vec<f64>, sync_overhead: f64) -> Self {
-        assert!(!worker_durations.is_empty(), "RoundTiming: no participating workers");
+        assert!(
+            !worker_durations.is_empty(),
+            "RoundTiming: no participating workers"
+        );
         assert!(
             worker_durations.iter().all(|&t| t.is_finite() && t >= 0.0),
             "RoundTiming: invalid worker duration"
         );
         assert!(sync_overhead >= 0.0, "RoundTiming: negative overhead");
-        Self { worker_durations, sync_overhead }
+        Self {
+            worker_durations,
+            sync_overhead,
+        }
     }
 
     /// Duration of the slowest worker (the synchronisation barrier), excluding overhead.
@@ -55,7 +61,9 @@ pub fn worker_duration(
     compute_time_per_sample: f64,
     transfer_time_per_sample: f64,
 ) -> f64 {
-    local_iterations as f64 * batch_size as f64 * (compute_time_per_sample + transfer_time_per_sample)
+    local_iterations as f64
+        * batch_size as f64
+        * (compute_time_per_sample + transfer_time_per_sample)
 }
 
 /// Accumulates simulated time across communication rounds.
@@ -83,7 +91,10 @@ impl SimClock {
 
     /// Advances the clock by an arbitrary non-negative amount (e.g. an initial broadcast).
     pub fn advance_by(&mut self, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "SimClock: invalid advance");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "SimClock: invalid advance"
+        );
         self.elapsed += seconds;
     }
 

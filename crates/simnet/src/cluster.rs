@@ -29,12 +29,20 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// The paper's default 80-device testbed.
     pub fn paper_testbed(seed: u64) -> Self {
-        Self { num_workers: 80, ps_ingress_mean_mbps: 300.0, seed }
+        Self {
+            num_workers: 80,
+            ps_ingress_mean_mbps: 300.0,
+            seed,
+        }
     }
 
     /// A smaller cluster for quick experiments and tests.
     pub fn small(num_workers: usize, seed: u64) -> Self {
-        Self { num_workers, ps_ingress_mean_mbps: 150.0, seed }
+        Self {
+            num_workers,
+            ps_ingress_mean_mbps: 150.0,
+            seed,
+        }
     }
 }
 
@@ -95,8 +103,17 @@ impl Cluster {
         let groups = (0..config.num_workers)
             .map(|i| group_pattern[(i / group_pattern.len().max(1)) % group_pattern.len()])
             .collect();
-        let bandwidth = BandwidthModel::new(config.ps_ingress_mean_mbps, derive_seed(config.seed, 0xBA4D));
-        Self { devices, groups, bandwidth, profile, current_round: 0 }
+        let bandwidth = BandwidthModel::new(
+            config.ps_ingress_mean_mbps,
+            derive_seed(config.seed, 0xBA4D),
+        );
+        Self {
+            devices,
+            groups,
+            bandwidth,
+            profile,
+            current_round: 0,
+        }
     }
 
     /// Number of workers in the cluster.
@@ -112,7 +129,7 @@ impl Cluster {
     /// Advances the cluster to round `round`: re-draws performance modes every
     /// [`MODE_SWITCH_PERIOD`] rounds.
     pub fn begin_round(&mut self, round: usize) {
-        if round > 0 && round % MODE_SWITCH_PERIOD == 0 && round != self.current_round {
+        if round > 0 && round.is_multiple_of(MODE_SWITCH_PERIOD) && round != self.current_round {
             for dev in &mut self.devices {
                 dev.switch_mode();
             }
@@ -122,16 +139,23 @@ impl Cluster {
 
     /// Ground-truth state of one worker in the current round.
     pub fn worker_state(&self, worker_id: usize) -> WorkerState {
-        assert!(worker_id < self.devices.len(), "Cluster: worker {worker_id} out of range");
+        assert!(
+            worker_id < self.devices.len(),
+            "Cluster: worker {worker_id} out of range"
+        );
         let dev = &self.devices[worker_id];
         let group = self.groups[worker_id];
-        let bandwidth_mbps = self.bandwidth.worker_mbps(worker_id, group, self.current_round);
+        let bandwidth_mbps = self
+            .bandwidth
+            .worker_mbps(worker_id, group, self.current_round);
         WorkerState {
             worker_id,
             kind: dev.kind,
             mode: dev.mode(),
-            bottom_compute_per_sample: dev.compute_time_per_sample(self.profile.bottom_gflop_per_sample),
-            full_compute_per_sample: dev.compute_time_per_sample(self.profile.full_gflop_per_sample),
+            bottom_compute_per_sample: dev
+                .compute_time_per_sample(self.profile.bottom_gflop_per_sample),
+            full_compute_per_sample: dev
+                .compute_time_per_sample(self.profile.full_gflop_per_sample),
             bandwidth_mbps,
             transfer_per_sample: BandwidthModel::transfer_time_per_sample(
                 self.profile.feature_bytes_per_sample,
@@ -142,7 +166,9 @@ impl Cluster {
 
     /// Ground-truth state of every worker in the current round.
     pub fn all_worker_states(&self) -> Vec<WorkerState> {
-        (0..self.num_workers()).map(|i| self.worker_state(i)).collect()
+        (0..self.num_workers())
+            .map(|i| self.worker_state(i))
+            .collect()
     }
 
     /// The PS ingress bandwidth budget `B^h` for the current round, in bytes per second.
@@ -204,7 +230,9 @@ mod tests {
         let cluster = paper_cluster();
         let mut counts = std::collections::HashMap::new();
         for i in 0..cluster.num_workers() {
-            *counts.entry(format!("{:?}", cluster.distance_group(i))).or_insert(0usize) += 1;
+            *counts
+                .entry(format!("{:?}", cluster.distance_group(i)))
+                .or_insert(0usize) += 1;
         }
         assert_eq!(counts.len(), 4);
         for (_, c) in counts {
@@ -217,10 +245,20 @@ mod tests {
         let mut cluster = paper_cluster();
         cluster.begin_round(0);
         let states = cluster.all_worker_states();
-        let min = states.iter().map(|s| s.bottom_compute_per_sample).fold(f64::INFINITY, f64::min);
-        let max = states.iter().map(|s| s.bottom_compute_per_sample).fold(0.0, f64::max);
+        let min = states
+            .iter()
+            .map(|s| s.bottom_compute_per_sample)
+            .fold(f64::INFINITY, f64::min);
+        let max = states
+            .iter()
+            .map(|s| s.bottom_compute_per_sample)
+            .fold(0.0, f64::max);
         // The paper says capabilities can differ by more than tenfold.
-        assert!(max / min > 10.0, "heterogeneity ratio {} too small", max / min);
+        assert!(
+            max / min > 10.0,
+            "heterogeneity ratio {} too small",
+            max / min
+        );
     }
 
     #[test]

@@ -108,7 +108,12 @@ impl SimDevice {
     pub fn new(id: usize, kind: DeviceKind, seed: u64) -> Self {
         let mut rng = seeded(seed);
         let mode = rng.gen_range(0..kind.profile().num_modes);
-        Self { id, kind, mode, rng }
+        Self {
+            id,
+            kind,
+            mode,
+            rng,
+        }
     }
 
     /// Current performance mode (0 is the fastest mode, matching NVIDIA's numbering).
@@ -141,7 +146,10 @@ impl SimDevice {
     /// Computing time (seconds) for one data sample of a workload of `gflop_per_sample`
     /// GFLOPs — the paper's `µ_i^h`.
     pub fn compute_time_per_sample(&self, gflop_per_sample: f64) -> f64 {
-        assert!(gflop_per_sample > 0.0, "compute_time_per_sample: workload must be positive");
+        assert!(
+            gflop_per_sample > 0.0,
+            "compute_time_per_sample: workload must be positive"
+        );
         gflop_per_sample / self.throughput_gflops()
     }
 }
@@ -162,7 +170,10 @@ mod tests {
         let agx_best = DeviceKind::JetsonAgx.profile().max_throughput;
         let tx2_worst = DeviceKind::JetsonTx2.profile().min_throughput;
         let ratio = agx_best / tx2_worst;
-        assert!((80.0..=120.0).contains(&ratio), "ratio {ratio} outside the paper's ~100x");
+        assert!(
+            (80.0..=120.0).contains(&ratio),
+            "ratio {ratio} outside the paper's ~100x"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
         for arch in Architecture::all() {
             let p = ModelProfile::for_architecture(arch);
             assert!(p.bottom_model_bytes < p.full_model_bytes, "{arch:?}");
-            assert!(p.bottom_gflop_per_sample < p.full_gflop_per_sample, "{arch:?}");
+            assert!(
+                p.bottom_gflop_per_sample < p.full_gflop_per_sample,
+                "{arch:?}"
+            );
             assert!(p.feature_bytes_per_sample > 0.0, "{arch:?}");
         }
     }
@@ -104,7 +107,10 @@ mod tests {
         // to shipping models around.
         for arch in Architecture::all() {
             let p = ModelProfile::for_architecture(arch);
-            assert!(p.feature_bytes_per_sample * 64.0 < p.full_model_bytes, "{arch:?}");
+            assert!(
+                p.feature_bytes_per_sample * 64.0 < p.full_model_bytes,
+                "{arch:?}"
+            );
         }
     }
 }

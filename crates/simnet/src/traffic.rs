@@ -23,7 +23,12 @@ pub enum TrafficCategory {
 impl TrafficCategory {
     /// All categories.
     pub fn all() -> [TrafficCategory; 4] {
-        [Self::FullModel, Self::BottomModel, Self::Features, Self::Gradients]
+        [
+            Self::FullModel,
+            Self::BottomModel,
+            Self::Features,
+            Self::Gradients,
+        ]
     }
 }
 

@@ -15,19 +15,33 @@ fn main() {
     let mut cluster = Cluster::new(&ClusterConfig::paper_testbed(3), profile);
     cluster.begin_round(0);
     let (tx2, nx, agx) = cluster.composition();
-    println!("cluster: {} workers ({tx2} TX2, {nx} NX, {agx} AGX)", cluster.num_workers());
+    println!(
+        "cluster: {} workers ({tx2} TX2, {nx} NX, {agx} AGX)",
+        cluster.num_workers()
+    );
 
     let states = cluster.all_worker_states();
-    let costs: Vec<f64> = states.iter().map(|s| s.bottom_compute_per_sample + s.transfer_per_sample).collect();
+    let costs: Vec<f64> = states
+        .iter()
+        .map(|s| s.bottom_compute_per_sample + s.transfer_per_sample)
+        .collect();
     let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = costs.iter().cloned().fold(0.0, f64::max);
-    println!("per-sample cost (compute + transfer): {:.3}s – {:.3}s  ({:.0}x spread)\n", min, max, max / min);
+    println!(
+        "per-sample cost (compute + transfer): {:.3}s – {:.3}s  ({:.0}x spread)\n",
+        min,
+        max,
+        max / min
+    );
 
     // Non-IID data over the 80 workers.
     let spec = DatasetKind::Cifar10.spec();
     let (train, _) = synth::generate_default(&spec, 1);
     let partition = partition_dirichlet(&train, cluster.num_workers(), 10.0, 8, 2);
-    println!("mean label-distribution divergence across workers: {:.3}\n", partition.mean_divergence());
+    println!(
+        "mean label-distribution divergence across workers: {:.3}\n",
+        partition.mean_divergence()
+    );
 
     // One pass of the control module (Alg. 1).
     let mut control = ControlModule::new(
@@ -40,7 +54,11 @@ fn main() {
         9,
     );
     for s in &states {
-        control.observe_worker(s.worker_id, s.bottom_compute_per_sample, s.transfer_per_sample);
+        control.observe_worker(
+            s.worker_id,
+            s.bottom_compute_per_sample,
+            s.transfer_per_sample,
+        );
     }
     let budget = cluster.ps_ingress_budget();
     control.observe_ingress(budget);
@@ -60,9 +78,15 @@ fn main() {
     println!("round plan (Alg. 1):");
     println!("  selected workers: {:?}", plan.selected);
     println!("  batch sizes:      {:?}", plan.batch_sizes);
-    println!("  merged batch:     {} samples per iteration", plan.total_batch());
+    println!(
+        "  merged batch:     {} samples per iteration",
+        plan.total_batch()
+    );
     println!("  cohort KL vs IID: {:.4}", plan.cohort_kl);
-    println!("  predicted waiting per round: {:.2} s", plan.predicted_waiting);
+    println!(
+        "  predicted waiting per round: {:.2} s",
+        plan.predicted_waiting
+    );
     for (&w, &d) in plan.selected.iter().zip(&plan.batch_sizes) {
         let s = cluster.worker_state(w);
         println!(

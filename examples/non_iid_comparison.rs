@@ -22,15 +22,24 @@ fn main() {
     }
 
     // Pick a target accuracy that every approach reaches so time-to-accuracy is comparable.
-    let target = results.iter().map(|r| r.best_accuracy()).fold(f32::INFINITY, f32::min) * 0.9;
+    let target = results
+        .iter()
+        .map(|r| r.best_accuracy())
+        .fold(f32::INFINITY, f32::min)
+        * 0.9;
 
-    println!("\n{:<14} {:>10} {:>14} {:>14} {:>12}", "approach", "final acc", "time-to-acc(s)", "traffic(MB)", "avg wait(s)");
+    println!(
+        "\n{:<14} {:>10} {:>14} {:>14} {:>12}",
+        "approach", "final acc", "time-to-acc(s)", "traffic(MB)", "avg wait(s)"
+    );
     for r in &results {
         println!(
             "{:<14} {:>10.3} {:>14} {:>14.1} {:>12.2}",
             r.approach,
             r.final_accuracy(),
-            r.time_to_accuracy(target).map(|t| format!("{t:.0}")).unwrap_or_else(|| "-".into()),
+            r.time_to_accuracy(target)
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into()),
             r.total_traffic_mb(),
             r.mean_waiting_time(),
         );

@@ -13,7 +13,10 @@ fn main() {
     let config = RunConfig::quick(DatasetKind::Cifar10, 10.0, 42);
     println!(
         "Training {:?} with MergeSFL: {} workers, {} rounds, tau = {}",
-        config.dataset, config.num_workers, config.rounds, config.tau()
+        config.dataset,
+        config.num_workers,
+        config.rounds,
+        config.tau()
     );
 
     let result = run(Approach::MergeSfl, &config);
@@ -24,7 +27,9 @@ fn main() {
             "{:>5}  {:>11.1}  {:>8}  {:>10.2}  {:>11.1}  {:>12}  {:>9.4}",
             r.round,
             r.sim_time,
-            r.accuracy.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+            r.accuracy
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
             r.avg_waiting_time,
             r.traffic_mb,
             r.total_batch,

@@ -1,0 +1,99 @@
+//! Determinism regression tests: identical seeds give bit-identical run traces, and the
+//! threaded execution path produces exactly the same records as sequential execution —
+//! parallelism must never change results, only wall-clock time.
+
+use mergesfl::config::RunConfig;
+use mergesfl::experiment::{run, Approach};
+use mergesfl_data::DatasetKind;
+
+fn tiny(seed: u64) -> RunConfig {
+    let mut c = RunConfig::quick(DatasetKind::Har, 5.0, seed);
+    c.num_workers = 8;
+    c.rounds = 4;
+    c.local_iterations = Some(2);
+    c.participants_per_round = 4;
+    c.train_size = Some(400);
+    c.eval_every = 2;
+    c.eval_samples = 120;
+    c
+}
+
+#[test]
+fn repeated_runs_yield_identical_round_records() {
+    let config = tiny(21);
+    let a = run(Approach::MergeSfl, &config);
+    let b = run(Approach::MergeSfl, &config);
+    assert_eq!(
+        a, b,
+        "two runs with the same seed must produce identical traces"
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_exactly_for_sfl() {
+    let mut sequential = tiny(22);
+    sequential.parallel = false;
+    let mut parallel = tiny(22);
+    parallel.parallel = true;
+    let a = run(Approach::MergeSfl, &sequential);
+    let b = run(Approach::MergeSfl, &parallel);
+    assert_eq!(
+        a, b,
+        "parallel SFL execution must be bit-identical to sequential"
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_exactly_for_fl() {
+    let mut sequential = tiny(23);
+    sequential.parallel = false;
+    let mut parallel = tiny(23);
+    parallel.parallel = true;
+    let a = run(Approach::FedAvg, &sequential);
+    let b = run(Approach::FedAvg, &parallel);
+    assert_eq!(
+        a, b,
+        "parallel FL execution must be bit-identical to sequential"
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_at_scalability_config() {
+    // The fig12 scalability shape at 50 workers: the parallel fan-out must not change a
+    // single record even when many workers train per round.
+    let mut config = RunConfig::quick(DatasetKind::Har, 10.0, 121);
+    config.num_workers = 50;
+    config.rounds = 3;
+    config.local_iterations = Some(2);
+    config.participants_per_round = 10;
+    config.train_size = Some(1000);
+    config.eval_every = 3;
+    config.eval_samples = 100;
+
+    let mut sequential = config.clone();
+    sequential.parallel = false;
+    let mut parallel = config;
+    parallel.parallel = true;
+    for approach in [Approach::MergeSfl, Approach::FedAvg] {
+        let a = run(approach, &sequential);
+        let b = run(approach, &parallel);
+        assert_eq!(
+            a, b,
+            "{approach:?} diverged between parallel and sequential"
+        );
+    }
+}
+
+#[test]
+fn every_engine_is_deterministic_across_modes() {
+    // One SFL-family and one FL-family approach beyond the headline pair, so a future
+    // strategy-specific code path cannot silently lose determinism.
+    for approach in [Approach::AdaSfl, Approach::PyramidFl] {
+        let config = tiny(24);
+        let a = run(approach, &config);
+        let mut flipped = tiny(24);
+        flipped.parallel = !config.parallel;
+        let b = run(approach, &flipped);
+        assert_eq!(a, b, "{approach:?} diverged between execution modes");
+    }
+}

@@ -110,4 +110,61 @@ proptest! {
             prop_assert!(total <= budget * 1.0001, "total {} exceeds budget {}", total, budget);
         }
     }
+
+    /// A budget smaller than one sample per worker degrades gracefully: every worker keeps
+    /// exactly the floor of one sample and nothing panics or overflows.
+    #[test]
+    fn rescale_with_budget_below_cohort_minimum(
+        sizes in prop::collection::vec(1usize..32, 1..10),
+        feature_bytes in 16.0f64..4096.0,
+        starvation in 0.01f64..0.99,
+    ) {
+        // Strictly less than `len` samples' worth of budget: cannot be met at one sample
+        // per worker, so the floor must win.
+        let budget = sizes.len() as f64 * feature_bytes * starvation;
+        let scaled = rescale_to_budget(&sizes, feature_bytes, budget);
+        prop_assert_eq!(scaled.len(), sizes.len());
+        prop_assert!(scaled.iter().all(|&d| d == 1), "starved rescale {:?} should floor to 1", scaled);
+    }
+
+    /// A single worker always gets the full default maximum batch, whatever its speed.
+    #[test]
+    fn single_worker_gets_the_max_batch(cost in 0.001f64..100.0, max_batch in 1usize..128) {
+        let assignment = regulate_batch_sizes(&[cost], max_batch);
+        prop_assert_eq!(assignment.batch_sizes.len(), 1);
+        prop_assert_eq!(assignment.batch_sizes[0], max_batch);
+        prop_assert_eq!(assignment.fastest, 0);
+    }
+
+    /// A near-zero-capacity worker (per-sample cost orders of magnitude above the rest)
+    /// still receives at least one sample, and never more than anyone faster.
+    #[test]
+    fn zero_capacity_worker_keeps_minimum_batch(
+        costs in prop::collection::vec(0.01f64..0.1, 1..10),
+        straggler_factor in 1_000.0f64..1_000_000.0,
+        max_batch in 1usize..64,
+    ) {
+        let mut with_straggler = costs.clone();
+        with_straggler.push(costs[0] * straggler_factor);
+        let assignment = regulate_batch_sizes(&with_straggler, max_batch);
+        let straggler = with_straggler.len() - 1;
+        prop_assert!(assignment.batch_sizes[straggler] >= 1);
+        for (i, &d) in assignment.batch_sizes.iter().enumerate() {
+            prop_assert!(d >= assignment.batch_sizes[straggler] || i == straggler);
+        }
+    }
+}
+
+#[test]
+fn rescale_single_worker_tracks_budget_exactly() {
+    // One worker, byte-for-byte: the scaled batch is the largest one under the budget.
+    let scaled = rescale_to_budget(&[10], 100.0, 450.0);
+    assert_eq!(scaled, vec![4]);
+    // Budget far above the current batch grows it proportionally.
+    let grown = rescale_to_budget(&[4], 100.0, 1600.0);
+    assert_eq!(grown.len(), 1);
+    assert!(
+        grown[0] >= 4,
+        "budget headroom should never shrink the batch"
+    );
 }

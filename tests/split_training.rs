@@ -4,7 +4,7 @@
 use mergesfl::sfl::{dispatch_gradients, merge_features, FeatureUpload};
 use mergesfl_data::{synth, DatasetKind};
 use mergesfl_nn::zoo::{self, Architecture};
-use mergesfl_nn::{SoftmaxCrossEntropy, Sgd, Tensor};
+use mergesfl_nn::{Sgd, SoftmaxCrossEntropy, Tensor};
 
 #[test]
 fn split_training_step_equals_monolithic_step_for_every_architecture() {
@@ -40,7 +40,10 @@ fn split_training_step_equals_monolithic_step_for_every_architecture() {
         Sgd::plain(0.05).step(&mut split.bottom);
         Sgd::plain(0.05).step(&mut split.top);
 
-        assert!((out.loss - out_s.loss).abs() < 1e-5, "{arch:?}: losses diverge");
+        assert!(
+            (out.loss - out_s.loss).abs() < 1e-5,
+            "{arch:?}: losses diverge"
+        );
         let mut split_state = split.bottom.state();
         split_state.extend(split.top.state());
         let full_state = full.state();
@@ -49,7 +52,10 @@ fn split_training_step_equals_monolithic_step_for_every_architecture() {
             .zip(&split_state)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_diff < 1e-5, "{arch:?}: split step diverged from monolithic step by {max_diff}");
+        assert!(
+            max_diff < 1e-5,
+            "{arch:?}: split step diverged from monolithic step by {max_diff}"
+        );
     }
 }
 
@@ -92,6 +98,10 @@ fn bottom_models_are_smaller_than_full_models_for_all_architectures() {
         let full_params = zoo::build(arch, 10, 1).model.num_params();
         let split = zoo::build(arch, 10, 1).into_split();
         assert!(split.bottom.num_params() < full_params, "{arch:?}");
-        assert_eq!(split.bottom.num_params() + split.top.num_params(), full_params, "{arch:?}");
+        assert_eq!(
+            split.bottom.num_params() + split.top.num_params(),
+            full_params,
+            "{arch:?}"
+        );
     }
 }
