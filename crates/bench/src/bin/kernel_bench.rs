@@ -1,0 +1,444 @@
+//! Kernel benchmark: times the blocked GEMM/conv kernels against the naive oracle on
+//! shapes drawn from the model zoo, and emits the repo's perf trajectory file.
+//!
+//! ```text
+//! kernel_bench [--json] [--check] [--min-speedup X]
+//! ```
+//!
+//! * `--json` — additionally write the results to `BENCH_kernels.json` in the current
+//!   directory (schema documented in README.md, "Compute kernels and the perf gate").
+//! * `--check` — exit non-zero if the blocked backend is slower than `--min-speedup`
+//!   (default 1.0, i.e. "not slower than naive") on the gate shape, the largest GEMM.
+//!   This is what CI's `perf-smoke` job runs.
+//!
+//! Every measurement reports the best wall-clock time over several repetitions, which is
+//! robust against scheduler noise on shared CI runners.
+
+use mergesfl::json::write_f64;
+use mergesfl_nn::kernels::conv::{conv_backward, conv_forward, ConvGeom};
+use mergesfl_nn::kernels::{gemm_cfg, Epilogue, GemmBlocking, KernelBackend, Trans};
+use mergesfl_nn::rng::seeded;
+use rand::Rng;
+use std::time::Instant;
+
+/// Gate shape: the largest GEMM; `--check` compares blocked vs naive here.
+const GATE: &str = "gemm_nn_256x256x256";
+
+/// What one benchmark entry runs.
+enum Case {
+    /// A plain GEMM of the given layout and shape, with an optional fused epilogue.
+    Gemm {
+        trans: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        fused_bias_relu: bool,
+    },
+    /// One convolution forward pass.
+    ConvForward(ConvGeom),
+    /// One convolution backward pass (weight, bias and input gradients).
+    ConvBackward(ConvGeom),
+}
+
+struct Entry {
+    name: &'static str,
+    case: Case,
+}
+
+fn zoo() -> Vec<Entry> {
+    vec![
+        // Square GEMMs establishing the scaling trend; the largest is the CI gate.
+        Entry {
+            name: "gemm_nn_64x64x64",
+            case: gemm(Trans::Nn, 64, 64, 64),
+        },
+        Entry {
+            name: "gemm_nn_128x128x128",
+            case: gemm(Trans::Nn, 128, 128, 128),
+        },
+        Entry {
+            name: GATE,
+            case: gemm(Trans::Nn, 256, 256, 256),
+        },
+        // Fused bias+ReLU epilogue on the gate shape (epilogue overhead visibility).
+        Entry {
+            name: "gemm_nt_256x256x256_bias_relu",
+            case: Case::Gemm {
+                trans: Trans::Nt,
+                m: 256,
+                n: 256,
+                k: 256,
+                fused_bias_relu: true,
+            },
+        },
+        // Fully-connected shapes from the model zoo (y = x W^T at training batch sizes).
+        Entry {
+            name: "linear_cnnh_fc1_b32",
+            case: gemm(Trans::Nt, 32, 32, 108),
+        },
+        Entry {
+            name: "linear_alexnet_fc1_b64",
+            case: gemm(Trans::Nt, 64, 48, 64),
+        },
+        // Convolutions from the model zoo (CNN-H head, AlexNet stem, CNN-S stem).
+        Entry {
+            name: "conv2d_cnnh_c1_b32_fwd",
+            case: Case::ConvForward(ConvGeom::conv2d(32, 1, 12, 12, 6, 3, 1, 1)),
+        },
+        Entry {
+            name: "conv2d_alexnet_c1_b16_fwd",
+            case: Case::ConvForward(ConvGeom::conv2d(16, 3, 16, 16, 8, 3, 1, 1)),
+        },
+        Entry {
+            name: "conv2d_alexnet_c1_b16_bwd",
+            case: Case::ConvBackward(ConvGeom::conv2d(16, 3, 16, 16, 8, 3, 1, 1)),
+        },
+        Entry {
+            name: "conv1d_cnns_c1_b16_fwd",
+            case: Case::ConvForward(ConvGeom::conv1d(16, 1, 64, 8, 5, 1, 2)),
+        },
+        Entry {
+            name: "conv1d_cnns_c1_b16_bwd",
+            case: Case::ConvBackward(ConvGeom::conv1d(16, 1, 64, 8, 5, 1, 2)),
+        },
+    ]
+}
+
+fn gemm(trans: Trans, m: usize, n: usize, k: usize) -> Case {
+    Case::Gemm {
+        trans,
+        m,
+        n,
+        k,
+        fused_bias_relu: false,
+    }
+}
+
+fn random_vec(rng: &mut impl Rng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Best-of-`reps` wall-clock nanoseconds for one invocation of `f`.
+fn best_ns<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f(); // warm-up (page in buffers, fill caches)
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Picks a repetition count so each measurement costs roughly 0.2 s at most.
+fn reps_for(flops: f64) -> usize {
+    // Assume a pessimistic 0.5 GFLOP/s for the naive path.
+    let est_ns = flops / 0.5;
+    ((200_000_000.0 / est_ns.max(1.0)) as usize).clamp(3, 25)
+}
+
+struct Measurement {
+    name: &'static str,
+    kind: &'static str,
+    flops: f64,
+    naive_ns: f64,
+    blocked_ns: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.blocked_ns
+    }
+
+    fn gflops(&self, ns: f64) -> f64 {
+        self.flops / ns
+    }
+}
+
+fn measure(entry: &Entry) -> Measurement {
+    let mut rng = seeded(42);
+    match &entry.case {
+        Case::Gemm {
+            trans,
+            m,
+            n,
+            k,
+            fused_bias_relu,
+        } => {
+            let (m, n, k) = (*m, *n, *k);
+            let a_len = m * k;
+            let b_len = k * n;
+            let a = random_vec(&mut rng, a_len);
+            let b = random_vec(&mut rng, b_len);
+            let bias = random_vec(&mut rng, n);
+            let mut c = vec![0.0f32; m * n];
+            let flops = 2.0 * m as f64 * n as f64 * k as f64;
+            let reps = reps_for(flops);
+            let epilogue = || {
+                if *fused_bias_relu {
+                    Epilogue::BiasRowRelu(&bias)
+                } else {
+                    Epilogue::None
+                }
+            };
+            // The naive baseline must be what the seed repository actually ran, or the
+            // recorded speedups overstate the win. For `Nt` the seed's Linear layer
+            // materialised Wᵀ and then used the row-contiguous `Nn` loop (plus a bias
+            // broadcast and a separate ReLU pass for the fused entry) — timing the
+            // strided naive `Nt` loop instead would be ~15x slower than that baseline.
+            let naive_ns = match trans {
+                Trans::Nt => best_ns(
+                    || {
+                        let mut bt = vec![0.0f32; k * n];
+                        for j in 0..n {
+                            for p in 0..k {
+                                bt[p * n + j] = b[j * k + p];
+                            }
+                        }
+                        c.fill(0.0);
+                        gemm_cfg(
+                            KernelBackend::Naive,
+                            Trans::Nn,
+                            m,
+                            n,
+                            k,
+                            &a,
+                            &bt,
+                            &mut c,
+                            Epilogue::None,
+                            &GemmBlocking::default(),
+                        );
+                        if *fused_bias_relu {
+                            mergesfl_nn::kernels::add_bias_rows(&mut c, &bias);
+                            for v in c.iter_mut() {
+                                *v = v.max(0.0);
+                            }
+                        }
+                        std::hint::black_box(&c);
+                    },
+                    reps,
+                ),
+                _ => best_ns(
+                    || {
+                        c.fill(0.0);
+                        gemm_cfg(
+                            KernelBackend::Naive,
+                            *trans,
+                            m,
+                            n,
+                            k,
+                            &a,
+                            &b,
+                            &mut c,
+                            epilogue(),
+                            &GemmBlocking::default(),
+                        );
+                        std::hint::black_box(&c);
+                    },
+                    reps,
+                ),
+            };
+            let blocked_ns = best_ns(
+                || {
+                    c.fill(0.0);
+                    gemm_cfg(
+                        KernelBackend::Blocked,
+                        *trans,
+                        m,
+                        n,
+                        k,
+                        &a,
+                        &b,
+                        &mut c,
+                        epilogue(),
+                        &GemmBlocking::default(),
+                    );
+                    std::hint::black_box(&c);
+                },
+                reps,
+            );
+            Measurement {
+                name: entry.name,
+                kind: "gemm",
+                flops,
+                naive_ns,
+                blocked_ns,
+            }
+        }
+        Case::ConvForward(geom) => {
+            let x = random_vec(&mut rng, geom.n * geom.c_in * geom.h * geom.w);
+            let w = random_vec(&mut rng, geom.c_out * geom.c_in * geom.kh * geom.kw);
+            let bias = random_vec(&mut rng, geom.c_out);
+            let flops = conv_flops(geom);
+            let reps = reps_for(flops);
+            let run = |backend: KernelBackend| {
+                best_ns(
+                    || {
+                        std::hint::black_box(conv_forward(backend, geom, &x, &w, &bias));
+                    },
+                    reps,
+                )
+            };
+            let naive_ns = run(KernelBackend::Naive);
+            let blocked_ns = run(KernelBackend::Blocked);
+            Measurement {
+                name: entry.name,
+                kind: "conv_forward",
+                flops,
+                naive_ns,
+                blocked_ns,
+            }
+        }
+        Case::ConvBackward(geom) => {
+            let x = random_vec(&mut rng, geom.n * geom.c_in * geom.h * geom.w);
+            let w = random_vec(&mut rng, geom.c_out * geom.c_in * geom.kh * geom.kw);
+            let go = random_vec(&mut rng, geom.n * geom.c_out * geom.h_out() * geom.w_out());
+            let mut grad_w = vec![0.0f32; w.len()];
+            let mut grad_b = vec![0.0f32; geom.c_out];
+            // Backward runs the weight-gradient and input-gradient products: ~2x forward.
+            let flops = 2.0 * conv_flops(geom);
+            let reps = reps_for(flops);
+            let mut run = |backend: KernelBackend| {
+                best_ns(
+                    || {
+                        grad_w.fill(0.0);
+                        grad_b.fill(0.0);
+                        std::hint::black_box(conv_backward(
+                            backend,
+                            geom,
+                            &x,
+                            &w,
+                            &go,
+                            &mut grad_w,
+                            &mut grad_b,
+                        ));
+                    },
+                    reps,
+                )
+            };
+            let naive_ns = run(KernelBackend::Naive);
+            let blocked_ns = run(KernelBackend::Blocked);
+            Measurement {
+                name: entry.name,
+                kind: "conv_backward",
+                flops,
+                naive_ns,
+                blocked_ns,
+            }
+        }
+    }
+}
+
+fn conv_flops(geom: &ConvGeom) -> f64 {
+    2.0 * (geom.n * geom.c_out * geom.h_out() * geom.w_out()) as f64
+        * (geom.c_in * geom.kh * geom.kw) as f64
+}
+
+fn render_json(results: &[Measurement], threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mergesfl-kernel-bench/v1\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"gate\": \"{GATE}\",\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let num = |v: f64| {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            s
+        };
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": \"{}\", ", r.name));
+        out.push_str(&format!("\"kind\": \"{}\", ", r.kind));
+        out.push_str(&format!("\"flops\": {}, ", num(r.flops)));
+        out.push_str(&format!("\"naive_ns\": {}, ", num(r.naive_ns)));
+        out.push_str(&format!("\"blocked_ns\": {}, ", num(r.blocked_ns)));
+        out.push_str(&format!(
+            "\"naive_gflops\": {}, ",
+            num(round3(r.gflops(r.naive_ns)))
+        ));
+        out.push_str(&format!(
+            "\"blocked_gflops\": {}, ",
+            num(round3(r.gflops(r.blocked_ns)))
+        ));
+        out.push_str(&format!("\"speedup\": {}", num(round3(r.speedup()))));
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let mut emit_json = false;
+    let mut check = false;
+    let mut min_speedup = 1.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => emit_json = true,
+            "--check" => check = true,
+            "--min-speedup" => {
+                min_speedup = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-speedup requires a numeric argument");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: kernel_bench [--json] [--check] [--min-speedup X]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = rayon::current_num_threads();
+    println!("kernel_bench: naive oracle vs blocked kernels ({threads} thread(s))\n");
+    println!(
+        "  {:<32} {:>14} {:>12} {:>12} {:>12} {:>9}",
+        "shape", "kind", "naive", "blocked", "GFLOP/s", "speedup"
+    );
+
+    let mut results = Vec::new();
+    for entry in zoo() {
+        let r = measure(&entry);
+        println!(
+            "  {:<32} {:>14} {:>10.2}ms {:>10.2}ms {:>12.2} {:>8.2}x",
+            r.name,
+            r.kind,
+            r.naive_ns / 1e6,
+            r.blocked_ns / 1e6,
+            r.gflops(r.blocked_ns),
+            r.speedup(),
+        );
+        results.push(r);
+    }
+
+    if emit_json {
+        let json = render_json(&results, threads);
+        std::fs::write("BENCH_kernels.json", &json).expect("failed to write BENCH_kernels.json");
+        println!("\nwrote BENCH_kernels.json ({} entries)", results.len());
+    }
+
+    if check {
+        let gate = results
+            .iter()
+            .find(|r| r.name == GATE)
+            .expect("gate shape missing from the zoo");
+        let speedup = gate.speedup();
+        if speedup < min_speedup {
+            eprintln!(
+                "PERF GATE FAILED: blocked GEMM is {speedup:.2}x the naive oracle on {GATE} \
+                 (required >= {min_speedup:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("\nperf gate passed: {speedup:.2}x >= {min_speedup:.2}x on {GATE}");
+    }
+}

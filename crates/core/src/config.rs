@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use mergesfl_data::DatasetKind;
+pub use mergesfl_nn::kernels::KernelBackend;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one training run (one approach on one dataset at one non-IID level).
@@ -42,6 +43,10 @@ pub struct RunConfig {
     /// sequential execution: every worker owns an RNG derived from the base seed via
     /// `derive_seed`, and results are always reduced in cohort order.
     pub parallel: bool,
+    /// Which compute-kernel backend runs the NN hot path (blocked GEMM/im2col by default,
+    /// or the naive loop-nest oracle). Applied process-wide by `experiment::run`;
+    /// constructors honour the `MERGESFL_KERNELS` environment variable.
+    pub kernel_backend: KernelBackend,
 }
 
 impl RunConfig {
@@ -66,6 +71,7 @@ impl RunConfig {
             seed,
             estimate_alpha: 0.8,
             parallel: true,
+            kernel_backend: KernelBackend::from_env(),
         }
     }
 
@@ -90,6 +96,7 @@ impl RunConfig {
             seed,
             estimate_alpha: 0.8,
             parallel: true,
+            kernel_backend: KernelBackend::from_env(),
         }
     }
 
@@ -113,6 +120,7 @@ impl RunConfig {
             seed,
             estimate_alpha: 0.8,
             parallel: true,
+            kernel_backend: KernelBackend::from_env(),
         }
     }
 

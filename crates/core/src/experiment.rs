@@ -86,6 +86,9 @@ impl Approach {
 
 /// Runs one approach under the given configuration and returns its metric trace.
 pub fn run(approach: Approach, config: &RunConfig) -> RunResult {
+    // Select the compute-kernel backend for the NN hot path. The setting is process-wide
+    // (layers read it at call time), so concurrent runs should use the same backend.
+    mergesfl_nn::kernels::set_default_backend(config.kernel_backend);
     match approach {
         Approach::MergeSfl => SflEngine::new(SflStrategy::merge_sfl(), config).run(),
         Approach::MergeSflWithoutFm => {

@@ -1,0 +1,627 @@
+//! Convolution kernels: direct naive loops (oracle) and im2col-backed GEMM.
+//!
+//! One generalised geometry, [`ConvGeom`], covers both layer types: `Conv2d` maps to a
+//! square kernel over `[n, c_in, h, w]`, and `Conv1d` is the `h = 1, kh = 1` special case
+//! over `[n, c_in, 1, l]`. Both the naive and the blocked path implement **forward and
+//! backward** so either backend can run a whole training step.
+//!
+//! The blocked forward lowers each image to a `[h_out·w_out, c_in·kh·kw]` patch matrix
+//! (`im2col`), seeds the output with the bias planes, and accumulates `W · colsᵀ` through
+//! the packed GEMM. Because the patch columns enumerate `(ci, ky, kx)` in exactly the
+//! order of the naive loop nest and the GEMM folds in ascending-`k` order, the blocked
+//! forward, weight gradient and bias gradient are bit-identical to the naive oracle on
+//! finite inputs; only the input gradient reassociates its reduction (`col2im` sums taps
+//! per output position, the naive nest per output channel) and is verified to a few ULPs
+//! by the property tests.
+
+use super::gemm::{gemm_cfg, Epilogue, GemmBlocking, Trans};
+use super::{init_bias_planes, KernelBackend};
+use rayon::prelude::*;
+
+/// Minimum number of forward flops before the blocked path fans the batch out across
+/// threads; each image owns a disjoint output slice, so results never depend on this.
+const PAR_MIN_FLOPS: usize = 1 << 22;
+
+/// Geometry of a (possibly 1-D) convolution.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Input height (1 for 1-D convolutions).
+    pub h: usize,
+    /// Input width (the sequence length for 1-D convolutions).
+    pub w: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel height (1 for 1-D convolutions).
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Vertical zero padding (0 for 1-D convolutions).
+    pub ph: usize,
+    /// Horizontal zero padding.
+    pub pw: usize,
+}
+
+impl ConvGeom {
+    /// Geometry of a square-kernel 2-D convolution (the `Conv2d` layer).
+    pub fn conv2d(
+        n: usize,
+        c_in: usize,
+        h: usize,
+        w: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            n,
+            c_in,
+            h,
+            w,
+            c_out,
+            kh: kernel,
+            kw: kernel,
+            sh: stride,
+            sw: stride,
+            ph: padding,
+            pw: padding,
+        }
+    }
+
+    /// Geometry of a 1-D convolution (the `Conv1d` layer) as a height-1 2-D convolution.
+    pub fn conv1d(
+        n: usize,
+        c_in: usize,
+        l: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            n,
+            c_in,
+            h: 1,
+            w: l,
+            c_out,
+            kh: 1,
+            kw: kernel,
+            sh: 1,
+            sw: stride,
+            ph: 0,
+            pw: padding,
+        }
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> usize {
+        (self.h + 2 * self.ph - self.kh) / self.sh + 1
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> usize {
+        (self.w + 2 * self.pw - self.kw) / self.sw + 1
+    }
+
+    fn per_image_in(&self) -> usize {
+        self.c_in * self.h * self.w
+    }
+
+    fn per_image_out(&self) -> usize {
+        self.c_out * self.h_out() * self.w_out()
+    }
+
+    /// Columns of the im2col patch matrix: one entry per `(ci, ky, kx)` kernel tap.
+    fn patch_len(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    fn validate(&self, x_len: usize, w_len: usize) {
+        assert!(
+            self.c_in > 0
+                && self.c_out > 0
+                && self.kh > 0
+                && self.kw > 0
+                && self.sh > 0
+                && self.sw > 0,
+            "ConvGeom: invalid configuration"
+        );
+        assert!(
+            self.h + 2 * self.ph >= self.kh && self.w + 2 * self.pw >= self.kw,
+            "ConvGeom: input smaller than kernel"
+        );
+        assert_eq!(
+            x_len,
+            self.n * self.per_image_in(),
+            "ConvGeom: input length mismatch"
+        );
+        assert_eq!(
+            w_len,
+            self.c_out * self.patch_len(),
+            "ConvGeom: weight length mismatch"
+        );
+    }
+}
+
+/// Convolution forward pass; returns the `[n, c_out, h_out, w_out]` output buffer.
+///
+/// `weight` is `[c_out, c_in, kh, kw]` row-major, `bias` is `[c_out]`.
+pub fn conv_forward(
+    backend: KernelBackend,
+    geom: &ConvGeom,
+    x: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
+    geom.validate(x.len(), weight.len());
+    assert_eq!(bias.len(), geom.c_out, "conv_forward: bias length mismatch");
+    let plane = geom.h_out() * geom.w_out();
+    let mut out = vec![0.0f32; geom.n * geom.per_image_out()];
+    // Shared epilogue seed: the output starts at the bias and the kernels accumulate on
+    // top, which keeps the naive and blocked accumulation orders identical.
+    init_bias_planes(&mut out, bias, plane);
+    match backend {
+        KernelBackend::Naive => forward_naive(geom, x, weight, &mut out),
+        KernelBackend::Blocked => forward_blocked(geom, x, weight, &mut out),
+    }
+    out
+}
+
+/// Convolution backward pass.
+///
+/// Accumulates the weight gradient into `grad_w` (`[c_out, c_in, kh, kw]`) and the bias
+/// gradient into `grad_b` (`[c_out]`), exactly as the layers' `Param::grad` buffers
+/// expect, and returns the input gradient (`[n, c_in, h, w]`).
+pub fn conv_backward(
+    backend: KernelBackend,
+    geom: &ConvGeom,
+    x: &[f32],
+    weight: &[f32],
+    grad_out: &[f32],
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+) -> Vec<f32> {
+    geom.validate(x.len(), weight.len());
+    assert_eq!(
+        grad_out.len(),
+        geom.n * geom.per_image_out(),
+        "conv_backward: grad_out length mismatch"
+    );
+    assert_eq!(
+        grad_w.len(),
+        weight.len(),
+        "conv_backward: grad_w length mismatch"
+    );
+    assert_eq!(
+        grad_b.len(),
+        geom.c_out,
+        "conv_backward: grad_b length mismatch"
+    );
+    let mut grad_in = vec![0.0f32; x.len()];
+    match backend {
+        KernelBackend::Naive => {
+            backward_naive(geom, x, weight, grad_out, grad_w, grad_b, &mut grad_in)
+        }
+        KernelBackend::Blocked => {
+            backward_blocked(geom, x, weight, grad_out, grad_w, grad_b, &mut grad_in)
+        }
+    }
+    grad_in
+}
+
+// ---------------------------------------------------------------------------
+// Naive oracle: the seed repository's direct loop nests, generalised to ConvGeom.
+// ---------------------------------------------------------------------------
+
+fn forward_naive(geom: &ConvGeom, x: &[f32], weight: &[f32], out: &mut [f32]) {
+    let (h_out, w_out) = (geom.h_out(), geom.w_out());
+    let &ConvGeom {
+        n,
+        c_in,
+        h,
+        w,
+        c_out,
+        kh,
+        kw,
+        sh,
+        sw,
+        ..
+    } = geom;
+    let (ph, pw) = (geom.ph as isize, geom.pw as isize);
+    for ni in 0..n {
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let oi = ((ni * c_out + co) * h_out + oy) * w_out + ox;
+                    let mut acc = out[oi];
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky) as isize - ph;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx) as isize - pw;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((ni * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                let wi = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                acc += x[xi] * weight[wi];
+                            }
+                        }
+                    }
+                    out[oi] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backward_naive(
+    geom: &ConvGeom,
+    x: &[f32],
+    weight: &[f32],
+    grad_out: &[f32],
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+    grad_in: &mut [f32],
+) {
+    let (h_out, w_out) = (geom.h_out(), geom.w_out());
+    let &ConvGeom {
+        n,
+        c_in,
+        h,
+        w,
+        c_out,
+        kh,
+        kw,
+        sh,
+        sw,
+        ..
+    } = geom;
+    let (ph, pw) = (geom.ph as isize, geom.pw as isize);
+    for ni in 0..n {
+        for co in 0..c_out {
+            for oy in 0..h_out {
+                for ox in 0..w_out {
+                    let g = grad_out[((ni * c_out + co) * h_out + oy) * w_out + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grad_b[co] += g;
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky) as isize - ph;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx) as isize - pw;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((ni * c_in + ci) * h + iy as usize) * w + ix as usize;
+                                let wi = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                grad_w[wi] += g * x[xi];
+                                grad_in[xi] += g * weight[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked path: im2col + packed GEMM.
+// ---------------------------------------------------------------------------
+
+/// Lowers one image to its `[h_out·w_out, c_in·kh·kw]` patch matrix. Out-of-bounds
+/// (padding) taps are written as zeros, so every entry of `cols` is (re)written.
+fn im2col(geom: &ConvGeom, x_img: &[f32], cols: &mut [f32]) {
+    let (h_out, w_out) = (geom.h_out(), geom.w_out());
+    let &ConvGeom {
+        c_in,
+        h,
+        w,
+        kh,
+        kw,
+        sh,
+        sw,
+        ..
+    } = geom;
+    let (ph, pw) = (geom.ph as isize, geom.pw as isize);
+    let mut idx = 0usize;
+    for oy in 0..h_out {
+        for ox in 0..w_out {
+            for ci in 0..c_in {
+                for ky in 0..kh {
+                    let iy = (oy * sh + ky) as isize - ph;
+                    let row_ok = iy >= 0 && iy < h as isize;
+                    for kx in 0..kw {
+                        let ix = (ox * sw + kx) as isize - pw;
+                        cols[idx] = if row_ok && ix >= 0 && ix < w as isize {
+                            x_img[(ci * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a patch-gradient matrix back into one image's input gradient.
+fn col2im_add(geom: &ConvGeom, dcols: &[f32], grad_img: &mut [f32]) {
+    let (h_out, w_out) = (geom.h_out(), geom.w_out());
+    let &ConvGeom {
+        c_in,
+        h,
+        w,
+        kh,
+        kw,
+        sh,
+        sw,
+        ..
+    } = geom;
+    let (ph, pw) = (geom.ph as isize, geom.pw as isize);
+    let mut idx = 0usize;
+    for oy in 0..h_out {
+        for ox in 0..w_out {
+            for ci in 0..c_in {
+                for ky in 0..kh {
+                    let iy = (oy * sh + ky) as isize - ph;
+                    let row_ok = iy >= 0 && iy < h as isize;
+                    for kx in 0..kw {
+                        let ix = (ox * sw + kx) as isize - pw;
+                        if row_ok && ix >= 0 && ix < w as isize {
+                            grad_img[(ci * h + iy as usize) * w + ix as usize] += dcols[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn forward_one_image(
+    geom: &ConvGeom,
+    x_img: &[f32],
+    weight: &[f32],
+    cols: &mut [f32],
+    out_img: &mut [f32],
+) {
+    let plane = geom.h_out() * geom.w_out();
+    let ckk = geom.patch_len();
+    im2col(geom, x_img, cols);
+    // out_img [c_out, plane] += W [c_out, ckk] · colsᵀ ([plane, ckk]ᵀ); out_img already
+    // holds the bias planes, so the GEMM continues the naive accumulation exactly.
+    gemm_cfg(
+        KernelBackend::Blocked,
+        Trans::Nt,
+        geom.c_out,
+        plane,
+        ckk,
+        weight,
+        cols,
+        out_img,
+        Epilogue::None,
+        &GemmBlocking::default(),
+    );
+}
+
+fn forward_blocked(geom: &ConvGeom, x: &[f32], weight: &[f32], out: &mut [f32]) {
+    let per_in = geom.per_image_in();
+    let per_out = geom.per_image_out();
+    if geom.n == 0 || per_out == 0 {
+        return;
+    }
+    let flops = 2 * geom.n * per_out * geom.patch_len();
+    if rayon::current_num_threads() > 1 && geom.n > 1 && flops >= PAR_MIN_FLOPS {
+        // One image per task: disjoint output slices, fixed order, own scratch buffer.
+        let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(per_out).enumerate().collect();
+        tasks.into_par_iter().for_each(|(ni, out_img)| {
+            let mut cols = vec![0.0f32; geom.h_out() * geom.w_out() * geom.patch_len()];
+            forward_one_image(
+                geom,
+                &x[ni * per_in..(ni + 1) * per_in],
+                weight,
+                &mut cols,
+                out_img,
+            );
+        });
+    } else {
+        let mut cols = vec![0.0f32; geom.h_out() * geom.w_out() * geom.patch_len()];
+        for (ni, out_img) in out.chunks_mut(per_out).enumerate() {
+            forward_one_image(
+                geom,
+                &x[ni * per_in..(ni + 1) * per_in],
+                weight,
+                &mut cols,
+                out_img,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backward_blocked(
+    geom: &ConvGeom,
+    x: &[f32],
+    weight: &[f32],
+    grad_out: &[f32],
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+    grad_in: &mut [f32],
+) {
+    let per_in = geom.per_image_in();
+    let per_out = geom.per_image_out();
+    let plane = geom.h_out() * geom.w_out();
+    let ckk = geom.patch_len();
+    if geom.n == 0 || per_out == 0 {
+        return;
+    }
+    let mut cols = vec![0.0f32; plane * ckk];
+    let mut dcols = vec![0.0f32; plane * ckk];
+    // Images run strictly in batch order so gradient accumulation folds exactly like the
+    // naive nest (per-image partial sums would reassociate the reduction).
+    for ni in 0..geom.n {
+        let x_img = &x[ni * per_in..(ni + 1) * per_in];
+        let g_img = &grad_out[ni * per_out..(ni + 1) * per_out];
+        im2col(geom, x_img, &mut cols);
+        // Bias gradient: fold each output plane in scan order, matching the naive nest.
+        for (co, gb) in grad_b.iter_mut().enumerate() {
+            for &g in &g_img[co * plane..(co + 1) * plane] {
+                *gb += g;
+            }
+        }
+        // grad_W [c_out, ckk] += G [c_out, plane] · cols [plane, ckk].
+        gemm_cfg(
+            KernelBackend::Blocked,
+            Trans::Nn,
+            geom.c_out,
+            ckk,
+            plane,
+            g_img,
+            &cols,
+            grad_w,
+            Epilogue::None,
+            &GemmBlocking::default(),
+        );
+        // dcols [plane, ckk] = Gᵀ ([c_out, plane]ᵀ) · W [c_out, ckk], then scatter back.
+        dcols.fill(0.0);
+        gemm_cfg(
+            KernelBackend::Blocked,
+            Trans::Tn,
+            plane,
+            ckk,
+            geom.c_out,
+            g_img,
+            weight,
+            &mut dcols,
+            Epilogue::None,
+            &GemmBlocking::default(),
+        );
+        col2im_add(geom, &dcols, &mut grad_in[ni * per_in..(ni + 1) * per_in]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use rand::Rng;
+
+    fn random_vec(rng: &mut impl Rng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.5f32..1.5)).collect()
+    }
+
+    fn check_conv_parity(geom: ConvGeom, seed: u64) {
+        let mut rng = seeded(seed);
+        let x = random_vec(&mut rng, geom.n * geom.per_image_in());
+        let weight = random_vec(&mut rng, geom.c_out * geom.patch_len());
+        let bias = random_vec(&mut rng, geom.c_out);
+        let y_naive = conv_forward(KernelBackend::Naive, &geom, &x, &weight, &bias);
+        let y_blocked = conv_forward(KernelBackend::Blocked, &geom, &x, &weight, &bias);
+        assert_eq!(y_naive, y_blocked, "forward mismatch for {geom:?}");
+
+        let grad_out = random_vec(&mut rng, y_naive.len());
+        let (mut gw_n, mut gb_n) = (vec![0.0; weight.len()], vec![0.0; bias.len()]);
+        let (mut gw_b, mut gb_b) = (vec![0.0; weight.len()], vec![0.0; bias.len()]);
+        let gi_n = conv_backward(
+            KernelBackend::Naive,
+            &geom,
+            &x,
+            &weight,
+            &grad_out,
+            &mut gw_n,
+            &mut gb_n,
+        );
+        let gi_b = conv_backward(
+            KernelBackend::Blocked,
+            &geom,
+            &x,
+            &weight,
+            &grad_out,
+            &mut gw_b,
+            &mut gb_b,
+        );
+        assert_eq!(gw_n, gw_b, "grad_w mismatch for {geom:?}");
+        assert_eq!(gb_n, gb_b, "grad_b mismatch for {geom:?}");
+        for (i, (a, b)) in gi_n.iter().zip(&gi_b).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                "grad_in mismatch at {i} for {geom:?}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_parity_across_strides_and_paddings() {
+        check_conv_parity(ConvGeom::conv2d(2, 3, 6, 6, 4, 3, 1, 1), 10);
+        check_conv_parity(ConvGeom::conv2d(1, 2, 7, 5, 3, 3, 2, 0), 11);
+        check_conv_parity(ConvGeom::conv2d(3, 1, 4, 4, 2, 2, 2, 2), 12);
+    }
+
+    #[test]
+    fn conv1d_parity() {
+        check_conv_parity(ConvGeom::conv1d(2, 3, 16, 5, 5, 1, 2), 20);
+        check_conv_parity(ConvGeom::conv1d(1, 1, 9, 2, 3, 2, 0), 21);
+    }
+
+    #[test]
+    fn degenerate_one_by_one_and_empty_batch() {
+        // 1x1 kernel on a 1x1 image is a pure channel mix.
+        check_conv_parity(ConvGeom::conv2d(2, 3, 1, 1, 4, 1, 1, 0), 30);
+        // An empty batch produces empty outputs and zero gradients on both backends.
+        let geom = ConvGeom::conv2d(0, 2, 4, 4, 3, 3, 1, 1);
+        for backend in [KernelBackend::Naive, KernelBackend::Blocked] {
+            let y = conv_forward(backend, &geom, &[], &vec![1.0; 3 * 2 * 9], &[0.0; 3]);
+            assert!(y.is_empty());
+            let (mut gw, mut gb) = (vec![0.0; 3 * 2 * 9], vec![0.0; 3]);
+            let gi = conv_backward(
+                backend,
+                &geom,
+                &[],
+                &vec![1.0; 3 * 2 * 9],
+                &[],
+                &mut gw,
+                &mut gb,
+            );
+            assert!(gi.is_empty());
+            assert!(gw.iter().all(|&v| v == 0.0) && gb.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1x3x3 image, 2x2 kernel, no padding: four patches in scan order.
+        let geom = ConvGeom::conv2d(1, 1, 3, 3, 1, 2, 1, 0);
+        let x: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; 4 * 4];
+        im2col(&geom, &x, &mut cols);
+        assert_eq!(
+            cols,
+            vec![
+                1.0, 2.0, 4.0, 5.0, //
+                2.0, 3.0, 5.0, 6.0, //
+                4.0, 5.0, 7.0, 8.0, //
+                5.0, 6.0, 8.0, 9.0,
+            ]
+        );
+    }
+}

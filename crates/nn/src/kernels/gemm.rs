@@ -1,0 +1,822 @@
+//! Cache-blocked, register-tiled GEMM with packed panels.
+//!
+//! The entry points are [`gemm_nn`], [`gemm_nt`] and [`gemm_tn`] — the three operand
+//! layouts the layers need (`C += A·B`, `C += A·Bᵀ`, `C += Aᵀ·B`). All of them
+//! *accumulate into* `C`, so callers seed `C` with zeros or a bias broadcast and may pass
+//! a fused [`Epilogue`] applied after the product.
+//!
+//! The blocked implementation follows the classic three-level blocking scheme (BLIS-style):
+//! `NC`-wide column blocks of B are packed into contiguous `NR` panels, `MC`-tall row
+//! blocks of A into `MR` panels, and an `MR×NR` register-tiled micro-kernel walks the
+//! shared `KC` dimension. The micro-kernel **loads the destination tile and folds into
+//! it**, so each output element is accumulated in exactly the same ascending-`k` order as
+//! the naive loops — blocked and naive results are bit-identical on finite inputs, which
+//! is what lets the naive backend serve as a strict oracle.
+//!
+//! When the host has more than one core and the product is large enough, the row dimension
+//! is split into one contiguous panel per thread (via the rayon shim). Each thread owns a
+//! disjoint slice of C and performs the identical per-element accumulation, so results do
+//! not depend on the thread count — parallelism changes wall-clock time only.
+
+use rayon::prelude::*;
+
+/// Rows of the portable register tile (micro-panel height of packed A).
+const MR: usize = 4;
+/// Columns of the portable register tile (micro-panel width of packed B).
+const NR: usize = 8;
+
+/// Minimum number of floating-point operations (`2·m·n·k`) before the blocked path fans
+/// out across threads; below this the spawn overhead dominates.
+const PAR_MIN_FLOPS: usize = 1 << 22;
+
+/// Minimum `2·m·n·k` before packing pays for itself; smaller products run the naive loops
+/// (which are bit-identical, so the cut-over is invisible to callers).
+const BLOCKED_MIN_FLOPS: usize = 1 << 13;
+
+use super::KernelBackend;
+
+/// Operand layout of a GEMM call. `C` is always row-major `[m, n]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// `A` is row-major `[m, k]`, `B` is row-major `[k, n]`: `C += A·B`.
+    Nn,
+    /// `A` is row-major `[m, k]`, `B` is row-major `[n, k]`: `C += A·Bᵀ`.
+    Nt,
+    /// `A` is row-major `[k, m]`, `B` is row-major `[k, n]`: `C += Aᵀ·B`.
+    Tn,
+}
+
+/// Fused operation applied to `C` after the product has been accumulated.
+#[derive(Clone, Copy, Debug)]
+pub enum Epilogue<'a> {
+    /// Leave `C` as the accumulated product.
+    None,
+    /// Add `bias[j]` to every row: the fully-connected bias broadcast.
+    BiasRow(&'a [f32]),
+    /// Add `bias[j]` to every row, then clamp at zero (fused bias + ReLU).
+    BiasRowRelu(&'a [f32]),
+    /// Clamp every element at zero.
+    Relu,
+}
+
+impl Epilogue<'_> {
+    fn apply(&self, c: &mut [f32], n: usize) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::BiasRow(bias) => {
+                assert_eq!(bias.len(), n, "Epilogue::BiasRow: bias length must be n");
+                super::add_bias_rows(c, bias);
+            }
+            Epilogue::BiasRowRelu(bias) => {
+                assert_eq!(
+                    bias.len(),
+                    n,
+                    "Epilogue::BiasRowRelu: bias length must be n"
+                );
+                if n == 0 {
+                    return;
+                }
+                for row in c.chunks_exact_mut(n) {
+                    for (x, b) in row.iter_mut().zip(*bias) {
+                        *x = (*x + b).max(0.0);
+                    }
+                }
+            }
+            Epilogue::Relu => {
+                for x in c.iter_mut() {
+                    *x = x.max(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocking parameters of the packed GEMM.
+///
+/// The defaults target a ~32 KiB L1 / 256 KiB–1 MiB L2 CPU: one packed A panel
+/// (`MR·kc` floats) plus one packed B panel (`NR·kc` floats) stay L1-resident while a
+/// `kc×nc` B block lives in L2.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmBlocking {
+    /// Row-block height of A (and C) processed per packing round.
+    pub mc: usize,
+    /// Depth of the shared dimension packed per round.
+    pub kc: usize,
+    /// Column-block width of B (and C) processed per packing round.
+    pub nc: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        Self {
+            mc: 128,
+            kc: 256,
+            nc: 512,
+        }
+    }
+}
+
+impl GemmBlocking {
+    fn validate(&self) {
+        assert!(
+            self.mc > 0 && self.kc > 0 && self.nc > 0,
+            "GemmBlocking: block sizes must be positive"
+        );
+    }
+}
+
+/// `C += A·B` with the given backend (row-major `[m,k] · [k,n] -> [m,n]`).
+pub fn gemm_nn(
+    backend: KernelBackend,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    gemm_cfg(
+        backend,
+        Trans::Nn,
+        m,
+        n,
+        k,
+        a,
+        b,
+        c,
+        epilogue,
+        &GemmBlocking::default(),
+    );
+}
+
+/// `C += A·Bᵀ` with the given backend (row-major `[m,k] · [n,k]ᵀ -> [m,n]`).
+pub fn gemm_nt(
+    backend: KernelBackend,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    gemm_cfg(
+        backend,
+        Trans::Nt,
+        m,
+        n,
+        k,
+        a,
+        b,
+        c,
+        epilogue,
+        &GemmBlocking::default(),
+    );
+}
+
+/// `C += Aᵀ·B` with the given backend (row-major `[k,m]ᵀ · [k,n] -> [m,n]`).
+pub fn gemm_tn(
+    backend: KernelBackend,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+) {
+    gemm_cfg(
+        backend,
+        Trans::Tn,
+        m,
+        n,
+        k,
+        a,
+        b,
+        c,
+        epilogue,
+        &GemmBlocking::default(),
+    );
+}
+
+/// Full-control entry point: explicit backend, layout and blocking parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_cfg(
+    backend: KernelBackend,
+    trans: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+    blocking: &GemmBlocking,
+) {
+    assert_eq!(a.len(), m * k, "gemm: A length must be m*k");
+    assert_eq!(b.len(), k * n, "gemm: B length must be k*n");
+    assert_eq!(c.len(), m * n, "gemm: C length must be m*n");
+    blocking.validate();
+
+    let flops = 2 * m * n * k;
+    match backend {
+        KernelBackend::Naive => gemm_naive(trans, m, n, k, a, b, c),
+        KernelBackend::Blocked if flops < BLOCKED_MIN_FLOPS => gemm_naive(trans, m, n, k, a, b, c),
+        KernelBackend::Blocked => {
+            let threads = rayon::current_num_threads();
+            if threads > 1 && flops >= PAR_MIN_FLOPS && m >= 2 * MR && n > 0 {
+                // Fixed panel order: thread t owns rows [t*rows_per, ...), and every
+                // element is accumulated exactly as in the single-threaded path.
+                let rows_per = m.div_ceil(threads).max(MR);
+                let tasks: Vec<(usize, &mut [f32])> = c
+                    .chunks_mut(rows_per * n)
+                    .enumerate()
+                    .map(|(t, chunk)| (t * rows_per, chunk))
+                    .collect();
+                tasks.into_par_iter().for_each(|(row0, c_rows)| {
+                    let m_local = c_rows.len() / n;
+                    gemm_blocked_st(trans, (m, n, k), a, b, c_rows, row0, m_local, blocking);
+                });
+            } else {
+                gemm_blocked_st(trans, (m, n, k), a, b, c, 0, m, blocking);
+            }
+        }
+    }
+    epilogue.apply(c, n);
+}
+
+// ---------------------------------------------------------------------------
+// Naive oracle loops.
+//
+// These are the seed repository's `Tensor::matmul` loops, generalised to the three
+// layouts. For every output element the shared dimension is folded in ascending order
+// starting from the existing value of C, and `a == 0.0` contributions are skipped — the
+// exact semantics the blocked path reproduces.
+// ---------------------------------------------------------------------------
+
+fn gemm_naive(trans: Trans, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match trans {
+        Trans::Nn => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cc, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cc += av * bv;
+                    }
+                }
+            }
+        }
+        Trans::Nt => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let cc = &mut c[i * n + j];
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        *cc += av * bv;
+                    }
+                }
+            }
+        }
+        Trans::Tn => {
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (cc, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cc += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked path: packing + register-tiled micro-kernel.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn a_at(trans: Trans, a: &[f32], m: usize, k: usize, i: usize, p: usize) -> f32 {
+    match trans {
+        Trans::Nn | Trans::Nt => a[i * k + p],
+        Trans::Tn => a[p * m + i],
+    }
+}
+
+#[inline(always)]
+fn b_at(trans: Trans, b: &[f32], n: usize, k: usize, p: usize, j: usize) -> f32 {
+    match trans {
+        Trans::Nn | Trans::Tn => b[p * n + j],
+        Trans::Nt => b[j * k + p],
+    }
+}
+
+/// Packs an `mc_eff × kc_eff` block of A into `mr`-row panels, zero-padding the ragged
+/// last panel. Panel layout is `p`-major: `ap[panel][p * mr + i]`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    trans: Trans,
+    a: &[f32],
+    (m, k): (usize, usize),
+    row0: usize,
+    pc: usize,
+    mc_eff: usize,
+    kc_eff: usize,
+    ap: &mut [f32],
+    mr: usize,
+) {
+    let panels = mc_eff.div_ceil(mr);
+    for panel in 0..panels {
+        let i0 = row0 + panel * mr;
+        let rows = mr.min(mc_eff - panel * mr);
+        let dst = &mut ap[panel * mr * kc_eff..(panel + 1) * mr * kc_eff];
+        for p in 0..kc_eff {
+            let col = &mut dst[p * mr..p * mr + mr];
+            for (il, slot) in col.iter_mut().enumerate() {
+                *slot = if il < rows {
+                    a_at(trans, a, m, k, i0 + il, pc + p)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs a `kc_eff × nc_eff` block of B into `nr`-column panels, zero-padding the ragged
+/// last panel. Panel layout is `p`-major: `bp[panel][p * nr + j]`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    trans: Trans,
+    b: &[f32],
+    (n, k): (usize, usize),
+    pc: usize,
+    jc: usize,
+    kc_eff: usize,
+    nc_eff: usize,
+    bp: &mut [f32],
+    nr: usize,
+) {
+    let panels = nc_eff.div_ceil(nr);
+    for panel in 0..panels {
+        let j0 = jc + panel * nr;
+        let cols = nr.min(nc_eff - panel * nr);
+        let dst = &mut bp[panel * nr * kc_eff..(panel + 1) * nr * kc_eff];
+        for p in 0..kc_eff {
+            let row = &mut dst[p * nr..p * nr + nr];
+            for (jl, slot) in row.iter_mut().enumerate() {
+                *slot = if jl < cols {
+                    b_at(trans, b, n, k, pc + p, j0 + jl)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The portable `MR×NR` register tile: folds `kc` rank-1 updates into the accumulator in
+/// ascending `p` order. `ap` is `kc × MR`, `bp` is `kc × NR`, both `p`-major.
+///
+/// Marked `unsafe fn` only to share a function-pointer type with the AVX micro-kernel;
+/// the body is safe code.
+unsafe fn microkernel_portable(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for i in 0..MR {
+            let av = a_col[i];
+            for j in 0..NR {
+                acc[i][j] += av * b_row[j];
+            }
+        }
+    }
+}
+
+/// AVX micro-kernel: an `8×8` register tile of `__m256` mul+add (deliberately *not* FMA —
+/// fused multiply-add rounds once instead of twice and would break bit-identity with the
+/// naive oracle). Selected at runtime when the host supports AVX.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use std::arch::x86_64::*;
+
+    /// Register-tile height/width of the AVX micro-kernel.
+    pub const MR: usize = 8;
+    /// Register-tile width: one 8-lane `__m256` per accumulator row.
+    pub const NR: usize = 8;
+
+    /// Whether the running CPU supports this micro-kernel.
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx")
+    }
+
+    /// Folds `kc` rank-1 updates into the accumulator tile in ascending `p` order, exactly
+    /// like the portable kernel but eight lanes at a time.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee [`available`] returned true. Slice lengths must be multiples
+    /// of `MR` (for `ap`) and `NR` (for `bp`) with equal `p` extents, which the packed
+    /// panel layout guarantees.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        debug_assert_eq!(ap.len() / MR, bp.len() / NR);
+        let kc = ap.len() / MR;
+        let mut r = [_mm256_setzero_ps(); MR];
+        for (ri, row) in r.iter_mut().zip(acc.iter()) {
+            *ri = _mm256_loadu_ps(row.as_ptr());
+        }
+        let a_ptr = ap.as_ptr();
+        let b_ptr = bp.as_ptr();
+        for p in 0..kc {
+            let b_row = _mm256_loadu_ps(b_ptr.add(p * NR));
+            let a_col = a_ptr.add(p * MR);
+            for (i, ri) in r.iter_mut().enumerate() {
+                let a_bcast = _mm256_broadcast_ss(&*a_col.add(i));
+                *ri = _mm256_add_ps(*ri, _mm256_mul_ps(a_bcast, b_row));
+            }
+        }
+        for (ri, row) in r.iter().zip(acc.iter_mut()) {
+            _mm256_storeu_ps(row.as_mut_ptr(), *ri);
+        }
+    }
+}
+
+/// Entry point of the blocked path for one contiguous row slice: picks the widest
+/// micro-kernel the host supports. The tile size only affects panel shapes — every output
+/// element folds its `k` contributions in the same order whatever the tile — so the
+/// choice never changes results.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_st(
+    trans: Trans,
+    dims: (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    m_local: usize,
+    blocking: &GemmBlocking,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        gemm_blocked_tiled::<{ avx::MR }, { avx::NR }>(
+            trans,
+            dims,
+            a,
+            b,
+            c_rows,
+            row0,
+            m_local,
+            blocking,
+            avx::microkernel,
+        );
+        return;
+    }
+    gemm_blocked_tiled::<MR, NR>(
+        trans,
+        dims,
+        a,
+        b,
+        c_rows,
+        row0,
+        m_local,
+        blocking,
+        microkernel_portable,
+    );
+}
+
+/// Single-threaded blocked GEMM over a contiguous row slice of C with a `TMR×TNR` tile.
+///
+/// `c_rows` covers rows `[row0, row0 + m_local)` of the full `[m, n]` output; `dims`
+/// carries the full problem sizes so the transposed layouts can index A and B globally.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
+    trans: Trans,
+    dims: (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    m_local: usize,
+    blocking: &GemmBlocking,
+    micro: unsafe fn(&[f32], &[f32], &mut [[f32; TNR]; TMR]),
+) {
+    let (m, n, k) = dims;
+    if m_local == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let kc_max = blocking.kc.min(k);
+    let mc_max = blocking.mc.min(m_local);
+    let nc_max = blocking.nc.min(n);
+    let mut ap = vec![0.0f32; mc_max.div_ceil(TMR) * TMR * kc_max];
+    let mut bp = vec![0.0f32; nc_max.div_ceil(TNR) * TNR * kc_max];
+
+    for jc in (0..n).step_by(nc_max) {
+        let nc_eff = nc_max.min(n - jc);
+        for pc in (0..k).step_by(kc_max) {
+            let kc_eff = kc_max.min(k - pc);
+            pack_b(trans, b, (n, k), pc, jc, kc_eff, nc_eff, &mut bp, TNR);
+            for ic in (0..m_local).step_by(mc_max) {
+                let mc_eff = mc_max.min(m_local - ic);
+                pack_a(
+                    trans,
+                    a,
+                    (m, k),
+                    row0 + ic,
+                    pc,
+                    mc_eff,
+                    kc_eff,
+                    &mut ap,
+                    TMR,
+                );
+                for pa in 0..mc_eff.div_ceil(TMR) {
+                    let i0 = ic + pa * TMR;
+                    let rows = TMR.min(mc_eff - pa * TMR);
+                    let ap_panel = &ap[pa * TMR * kc_eff..(pa + 1) * TMR * kc_eff];
+                    for pb in 0..nc_eff.div_ceil(TNR) {
+                        let j0 = jc + pb * TNR;
+                        let cols = TNR.min(nc_eff - pb * TNR);
+                        let bp_panel = &bp[pb * TNR * kc_eff..(pb + 1) * TNR * kc_eff];
+                        // Load the destination tile (padded lanes start at zero and are
+                        // discarded), fold the panel product into it, store it back.
+                        let mut acc = [[0.0f32; TNR]; TMR];
+                        for (il, acc_row) in acc.iter_mut().enumerate().take(rows) {
+                            let c_row = &c_rows[(i0 + il) * n + j0..(i0 + il) * n + j0 + cols];
+                            acc_row[..cols].copy_from_slice(c_row);
+                        }
+                        // SAFETY: the panel layout satisfies the micro-kernel's length
+                        // contract, and the AVX variant is only reachable after runtime
+                        // feature detection (see gemm_blocked_st).
+                        unsafe { micro(ap_panel, bp_panel, &mut acc) };
+                        for (il, acc_row) in acc.iter().enumerate().take(rows) {
+                            let c_row = &mut c_rows[(i0 + il) * n + j0..(i0 + il) * n + j0 + cols];
+                            c_row.copy_from_slice(&acc_row[..cols]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use rand::Rng;
+
+    fn random_vec(rng: &mut impl Rng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    fn check_parity(trans: Trans, m: usize, n: usize, k: usize, seed: u64) {
+        let mut rng = seeded(seed);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let mut c_naive = random_vec(&mut rng, m * n);
+        let mut c_blocked = c_naive.clone();
+        gemm_cfg(
+            KernelBackend::Naive,
+            trans,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c_naive,
+            Epilogue::None,
+            &GemmBlocking::default(),
+        );
+        // Tiny blocking forces many ragged panels and kc splits through the blocked path.
+        let blocking = GemmBlocking {
+            mc: 8,
+            kc: 8,
+            nc: 8,
+        };
+        gemm_blocked_st(trans, (m, n, k), &a, &b, &mut c_blocked, 0, m, &blocking);
+        assert_eq!(
+            c_naive, c_blocked,
+            "{trans:?} {m}x{n}x{k}: blocked result must be bit-identical to naive"
+        );
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_ragged_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (4, 8, 16),
+            (5, 9, 7),
+            (13, 17, 11),
+            (3, 33, 2),
+            (20, 6, 31),
+        ] {
+            check_parity(Trans::Nn, m, n, k, 100 + m as u64);
+            check_parity(Trans::Nt, m, n, k, 200 + n as u64);
+            check_parity(Trans::Tn, m, n, k, 300 + k as u64);
+        }
+    }
+
+    #[test]
+    fn row_sliced_execution_matches_naive_for_every_layout() {
+        // Replays exactly what the threaded fan-out does — split C into contiguous row
+        // slices and run gemm_blocked_st on each with its row0 offset — so the non-zero
+        // row0 bookkeeping (including the strided Trans::Tn column indexing of A) is
+        // covered even on single-core hosts where the parallel branch never triggers.
+        let (m, n, k) = (37, 19, 23);
+        for trans in [Trans::Nn, Trans::Nt, Trans::Tn] {
+            let mut rng = seeded(500);
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let mut c_naive = vec![0.0f32; m * n];
+            gemm_naive(trans, m, n, k, &a, &b, &mut c_naive);
+            for rows_per in [5usize, 8, 16, 37] {
+                let mut c_sliced = vec![0.0f32; m * n];
+                for (t, chunk) in c_sliced.chunks_mut(rows_per * n).enumerate() {
+                    let m_local = chunk.len() / n;
+                    gemm_blocked_st(
+                        trans,
+                        (m, n, k),
+                        &a,
+                        &b,
+                        chunk,
+                        t * rows_per,
+                        m_local,
+                        &GemmBlocking::default(),
+                    );
+                }
+                assert_eq!(
+                    c_naive, c_sliced,
+                    "{trans:?} diverged with {rows_per} rows per slice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_product_through_public_api_matches_naive() {
+        // 2*260*100*90 = 4.68M flops clears PAR_MIN_FLOPS (1<<22 = 4.19M) as well as
+        // BLOCKED_MIN_FLOPS, so this exercises the packed path and, on multi-core hosts
+        // (CI runners), the threaded row-panel fan-out end to end.
+        let (m, n, k) = (260, 100, 90);
+        let mut rng = seeded(7);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let mut c_naive = vec![0.0f32; m * n];
+        let mut c_blocked = vec![0.0f32; m * n];
+        gemm_nn(
+            KernelBackend::Naive,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c_naive,
+            Epilogue::None,
+        );
+        gemm_nn(
+            KernelBackend::Blocked,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c_blocked,
+            Epilogue::None,
+        );
+        assert_eq!(c_naive, c_blocked);
+    }
+
+    #[test]
+    fn known_values_all_layouts() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> AB = [[19,22],[43,50]]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0f32; 4];
+        gemm_nn(
+            KernelBackend::Blocked,
+            2,
+            2,
+            2,
+            &a,
+            &b,
+            &mut c,
+            Epilogue::None,
+        );
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+
+        // A·Bᵀ with B stored transposed reproduces the same product.
+        let bt = [5.0, 7.0, 6.0, 8.0];
+        let mut c = [0.0f32; 4];
+        gemm_nt(
+            KernelBackend::Blocked,
+            2,
+            2,
+            2,
+            &a,
+            &bt,
+            &mut c,
+            Epilogue::None,
+        );
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+
+        // Aᵀ·B with A stored transposed reproduces the same product.
+        let at = [1.0, 3.0, 2.0, 4.0];
+        let mut c = [0.0f32; 4];
+        gemm_tn(
+            KernelBackend::Blocked,
+            2,
+            2,
+            2,
+            &at,
+            &b,
+            &mut c,
+            Epilogue::None,
+        );
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let mut c = [10.0f32, 10.0, 10.0, 10.0];
+        gemm_nn(
+            KernelBackend::Blocked,
+            2,
+            2,
+            2,
+            &a,
+            &b,
+            &mut c,
+            Epilogue::None,
+        );
+        assert_eq!(c, [11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn epilogues_apply_after_product() {
+        let a = [1.0, -1.0];
+        let b = [2.0, 2.0];
+        let bias = [1.0, -10.0];
+        for backend in [KernelBackend::Naive, KernelBackend::Blocked] {
+            let mut c = [0.0f32; 2];
+            gemm_nn(
+                backend,
+                1,
+                2,
+                1,
+                &a[..1],
+                &b[..2],
+                &mut c,
+                Epilogue::BiasRow(&bias),
+            );
+            assert_eq!(c, [3.0, -8.0]);
+            let mut c = [0.0f32; 2];
+            gemm_nn(
+                backend,
+                1,
+                2,
+                1,
+                &a[..1],
+                &b[..2],
+                &mut c,
+                Epilogue::BiasRowRelu(&bias),
+            );
+            assert_eq!(c, [3.0, 0.0]);
+            let mut c = [-1.0f32, 5.0];
+            gemm_nn(backend, 1, 2, 0, &[], &[], &mut c, Epilogue::Relu);
+            assert_eq!(c, [0.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        for backend in [KernelBackend::Naive, KernelBackend::Blocked] {
+            // Empty m / n / k all leave (or produce) well-formed outputs.
+            let mut c: [f32; 0] = [];
+            gemm_nn(backend, 0, 0, 0, &[], &[], &mut c, Epilogue::None);
+            let mut c = [7.0f32, 8.0];
+            gemm_nn(backend, 1, 2, 0, &[], &[], &mut c, Epilogue::None);
+            assert_eq!(c, [7.0, 8.0], "k = 0 must leave C untouched");
+            let mut c: Vec<f32> = vec![];
+            gemm_nt(backend, 0, 4, 3, &[], &random(12), &mut c, Epilogue::None);
+        }
+    }
+
+    fn random(len: usize) -> Vec<f32> {
+        let mut rng = seeded(1);
+        random_vec(&mut rng, len)
+    }
+}

@@ -1,0 +1,134 @@
+//! Max-pooling kernels shared by `MaxPool1d` and `MaxPool2d`.
+//!
+//! Pooling has no meaningful blocked/naive split — there is a single deterministic
+//! implementation: a window scan per `(batch, channel)` plane with the window stride equal
+//! to the window size (the only configuration the model zoo uses). A 1-D pool is the
+//! `h = 1, kh = 1` special case. Planes own disjoint output slices, so large inputs fan
+//! out over the rayon shim without changing a single result.
+
+use rayon::prelude::*;
+
+/// Minimum total input elements before plane processing fans out across threads.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Max-pools `planes` independent `[h, w]` planes with a `kh × kw` window (stride equal
+/// to the window). Returns the pooled values and, for each output element, the flat index
+/// of its argmax in `x` — the exact format the layers' backward passes consume.
+pub fn maxpool_forward(
+    x: &[f32],
+    planes: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+) -> (Vec<f32>, Vec<usize>) {
+    assert!(kh > 0 && kw > 0, "maxpool_forward: window must be positive");
+    assert_eq!(
+        x.len(),
+        planes * h * w,
+        "maxpool_forward: input length mismatch"
+    );
+    assert!(
+        h >= kh && w >= kw,
+        "maxpool_forward: input smaller than window"
+    );
+    let (h_out, w_out) = (h / kh, w / kw);
+    let out_plane = h_out * w_out;
+    let mut out = vec![f32::NEG_INFINITY; planes * out_plane];
+    let mut argmax = vec![0usize; out.len()];
+
+    let run_plane = |plane: usize, out_p: &mut [f32], arg_p: &mut [usize]| {
+        let base = plane * h * w;
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let oi = oy * w_out + ox;
+                for ky in 0..kh {
+                    let row = base + (oy * kh + ky) * w + ox * kw;
+                    for kx in 0..kw {
+                        let xi = row + kx;
+                        if x[xi] > out_p[oi] {
+                            out_p[oi] = x[xi];
+                            arg_p[oi] = xi;
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    /// One parallel task: a plane index plus its disjoint output and argmax slices.
+    type PlaneTask<'a> = (usize, (&'a mut [f32], &'a mut [usize]));
+
+    if rayon::current_num_threads() > 1 && planes > 1 && x.len() >= PAR_MIN_ELEMS {
+        let tasks: Vec<PlaneTask<'_>> = out
+            .chunks_mut(out_plane)
+            .zip(argmax.chunks_mut(out_plane))
+            .enumerate()
+            .collect();
+        tasks
+            .into_par_iter()
+            .for_each(|(plane, (out_p, arg_p))| run_plane(plane, out_p, arg_p));
+    } else {
+        for (plane, (out_p, arg_p)) in out
+            .chunks_mut(out_plane)
+            .zip(argmax.chunks_mut(out_plane))
+            .enumerate()
+        {
+            run_plane(plane, out_p, arg_p);
+        }
+    }
+    (out, argmax)
+}
+
+/// Routes each output gradient back to the input position that produced its maximum.
+pub fn maxpool_backward(grad_out: &[f32], argmax: &[usize], input_len: usize) -> Vec<f32> {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "maxpool_backward: length mismatch"
+    );
+    let mut grad_in = vec![0.0f32; input_len];
+    for (g, &idx) in grad_out.iter().zip(argmax) {
+        grad_in[idx] += g;
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_window_maxima_and_argmax() {
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0, 5.0, 6.0,
+            3.0, 4.0, 7.0, 8.0,
+        ];
+        let (out, argmax) = maxpool_forward(&x, 1, 2, 4, 2, 2);
+        assert_eq!(out, vec![4.0, 8.0]);
+        assert_eq!(argmax, vec![5, 7]);
+    }
+
+    #[test]
+    fn one_dimensional_pooling_is_height_one() {
+        let x = vec![1.0, 5.0, 2.0, 3.0, 9.0, 0.0];
+        let (out, argmax) = maxpool_forward(&x, 1, 1, 6, 1, 2);
+        assert_eq!(out, vec![5.0, 3.0, 9.0]);
+        assert_eq!(argmax, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn backward_scatters_to_argmax() {
+        let grad = maxpool_backward(&[10.0, 20.0], &[3, 1], 4);
+        assert_eq!(grad, vec![0.0, 20.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn multiple_planes_are_independent() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0];
+        let (out, argmax) = maxpool_forward(&x, 2, 2, 2, 2, 2);
+        assert_eq!(out, vec![4.0, 8.0]);
+        assert_eq!(argmax, vec![3, 4]);
+    }
+}

@@ -2,10 +2,15 @@
 
 use super::{Layer, Param};
 use crate::init;
+use crate::kernels::{self, conv::ConvGeom};
 use crate::tensor::Tensor;
 use rand::Rng;
 
 /// A 1-D convolution over `[batch, in_channels, length]` inputs.
+///
+/// Runs through [`crate::kernels::conv`] as a height-1 2-D convolution: an im2col-backed
+/// blocked GEMM by default, or the original direct loop nest under
+/// [`kernels::KernelBackend::Naive`].
 pub struct Conv1d {
     in_channels: usize,
     out_channels: usize,
@@ -64,38 +69,24 @@ impl Layer for Conv1d {
             "Conv1d: channel mismatch"
         );
         let (n, c_in, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        let l_out = self.output_len(l);
-        let k = self.kernel;
-        let s = self.stride;
-        let p = self.padding as isize;
-        let c_out = self.out_channels;
-
-        let x = input.data();
-        let wgt = self.weight.value.data();
-        let b = self.bias.value.data();
-        let mut out = vec![0.0f32; n * c_out * l_out];
-
-        for ni in 0..n {
-            for co in 0..c_out {
-                for ol in 0..l_out {
-                    let mut acc = b[co];
-                    for ci in 0..c_in {
-                        for kk in 0..k {
-                            let il = (ol * s + kk) as isize - p;
-                            if il < 0 || il >= l as isize {
-                                continue;
-                            }
-                            let xi = (ni * c_in + ci) * l + il as usize;
-                            let wi = (co * c_in + ci) * k + kk;
-                            acc += x[xi] * wgt[wi];
-                        }
-                    }
-                    out[(ni * c_out + co) * l_out + ol] = acc;
-                }
-            }
-        }
+        let geom = ConvGeom::conv1d(
+            n,
+            c_in,
+            l,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let out = kernels::conv::conv_forward(
+            kernels::default_backend(),
+            &geom,
+            input.data(),
+            self.weight.value.data(),
+            self.bias.value.data(),
+        );
         self.cached_input = Some(input.clone());
-        Tensor::from_vec(out, &[n, c_out, l_out])
+        Tensor::from_vec(out, &[n, self.out_channels, geom.w_out()])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -104,42 +95,28 @@ impl Layer for Conv1d {
             .take()
             .expect("Conv1d::backward called without a cached forward pass");
         let (n, c_in, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        let l_out = grad_output.shape()[2];
-        let k = self.kernel;
-        let s = self.stride;
-        let p = self.padding as isize;
-        let c_out = self.out_channels;
-
-        let x = input.data();
-        let go = grad_output.data();
-        let wgt = self.weight.value.data();
-        let mut grad_in = vec![0.0f32; input.len()];
-        let grad_w = self.weight.grad.data_mut();
-        let grad_b = self.bias.grad.data_mut();
-
-        for ni in 0..n {
-            for co in 0..c_out {
-                for ol in 0..l_out {
-                    let g = go[(ni * c_out + co) * l_out + ol];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    grad_b[co] += g;
-                    for ci in 0..c_in {
-                        for kk in 0..k {
-                            let il = (ol * s + kk) as isize - p;
-                            if il < 0 || il >= l as isize {
-                                continue;
-                            }
-                            let xi = (ni * c_in + ci) * l + il as usize;
-                            let wi = (co * c_in + ci) * k + kk;
-                            grad_w[wi] += g * x[xi];
-                            grad_in[xi] += g * wgt[wi];
-                        }
-                    }
-                }
-            }
-        }
+        let geom = ConvGeom::conv1d(
+            n,
+            c_in,
+            l,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let Param {
+            value: weight,
+            grad: weight_grad,
+        } = &mut self.weight;
+        let grad_in = kernels::conv::conv_backward(
+            kernels::default_backend(),
+            &geom,
+            input.data(),
+            weight.data(),
+            grad_output.data(),
+            weight_grad.data_mut(),
+            self.bias.grad.data_mut(),
+        );
         Tensor::from_vec(grad_in, input.shape())
     }
 

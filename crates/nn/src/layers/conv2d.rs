@@ -1,15 +1,16 @@
-//! 2-D convolution (naive direct implementation).
+//! 2-D convolution.
 
 use super::{Layer, Param};
 use crate::init;
+use crate::kernels::{self, conv::ConvGeom};
 use crate::tensor::Tensor;
 use rand::Rng;
 
 /// A 2-D convolution over `[batch, in_channels, height, width]` inputs.
 ///
-/// Square kernels, symmetric zero padding, configurable stride. The implementation is a
-/// direct (non-im2col) loop nest — models in this workspace are deliberately small, so
-/// clarity and an exact backward pass matter more than throughput.
+/// Square kernels, symmetric zero padding, configurable stride. Forward and backward run
+/// through [`crate::kernels::conv`]: an im2col-backed blocked GEMM by default, or the
+/// original direct loop nest under [`kernels::KernelBackend::Naive`].
 pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
@@ -88,46 +89,25 @@ impl Layer for Conv2d {
             input.shape()[2],
             input.shape()[3],
         );
-        let (h_out, w_out) = (self.output_size(h), self.output_size(w));
-        let k = self.kernel;
-        let s = self.stride;
-        let p = self.padding as isize;
-        let c_out = self.out_channels;
-
-        let x = input.data();
-        let wgt = self.weight.value.data();
-        let b = self.bias.value.data();
-        let mut out = vec![0.0f32; n * c_out * h_out * w_out];
-
-        for ni in 0..n {
-            for co in 0..c_out {
-                for oy in 0..h_out {
-                    for ox in 0..w_out {
-                        let mut acc = b[co];
-                        for ci in 0..c_in {
-                            for ky in 0..k {
-                                let iy = (oy * s + ky) as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = (ox * s + kx) as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = ((ni * c_in + ci) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
-                                    acc += x[xi] * wgt[wi];
-                                }
-                            }
-                        }
-                        out[((ni * c_out + co) * h_out + oy) * w_out + ox] = acc;
-                    }
-                }
-            }
-        }
+        let geom = ConvGeom::conv2d(
+            n,
+            c_in,
+            h,
+            w,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let out = kernels::conv::conv_forward(
+            kernels::default_backend(),
+            &geom,
+            input.data(),
+            self.weight.value.data(),
+            self.bias.value.data(),
+        );
         self.cached_input = Some(input.clone());
-        Tensor::from_vec(out, &[n, c_out, h_out, w_out])
+        Tensor::from_vec(out, &[n, self.out_channels, geom.h_out(), geom.w_out()])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -141,50 +121,29 @@ impl Layer for Conv2d {
             input.shape()[2],
             input.shape()[3],
         );
-        let (h_out, w_out) = (grad_output.shape()[2], grad_output.shape()[3]);
-        let k = self.kernel;
-        let s = self.stride;
-        let p = self.padding as isize;
-        let c_out = self.out_channels;
-
-        let x = input.data();
-        let go = grad_output.data();
-        let wgt = self.weight.value.data();
-        let mut grad_in = vec![0.0f32; input.len()];
-        let grad_w = self.weight.grad.data_mut();
-        let grad_b = self.bias.grad.data_mut();
-
-        for ni in 0..n {
-            for co in 0..c_out {
-                for oy in 0..h_out {
-                    for ox in 0..w_out {
-                        let g = go[((ni * c_out + co) * h_out + oy) * w_out + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        grad_b[co] += g;
-                        for ci in 0..c_in {
-                            for ky in 0..k {
-                                let iy = (oy * s + ky) as isize - p;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = (ox * s + kx) as isize - p;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let xi = ((ni * c_in + ci) * h + iy as usize) * w + ix as usize;
-                                    let wi = ((co * c_in + ci) * k + ky) * k + kx;
-                                    grad_w[wi] += g * x[xi];
-                                    grad_in[xi] += g * wgt[wi];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let geom = ConvGeom::conv2d(
+            n,
+            c_in,
+            h,
+            w,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let Param {
+            value: weight,
+            grad: weight_grad,
+        } = &mut self.weight;
+        let grad_in = kernels::conv::conv_backward(
+            kernels::default_backend(),
+            &geom,
+            input.data(),
+            weight.data(),
+            grad_output.data(),
+            weight_grad.data_mut(),
+            self.bias.grad.data_mut(),
+        );
         Tensor::from_vec(grad_in, input.shape())
     }
 

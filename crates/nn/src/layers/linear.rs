@@ -2,6 +2,7 @@
 
 use super::{Layer, Param};
 use crate::init;
+use crate::kernels::{self, Epilogue};
 use crate::tensor::Tensor;
 use rand::Rng;
 
@@ -61,9 +62,21 @@ impl Layer for Linear {
             "Linear: feature dim mismatch"
         );
         self.cached_input = Some(input.clone());
-        // y = x W^T + b
-        let wt = self.weight.value.transpose2();
-        input.matmul(&wt).add_row_broadcast(&self.bias.value)
+        // y = x W^T + b, straight through the GEMM kernels (no transposed copy of W) with
+        // the bias broadcast as a fused epilogue.
+        let batch = input.shape()[0];
+        let mut out = vec![0.0f32; batch * self.out_features];
+        kernels::gemm_nt(
+            kernels::default_backend(),
+            batch,
+            self.out_features,
+            self.in_features,
+            input.data(),
+            self.weight.value.data(),
+            &mut out,
+            Epilogue::BiasRow(self.bias.value.data()),
+        );
+        Tensor::from_vec(out, &[batch, self.out_features])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -80,10 +93,35 @@ impl Layer for Linear {
         // dL/dW = grad_output^T @ input       -> [out, in]
         // dL/db = sum_rows(grad_output)        -> [out]
         // dL/dx = grad_output @ W              -> [batch, in]
-        let grad_w = grad_output.transpose2().matmul(&input);
-        self.weight.grad.add_assign(&grad_w);
+        let backend = kernels::default_backend();
+        let batch = input.shape()[0];
+        let mut grad_w = vec![0.0f32; self.out_features * self.in_features];
+        kernels::gemm_tn(
+            backend,
+            self.out_features,
+            self.in_features,
+            batch,
+            grad_output.data(),
+            input.data(),
+            &mut grad_w,
+            Epilogue::None,
+        );
+        self.weight
+            .grad
+            .add_assign(&Tensor::from_vec(grad_w, self.weight.value.shape()));
         self.bias.grad.add_assign(&grad_output.sum_rows());
-        grad_output.matmul(&self.weight.value)
+        let mut grad_in = vec![0.0f32; batch * self.in_features];
+        kernels::gemm_nn(
+            backend,
+            batch,
+            self.in_features,
+            self.out_features,
+            grad_output.data(),
+            self.weight.value.data(),
+            &mut grad_in,
+            Epilogue::None,
+        );
+        Tensor::from_vec(grad_in, &[batch, self.in_features])
     }
 
     fn params(&self) -> Vec<&Param> {

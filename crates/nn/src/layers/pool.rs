@@ -1,6 +1,11 @@
 //! Max-pooling layers (2-D and 1-D).
+//!
+//! Both layers are thin wrappers around the shared plane kernels in
+//! [`crate::kernels::pool`]: a 2-D pool scans `k × k` windows over every
+//! `(batch, channel)` plane, a 1-D pool is the height-1 special case.
 
 use super::Layer;
+use crate::kernels::pool::{maxpool_backward, maxpool_forward};
 use crate::tensor::Tensor;
 
 /// 2-D max pooling with a square window, stride equal to the window size.
@@ -42,34 +47,10 @@ impl Layer for MaxPool2d {
         );
         let k = self.window;
         assert!(h >= k && w >= k, "MaxPool2d: input smaller than window");
-        let (h_out, w_out) = (h / k, w / k);
-        let x = input.data();
-        let mut out = vec![f32::NEG_INFINITY; n * c * h_out * w_out];
-        let mut argmax = vec![0usize; out.len()];
-
-        for ni in 0..n {
-            for ci in 0..c {
-                for oy in 0..h_out {
-                    for ox in 0..w_out {
-                        let oi = ((ni * c + ci) * h_out + oy) * w_out + ox;
-                        for ky in 0..k {
-                            for kx in 0..k {
-                                let iy = oy * k + ky;
-                                let ix = ox * k + kx;
-                                let xi = ((ni * c + ci) * h + iy) * w + ix;
-                                if x[xi] > out[oi] {
-                                    out[oi] = x[xi];
-                                    argmax[oi] = xi;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let (out, argmax) = maxpool_forward(input.data(), n * c, h, w, k, k);
         self.argmax = Some(argmax);
         self.input_shape = Some(input.shape().to_vec());
-        Tensor::from_vec(out, &[n, c, h_out, w_out])
+        Tensor::from_vec(out, &[n, c, h / k, w / k])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -81,10 +62,7 @@ impl Layer for MaxPool2d {
             .input_shape
             .take()
             .expect("MaxPool2d: missing input shape");
-        let mut grad_in = vec![0.0f32; shape.iter().product()];
-        for (g, &idx) in grad_output.data().iter().zip(&argmax) {
-            grad_in[idx] += g;
-        }
+        let grad_in = maxpool_backward(grad_output.data(), &argmax, shape.iter().product());
         Tensor::from_vec(grad_in, &shape)
     }
 
@@ -123,29 +101,10 @@ impl Layer for MaxPool1d {
         let (n, c, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let k = self.window;
         assert!(l >= k, "MaxPool1d: input smaller than window");
-        let l_out = l / k;
-        let x = input.data();
-        let mut out = vec![f32::NEG_INFINITY; n * c * l_out];
-        let mut argmax = vec![0usize; out.len()];
-
-        for ni in 0..n {
-            for ci in 0..c {
-                for ol in 0..l_out {
-                    let oi = (ni * c + ci) * l_out + ol;
-                    for kk in 0..k {
-                        let il = ol * k + kk;
-                        let xi = (ni * c + ci) * l + il;
-                        if x[xi] > out[oi] {
-                            out[oi] = x[xi];
-                            argmax[oi] = xi;
-                        }
-                    }
-                }
-            }
-        }
+        let (out, argmax) = maxpool_forward(input.data(), n * c, 1, l, 1, k);
         self.argmax = Some(argmax);
         self.input_shape = Some(input.shape().to_vec());
-        Tensor::from_vec(out, &[n, c, l_out])
+        Tensor::from_vec(out, &[n, c, l / k])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -157,10 +116,7 @@ impl Layer for MaxPool1d {
             .input_shape
             .take()
             .expect("MaxPool1d: missing input shape");
-        let mut grad_in = vec![0.0f32; shape.iter().product()];
-        for (g, &idx) in grad_output.data().iter().zip(&argmax) {
-            grad_in[idx] += g;
-        }
+        let grad_in = maxpool_backward(grad_output.data(), &argmax, shape.iter().product());
         Tensor::from_vec(grad_in, &shape)
     }
 

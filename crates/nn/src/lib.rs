@@ -5,6 +5,9 @@
 //!
 //! * [`Tensor`] — a dense row-major `f32` tensor with the operations the layers need
 //!   (matmul, broadcasting add, batch concatenation/segmentation, reductions).
+//! * [`kernels`] — the compute kernels behind the hot path: cache-blocked, register-tiled
+//!   GEMM with packed panels, im2col-backed convolutions and pooling kernels, with the
+//!   original naive loops kept as a selectable oracle backend ([`kernels::KernelBackend`]).
 //! * [`layers`] — feed-forward layers with exact manual backward passes: [`layers::Linear`],
 //!   [`layers::Conv2d`], [`layers::Conv1d`], [`layers::MaxPool2d`], [`layers::MaxPool1d`],
 //!   [`layers::Relu`], [`layers::Flatten`], [`layers::Dropout`].
@@ -19,10 +22,12 @@
 //! * [`zoo`] — scaled-down analogues of the paper's four architectures (CNN-H, CNN-S,
 //!   AlexNet, VGG16) together with their split points.
 //!
-//! Everything is deterministic given a seed, single-threaded, and CPU-only: the goal is
-//! algorithmic fidelity of SGD over split models, not raw throughput.
+//! Everything is deterministic given a seed and CPU-only. Kernels may fan out across
+//! threads on large shapes, but every parallel path preserves the sequential accumulation
+//! order, so results are bit-identical whatever the core count.
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod model;

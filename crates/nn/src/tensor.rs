@@ -260,6 +260,10 @@ impl Tensor {
     }
 
     /// Matrix multiplication of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Dispatches through the process-wide [`crate::kernels`] backend: the cache-blocked
+    /// GEMM by default, or the naive triple loop under [`crate::kernels::KernelBackend::Naive`].
+    /// Both produce bit-identical results on finite inputs.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul: lhs must be 2-D");
         assert_eq!(other.shape.len(), 2, "matmul: rhs must be 2-D");
@@ -267,19 +271,16 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_nn(
+            crate::kernels::default_backend(),
+            m,
+            n,
+            k,
+            &self.data,
+            &other.data,
+            &mut out,
+            crate::kernels::Epilogue::None,
+        );
         Tensor {
             shape: vec![m, n],
             data: out,
