@@ -1,6 +1,6 @@
 //! Fig. 8: network traffic consumed to reach target accuracies, per approach and dataset.
 
-use mergesfl_bench::{datasets_from_env, run_evaluation_set, Scale};
+use mergesfl_bench::{datasets_from_env, print_makespan_summary, run_evaluation_set, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -32,6 +32,9 @@ fn main() {
                 r.total_traffic_mb()
             );
         }
+        // Traffic is schedule-independent, but the *time* each MB buys is not: show how
+        // much simulated round time the pipelined schedule saves for the same traffic.
+        print_makespan_summary(&results);
         println!();
     }
     println!("Expected shape: SFL approaches (MergeSFL, AdaSFL, LocFedMix-SL) consume far less traffic than");

@@ -1,6 +1,6 @@
 //! Fig. 9: average per-round waiting time of the five approaches on the four datasets.
 
-use mergesfl_bench::{datasets_from_env, run_evaluation_set, Scale};
+use mergesfl_bench::{datasets_from_env, print_makespan_summary, run_evaluation_set, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -11,8 +11,15 @@ fn main() {
         for r in &results {
             println!("  {:<14} {:>8.2} s", r.approach, r.mean_waiting_time());
         }
+        print_makespan_summary(&results);
         println!();
     }
     println!("Expected shape: AdaSFL has the lowest waiting time with MergeSFL close behind;");
     println!("fixed-batch approaches (LocFedMix-SL, FedAvg) wait the longest.");
+    println!("Waiting time is schedule-independent; the pipelined schedule's win shows in the");
+    println!("round makespans (enable it for the clock with MERGESFL_PIPELINE=on). The saving");
+    println!("equals the server-side share of an iteration (PS ingress drain + overlappable top");
+    println!("step) hidden behind worker compute; the paper's Jetson-dominated testbed keeps");
+    println!("that share small — the waiting pathology itself is worker-side heterogeneity,");
+    println!("which batch regulation (not pipelining) removes.");
 }

@@ -97,6 +97,26 @@ pub fn run_evaluation_set(
         .collect()
 }
 
+/// Prints each approach's total simulated round makespan under the barrier schedule next
+/// to the overlap-aware pipelined one (both are recorded on every run, whichever schedule
+/// advanced the clock), with the relative saving — the pipeline's simulated win.
+pub fn print_makespan_summary(results: &[RunResult]) {
+    println!("round makespan, barrier → pipelined (simulated):");
+    for r in results {
+        let barrier = r.total_barrier_makespan();
+        let pipelined = r.total_pipelined_makespan();
+        let saved = if barrier > 0.0 {
+            100.0 * (1.0 - pipelined / barrier)
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<14} {:>10.1} s → {:>10.1} s  ({saved:>4.1}% saved)",
+            r.approach, barrier, pipelined
+        );
+    }
+}
+
 /// Formats an accuracy-over-time curve as `time:acc` pairs for compact printing.
 pub fn format_curve(result: &RunResult) -> String {
     result
@@ -161,6 +181,8 @@ mod tests {
             accuracy: Some(0.5),
             train_loss: 1.0,
             avg_waiting_time: 0.0,
+            round_makespan_barrier: 14.0,
+            round_makespan_pipelined: 12.0,
             traffic_mb: 1.0,
             participants: 1,
             total_batch: 8,

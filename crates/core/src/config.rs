@@ -43,10 +43,30 @@ pub struct RunConfig {
     /// sequential execution: every worker owns an RNG derived from the base seed via
     /// `derive_seed`, and results are always reduced in cohort order.
     pub parallel: bool,
+    /// Stage each round through a producer/consumer pipeline so iteration `h+1` worker
+    /// compute overlaps iteration `h` server compute, and charge simulated time with the
+    /// overlap-aware makespan instead of the barrier sum. Model trajectories are
+    /// bit-identical to the barrier loop (updates are still applied in cohort/iteration
+    /// order — only scheduling overlaps); simulated round times are lower. Constructors
+    /// honour the `MERGESFL_PIPELINE` environment variable (`on`/`off`); the barrier loop
+    /// remains the default and the correctness oracle.
+    pub pipeline: bool,
     /// Which compute-kernel backend runs the NN hot path (blocked GEMM/im2col by default,
     /// or the naive loop-nest oracle). Applied process-wide by `experiment::run`;
     /// constructors honour the `MERGESFL_KERNELS` environment variable.
     pub kernel_backend: KernelBackend,
+}
+
+/// Reads the pipelined-execution default from the `MERGESFL_PIPELINE` environment
+/// variable: `on`/`1`/`true` enable it, anything else (or unset) keeps the barrier loop.
+pub fn pipeline_from_env() -> bool {
+    matches!(
+        std::env::var("MERGESFL_PIPELINE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str(),
+        "on" | "1" | "true"
+    )
 }
 
 impl RunConfig {
@@ -71,6 +91,7 @@ impl RunConfig {
             seed,
             estimate_alpha: 0.8,
             parallel: true,
+            pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
         }
     }
@@ -96,6 +117,7 @@ impl RunConfig {
             seed,
             estimate_alpha: 0.8,
             parallel: true,
+            pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
         }
     }
@@ -120,6 +142,7 @@ impl RunConfig {
             seed,
             estimate_alpha: 0.8,
             parallel: true,
+            pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
         }
     }

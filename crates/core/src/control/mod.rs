@@ -68,6 +68,25 @@ impl RoundPlan {
     pub fn total_batch(&self) -> usize {
         self.batch_sizes.iter().sum()
     }
+
+    /// Drops participants whose assigned batch size is zero, returning how many were
+    /// removed. Selection and batch fine-tuning are supposed to keep every participant at
+    /// `min_batch >= 1`, but a degenerate plan must not reach the training engines: a
+    /// zero-size participant would panic the mini-batch loader and the feature-merge path
+    /// (`FeatureUpload` rejects empty uploads by design). Engines skip the round entirely
+    /// — with a logged round record — if nothing survives.
+    pub fn drop_empty_participants(&mut self) -> usize {
+        debug_assert_eq!(self.selected.len(), self.batch_sizes.len());
+        let before = self.selected.len();
+        let keep: Vec<bool> = self.batch_sizes.iter().map(|&d| d > 0).collect();
+        let mut it = keep.iter();
+        self.selected
+            .retain(|_| *it.next().expect("keep mask aligned"));
+        let mut it = keep.iter();
+        self.batch_sizes
+            .retain(|_| *it.next().expect("keep mask aligned"));
+        before - self.selected.len()
+    }
 }
 
 /// The control module state kept by the parameter server across rounds.
@@ -452,6 +471,38 @@ mod tests {
         let mut m = module(8, 4);
         let plan = m.plan_round(0, 1e9, &default_opts());
         assert!(!plan.selected.is_empty());
+    }
+
+    #[test]
+    fn degenerate_plans_are_sanitised_not_panicked() {
+        let mut plan = RoundPlan {
+            selected: vec![3, 1, 4, 1],
+            batch_sizes: vec![2, 0, 1, 0],
+            cohort_kl: 0.1,
+            predicted_waiting: 0.0,
+        };
+        assert_eq!(plan.drop_empty_participants(), 2);
+        assert_eq!(plan.selected, vec![3, 4]);
+        assert_eq!(plan.batch_sizes, vec![2, 1]);
+
+        let mut empty = RoundPlan {
+            selected: vec![0, 1],
+            batch_sizes: vec![0, 0],
+            cohort_kl: 0.0,
+            predicted_waiting: 0.0,
+        };
+        assert_eq!(empty.drop_empty_participants(), 2);
+        assert!(empty.selected.is_empty() && empty.batch_sizes.is_empty());
+        assert_eq!(empty.total_batch(), 0);
+
+        let mut healthy = RoundPlan {
+            selected: vec![5],
+            batch_sizes: vec![1],
+            cohort_kl: 0.0,
+            predicted_waiting: 0.0,
+        };
+        assert_eq!(healthy.drop_empty_participants(), 0);
+        assert_eq!(healthy.selected, vec![5]);
     }
 
     #[test]

@@ -15,8 +15,10 @@
 use crate::config::RunConfig;
 use crate::control::{ParticipationTracker, StateEstimator};
 use crate::metrics::{RoundRecord, RunResult};
+use crate::sfl::engine::EVAL_CHUNK;
 use mergesfl_data::{
-    partition_dirichlet, synth, Dataset, DatasetSpec, LabelDistribution, Partition, WorkerLoader,
+    eval_subsample, partition_dirichlet, synth, Dataset, DatasetSpec, LabelDistribution, Partition,
+    WorkerLoader,
 };
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::optim::LrSchedule;
@@ -88,6 +90,7 @@ pub struct FlEngine {
     workers: Vec<FlWorker>,
     global_model: Vec<f32>,
     eval_model: Sequential,
+    eval_indices: Vec<usize>,
     loss: SoftmaxCrossEntropy,
     lr_schedule: LrSchedule,
     full_model_bytes: f64,
@@ -140,6 +143,11 @@ impl FlEngine {
             })
             .collect();
         let eval_model = zoo::build(spec.architecture, spec.num_classes, model_seed).model;
+        // Unbiased evaluation: a seed-deterministic subsample of the whole test set, not
+        // its first `eval_samples` entries. Stream 6 matches the SFL engine so both
+        // engine families evaluate on the same subsample for a given base seed.
+        let eval_indices =
+            eval_subsample(test.len(), config.eval_samples, derive_seed(config.seed, 6));
 
         let refs: Vec<&LabelDistribution> = partition.label_dists.iter().collect();
         let iid_reference = LabelDistribution::average(&refs);
@@ -153,7 +161,7 @@ impl FlEngine {
             train,
             test,
             cluster,
-            clock: SimClock::new(),
+            clock: SimClock::with_pipelining(config.pipeline),
             traffic: TrafficMeter::new(),
             estimator: StateEstimator::new(config.num_workers, config.estimate_alpha as f64),
             tracker: ParticipationTracker::new(config.num_workers),
@@ -162,6 +170,7 @@ impl FlEngine {
             workers,
             global_model,
             eval_model,
+            eval_indices,
             loss: SoftmaxCrossEntropy::new(),
             lr_schedule,
             full_model_bytes: profile.full_model_bytes,
@@ -216,14 +225,38 @@ impl FlEngine {
                 .observe_worker(state.worker_id, state.full_compute_per_sample, 0.0);
         }
         let selected = self.select_cohort();
+        if selected.is_empty() {
+            // Selection is validated to produce at least one worker; guard the degenerate
+            // case anyway with a logged, skipped round instead of panicking downstream.
+            eprintln!("[mergesfl] round {round}: empty FL cohort; skipping round");
+            self.result.push(RoundRecord {
+                round,
+                sim_time: self.clock.elapsed_seconds(),
+                accuracy: None,
+                train_loss: 0.0,
+                avg_waiting_time: 0.0,
+                round_makespan_barrier: 0.0,
+                round_makespan_pipelined: 0.0,
+                traffic_mb: self.traffic.total_megabytes(),
+                participants: 0,
+                total_batch: 0,
+                cohort_kl: 0.0,
+            });
+            return;
+        }
         let lr = self.lr_schedule.at_round(round);
 
         // Broadcast the global model, run local training (optionally fanned out across
-        // threads), then collect models for aggregation. Parallel and sequential execution
-        // are bit-identical: each worker's loader owns a derived-seed RNG, and states,
-        // weights and losses are always reduced in cohort order.
+        // threads and/or streamed through the aggregation pipeline), then aggregate.
+        // Execution modes are bit-identical: each worker's loader owns a derived-seed RNG,
+        // and states and losses are always reduced in cohort order with the aggregation
+        // weights fixed up front.
+        let weights: Vec<f32> = selected
+            .iter()
+            .map(|&i| self.workers[i].shard_size as f32)
+            .collect();
         let mut loss_sum = 0.0f32;
-        let (states, weights): (Vec<Vec<f32>>, Vec<f32>) = {
+        {
             let train = &self.train;
             let global = &self.global_model;
             let loss = &self.loss;
@@ -237,8 +270,8 @@ impl FlEngine {
             }
             let cohort: Vec<&mut FlWorker> =
                 crate::util::select_disjoint_mut(&mut self.workers, &selected);
-            // τ local iterations over the worker's shard; returns (state, weight, loss).
-            let train_one = |worker: &mut FlWorker| -> (Vec<f32>, f32, f32) {
+            // τ local iterations over the worker's shard; returns (state, loss).
+            let train_one = |worker: &mut FlWorker| -> (Vec<f32>, f32) {
                 worker.model.load_state(global);
                 worker.optimizer.reset_state();
                 worker.optimizer.set_lr(lr);
@@ -252,26 +285,41 @@ impl FlEngine {
                     worker.optimizer.step(&mut worker.model);
                     local_loss += out.loss;
                 }
-                (worker.model.state(), worker.shard_size as f32, local_loss)
+                (worker.model.state(), local_loss)
             };
-            let outcomes: Vec<(Vec<f32>, f32, f32)> = if self.config.parallel {
-                cohort.into_par_iter().map(train_one).collect()
+
+            if self.config.pipeline {
+                // Pipelined: worker states stream through a bounded channel and are folded
+                // into the aggregate in cohort order as they become ready, so the folds of
+                // early arrivals overlap the stragglers' training — the overlap the FL
+                // round's pipelined makespan models.
+                let (aggregate, streamed_loss) = stream_aggregate(
+                    cohort,
+                    &weights,
+                    self.global_model.len(),
+                    self.config.parallel,
+                    &train_one,
+                );
+                self.global_model = aggregate;
+                loss_sum = streamed_loss;
             } else {
-                cohort.into_iter().map(train_one).collect()
-            };
-            let mut states = Vec::with_capacity(outcomes.len());
-            let mut weights = Vec::with_capacity(outcomes.len());
-            for (state, weight, local_loss) in outcomes {
-                states.push(state);
-                weights.push(weight);
-                loss_sum += local_loss;
+                let outcomes: Vec<(Vec<f32>, f32)> = if self.config.parallel {
+                    cohort.into_par_iter().map(&train_one).collect()
+                } else {
+                    cohort.into_iter().map(&train_one).collect()
+                };
+                let mut states = Vec::with_capacity(outcomes.len());
+                for (state, local_loss) in outcomes {
+                    states.push(state);
+                    loss_sum += local_loss;
+                }
+                self.global_model = weighted_average_states(&states, &weights);
             }
-            (states, weights)
-        };
-        self.global_model = weighted_average_states(&states, &weights);
+        }
         self.tracker.record_participation(&selected);
 
-        // Timing: local compute plus the (dominant) full-model down/upload per worker.
+        // Timing: local compute plus the (dominant) full-model down/upload per worker,
+        // with the server's per-state aggregation fold as the overlappable stage.
         let mut durations = Vec::with_capacity(selected.len());
         for &w in &selected {
             let state = self.cluster.worker_state(w);
@@ -286,7 +334,11 @@ impl FlEngine {
                 .transfer_seconds(w, 2.0 * self.full_model_bytes);
             durations.push(compute + sync);
         }
-        let timing = RoundTiming::new(durations, 0.0);
+        let timing = RoundTiming::with_aggregate_stage(
+            durations,
+            0.0,
+            self.cluster.aggregate_seconds_per_state(),
+        );
         self.clock.advance_round(&timing);
 
         let evaluate =
@@ -302,6 +354,8 @@ impl FlEngine {
             accuracy,
             train_loss: loss_sum / (tau * selected.len().max(1)) as f32,
             avg_waiting_time: timing.average_waiting_time(),
+            round_makespan_barrier: timing.barrier_completion_time(),
+            round_makespan_pipelined: timing.pipelined_completion_time(),
             traffic_mb: self.traffic.total_megabytes(),
             participants: selected.len(),
             total_batch: batch * selected.len(),
@@ -314,19 +368,117 @@ impl FlEngine {
         });
     }
 
+    /// Evaluates the global model on the run's seeded test subsample, in chunks so large
+    /// `eval_samples` settings never materialise one giant batch.
     fn evaluate_global(&mut self) -> f32 {
         self.eval_model.load_state(&self.global_model);
-        let n = self.config.eval_samples.min(self.test.len());
-        let indices: Vec<usize> = (0..n).collect();
-        let (inputs, labels) = self.test.batch(&indices);
-        let logits = self.eval_model.forward(&inputs, false);
-        self.loss.forward(&logits, &labels).accuracy
+        let mut weighted_accuracy = 0.0f64;
+        let mut total = 0usize;
+        for chunk in self.eval_indices.chunks(EVAL_CHUNK) {
+            let (inputs, labels) = self.test.batch(chunk);
+            let logits = self.eval_model.forward(&inputs, false);
+            let accuracy = self.loss.forward(&logits, &labels).accuracy;
+            weighted_accuracy += f64::from(accuracy) * chunk.len() as f64;
+            total += chunk.len();
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (weighted_accuracy / total as f64) as f32
+    }
+
+    /// The evaluation subsample indices (exposed for tests of the sampling fix).
+    pub fn eval_indices(&self) -> &[usize] {
+        &self.eval_indices
     }
 
     /// Dataset spec this engine trains on.
     pub fn dataset_spec(&self) -> &DatasetSpec {
         &self.spec
     }
+}
+
+/// Trains the cohort on background threads and folds every worker's model state into the
+/// weighted aggregate **in cohort order, as soon as it is ready**, so aggregation work
+/// overlaps the slower workers' training. The fold performs exactly the operations of
+/// [`weighted_average_states`] (same coefficients, same accumulation order), so the result
+/// is bit-identical to the barrier path. Returns the aggregate and the summed local
+/// losses (also reduced in cohort order).
+fn stream_aggregate<F>(
+    mut cohort: Vec<&mut FlWorker>,
+    weights: &[f32],
+    model_len: usize,
+    parallel: bool,
+    train_one: &F,
+) -> (Vec<f32>, f32)
+where
+    F: Fn(&mut FlWorker) -> (Vec<f32>, f32) + Sync,
+{
+    let n = cohort.len();
+    assert_eq!(n, weights.len(), "stream_aggregate: weight count mismatch");
+    let total_weight: f32 = weights.iter().sum();
+    assert!(
+        total_weight > 0.0,
+        "stream_aggregate: weights must sum to a positive value"
+    );
+
+    let mut aggregate = vec![0.0f32; model_len];
+    let mut loss_sum = 0.0f32;
+    let threads = if parallel {
+        rayon::current_num_threads().min(n).max(1)
+    } else {
+        1
+    };
+    let chunk_size = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        // Created inside the scope so a consumer-side panic drops the endpoints during
+        // unwind, letting producer threads observe disconnection before the scope joins
+        // them. (Capacity `n` additionally means producers never block on send.)
+        let (tx, rx) = rayon::channel::bounded::<(usize, Vec<f32>, f32)>(n.max(1));
+        let mut base = 0;
+        while !cohort.is_empty() {
+            let take = chunk_size.min(cohort.len());
+            let chunk: Vec<&mut FlWorker> = cohort.drain(..take).collect();
+            let tx = tx.clone();
+            let chunk_base = base;
+            scope.spawn(move || {
+                for (offset, worker) in chunk.into_iter().enumerate() {
+                    let (state, local_loss) = train_one(worker);
+                    if tx.send((chunk_base + offset, state, local_loss)).is_err() {
+                        return;
+                    }
+                }
+            });
+            base += take;
+        }
+        drop(tx);
+
+        // Reorder buffer: fold strictly in cohort order; out-of-order arrivals wait.
+        let mut pending: Vec<Option<(Vec<f32>, f32)>> = (0..n).map(|_| None).collect();
+        let mut next = 0;
+        while let Some((idx, state, local_loss)) = rx.recv() {
+            assert_eq!(
+                state.len(),
+                model_len,
+                "stream_aggregate: state length mismatch"
+            );
+            pending[idx] = Some((state, local_loss));
+            while next < n && pending[next].is_some() {
+                let (state, local_loss) = pending[next].take().expect("checked above");
+                let coeff = weights[next] / total_weight;
+                for (o, &v) in aggregate.iter_mut().zip(&state) {
+                    *o += coeff * v;
+                }
+                loss_sum += local_loss;
+                next += 1;
+            }
+        }
+        assert_eq!(
+            next, n,
+            "stream_aggregate: a worker never delivered its state"
+        );
+    });
+    (aggregate, loss_sum)
 }
 
 #[cfg(test)]
@@ -394,6 +546,20 @@ mod tests {
         assert!(fedavg.mean_waiting_time() > 0.0);
         assert!(pyramid.mean_waiting_time() > 0.0);
         assert!(fedavg.mean_waiting_time().is_finite() && pyramid.mean_waiting_time().is_finite());
+    }
+
+    #[test]
+    fn fl_evaluation_subsample_matches_sfl_and_is_not_the_prefix() {
+        // Same base seed → same eval subsample as the SFL engine (stream 6), so accuracy
+        // comparisons across engine families stay apples-to-apples; and the subsample is
+        // not the biased first-n prefix.
+        use crate::sfl::{SflEngine, SflStrategy};
+        let config = tiny_config();
+        let fl = FlEngine::new(FlStrategy::fedavg(), &config);
+        let sfl = SflEngine::new(SflStrategy::merge_sfl(), &config);
+        assert_eq!(fl.eval_indices(), sfl.eval_indices());
+        let prefix: Vec<usize> = (0..config.eval_samples).collect();
+        assert_ne!(fl.eval_indices(), prefix.as_slice());
     }
 
     #[test]

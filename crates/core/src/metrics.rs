@@ -20,6 +20,13 @@ pub struct RoundRecord {
     pub train_loss: f32,
     /// Average waiting time of participating workers this round (seconds).
     pub avg_waiting_time: f64,
+    /// Simulated round makespan under the barrier schedule (every stage serialised).
+    pub round_makespan_barrier: f64,
+    /// Simulated round makespan under the pipelined schedule (iteration `h+1` worker
+    /// compute overlapping iteration `h` server compute). Both makespans are recorded for
+    /// every round regardless of which schedule advanced the clock, so a single run can
+    /// report the pipeline's win.
+    pub round_makespan_pipelined: f64,
     /// Cumulative network traffic since the start of training (megabytes).
     pub traffic_mb: f64,
     /// Number of workers that participated in this round.
@@ -94,6 +101,21 @@ impl RunResult {
         self.records.iter().map(|r| r.avg_waiting_time).sum::<f64>() / self.records.len() as f64
     }
 
+    /// Sum of the per-round barrier makespans (seconds): the simulated run duration had
+    /// every round been executed with the strict barrier schedule.
+    pub fn total_barrier_makespan(&self) -> f64 {
+        self.records.iter().map(|r| r.round_makespan_barrier).sum()
+    }
+
+    /// Sum of the per-round pipelined makespans (seconds): the simulated run duration with
+    /// iteration-level overlap between worker and server compute.
+    pub fn total_pipelined_makespan(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.round_makespan_pipelined)
+            .sum()
+    }
+
     /// Simulated time (seconds) at which the run first reached `target` accuracy, if ever.
     pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
         self.records
@@ -144,6 +166,10 @@ impl RunResult {
             json::write_f64(&mut out, f64::from(r.train_loss));
             out.push_str(",\"avg_waiting_time\":");
             json::write_f64(&mut out, r.avg_waiting_time);
+            out.push_str(",\"round_makespan_barrier\":");
+            json::write_f64(&mut out, r.round_makespan_barrier);
+            out.push_str(",\"round_makespan_pipelined\":");
+            json::write_f64(&mut out, r.round_makespan_pipelined);
             out.push_str(",\"traffic_mb\":");
             json::write_f64(&mut out, r.traffic_mb);
             let _ = write!(
@@ -205,6 +231,8 @@ impl RunResult {
                 },
                 train_loss: num(r, "train_loss")? as f32,
                 avg_waiting_time: num(r, "avg_waiting_time")?,
+                round_makespan_barrier: num(r, "round_makespan_barrier")?,
+                round_makespan_pipelined: num(r, "round_makespan_pipelined")?,
                 traffic_mb: num(r, "traffic_mb")?,
                 participants: int(r, "participants")?,
                 total_batch: int(r, "total_batch")?,
@@ -226,6 +254,8 @@ mod tests {
             accuracy: acc,
             train_loss: 1.0,
             avg_waiting_time: 2.0,
+            round_makespan_barrier: 12.0,
+            round_makespan_pipelined: 9.0,
             traffic_mb: traffic,
             participants: 5,
             total_batch: 40,
@@ -317,5 +347,15 @@ mod tests {
     fn mean_waiting_time_averages_rounds() {
         let r = sample_run();
         assert!((r.mean_waiting_time() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_totals_sum_per_round_makespans() {
+        let r = sample_run();
+        assert!((r.total_barrier_makespan() - 48.0).abs() < 1e-9);
+        assert!((r.total_pipelined_makespan() - 36.0).abs() < 1e-9);
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.records[0].round_makespan_barrier, 12.0);
+        assert_eq!(back.records[0].round_makespan_pipelined, 9.0);
     }
 }

@@ -9,18 +9,30 @@
 use crate::config::RunConfig;
 use crate::control::{ControlModule, PlanOptions, RoundPlan};
 use crate::metrics::{RoundRecord, RunResult};
-use crate::sfl::merge::FeatureUpload;
+use crate::sfl::merge::{align_gradients, merge_features, FeatureUpload};
 use crate::sfl::server::SflServer;
 use crate::sfl::worker::SflWorker;
-use mergesfl_data::{partition_dirichlet, synth, Dataset, DatasetSpec, Partition};
+use mergesfl_data::{eval_subsample, partition_dirichlet, synth, Dataset, DatasetSpec, Partition};
 use mergesfl_nn::optim::LrSchedule;
 use mergesfl_nn::rng::derive_seed;
 use mergesfl_nn::zoo;
 use mergesfl_nn::{Sequential, Tensor};
+use mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION;
 use mergesfl_simnet::{
     Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
 };
 use rayon::prelude::*;
+
+/// Maximum in-flight iterations between the worker stage and the server stage of the
+/// pipelined round loop. One slot of slack is enough — a worker cannot start iteration
+/// `k+1` before its iteration-`k` gradient arrives — but a second slot keeps the handoff
+/// from serialising on the channel itself.
+const PIPELINE_DEPTH: usize = 2;
+
+/// Number of test samples evaluated per forward pass: evaluation batches are chunked so a
+/// large `eval_samples` never allocates one giant activation set. Shared with the FL
+/// engine's evaluation loop.
+pub(crate) const EVAL_CHUNK: usize = 64;
 
 /// Which MergeSFL mechanisms an SFL run uses. Each baseline/ablation is a preset.
 #[derive(Clone, Copy, Debug)]
@@ -146,6 +158,7 @@ pub struct SflEngine {
     server: SflServer,
     workers: Vec<SflWorker>,
     eval_bottom: Sequential,
+    eval_indices: Vec<usize>,
     lr_schedule: LrSchedule,
     bottom_param_bytes: f64,
     result: RunResult,
@@ -208,6 +221,10 @@ impl SflEngine {
         let eval_bottom = zoo::build(spec.architecture, spec.num_classes, model_seed)
             .into_split()
             .bottom;
+        // Unbiased evaluation: a seed-deterministic subsample of the whole test set, not
+        // its first `eval_samples` entries.
+        let eval_indices =
+            eval_subsample(test.len(), config.eval_samples, derive_seed(config.seed, 6));
 
         let control = ControlModule::new(
             partition.label_dists.clone(),
@@ -231,12 +248,13 @@ impl SflEngine {
             test,
             partition,
             cluster,
-            clock: SimClock::new(),
+            clock: SimClock::with_pipelining(config.pipeline),
             traffic: TrafficMeter::new(),
             control,
             server,
             workers,
             eval_bottom,
+            eval_indices,
             lr_schedule,
             bottom_param_bytes,
             result,
@@ -278,9 +296,36 @@ impl SflEngine {
         }
         let ingress_budget = self.cluster.ps_ingress_budget();
         self.control.observe_ingress(ingress_budget);
-        let plan = self
+        let mut plan = self
             .control
             .plan_round(round, ingress_budget, &self.plan_options());
+
+        // --- Harden against degenerate plans: zero-size participants would panic the
+        // loader and the merge path; an empty cohort has nothing to train. Skip with a
+        // logged round record instead of crashing the run.
+        let dropped = plan.drop_empty_participants();
+        if dropped > 0 {
+            eprintln!(
+                "[mergesfl] round {round}: dropped {dropped} zero-size participant(s) from the cohort"
+            );
+        }
+        if plan.selected.is_empty() {
+            eprintln!("[mergesfl] round {round}: empty cohort after sanitising; skipping round");
+            self.result.push(RoundRecord {
+                round,
+                sim_time: self.clock.elapsed_seconds(),
+                accuracy: None,
+                train_loss: 0.0,
+                avg_waiting_time: 0.0,
+                round_makespan_barrier: 0.0,
+                round_makespan_pipelined: 0.0,
+                traffic_mb: self.traffic.total_megabytes(),
+                participants: 0,
+                total_batch: 0,
+                cohort_kl: plan.cohort_kl,
+            });
+            return;
+        }
 
         // --- Training module. ---
         let lr = self.lr_schedule.at_round(round);
@@ -294,114 +339,63 @@ impl SflEngine {
         // trades raw step count for the unbiased direction merging provides (Fig. 4).
         self.server.set_lr(lr);
 
-        // --- Worker training, optionally fanned out across threads. The block scopes the
-        // mutable borrows of `self.workers` so the timing/eval sections below can use
-        // `&self` methods again. Parallel and sequential execution are bit-identical:
-        // every worker owns its derived-seed RNG, uploads and gradient applications are
-        // always handled in cohort (plan) order, and the server-side reduction is
-        // sequential in both modes.
+        // --- Worker training, optionally fanned out across threads and/or staged through
+        // the round pipeline. The block scopes the mutable borrows of `self.workers` so
+        // the timing/eval sections below can use `&self` methods again. All execution
+        // modes are bit-identical: every worker owns its derived-seed RNG, uploads and
+        // gradient applications are always handled in cohort (plan) order, and the
+        // server-side reduction processes iterations strictly in order — parallelism and
+        // pipelining only change scheduling, never arithmetic order.
         let parallel = self.config.parallel;
         let merging = self.strategy.feature_merging;
         let total_batch = plan.total_batch();
-        let mut loss_sum = 0.0f32;
+        let iteration = IterationParams {
+            lr,
+            total_batch,
+            reference_batch,
+            merging,
+            parallel,
+        };
+        let loss_sum: f32;
         {
             let train = &self.train;
+            let server = &mut self.server;
+            let traffic = &mut self.traffic;
+            let feature_bytes = self.cluster.profile().feature_bytes_per_sample;
             // Pull `&mut` references to the selected workers out in plan order, each
             // borrowed at most once so they can fan out to threads.
             let mut cohort: Vec<&mut SflWorker> =
                 crate::util::select_disjoint_mut(&mut self.workers, &plan.selected);
 
             // Broadcast the latest global bottom model to the selected workers.
-            let global = self.server.global_bottom().to_vec();
+            let global = server.global_bottom().to_vec();
             for worker in cohort.iter_mut() {
                 worker.load_bottom(&global);
-                self.traffic
-                    .record(TrafficCategory::BottomModel, self.bottom_param_bytes);
+                traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
             }
 
-            // Applies one dispatched gradient; captures only `Copy` values so the closure
-            // is `Sync` and usable from worker threads.
-            let apply = |worker: &mut SflWorker, grad: &Tensor, d_i: usize| {
-                // Capped so stragglers with tiny batches (Σd/d_i of 20–40×) cannot be
-                // blown up by one bad merged gradient; clipping bounds the norm, the cap
-                // bounds the systematic amplification.
-                let bottom_merge_scale = if merging {
-                    (total_batch as f32 / d_i.max(1) as f32).min(4.0)
-                } else {
-                    1.0
-                };
-                worker.apply_gradient(grad, lr * bottom_merge_scale, d_i, reference_batch);
-            };
-
-            for _k in 0..tau {
-                // Worker forward passes produce feature uploads, in plan order.
-                let uploads: Vec<FeatureUpload> = if parallel {
-                    let tasks: Vec<(&mut SflWorker, usize)> = cohort
-                        .iter_mut()
-                        .map(|w| &mut **w)
-                        .zip(plan.batch_sizes.iter().copied())
-                        .collect();
-                    tasks
-                        .into_par_iter()
-                        .map(|(worker, d)| worker.forward_iteration(train, d))
-                        .collect()
-                } else {
-                    cohort
-                        .iter_mut()
-                        .zip(&plan.batch_sizes)
-                        .map(|(worker, &d)| worker.forward_iteration(train, d))
-                        .collect()
-                };
-                for u in &uploads {
-                    let bytes =
-                        u.batch_size() as f64 * self.cluster.profile().feature_bytes_per_sample;
-                    self.traffic.record(TrafficCategory::Features, bytes);
-                    self.traffic.record(TrafficCategory::Gradients, bytes);
-                }
-
-                // Server-side top update: merged or per-worker, depending on the strategy.
-                let step = if merging {
-                    self.server.process_merged(&uploads)
-                } else {
-                    self.server.process_sequential(&uploads)
-                };
-                loss_sum += step.loss;
-
-                // Gradient dispatching and worker-side bottom updates. Dispatched gradients
-                // are normalised by Σ d_i under merging but by d_i otherwise; multiplying
-                // the base learning rate by Σ d_i / d_i (capped at 4× in `apply` above)
-                // brings the bottom-model step magnitudes of the two modes into line —
-                // exactly equal up to the cap, deliberately attenuated for extreme
-                // stragglers. Gradients are reordered into plan order so the parallel
-                // fan-out lines up with the cohort borrows.
-                let mut grads: Vec<Option<Tensor>> = (0..cohort.len()).map(|_| None).collect();
-                for (worker_id, grad) in step.gradients {
-                    let pos = plan
-                        .selected
-                        .iter()
-                        .position(|&w| w == worker_id)
-                        .expect("gradient for unselected worker");
-                    grads[pos] = Some(grad);
-                }
-                if parallel {
-                    let tasks: Vec<(&mut SflWorker, Tensor, usize)> = cohort
-                        .iter_mut()
-                        .map(|w| &mut **w)
-                        .zip(grads)
-                        .zip(plan.batch_sizes.iter().copied())
-                        .filter_map(|((worker, grad), d)| grad.map(|g| (worker, g, d)))
-                        .collect();
-                    tasks
-                        .into_par_iter()
-                        .for_each(|(worker, grad, d)| apply(worker, &grad, d));
-                } else {
-                    for ((worker, grad), &d) in cohort.iter_mut().zip(grads).zip(&plan.batch_sizes)
-                    {
-                        if let Some(grad) = grad {
-                            apply(worker, &grad, d);
-                        }
-                    }
-                }
+            if self.config.pipeline {
+                loss_sum = run_iterations_pipelined(
+                    cohort.as_mut_slice(),
+                    train,
+                    server,
+                    traffic,
+                    feature_bytes,
+                    &plan,
+                    tau,
+                    &iteration,
+                );
+            } else {
+                loss_sum = run_iterations_barrier(
+                    cohort.as_mut_slice(),
+                    train,
+                    server,
+                    traffic,
+                    feature_bytes,
+                    &plan,
+                    tau,
+                    &iteration,
+                );
             }
 
             // Bottom-model aggregation (Eq. 17 with batch-size weights, Eq. 4 otherwise).
@@ -411,15 +405,16 @@ impl SflEngine {
             } else {
                 vec![1.0; plan.selected.len()]
             };
-            self.server.aggregate_bottoms(&states, &weights);
+            server.aggregate_bottoms(&states, &weights);
             for _ in &plan.selected {
-                self.traffic
-                    .record(TrafficCategory::BottomModel, self.bottom_param_bytes);
+                traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
             }
         }
         self.control.record_participation(&plan.selected);
 
-        // --- Simulated timing (Eq. 7–8). ---
+        // --- Simulated timing (Eq. 7–8, plus the per-stage breakdown for the pipelined
+        // makespan). The clock advances by the schedule the run is configured for; both
+        // makespans are recorded so one run reports the pipeline's win.
         let timing = self.round_timing(&plan, tau);
         self.clock.advance_round(&timing);
 
@@ -437,6 +432,8 @@ impl SflEngine {
             accuracy,
             train_loss: loss_sum / tau as f32,
             avg_waiting_time: timing.average_waiting_time(),
+            round_makespan_barrier: timing.barrier_completion_time(),
+            round_makespan_pipelined: timing.pipelined_completion_time(),
             traffic_mb: self.traffic.total_megabytes(),
             participants: plan.selected.len(),
             total_batch: plan.total_batch(),
@@ -444,7 +441,9 @@ impl SflEngine {
         });
     }
 
-    /// Computes the simulated round timing for the selected cohort.
+    /// Computes the simulated round timing for the selected cohort, including the
+    /// per-stage breakdown (worker iterations + the server's top-model step split into its
+    /// dispatch-critical and overlappable parts).
     fn round_timing(&self, plan: &RoundPlan, tau: usize) -> RoundTiming {
         let mut durations = Vec::with_capacity(plan.selected.len());
         let mut sync_overhead: f64 = 0.0;
@@ -462,18 +461,41 @@ impl SflEngine {
                 .transfer_seconds(w, 2.0 * self.bottom_param_bytes);
             sync_overhead = sync_overhead.max(sync);
         }
-        RoundTiming::new(durations, sync_overhead)
+        // The drain of one iteration's merged uploads through the shared PS ingress link
+        // (`Σ d_i · c / B^h` — the quantity Eq. 10 budgets). In the barrier schedule it
+        // serialises with worker and server compute; pipelined, early arrivals drain
+        // while stragglers are still computing.
+        let ingress = plan.total_batch() as f64 * self.cluster.profile().feature_bytes_per_sample
+            / self.cluster.ps_ingress_budget().max(1.0);
+        let server_step = self.cluster.server_step_seconds(plan.total_batch());
+        RoundTiming::with_split_stages(
+            durations,
+            sync_overhead,
+            tau,
+            ingress,
+            SERVER_CRITICAL_FRACTION * server_step,
+            (1.0 - SERVER_CRITICAL_FRACTION) * server_step,
+        )
     }
 
-    /// Evaluates the combined global model on a subsample of the test set.
+    /// Evaluates the combined global model on the run's seeded test subsample, in chunks
+    /// so large `eval_samples` settings never materialise one giant batch.
     fn evaluate_global(&mut self) -> f32 {
-        let n = self.config.eval_samples.min(self.test.len());
-        let indices: Vec<usize> = (0..n).collect();
-        let (inputs, labels) = self.test.batch(&indices);
-        let (_, accuracy) = self
-            .server
-            .evaluate(&mut self.eval_bottom, &inputs, &labels);
-        accuracy
+        self.server.load_global_bottom(&mut self.eval_bottom);
+        let mut weighted_accuracy = 0.0f64;
+        let mut total = 0usize;
+        for chunk in self.eval_indices.chunks(EVAL_CHUNK) {
+            let (inputs, labels) = self.test.batch(chunk);
+            let (_, accuracy) =
+                self.server
+                    .evaluate_preloaded(&mut self.eval_bottom, &inputs, &labels);
+            weighted_accuracy += f64::from(accuracy) * chunk.len() as f64;
+            total += chunk.len();
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (weighted_accuracy / total as f64) as f32
     }
 
     /// The mean KL divergence of the underlying data partition (exposed for diagnostics).
@@ -485,6 +507,220 @@ impl SflEngine {
     pub fn dataset_spec(&self) -> &DatasetSpec {
         &self.spec
     }
+
+    /// The evaluation subsample indices (exposed for tests of the sampling fix).
+    pub fn eval_indices(&self) -> &[usize] {
+        &self.eval_indices
+    }
+}
+
+/// Per-iteration parameters shared by every execution mode. `Copy` values only, so the
+/// whole bundle can be captured by the pipeline's worker-stage thread.
+#[derive(Clone, Copy)]
+struct IterationParams {
+    lr: f32,
+    total_batch: usize,
+    reference_batch: usize,
+    merging: bool,
+    parallel: bool,
+}
+
+/// One iteration's worker forward passes, producing feature uploads in plan order.
+fn forward_all(
+    cohort: &mut [&mut SflWorker],
+    train: &Dataset,
+    batch_sizes: &[usize],
+    parallel: bool,
+) -> Vec<FeatureUpload> {
+    if parallel {
+        let tasks: Vec<(&mut SflWorker, usize)> = cohort
+            .iter_mut()
+            .map(|w| &mut **w)
+            .zip(batch_sizes.iter().copied())
+            .collect();
+        tasks
+            .into_par_iter()
+            .map(|(worker, d)| worker.forward_iteration(train, d))
+            .collect()
+    } else {
+        cohort
+            .iter_mut()
+            .zip(batch_sizes)
+            .map(|(worker, &d)| worker.forward_iteration(train, d))
+            .collect()
+    }
+}
+
+/// One iteration's worker-side bottom updates from plan-ordered dispatched gradients.
+/// Dispatched gradients are normalised by `Σ d_i` under merging but by `d_i` otherwise;
+/// `SflWorker::apply_merged_gradient` rescales the learning rate (capped) so the two
+/// modes' bottom-step magnitudes line up.
+fn apply_all(
+    cohort: &mut [&mut SflWorker],
+    grads: Vec<Option<Tensor>>,
+    batch_sizes: &[usize],
+    params: &IterationParams,
+) {
+    let p = *params;
+    if p.parallel {
+        let tasks: Vec<(&mut SflWorker, Tensor, usize)> = cohort
+            .iter_mut()
+            .map(|w| &mut **w)
+            .zip(grads)
+            .zip(batch_sizes.iter().copied())
+            .filter_map(|((worker, grad), d)| grad.map(|g| (worker, g, d)))
+            .collect();
+        tasks.into_par_iter().for_each(|(worker, grad, d)| {
+            worker.apply_merged_gradient(
+                &grad,
+                p.lr,
+                d,
+                p.total_batch,
+                p.reference_batch,
+                p.merging,
+            )
+        });
+    } else {
+        for ((worker, grad), &d) in cohort.iter_mut().zip(grads).zip(batch_sizes) {
+            if let Some(grad) = grad {
+                worker.apply_merged_gradient(
+                    &grad,
+                    p.lr,
+                    d,
+                    p.total_batch,
+                    p.reference_batch,
+                    p.merging,
+                );
+            }
+        }
+    }
+}
+
+/// Charges the feature-upload and gradient-download traffic of one iteration's uploads.
+fn record_feature_traffic(traffic: &mut TrafficMeter, uploads: &[FeatureUpload], per_sample: f64) {
+    for u in uploads {
+        let bytes = u.batch_size() as f64 * per_sample;
+        traffic.record(TrafficCategory::Features, bytes);
+        traffic.record(TrafficCategory::Gradients, bytes);
+    }
+}
+
+/// The server's handling of one iteration's uploads: top-model update (merged or
+/// per-worker) and gradient dispatch, with the gradients reordered into plan order.
+/// Returns the iteration loss and the aligned gradients.
+fn server_iteration(
+    server: &mut SflServer,
+    uploads: &[FeatureUpload],
+    plan_order: &[usize],
+    merging: bool,
+) -> (f32, Vec<Option<Tensor>>) {
+    let step = if merging {
+        server.process_merged(uploads)
+    } else {
+        server.process_sequential(uploads)
+    };
+    (step.loss, align_gradients(plan_order, step.gradients))
+}
+
+/// The barrier round loop (the oracle): every iteration fully serialises worker forward →
+/// server step → gradient application. Returns the summed iteration losses.
+#[allow(clippy::too_many_arguments)]
+fn run_iterations_barrier(
+    cohort: &mut [&mut SflWorker],
+    train: &Dataset,
+    server: &mut SflServer,
+    traffic: &mut TrafficMeter,
+    feature_bytes: f64,
+    plan: &RoundPlan,
+    tau: usize,
+    params: &IterationParams,
+) -> f32 {
+    let mut loss_sum = 0.0f32;
+    for _k in 0..tau {
+        let uploads = forward_all(cohort, train, &plan.batch_sizes, params.parallel);
+        record_feature_traffic(traffic, &uploads, feature_bytes);
+        let (loss, grads) = server_iteration(server, &uploads, &plan.selected, params.merging);
+        loss_sum += loss;
+        apply_all(cohort, grads, &plan.batch_sizes, params);
+    }
+    loss_sum
+}
+
+/// The pipelined round loop: the cohort's worker stage runs on its own thread, streaming
+/// each iteration's uploads through a bounded channel to the server stage on the calling
+/// thread and receiving the dispatched gradients through a second one. Under feature
+/// merging the server ships gradients as soon as its backward pass finishes
+/// ([`SflServer::begin_step`]) and runs the optimizer update
+/// ([`SflServer::finish_step`]) while the workers are already applying gradients and
+/// computing iteration `k+1`'s forward pass — the overlap the round's pipelined makespan
+/// models. Arithmetic order is identical to the barrier loop, so trajectories are
+/// bit-identical; only scheduling differs. Returns the summed iteration losses.
+#[allow(clippy::too_many_arguments)]
+fn run_iterations_pipelined(
+    cohort: &mut [&mut SflWorker],
+    train: &Dataset,
+    server: &mut SflServer,
+    traffic: &mut TrafficMeter,
+    feature_bytes: f64,
+    plan: &RoundPlan,
+    tau: usize,
+    params: &IterationParams,
+) -> f32 {
+    let mut loss_sum = 0.0f32;
+    std::thread::scope(|scope| {
+        // The channels live *inside* the scope closure: if the server stage panics
+        // mid-round, unwinding drops `grad_tx`/`upload_rx` before `thread::scope` joins
+        // the worker stage, whose blocked `recv`/`send` then observes disconnection and
+        // returns — the panic propagates instead of deadlocking the join.
+        let (upload_tx, upload_rx) = rayon::channel::bounded::<Vec<FeatureUpload>>(PIPELINE_DEPTH);
+        let (grad_tx, grad_rx) = rayon::channel::bounded::<Vec<Option<Tensor>>>(PIPELINE_DEPTH);
+        let batch_sizes = &plan.batch_sizes;
+        let worker_stage = scope.spawn(move || {
+            for _k in 0..tau {
+                let uploads = forward_all(cohort, train, batch_sizes, params.parallel);
+                if upload_tx.send(uploads).is_err() {
+                    // Server stage gone (it panicked); unwind this stage too.
+                    return;
+                }
+                let Some(grads) = grad_rx.recv() else {
+                    return;
+                };
+                apply_all(cohort, grads, batch_sizes, params);
+            }
+        });
+
+        for _k in 0..tau {
+            let Some(uploads) = upload_rx.recv() else {
+                break; // Worker stage panicked; joining below propagates it.
+            };
+            record_feature_traffic(traffic, &uploads, feature_bytes);
+            if params.merging {
+                let merged = merge_features(&uploads);
+                let step = server.begin_step(&merged);
+                loss_sum += step.loss;
+                let grads = align_gradients(&plan.selected, step.gradients);
+                if grad_tx.send(grads).is_err() {
+                    break;
+                }
+                // Overlapped with the workers' backward + next forward.
+                server.finish_step();
+            } else {
+                // Without merging the top model steps once per worker, so every gradient
+                // depends on the full sequential sweep; dispatch after the sweep.
+                let (loss, grads) = server_iteration(server, &uploads, &plan.selected, false);
+                loss_sum += loss;
+                if grad_tx.send(grads).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(grad_tx);
+
+        if let Err(panic) = worker_stage.join() {
+            std::panic::resume_unwind(panic);
+        }
+    });
+    loss_sum
 }
 
 #[cfg(test)]
@@ -573,6 +809,67 @@ mod tests {
         for r in &result.records {
             assert!(r.traffic_mb >= prev);
             prev = r.traffic_mb;
+        }
+    }
+
+    #[test]
+    fn evaluation_subsample_is_not_the_test_prefix() {
+        // Regression for the eval-sampling bug: accuracy used to be measured on the first
+        // `eval_samples` test samples. The subsample must be drawn from the whole set.
+        let config = tiny_config(5.0);
+        let engine = SflEngine::new(SflStrategy::merge_sfl(), &config);
+        let indices = engine.eval_indices();
+        assert_eq!(indices.len(), config.eval_samples);
+        let prefix: Vec<usize> = (0..config.eval_samples).collect();
+        assert_ne!(
+            indices,
+            prefix.as_slice(),
+            "evaluation degenerated to the biased prefix"
+        );
+        assert!(
+            indices.iter().any(|&i| i >= config.eval_samples),
+            "evaluation subsample never left the first-n prefix"
+        );
+    }
+
+    #[test]
+    fn chunked_evaluation_handles_large_and_tiny_eval_sets() {
+        // eval_samples above the chunk size exercises the chunked forward path;
+        // eval_samples of 1 exercises the smallest chunk.
+        for eval_samples in [1usize, 200] {
+            let mut config = tiny_config(0.0);
+            config.rounds = 2;
+            config.eval_every = 1;
+            config.eval_samples = eval_samples;
+            let result = SflEngine::new(SflStrategy::merge_sfl(), &config).run();
+            for r in &result.records {
+                let acc = r.accuracy.expect("every round evaluates");
+                assert!((0.0..=1.0).contains(&acc));
+            }
+        }
+    }
+
+    #[test]
+    fn min_batch_boundary_round_survives() {
+        // Regression for the merge-path hardening: with D = 1 every mechanism (regulation,
+        // fine-tuning at min_batch == 1, budget rescale on a starved ingress budget) sits
+        // on the batch-size floor. No panic, and every participant still holds >= 1 sample.
+        let mut config = tiny_config(10.0);
+        config.max_batch = 1;
+        config.uniform_batch = 1;
+        // A starved ingress budget drives the rescale path to its floor too.
+        config.ps_ingress_mean_mbps = 0.01;
+        for strategy in [SflStrategy::merge_sfl(), SflStrategy::locfedmix_sl()] {
+            let result = SflEngine::new(strategy, &config).run();
+            assert_eq!(result.records.len(), config.rounds, "{}", strategy.name);
+            for r in &result.records {
+                assert!(
+                    r.participants >= 1,
+                    "{}: empty cohort trained",
+                    strategy.name
+                );
+                assert!(r.total_batch >= r.participants, "{}", strategy.name);
+            }
         }
     }
 

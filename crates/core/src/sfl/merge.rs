@@ -82,6 +82,29 @@ pub fn merge_features(uploads: &[FeatureUpload]) -> MergedBatch {
     }
 }
 
+/// Reorders dispatched `(worker_id, gradient)` pairs into cohort (plan) order so the
+/// per-worker gradient applications line up with the cohort's `&mut` borrows, whatever
+/// order the server produced them in. Workers without a gradient get `None`; a gradient
+/// for a worker outside the cohort panics (it would mean dispatch bookkeeping corrupted).
+pub fn align_gradients(
+    cohort_order: &[usize],
+    gradients: Vec<(usize, Tensor)>,
+) -> Vec<Option<Tensor>> {
+    let mut aligned: Vec<Option<Tensor>> = (0..cohort_order.len()).map(|_| None).collect();
+    for (worker_id, grad) in gradients {
+        let pos = cohort_order
+            .iter()
+            .position(|&w| w == worker_id)
+            .expect("align_gradients: gradient for unselected worker");
+        assert!(
+            aligned[pos].is_none(),
+            "align_gradients: duplicate gradient for worker {worker_id}"
+        );
+        aligned[pos] = Some(grad);
+    }
+    aligned
+}
+
 /// Segments the merged split-layer gradient back into per-worker gradients (gradient
 /// dispatching). Returns `(worker_id, gradient)` pairs in merge order.
 pub fn dispatch_gradients(merged: &MergedBatch, grad: &Tensor) -> Vec<(usize, Tensor)> {
@@ -164,6 +187,25 @@ mod tests {
         let zeros = merged.labels.iter().filter(|&&l| l == 0).count();
         assert_eq!(zeros, 4);
         assert_eq!(merged.total(), 8);
+    }
+
+    #[test]
+    fn align_gradients_reorders_into_cohort_order() {
+        let grads = vec![
+            (7, Tensor::full(&[1, 2], 7.0)),
+            (3, Tensor::full(&[2, 2], 3.0)),
+        ];
+        let aligned = align_gradients(&[3, 5, 7], grads);
+        assert_eq!(aligned.len(), 3);
+        assert_eq!(aligned[0].as_ref().unwrap().data(), &[3.0; 4]);
+        assert!(aligned[1].is_none());
+        assert_eq!(aligned[2].as_ref().unwrap().data(), &[7.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unselected worker")]
+    fn align_gradients_rejects_unknown_worker() {
+        let _ = align_gradients(&[0, 1], vec![(9, Tensor::zeros(&[1, 1]))]);
     }
 
     #[test]

@@ -13,6 +13,6 @@ pub mod server;
 pub mod worker;
 
 pub use engine::{SflEngine, SflStrategy};
-pub use merge::{dispatch_gradients, merge_features, FeatureUpload, MergedBatch};
+pub use merge::{align_gradients, dispatch_gradients, merge_features, FeatureUpload, MergedBatch};
 pub use server::{SflServer, TopStep};
 pub use worker::SflWorker;

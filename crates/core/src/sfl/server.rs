@@ -62,7 +62,34 @@ impl SflServer {
     /// the top model over the mixed feature sequence, then gradient dispatching.
     pub fn process_merged(&mut self, uploads: &[FeatureUpload]) -> TopStep {
         let merged = merge_features(uploads);
-        self.step_on(&merged)
+        let step = self.begin_step(&merged);
+        self.finish_step();
+        step
+    }
+
+    /// The gradient-dispatch-critical part of one top-model update: merge-batch forward,
+    /// loss, backward, and split-layer gradient dispatching. The returned gradients can be
+    /// shipped to the workers immediately; the pipelined engine overlaps the remaining
+    /// [`SflServer::finish_step`] with the workers' bottom-backward and next forward.
+    pub fn begin_step(&mut self, merged: &MergedBatch) -> TopStep {
+        self.top.zero_grad();
+        let logits = self.top.forward(&merged.features, true);
+        let out = self.loss.forward(&logits, &merged.labels);
+        let grad_features = self.top.backward(&out.grad);
+        let gradients = dispatch_gradients(merged, &grad_features);
+        TopStep {
+            loss: out.loss,
+            accuracy: out.accuracy,
+            gradients,
+        }
+    }
+
+    /// The overlappable tail of one top-model update: the optimizer step on the gradients
+    /// accumulated by [`SflServer::begin_step`]. Must be called exactly once per
+    /// `begin_step` before the next iteration's features are processed.
+    pub fn finish_step(&mut self) {
+        self.optimizer.step(&mut self.top);
+        self.top.zero_grad();
     }
 
     /// Processes uploads **without feature merging** (typical SFL): the top model is updated
@@ -75,7 +102,8 @@ impl SflServer {
         let mut samples = 0usize;
         for upload in uploads {
             let single = merge_features(std::slice::from_ref(upload));
-            let step = self.step_on(&single);
+            let step = self.begin_step(&single);
+            self.finish_step();
             loss_sum += step.loss * upload.batch_size() as f32;
             acc_sum += step.accuracy * upload.batch_size() as f32;
             samples += upload.batch_size();
@@ -84,21 +112,6 @@ impl SflServer {
         TopStep {
             loss: loss_sum / samples as f32,
             accuracy: acc_sum / samples as f32,
-            gradients,
-        }
-    }
-
-    fn step_on(&mut self, merged: &MergedBatch) -> TopStep {
-        self.top.zero_grad();
-        let logits = self.top.forward(&merged.features, true);
-        let out = self.loss.forward(&logits, &merged.labels);
-        let grad_features = self.top.backward(&out.grad);
-        self.optimizer.step(&mut self.top);
-        self.top.zero_grad();
-        let gradients = dispatch_gradients(merged, &grad_features);
-        TopStep {
-            loss: out.loss,
-            accuracy: out.accuracy,
             gradients,
         }
     }
@@ -115,6 +128,13 @@ impl SflServer {
         self.global_bottom = aggregated;
     }
 
+    /// Loads the current global bottom-model state into an evaluation replica. Chunked
+    /// evaluation loops call this once, then [`SflServer::evaluate_preloaded`] per chunk,
+    /// instead of re-copying the full state for every chunk.
+    pub fn load_global_bottom(&self, bottom_replica: &mut Sequential) {
+        bottom_replica.load_state(&self.global_bottom);
+    }
+
     /// Evaluates the combined global model (aggregated bottom + current top) on a dataset
     /// slice, returning `(loss, accuracy)`. The bottom replica passed in is loaded with the
     /// global state before evaluation.
@@ -124,7 +144,17 @@ impl SflServer {
         inputs: &Tensor,
         labels: &[usize],
     ) -> (f32, f32) {
-        bottom_replica.load_state(&self.global_bottom);
+        self.load_global_bottom(bottom_replica);
+        self.evaluate_preloaded(bottom_replica, inputs, labels)
+    }
+
+    /// Evaluates on a replica already loaded via [`SflServer::load_global_bottom`].
+    pub fn evaluate_preloaded(
+        &mut self,
+        bottom_replica: &mut Sequential,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> (f32, f32) {
         let features = bottom_replica.forward(inputs, false);
         let logits = self.top.forward(&features, false);
         let out = self.loss.forward(&logits, labels);

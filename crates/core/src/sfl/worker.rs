@@ -78,11 +78,40 @@ impl SflWorker {
         self.bottom.zero_grad();
     }
 
+    /// Applies a gradient dispatched from a *merged* top-model step. Merged gradients are
+    /// normalised by the cohort total `Σ d_i` rather than this worker's `d_i`, so the base
+    /// learning rate is scaled by `Σ d / d_i` — capped at [`MERGE_SCALE_CAP`] so stragglers
+    /// with tiny batches (ratios of 20–40×) cannot be blown up by one bad merged gradient:
+    /// clipping bounds the norm, the cap bounds the systematic amplification. With
+    /// `merging == false` the gradient is already normalised per-worker and the base rate
+    /// is used unscaled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_merged_gradient(
+        &mut self,
+        grad_features: &Tensor,
+        base_lr: f32,
+        batch_size: usize,
+        total_batch: usize,
+        reference_batch: usize,
+        merging: bool,
+    ) {
+        let scale = if merging {
+            (total_batch as f32 / batch_size.max(1) as f32).min(MERGE_SCALE_CAP)
+        } else {
+            1.0
+        };
+        self.apply_gradient(grad_features, base_lr * scale, batch_size, reference_batch);
+    }
+
     /// Size of the bottom model in scalars (used in tests and sanity checks).
     pub fn bottom_num_params(&self) -> usize {
         self.bottom.num_params()
     }
 }
+
+/// Upper bound on the `Σ d / d_i` learning-rate amplification of merged gradients (see
+/// [`SflWorker::apply_merged_gradient`]).
+pub const MERGE_SCALE_CAP: f32 = 4.0;
 
 #[cfg(test)]
 mod tests {
@@ -155,6 +184,40 @@ mod tests {
             |state: &[f32]| -> f32 { state.iter().zip(&global).map(|(a, b)| (a - b).abs()).sum() };
         // The worker with the larger batch (relative to the reference) uses a larger LR.
         assert!(delta(&large.bottom_state()) > delta(&small.bottom_state()));
+    }
+
+    #[test]
+    fn merged_gradient_scale_is_capped_for_extreme_stragglers() {
+        // A straggler with d=1 in a 100-sample merged batch would get a 100× LR without
+        // the cap; with it, the update magnitude equals the 4×-scaled one.
+        let (mut capped, data) = toy_worker(0);
+        let (mut manual, _) = toy_worker(1);
+        let global = capped.bottom_state();
+        manual.load_bottom(&global);
+
+        let up = capped.forward_iteration(&data, 4);
+        capped.apply_merged_gradient(&Tensor::ones(up.features.shape()), 0.1, 1, 100, 4, true);
+        let up_m = manual.forward_iteration(&data, 4);
+        manual.apply_gradient(
+            &Tensor::ones(up_m.features.shape()),
+            0.1 * MERGE_SCALE_CAP,
+            1,
+            4,
+        );
+        assert_eq!(capped.bottom_state(), manual.bottom_state());
+    }
+
+    #[test]
+    fn unmerged_gradient_uses_the_base_rate() {
+        let (mut a, data) = toy_worker(0);
+        let (mut b, _) = toy_worker(1);
+        let global = a.bottom_state();
+        b.load_bottom(&global);
+        let up_a = a.forward_iteration(&data, 4);
+        a.apply_merged_gradient(&Tensor::ones(up_a.features.shape()), 0.1, 2, 100, 4, false);
+        let up_b = b.forward_iteration(&data, 4);
+        b.apply_gradient(&Tensor::ones(up_b.features.shape()), 0.1, 2, 4);
+        assert_eq!(a.bottom_state(), b.bottom_state());
     }
 
     #[test]

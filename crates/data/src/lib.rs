@@ -14,6 +14,7 @@ pub mod datasets;
 pub mod label_dist;
 pub mod loader;
 pub mod partition;
+pub mod sample;
 pub mod synth;
 
 pub use dataset::Dataset;
@@ -21,3 +22,4 @@ pub use datasets::{DatasetKind, DatasetSpec};
 pub use label_dist::LabelDistribution;
 pub use loader::WorkerLoader;
 pub use partition::{partition_dirichlet, partition_iid, Partition};
+pub use sample::eval_subsample;

@@ -1,0 +1,223 @@
+//! Bounded, order-preserving channels for staged pipelines.
+//!
+//! The training engines stage a round's work through producer/consumer threads
+//! (worker bottom-forward → server merge/top-step → gradient dispatch). Real rayon has no
+//! channel; crossbeam is unavailable offline; `std::sync::mpsc::sync_channel` exists but
+//! keeping the pipeline primitives in one shim crate keeps the engines' dependency story
+//! simple and the blocking semantics under our control. This is a minimal MPSC bounded
+//! FIFO built on `Mutex` + two `Condvar`s: `send` blocks while the queue is full (that
+//! bound is what keeps pipeline stages in lockstep instead of letting a fast producer
+//! race ahead), `recv` blocks while it is empty, and items always come out in the order
+//! they were sent.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half of a bounded channel. Cloning adds another producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of a bounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Creates a bounded FIFO channel with room for `capacity` in-flight items.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel: capacity must be positive");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `item`. Returns the item back if the
+    /// receiver is gone (the pipeline consumer has shut down).
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        while state.items.len() >= state.capacity {
+            if !state.receiver_alive {
+                return Err(SendError(item));
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+        if !state.receiver_alive {
+            return Err(SendError(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        state.senders += 1;
+        drop(state);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake a receiver blocked on an empty queue so it can observe disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item is available and returns it, or `None` once every sender has
+    /// been dropped and the queue has drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        state.receiver_alive = false;
+        drop(state);
+        // Wake producers blocked on a full queue so they can observe disconnection.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_arrive_in_send_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut out = Vec::new();
+        while let Some(v) = rx.recv() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_producer_until_consumed() {
+        let (tx, rx) = bounded(1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut out = Vec::new();
+        while let Some(v) = rx.recv() {
+            out.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_returns_none_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u8>(2);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_gone() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn multiple_producers_all_drain() {
+        let (tx, rx) = bounded(2);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut out = Vec::new();
+        while let Some(v) = rx.recv() {
+            out.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(out.len(), 100);
+        out.sort_unstable();
+        out.dedup();
+        assert_eq!(out.len(), 100);
+    }
+}

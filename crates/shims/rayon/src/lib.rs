@@ -16,6 +16,8 @@ pub mod prelude {
     pub use crate::IntoParallelIterator;
 }
 
+pub mod channel;
+
 /// Number of worker threads a parallel call may fan out to.
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()

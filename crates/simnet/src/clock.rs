@@ -5,8 +5,46 @@
 //! when the slowest participating worker finishes, and the average waiting time is
 //! `W^h = (1/R) Σ (t^h − t_i^h)`. [`SimClock`] accumulates completion times across rounds so
 //! experiments can report time-to-accuracy on the simulated hardware.
+//!
+//! On top of the barrier model, [`StageModel`] breaks a round into its pipeline stages so
+//! the makespan of the *pipelined* schedule can be accounted: in a split round the server's
+//! top-model step has a critical part (merge + forward + backward, which gates gradient
+//! dispatch) and an overlappable part (optimizer update + bookkeeping) that runs while the
+//! workers are already on the next iteration; in a full-model FL round the server folds
+//! each arriving model into the aggregate while slower workers are still training.
 
 use serde::{Deserialize, Serialize};
+
+/// Per-stage breakdown of a round, enabling overlap-aware (pipelined) makespan accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum StageModel {
+    /// A split-learning round of `iterations` iterations. Each iteration is a worker stage
+    /// (bottom forward + last-hop feature/gradient transfer + bottom backward; the slowest
+    /// selected worker gates it), the drain of the cohort's uploads through the shared PS
+    /// ingress link (`ingress` — the bandwidth the paper's Eq. 10 budgets), and a server
+    /// stage of which `server_critical` seconds must complete before gradients dispatch
+    /// and `server_overlap` seconds can overlap with the workers' next iteration. In the
+    /// barrier schedule all four serialise; pipelined, the ingress drain of early
+    /// arrivals, the server's overlappable tail and the workers' next iteration all run
+    /// concurrently (NIC, GPU and workers are independent resources).
+    SplitRound {
+        /// Local updating frequency τ of the round.
+        iterations: usize,
+        /// PS-ingress drain of one iteration's merged uploads (`Σ d_i · c / B^h`), seconds.
+        ingress: f64,
+        /// Pre-dispatch server time per iteration (merge + top forward/backward), seconds.
+        server_critical: f64,
+        /// Overlappable server time per iteration (top optimizer step + bookkeeping), seconds.
+        server_overlap: f64,
+    },
+    /// A full-model FL round: workers train locally and upload; the server folds each
+    /// arriving model state into the aggregate, `per_state_seconds` per worker. Pipelined,
+    /// the folds of early arrivals hide behind the stragglers' training time.
+    AggregateRound {
+        /// Server time to fold one worker's model state into the aggregate, seconds.
+        per_state_seconds: f64,
+    },
+}
 
 /// Timing of one communication round.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -16,10 +54,13 @@ pub struct RoundTiming {
     /// Extra per-round overhead that does not overlap with computation, e.g. model
     /// broadcast and aggregation transfer time (seconds).
     pub sync_overhead: f64,
+    /// Per-stage breakdown for overlap-aware accounting; `None` falls back to the plain
+    /// barrier model (no server stage charged).
+    pub stages: Option<StageModel>,
 }
 
 impl RoundTiming {
-    /// Creates the timing record for a round.
+    /// Creates the timing record for a round (barrier model, no server stage).
     pub fn new(worker_durations: Vec<f64>, sync_overhead: f64) -> Self {
         assert!(
             !worker_durations.is_empty(),
@@ -33,7 +74,54 @@ impl RoundTiming {
         Self {
             worker_durations,
             sync_overhead,
+            stages: None,
         }
+    }
+
+    /// Creates the timing record of a split round with a per-stage breakdown.
+    /// `worker_durations` remain whole-round totals (`τ · d_i · (µ_i + β_i)`).
+    pub fn with_split_stages(
+        worker_durations: Vec<f64>,
+        sync_overhead: f64,
+        iterations: usize,
+        ingress: f64,
+        server_critical: f64,
+        server_overlap: f64,
+    ) -> Self {
+        assert!(iterations > 0, "RoundTiming: need at least one iteration");
+        assert!(
+            ingress.is_finite()
+                && ingress >= 0.0
+                && server_critical.is_finite()
+                && server_critical >= 0.0
+                && server_overlap.is_finite()
+                && server_overlap >= 0.0,
+            "RoundTiming: invalid stage duration"
+        );
+        let mut timing = Self::new(worker_durations, sync_overhead);
+        timing.stages = Some(StageModel::SplitRound {
+            iterations,
+            ingress,
+            server_critical,
+            server_overlap,
+        });
+        timing
+    }
+
+    /// Creates the timing record of a full-model FL round with a streaming-aggregation
+    /// stage breakdown.
+    pub fn with_aggregate_stage(
+        worker_durations: Vec<f64>,
+        sync_overhead: f64,
+        per_state_seconds: f64,
+    ) -> Self {
+        assert!(
+            per_state_seconds.is_finite() && per_state_seconds >= 0.0,
+            "RoundTiming: invalid aggregation duration"
+        );
+        let mut timing = Self::new(worker_durations, sync_overhead);
+        timing.stages = Some(StageModel::AggregateRound { per_state_seconds });
+        timing
     }
 
     /// Duration of the slowest worker (the synchronisation barrier), excluding overhead.
@@ -41,12 +129,75 @@ impl RoundTiming {
         self.worker_durations.iter().cloned().fold(0.0, f64::max)
     }
 
-    /// Wall-clock completion time of the round: barrier time plus synchronisation overhead.
-    pub fn completion_time(&self) -> f64 {
-        self.barrier_time() + self.sync_overhead
+    /// Wall-clock completion time under the **barrier** schedule: every stage of every
+    /// iteration strictly serialised — the slowest worker, then the full server stage,
+    /// iteration after iteration, plus synchronisation overhead.
+    pub fn barrier_completion_time(&self) -> f64 {
+        let base = self.barrier_time() + self.sync_overhead;
+        match &self.stages {
+            None => base,
+            Some(StageModel::SplitRound {
+                iterations,
+                ingress,
+                server_critical,
+                server_overlap,
+            }) => base + *iterations as f64 * (ingress + server_critical + server_overlap),
+            Some(StageModel::AggregateRound { per_state_seconds }) => {
+                base + self.worker_durations.len() as f64 * per_state_seconds
+            }
+        }
     }
 
-    /// Average waiting time across the participating workers (paper Eq. 8).
+    /// Wall-clock completion time under the **pipelined** schedule, where iteration `k+1`
+    /// worker compute overlaps iteration `k` server compute (split rounds) or aggregation
+    /// folds overlap straggler training (FL rounds). Falls back to the barrier makespan
+    /// when no stage breakdown is attached.
+    pub fn pipelined_completion_time(&self) -> f64 {
+        match &self.stages {
+            None => self.barrier_completion_time(),
+            Some(StageModel::SplitRound {
+                iterations,
+                ingress,
+                server_critical,
+                server_overlap,
+            }) => {
+                let tau = *iterations as f64;
+                // Slowest worker's per-iteration duration: the worker stage of one slot.
+                let a = self.barrier_time() / tau;
+                // Critical path: the first iteration fills the pipe (worker stage, full
+                // ingress drain, critical server part). Every further iteration costs its
+                // critical server part plus the longest of the three stages that overlap
+                // each other — the workers' compute, the NIC draining early uploads, and
+                // the server's overlappable tail. The last overlap part drains the pipe.
+                a + ingress
+                    + tau * server_critical
+                    + (tau - 1.0) * a.max(*ingress).max(*server_overlap)
+                    + server_overlap
+                    + self.sync_overhead
+            }
+            Some(StageModel::AggregateRound { per_state_seconds }) => {
+                // States are folded in arrival order; each fold starts when both the state
+                // has arrived and the previous fold has finished.
+                let mut arrivals = self.worker_durations.clone();
+                arrivals.sort_by(|x, y| x.partial_cmp(y).expect("finite durations"));
+                let mut finish: f64 = 0.0;
+                for t in arrivals {
+                    finish = finish.max(t) + per_state_seconds;
+                }
+                finish + self.sync_overhead
+            }
+        }
+    }
+
+    /// Wall-clock completion time of the round under the barrier schedule (the oracle
+    /// model; kept as the historical name).
+    pub fn completion_time(&self) -> f64 {
+        self.barrier_completion_time()
+    }
+
+    /// Average waiting time across the participating workers (paper Eq. 8). Waiting is a
+    /// property of worker heterogeneity and is the same under both schedules: the merge
+    /// still needs every selected worker's upload each iteration.
     pub fn average_waiting_time(&self) -> f64 {
         let barrier = self.barrier_time();
         let total: f64 = self.worker_durations.iter().map(|t| barrier - t).sum();
@@ -72,17 +223,36 @@ pub struct SimClock {
     elapsed: f64,
     rounds: usize,
     total_waiting: f64,
+    pipelined: bool,
 }
 
 impl SimClock {
-    /// Creates a clock at time zero.
+    /// Creates a clock at time zero charging the barrier schedule.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a clock at time zero charging the chosen schedule: pipelined rounds advance
+    /// by the overlap-aware makespan, barrier rounds by the serialised one.
+    pub fn with_pipelining(pipelined: bool) -> Self {
+        Self {
+            pipelined,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this clock charges the pipelined schedule.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
     /// Advances the clock by one round and returns the round's completion time.
     pub fn advance_round(&mut self, timing: &RoundTiming) -> f64 {
-        let completion = timing.completion_time();
+        let completion = if self.pipelined {
+            timing.pipelined_completion_time()
+        } else {
+            timing.barrier_completion_time()
+        };
         self.elapsed += completion;
         self.total_waiting += timing.average_waiting_time();
         self.rounds += 1;
@@ -134,6 +304,8 @@ mod tests {
         let timing = RoundTiming::new(vec![1.0, 5.0, 3.0], 0.5);
         assert_eq!(timing.barrier_time(), 5.0);
         assert_eq!(timing.completion_time(), 5.5);
+        // Without stages the pipelined makespan degenerates to the barrier one.
+        assert_eq!(timing.pipelined_completion_time(), 5.5);
     }
 
     #[test]
@@ -150,6 +322,49 @@ mod tests {
     }
 
     #[test]
+    fn split_stage_makespans_match_manual_computation() {
+        // τ=4, per-iteration worker stages {0.5, 1.0} (totals {2, 4}), 0.8 s ingress
+        // drain, server 0.3 critical + 0.1 overlap per iteration, 0.2 s sync.
+        let timing = RoundTiming::with_split_stages(vec![2.0, 4.0], 0.2, 4, 0.8, 0.3, 0.1);
+        // Barrier: 4 + 4·(0.8+0.3+0.1) + 0.2 = 9.0.
+        assert!((timing.barrier_completion_time() - 9.0).abs() < 1e-9);
+        // Pipelined: 1.0 + 0.8 + 4·0.3 + 3·max(1.0, 0.8, 0.1) + 0.1 + 0.2 = 6.3.
+        assert!((timing.pipelined_completion_time() - 6.3).abs() < 1e-9);
+        // The saving is exactly (τ−1)·(a + I + s_o − max(a, I, s_o)) = 3·0.9.
+        let saved = timing.barrier_completion_time() - timing.pipelined_completion_time();
+        assert!((saved - 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_stage_pipelining_never_loses() {
+        let timing = RoundTiming::with_split_stages(vec![1.5, 0.5, 3.0], 0.4, 6, 0.7, 0.2, 0.35);
+        assert!(timing.pipelined_completion_time() <= timing.barrier_completion_time());
+        // And never beats the slowest single stage strand.
+        assert!(timing.pipelined_completion_time() >= timing.barrier_time());
+        assert!(timing.pipelined_completion_time() >= 6.0 * 0.7);
+        assert!(timing.pipelined_completion_time() >= 6.0 * (0.2 + 0.35));
+    }
+
+    #[test]
+    fn single_iteration_split_round_has_no_overlap_window() {
+        // τ = 1: nothing to pipeline; the two schedules agree exactly.
+        let timing = RoundTiming::with_split_stages(vec![2.5, 1.0], 0.3, 1, 0.6, 0.2, 0.4);
+        assert!(
+            (timing.pipelined_completion_time() - timing.barrier_completion_time()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn aggregate_stage_folds_hide_behind_stragglers() {
+        // Arrivals 1, 2, 10; 1 s per fold. Folds of the first two states finish at 2 and 3,
+        // the straggler arrives at 10 and its fold ends at 11; the barrier schedule would
+        // serialise all three folds after the barrier: 10 + 3 = 13.
+        let timing = RoundTiming::with_aggregate_stage(vec![10.0, 1.0, 2.0], 0.0, 1.0);
+        assert!((timing.pipelined_completion_time() - 11.0).abs() < 1e-9);
+        assert!((timing.barrier_completion_time() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn clock_accumulates_rounds() {
         let mut clock = SimClock::new();
         clock.advance_round(&RoundTiming::new(vec![1.0, 2.0], 0.0));
@@ -158,6 +373,19 @@ mod tests {
         assert!((clock.elapsed_seconds() - 7.0).abs() < 1e-9);
         // Waiting: round 1 avg 0.5, round 2 avg 0 → mean 0.25.
         assert!((clock.mean_waiting_time() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_clock_advances_by_the_overlap_aware_makespan() {
+        let timing = RoundTiming::with_split_stages(vec![2.0, 4.0], 0.2, 4, 0.8, 0.3, 0.1);
+        let mut barrier = SimClock::with_pipelining(false);
+        let mut pipelined = SimClock::with_pipelining(true);
+        barrier.advance_round(&timing);
+        pipelined.advance_round(&timing);
+        assert!(pipelined.elapsed_seconds() < barrier.elapsed_seconds());
+        // Waiting time is schedule-independent.
+        assert_eq!(barrier.mean_waiting_time(), pipelined.mean_waiting_time());
+        assert!(pipelined.is_pipelined() && !barrier.is_pipelined());
     }
 
     #[test]
@@ -173,5 +401,11 @@ mod tests {
     #[should_panic(expected = "no participating workers")]
     fn rejects_empty_round() {
         let _ = RoundTiming::new(vec![], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn rejects_zero_iteration_split_stages() {
+        let _ = RoundTiming::with_split_stages(vec![1.0], 0.0, 0, 0.1, 0.1, 0.1);
     }
 }

@@ -182,6 +182,18 @@ impl Cluster {
         bytes / mbps_to_bytes_per_sec(state.bandwidth_mbps)
     }
 
+    /// Seconds the parameter server spends on one top-model step over a merged batch of
+    /// `total_batch` samples (split-learning rounds).
+    pub fn server_step_seconds(&self, total_batch: usize) -> f64 {
+        self.profile.server_step_seconds(total_batch)
+    }
+
+    /// Seconds the parameter server spends folding one worker's full-model state into the
+    /// FedAvg aggregate (full-model FL rounds).
+    pub fn aggregate_seconds_per_state(&self) -> f64 {
+        self.profile.aggregate_seconds_per_state()
+    }
+
     /// Distance group of a worker.
     pub fn distance_group(&self, worker_id: usize) -> DistanceGroup {
         self.groups[worker_id]
@@ -311,6 +323,16 @@ mod tests {
         let b = cluster.ps_ingress_budget();
         assert!(a > 0.0 && b > 0.0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn server_stage_costs_scale_with_batch() {
+        let cluster = paper_cluster();
+        let small = cluster.server_step_seconds(8);
+        let large = cluster.server_step_seconds(64);
+        assert!(small > 0.0);
+        assert!((large - 8.0 * small).abs() < 1e-12);
+        assert!(cluster.aggregate_seconds_per_state() > 0.0);
     }
 
     #[test]

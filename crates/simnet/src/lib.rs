@@ -32,7 +32,7 @@ pub mod profile;
 pub mod traffic;
 
 pub use bandwidth::{BandwidthModel, DistanceGroup};
-pub use clock::{RoundTiming, SimClock};
+pub use clock::{RoundTiming, SimClock, StageModel};
 pub use cluster::{Cluster, ClusterConfig, WorkerState};
 pub use device::{DeviceKind, DeviceProfile, SimDevice};
 pub use profile::ModelProfile;

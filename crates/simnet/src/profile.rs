@@ -12,6 +12,18 @@ use serde::{Deserialize, Serialize};
 
 const MB: f64 = 1024.0 * 1024.0;
 
+/// Effective training throughput of the parameter server's GPU workstation, in GFLOP/s.
+/// The paper's PS is a deep-learning workstation whose sustained throughput dwarfs the
+/// Jetson workers (whose effective rates are single-digit GFLOP/s at best); 2 TFLOP/s of
+/// sustained training throughput is a conservative figure for such a machine.
+pub const SERVER_GFLOPS: f64 = 2000.0;
+
+/// Fraction of a server top-model step that must complete before the split-layer
+/// gradients can be dispatched (merge + top forward + backward). The remainder — the
+/// optimizer update of the top model and per-round bookkeeping — can overlap with the
+/// workers' bottom-backward and next bottom-forward in the pipelined schedule.
+pub const SERVER_CRITICAL_FRACTION: f64 = 0.75;
+
 /// Paper-scale cost model of one architecture.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ModelProfile {
@@ -67,6 +79,26 @@ impl ModelProfile {
             },
         }
     }
+
+    /// Training workload per sample of the server-side (top) model, in GFLOPs: whatever of
+    /// the full model is not computed by the workers.
+    pub fn top_gflop_per_sample(&self) -> f64 {
+        self.full_gflop_per_sample - self.bottom_gflop_per_sample
+    }
+
+    /// Seconds the parameter server spends on one top-model step over a merged batch of
+    /// `total_batch` samples (forward + backward + update at [`SERVER_GFLOPS`]).
+    pub fn server_step_seconds(&self, total_batch: usize) -> f64 {
+        total_batch as f64 * self.top_gflop_per_sample() / SERVER_GFLOPS
+    }
+
+    /// Seconds the parameter server spends folding one worker's full-model state into the
+    /// FedAvg aggregate (a few FLOPs per parameter; 4 bytes per f32 parameter).
+    pub fn aggregate_seconds_per_state(&self) -> f64 {
+        let params = self.full_model_bytes / 4.0;
+        // Scale + accumulate per parameter: ~2 FLOPs each.
+        2.0 * params / (SERVER_GFLOPS * 1e9)
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +130,20 @@ mod tests {
                 "{arch:?}"
             );
             assert!(p.feature_bytes_per_sample > 0.0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn server_costs_are_positive_and_small() {
+        for arch in Architecture::all() {
+            let p = ModelProfile::for_architecture(arch);
+            assert!(p.top_gflop_per_sample() > 0.0, "{arch:?}");
+            let step = p.server_step_seconds(64);
+            assert!(step > 0.0, "{arch:?}");
+            // The PS is far faster than the workers: a batch-64 top step stays well under
+            // a second even for VGG16.
+            assert!(step < 1.0, "{arch:?}: server step {step} implausibly slow");
+            assert!(p.aggregate_seconds_per_state() > 0.0, "{arch:?}");
         }
     }
 

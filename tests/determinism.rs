@@ -1,10 +1,37 @@
 //! Determinism regression tests: identical seeds give bit-identical run traces, and the
 //! threaded execution path produces exactly the same records as sequential execution —
-//! parallelism must never change results, only wall-clock time.
+//! parallelism must never change results, only wall-clock time. The pipelined round loop
+//! carries the same contract for the *model trajectory*: only the simulated time series
+//! may differ (it charges the overlap-aware makespan instead of the barrier sum).
 
 use mergesfl::config::RunConfig;
 use mergesfl::experiment::{run, Approach};
+use mergesfl::metrics::RunResult;
 use mergesfl_data::DatasetKind;
+
+/// Everything about a run except the simulated-time series: the model trajectory
+/// (accuracy, loss), the traffic, the cohort decisions, and the per-round makespans of
+/// *both* schedules (which depend only on the plan and cluster, not on which schedule
+/// advanced the clock). Pipelined and barrier runs must agree on all of it bit for bit.
+#[allow(clippy::type_complexity)]
+fn trajectory(r: &RunResult) -> Vec<(usize, Option<f32>, f32, f64, f64, f64, usize, usize, f32)> {
+    r.records
+        .iter()
+        .map(|x| {
+            (
+                x.round,
+                x.accuracy,
+                x.train_loss,
+                x.traffic_mb,
+                x.round_makespan_barrier,
+                x.round_makespan_pipelined,
+                x.participants,
+                x.total_batch,
+                x.cohort_kl,
+            )
+        })
+        .collect()
+}
 
 fn tiny(seed: u64) -> RunConfig {
     let mut c = RunConfig::quick(DatasetKind::Har, 5.0, seed);
@@ -82,6 +109,106 @@ fn parallel_matches_sequential_at_scalability_config() {
             "{approach:?} diverged between parallel and sequential"
         );
     }
+}
+
+#[test]
+fn pipelined_matches_barrier_trajectory_bit_for_bit() {
+    // The tentpole contract: pipelining overlaps scheduling, never arithmetic. Every
+    // SFL-family flavour (merged and sequential top updates) and both FL baselines must
+    // produce identical model trajectories; only the simulated clock may advance less.
+    for approach in [
+        Approach::MergeSfl,
+        Approach::LocFedMixSl,
+        Approach::FedAvg,
+        Approach::PyramidFl,
+    ] {
+        let mut barrier = tiny(31);
+        barrier.pipeline = false;
+        let mut pipelined = tiny(31);
+        pipelined.pipeline = true;
+        let a = run(approach, &barrier);
+        let b = run(approach, &pipelined);
+        assert_eq!(
+            trajectory(&a),
+            trajectory(&b),
+            "{approach:?} trajectory diverged between barrier and pipelined execution"
+        );
+        assert!(
+            b.total_sim_time() < a.total_sim_time(),
+            "{approach:?}: pipelined sim time {} should beat barrier {}",
+            b.total_sim_time(),
+            a.total_sim_time()
+        );
+    }
+}
+
+#[test]
+fn pipelined_matches_barrier_at_scalability_config() {
+    // The fig12 scalability shape at 50 workers: staging many workers through the
+    // pipeline must not change a single trajectory entry.
+    let mut config = RunConfig::quick(DatasetKind::Har, 10.0, 131);
+    config.num_workers = 50;
+    config.rounds = 3;
+    config.local_iterations = Some(2);
+    config.participants_per_round = 10;
+    config.train_size = Some(1000);
+    config.eval_every = 3;
+    config.eval_samples = 100;
+
+    let mut barrier = config.clone();
+    barrier.pipeline = false;
+    let mut pipelined = config;
+    pipelined.pipeline = true;
+    for approach in [Approach::MergeSfl, Approach::FedAvg] {
+        let a = run(approach, &barrier);
+        let b = run(approach, &pipelined);
+        assert_eq!(
+            trajectory(&a),
+            trajectory(&b),
+            "{approach:?} diverged between barrier and pipelined execution at 50 workers"
+        );
+    }
+}
+
+#[test]
+fn pipeline_composes_with_parallel_and_sequential_fanout() {
+    // The pipeline stages the round; `parallel` fans the worker stage out. All four
+    // combinations must agree on the trajectory.
+    let reference = {
+        let mut c = tiny(33);
+        c.parallel = false;
+        c.pipeline = false;
+        trajectory(&run(Approach::MergeSfl, &c))
+    };
+    for (parallel, pipeline) in [(false, true), (true, false), (true, true)] {
+        let mut c = tiny(33);
+        c.parallel = parallel;
+        c.pipeline = pipeline;
+        let got = trajectory(&run(Approach::MergeSfl, &c));
+        assert_eq!(
+            got, reference,
+            "parallel={parallel} pipeline={pipeline} diverged from the sequential barrier oracle"
+        );
+    }
+}
+
+#[test]
+fn pipelined_makespan_wins_on_the_straggler_heavy_config() {
+    // The fig9 setting (p = 10, heterogeneous quick cluster): the overlap-aware makespan
+    // must be strictly below the barrier sum in **every** round — the server's
+    // overlappable stage and the workers' stage are both always non-empty.
+    let config = RunConfig::quick(DatasetKind::Har, 10.0, 91);
+    let result = run(Approach::MergeSfl, &config);
+    for r in &result.records {
+        assert!(
+            r.round_makespan_pipelined < r.round_makespan_barrier,
+            "round {}: pipelined makespan {} not below barrier {}",
+            r.round,
+            r.round_makespan_pipelined,
+            r.round_makespan_barrier
+        );
+    }
+    assert!(result.total_pipelined_makespan() < result.total_barrier_makespan());
 }
 
 #[test]

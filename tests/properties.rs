@@ -4,9 +4,10 @@
 
 use mergesfl::control::{regulate_batch_sizes, rescale_to_budget};
 use mergesfl::sfl::{dispatch_gradients, merge_features, FeatureUpload};
-use mergesfl_data::LabelDistribution;
+use mergesfl_data::{eval_subsample, LabelDistribution};
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::Tensor;
+use mergesfl_simnet::RoundTiming;
 use proptest::prelude::*;
 
 proptest! {
@@ -134,6 +135,73 @@ proptest! {
         prop_assert_eq!(assignment.batch_sizes.len(), 1);
         prop_assert_eq!(assignment.batch_sizes[0], max_batch);
         prop_assert_eq!(assignment.fastest, 0);
+    }
+
+    /// The overlap-aware makespan of a split round never exceeds the barrier sum, never
+    /// beats any single serial strand (slowest worker, ingress drain, server, sync), and
+    /// saves exactly `(τ−1)` times the two smaller of the three mutually-overlapping
+    /// stages — the pipeline can only hide work behind other work, not delete it.
+    #[test]
+    fn split_round_pipelined_makespan_bounds(
+        iter_durations in prop::collection::vec(0.01f64..5.0, 1..12),
+        tau in 1usize..12,
+        ingress in 0.0f64..3.0,
+        server_critical in 0.0f64..2.0,
+        server_overlap in 0.0f64..2.0,
+        sync in 0.0f64..3.0,
+    ) {
+        let totals: Vec<f64> = iter_durations.iter().map(|d| d * tau as f64).collect();
+        let timing = RoundTiming::with_split_stages(
+            totals, sync, tau, ingress, server_critical, server_overlap);
+        let barrier = timing.barrier_completion_time();
+        let pipelined = timing.pipelined_completion_time();
+
+        prop_assert!(pipelined <= barrier + 1e-9, "pipelined {} exceeds barrier {}", pipelined, barrier);
+        // Never below the slowest single stage strand.
+        prop_assert!(pipelined + 1e-9 >= timing.barrier_time());
+        prop_assert!(pipelined + 1e-9 >= tau as f64 * ingress);
+        prop_assert!(pipelined + 1e-9 >= tau as f64 * (server_critical + server_overlap));
+        prop_assert!(pipelined + 1e-9 >= sync);
+        // The saving is exactly the hideable slice per steady-state iteration.
+        let a = timing.barrier_time() / tau as f64;
+        let expected_saving =
+            (tau as f64 - 1.0) * (a + ingress + server_overlap - a.max(ingress).max(server_overlap));
+        prop_assert!((barrier - pipelined - expected_saving).abs() < 1e-6,
+            "saving {} != expected {}", barrier - pipelined, expected_saving);
+    }
+
+    /// The streaming-aggregation makespan of an FL round never exceeds the barrier sum and
+    /// never beats the last arrival plus one fold (the fold of the slowest worker's state
+    /// can never be hidden).
+    #[test]
+    fn aggregate_round_pipelined_makespan_bounds(
+        durations in prop::collection::vec(0.01f64..20.0, 1..12),
+        per_state in 0.0f64..2.0,
+        sync in 0.0f64..3.0,
+    ) {
+        let n = durations.len() as f64;
+        let timing = RoundTiming::with_aggregate_stage(durations, sync, per_state);
+        let barrier = timing.barrier_completion_time();
+        let pipelined = timing.pipelined_completion_time();
+        prop_assert!(pipelined <= barrier + 1e-9, "pipelined {} exceeds barrier {}", pipelined, barrier);
+        prop_assert!(pipelined + 1e-9 >= timing.barrier_time() + per_state + sync);
+        prop_assert!(pipelined + 1e-9 >= n * per_state);
+        prop_assert!((barrier - (timing.barrier_time() + n * per_state + sync)).abs() < 1e-9);
+    }
+
+    /// Evaluation subsampling always yields the requested number of distinct, in-range
+    /// indices and is deterministic in the seed.
+    #[test]
+    fn eval_subsample_invariants(len in 1usize..2000, frac in 0.05f64..2.0, seed in 0u32..1000) {
+        let n = ((len as f64 * frac) as usize).max(1);
+        let sample = eval_subsample(len, n, seed as u64);
+        prop_assert_eq!(sample.len(), n.min(len));
+        prop_assert!(sample.iter().all(|&i| i < len));
+        let mut unique = sample.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), sample.len(), "subsample repeated an index");
+        prop_assert_eq!(&sample, &eval_subsample(len, n, seed as u64));
     }
 
     /// A near-zero-capacity worker (per-sample cost orders of magnitude above the rest)
