@@ -4,7 +4,7 @@
 //! the resulting top-model updates to the centralized update quantifies what the paper's
 //! PCA visualisation shows: feature merging keeps the top model on the IID trajectory.
 
-use mergesfl::sfl::{FeatureUpload, SflServer};
+use mergesfl::sfl::{FeatureUpload, TopModelShard, TopShard};
 use mergesfl_data::{synth, DatasetKind};
 use mergesfl_nn::{zoo, Sgd, SoftmaxCrossEntropy, Tensor};
 
@@ -56,8 +56,8 @@ fn main() {
     let run_sfl = |merged: bool| -> Tensor {
         let split = zoo::build(spec.architecture, spec.num_classes, 99).into_split();
         let top_before = split.top.state();
-        let mut server = SflServer::new(split.top, split.bottom.state());
-        server.set_lr(0.1);
+        let mut shard = TopShard::new(split.top);
+        shard.set_lr(0.1);
         let mut bottoms: Vec<_> = (0..3)
             .map(|_| {
                 zoo::build(spec.architecture, spec.num_classes, 99)
@@ -70,12 +70,13 @@ fn main() {
             .enumerate()
             .map(|(w, (x, y))| FeatureUpload::new(w, bottoms[w].forward(x, true), y.clone()))
             .collect();
+        let refs: Vec<&FeatureUpload> = uploads.iter().collect();
         if merged {
-            server.process_merged(&uploads);
+            shard.process_merged(&refs);
         } else {
-            server.process_sequential(&uploads);
+            shard.process_sequential(&refs);
         }
-        delta(&top_before, &server.top_state())
+        delta(&top_before, &shard.state())
     };
 
     let fm_delta = run_sfl(true);

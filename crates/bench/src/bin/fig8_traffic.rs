@@ -1,6 +1,8 @@
 //! Fig. 8: network traffic consumed to reach target accuracies, per approach and dataset.
 
-use mergesfl_bench::{datasets_from_env, print_makespan_summary, run_evaluation_set, Scale};
+use mergesfl_bench::{
+    datasets_from_env, print_makespan_summary, print_shard_summary, run_evaluation_set, Scale,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -33,8 +35,10 @@ fn main() {
             );
         }
         // Traffic is schedule-independent, but the *time* each MB buys is not: show how
-        // much simulated round time the pipelined schedule saves for the same traffic.
+        // much simulated round time the pipelined schedule saves for the same traffic,
+        // and how the server side of that time is spread across the PS shards.
         print_makespan_summary(&results);
+        print_shard_summary(&results);
         println!();
     }
     println!("Expected shape: SFL approaches (MergeSFL, AdaSFL, LocFedMix-SL) consume far less traffic than");

@@ -1,6 +1,8 @@
 //! Fig. 9: average per-round waiting time of the five approaches on the four datasets.
 
-use mergesfl_bench::{datasets_from_env, print_makespan_summary, run_evaluation_set, Scale};
+use mergesfl_bench::{
+    datasets_from_env, print_makespan_summary, print_shard_summary, run_evaluation_set, Scale,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -12,6 +14,7 @@ fn main() {
             println!("  {:<14} {:>8.2} s", r.approach, r.mean_waiting_time());
         }
         print_makespan_summary(&results);
+        print_shard_summary(&results);
         println!();
     }
     println!("Expected shape: AdaSFL has the lowest waiting time with MergeSFL close behind;");
@@ -21,5 +24,8 @@ fn main() {
     println!("equals the server-side share of an iteration (PS ingress drain + overlappable top");
     println!("step) hidden behind worker compute; the paper's Jetson-dominated testbed keeps");
     println!("that share small — the waiting pathology itself is worker-side heterogeneity,");
-    println!("which batch regulation (not pipelining) removes.");
+    println!("which batch regulation (not pipelining) removes. Sharding the top model across");
+    println!("MERGESFL_NUM_SERVERS PS instances divides the server-side share per shard (the");
+    println!("'server shards' columns above), at the price of a periodic cross-shard sync");
+    println!("(MERGESFL_SYNC_EVERY rounds per sync).");
 }

@@ -117,6 +117,60 @@ pub fn print_makespan_summary(results: &[RunResult]) {
     }
 }
 
+/// Prints the per-shard server breakdown recorded in each approach's `RoundRecord`s: how
+/// the merged batch was routed across the parameter-server shards, the per-iteration
+/// server seconds each shard carried, the total cross-shard sync cost, and the calibrated
+/// cost model the run was charged under. FL baselines (no split server) are skipped.
+pub fn print_shard_summary(results: &[RunResult]) {
+    let sharded: Vec<&RunResult> = results
+        .iter()
+        .filter(|r| r.records.iter().any(|x| !x.shards.is_empty()))
+        .collect();
+    if sharded.is_empty() {
+        return;
+    }
+    println!("server shards (per-iteration seconds, averaged over rounds):");
+    for r in sharded {
+        let rounds: Vec<_> = r.records.iter().filter(|x| !x.shards.is_empty()).collect();
+        let num_shards = rounds.iter().map(|x| x.shards.len()).max().unwrap_or(1);
+        let total_sync: f64 = r.records.iter().map(|x| x.cross_sync_seconds).sum();
+        let (gflops, fraction) = rounds
+            .first()
+            .map(|x| (x.server_gflops, x.server_critical_fraction))
+            .unwrap_or_default();
+        println!(
+            "  {:<14} {num_shards} shard(s), calibrated {gflops:.0} GFLOP/s, critical {:.0}%, \
+             cross-shard sync {total_sync:.3} s total",
+            r.approach,
+            100.0 * fraction
+        );
+        for shard in 0..num_shards {
+            let mut batch = 0.0f64;
+            let mut ingress = 0.0f64;
+            let mut server = 0.0f64;
+            let mut n = 0usize;
+            for record in &rounds {
+                if let Some(s) = record.shards.iter().find(|s| s.shard == shard) {
+                    batch += s.batch as f64;
+                    ingress += s.ingress_seconds;
+                    server += s.server_critical_seconds + s.server_overlap_seconds;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                continue;
+            }
+            let n = n as f64;
+            println!(
+                "    shard {shard}: {:>5.1} samples/iter  ingress {:>8.4} s  server {:>8.4} s",
+                batch / n,
+                ingress / n,
+                server / n
+            );
+        }
+    }
+}
+
 /// Formats an accuracy-over-time curve as `time:acc` pairs for compact printing.
 pub fn format_curve(result: &RunResult) -> String {
     result
@@ -187,6 +241,10 @@ mod tests {
             participants: 1,
             total_batch: 8,
             cohort_kl: 0.0,
+            shards: Vec::new(),
+            cross_sync_seconds: 0.0,
+            server_gflops: 2000.0,
+            server_critical_fraction: 0.75,
         });
         assert_eq!(format_curve(&r), "12s:0.500");
     }

@@ -55,6 +55,18 @@ pub struct RunConfig {
     /// or the naive loop-nest oracle). Applied process-wide by `experiment::run`;
     /// constructors honour the `MERGESFL_KERNELS` environment variable.
     pub kernel_backend: KernelBackend,
+    /// Number of parameter-server instances the top model is sharded across. With 1 (the
+    /// default) the engine is the single-server loop; with more, the control plane routes
+    /// each cohort member to a shard, every shard trains its own top-model replica on the
+    /// uploads routed to it, and replicas are averaged every [`RunConfig::sync_every`]
+    /// rounds (the replicated topology — the `TopModelShard` seam keeps output-partitioned
+    /// sharding open). Constructors honour the `MERGESFL_NUM_SERVERS` environment variable.
+    pub num_servers: usize,
+    /// Cross-shard synchronisation period in rounds: shard replicas of the top model are
+    /// averaged (weighted by samples processed since the last sync) at the end of every
+    /// `sync_every`-th round. Irrelevant when `num_servers == 1`. Constructors honour the
+    /// `MERGESFL_SYNC_EVERY` environment variable.
+    pub sync_every: usize,
 }
 
 /// Reads the pipelined-execution default from the `MERGESFL_PIPELINE` environment
@@ -67,6 +79,26 @@ pub fn pipeline_from_env() -> bool {
             .as_str(),
         "on" | "1" | "true"
     )
+}
+
+/// Reads the top-model shard count from the `MERGESFL_NUM_SERVERS` environment variable;
+/// unset, empty or unparsable values keep the single-server default of 1.
+pub fn num_servers_from_env() -> usize {
+    std::env::var("MERGESFL_NUM_SERVERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Reads the cross-shard sync period from the `MERGESFL_SYNC_EVERY` environment variable;
+/// unset, empty or unparsable values sync every round.
+pub fn sync_every_from_env() -> usize {
+    std::env::var("MERGESFL_SYNC_EVERY")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl RunConfig {
@@ -93,6 +125,8 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            num_servers: num_servers_from_env(),
+            sync_every: sync_every_from_env(),
         }
     }
 
@@ -119,6 +153,8 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            num_servers: num_servers_from_env(),
+            sync_every: sync_every_from_env(),
         }
     }
 
@@ -144,6 +180,8 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            num_servers: num_servers_from_env(),
+            sync_every: sync_every_from_env(),
         }
     }
 
@@ -182,6 +220,14 @@ impl RunConfig {
             (0.0..=1.0).contains(&self.estimate_alpha),
             "RunConfig: alpha must be in [0, 1]"
         );
+        assert!(
+            self.num_servers >= 1,
+            "RunConfig: need at least one parameter-server shard"
+        );
+        assert!(
+            self.sync_every >= 1,
+            "RunConfig: sync_every must be positive"
+        );
     }
 }
 
@@ -214,6 +260,27 @@ mod tests {
         assert_eq!(c.tau(), 30);
         c.local_iterations = Some(5);
         assert_eq!(c.tau(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter-server shard")]
+    fn validate_rejects_zero_servers() {
+        let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+        c.num_servers = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn server_topology_defaults_are_single_server_every_round() {
+        // The test environment may pin MERGESFL_NUM_SERVERS/MERGESFL_SYNC_EVERY (the CI
+        // matrix does); only assert the explicit single-shard setting validates and that
+        // a multi-shard one does too.
+        for (servers, sync) in [(1, 1), (4, 1), (4, 3)] {
+            let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+            c.num_servers = servers;
+            c.sync_every = sync;
+            c.validate();
+        }
     }
 
     #[test]

@@ -48,19 +48,54 @@ pub struct PlanOptions {
     pub max_participants: usize,
     /// Batch size used when `batch_regulation` is off.
     pub uniform_batch: usize,
+    /// Number of parameter-server shards the round's uploads are routed across. The
+    /// planner balances the cohort over `min(num_servers, cohort size)` shards by batch
+    /// size (longest-processing-time greedy), so no shard stays the single consumer of
+    /// every upload.
+    pub num_servers: usize,
 }
 
-/// The per-round decision: which workers train, and with which batch sizes.
+/// The per-round decision: which workers train, with which batch sizes, and which
+/// parameter-server shard each one uploads to.
 #[derive(Clone, Debug)]
 pub struct RoundPlan {
     /// Selected worker ids.
     pub selected: Vec<usize>,
     /// Batch size per selected worker (aligned with `selected`).
     pub batch_sizes: Vec<usize>,
+    /// Parameter-server shard each selected worker is routed to (aligned with
+    /// `selected`; all zeros for a single-server plan).
+    pub shard_of: Vec<usize>,
+    /// Number of parameter-server shards this plan routes across.
+    pub num_shards: usize,
     /// KL divergence of the cohort's batch-weighted label mixture from the IID reference.
     pub cohort_kl: f32,
     /// Predicted average waiting time of the cohort for this round (seconds).
     pub predicted_waiting: f64,
+}
+
+/// Balances cohort members across `num_shards` parameter-server shards with the
+/// longest-processing-time greedy rule: members are placed in descending batch-size order
+/// (ties by cohort position) onto the currently least-loaded shard (ties by shard id).
+/// Deterministic, and every shard receives at least one member whenever the cohort has
+/// that many non-trivial members.
+pub fn assign_shards(batch_sizes: &[usize], num_shards: usize) -> Vec<usize> {
+    let shards = num_shards.max(1).min(batch_sizes.len().max(1));
+    if shards <= 1 {
+        return vec![0; batch_sizes.len()];
+    }
+    let mut order: Vec<usize> = (0..batch_sizes.len()).collect();
+    order.sort_by(|&a, &b| batch_sizes[b].cmp(&batch_sizes[a]).then(a.cmp(&b)));
+    let mut load = vec![0usize; shards];
+    let mut shard_of = vec![0usize; batch_sizes.len()];
+    for pos in order {
+        let target = (0..shards)
+            .min_by_key(|&s| (load[s], s))
+            .expect("at least one shard");
+        shard_of[pos] = target;
+        load[target] += batch_sizes[pos];
+    }
+    shard_of
 }
 
 impl RoundPlan {
@@ -69,18 +104,40 @@ impl RoundPlan {
         self.batch_sizes.iter().sum()
     }
 
+    /// Cohort positions routed to one shard, in cohort (plan) order.
+    pub fn shard_positions(&self, shard: usize) -> Vec<usize> {
+        (0..self.selected.len())
+            .filter(|&p| self.shard_of[p] == shard)
+            .collect()
+    }
+
+    /// Samples per iteration routed to one shard (the shard's merged mini-batch size).
+    pub fn shard_batch(&self, shard: usize) -> usize {
+        self.batch_sizes
+            .iter()
+            .zip(&self.shard_of)
+            .filter(|&(_, &s)| s == shard)
+            .map(|(&d, _)| d)
+            .sum()
+    }
+
     /// Drops participants whose assigned batch size is zero, returning how many were
     /// removed. Selection and batch fine-tuning are supposed to keep every participant at
     /// `min_batch >= 1`, but a degenerate plan must not reach the training engines: a
     /// zero-size participant would panic the mini-batch loader and the feature-merge path
     /// (`FeatureUpload` rejects empty uploads by design). Engines skip the round entirely
-    /// — with a logged round record — if nothing survives.
+    /// — with a logged round record — if nothing survives. Shard routing is kept aligned;
+    /// a shard emptied by the drop simply processes nothing that round.
     pub fn drop_empty_participants(&mut self) -> usize {
         debug_assert_eq!(self.selected.len(), self.batch_sizes.len());
+        debug_assert_eq!(self.selected.len(), self.shard_of.len());
         let before = self.selected.len();
         let keep: Vec<bool> = self.batch_sizes.iter().map(|&d| d > 0).collect();
         let mut it = keep.iter();
         self.selected
+            .retain(|_| *it.next().expect("keep mask aligned"));
+        let mut it = keep.iter();
+        self.shard_of
             .retain(|_| *it.next().expect("keep mask aligned"));
         let mut it = keep.iter();
         self.batch_sizes
@@ -282,9 +339,16 @@ impl ControlModule {
 
         let durations = predicted_durations(&batch_sizes, &sel_costs, self.tau);
         let predicted_waiting = predicted_waiting_time(&durations);
+        // Route the cohort across the parameter-server shards (Alg. 1's plan gains the
+        // shard column): balance by batch size so no shard's ingress link or top-model
+        // replica stays the single consumer of every upload.
+        let shard_of = assign_shards(&batch_sizes, opts.num_servers);
+        let num_shards = shard_of.iter().copied().max().unwrap_or(0) + 1;
         RoundPlan {
             selected,
             batch_sizes,
+            shard_of,
+            num_shards,
             cohort_kl,
             predicted_waiting,
         }
@@ -331,6 +395,7 @@ mod tests {
             budget_rescale: false,
             max_participants: 8,
             uniform_batch: 8,
+            num_servers: 1,
         }
     }
 
@@ -478,16 +543,22 @@ mod tests {
         let mut plan = RoundPlan {
             selected: vec![3, 1, 4, 1],
             batch_sizes: vec![2, 0, 1, 0],
+            shard_of: vec![0, 1, 1, 0],
+            num_shards: 2,
             cohort_kl: 0.1,
             predicted_waiting: 0.0,
         };
         assert_eq!(plan.drop_empty_participants(), 2);
         assert_eq!(plan.selected, vec![3, 4]);
         assert_eq!(plan.batch_sizes, vec![2, 1]);
+        // Shard routing stays aligned with the survivors.
+        assert_eq!(plan.shard_of, vec![0, 1]);
 
         let mut empty = RoundPlan {
             selected: vec![0, 1],
             batch_sizes: vec![0, 0],
+            shard_of: vec![0, 0],
+            num_shards: 1,
             cohort_kl: 0.0,
             predicted_waiting: 0.0,
         };
@@ -498,11 +569,64 @@ mod tests {
         let mut healthy = RoundPlan {
             selected: vec![5],
             batch_sizes: vec![1],
+            shard_of: vec![0],
+            num_shards: 1,
             cohort_kl: 0.0,
             predicted_waiting: 0.0,
         };
         assert_eq!(healthy.drop_empty_participants(), 0);
         assert_eq!(healthy.selected, vec![5]);
+    }
+
+    #[test]
+    fn single_server_plans_route_everything_to_shard_zero() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let plan = m.plan_round(0, 1e9, &default_opts());
+        assert_eq!(plan.num_shards, 1);
+        assert!(plan.shard_of.iter().all(|&s| s == 0));
+        assert_eq!(plan.shard_batch(0), plan.total_batch());
+        assert_eq!(plan.shard_positions(0).len(), plan.selected.len());
+    }
+
+    #[test]
+    fn multi_server_plans_balance_the_cohort_across_shards() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.num_servers = 4;
+        let plan = m.plan_round(0, 1e9, &opts);
+        assert_eq!(plan.num_shards, 4.min(plan.selected.len()));
+        // Every shard takes real load and the shard column aligns with the cohort.
+        assert_eq!(plan.shard_of.len(), plan.selected.len());
+        let batches: Vec<usize> = (0..plan.num_shards).map(|s| plan.shard_batch(s)).collect();
+        assert!(batches.iter().all(|&b| b > 0), "idle shard in {batches:?}");
+        assert_eq!(batches.iter().sum::<usize>(), plan.total_batch());
+        // LPT balance: no shard holds more than the lightest shard plus one member's
+        // largest batch.
+        let max_d = plan.batch_sizes.iter().copied().max().unwrap_or(0);
+        let lightest = *batches.iter().min().unwrap();
+        let heaviest = *batches.iter().max().unwrap();
+        assert!(
+            heaviest <= lightest + max_d,
+            "imbalanced shards {batches:?} (max batch {max_d})"
+        );
+    }
+
+    #[test]
+    fn assign_shards_is_deterministic_and_caps_at_cohort_size() {
+        let sizes = [7usize, 3, 5, 5, 2];
+        assert_eq!(assign_shards(&sizes, 1), vec![0; 5]);
+        let a = assign_shards(&sizes, 3);
+        let b = assign_shards(&sizes, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 3));
+        // More shards than members: each member lands on its own shard.
+        let solo = assign_shards(&[4, 4], 8);
+        assert_eq!(solo.len(), 2);
+        assert_ne!(solo[0], solo[1]);
+        // Empty cohort stays empty.
+        assert!(assign_shards(&[], 4).is_empty());
     }
 
     #[test]

@@ -241,6 +241,10 @@ impl FlEngine {
                 participants: 0,
                 total_batch: 0,
                 cohort_kl: 0.0,
+                shards: Vec::new(),
+                cross_sync_seconds: 0.0,
+                server_gflops: mergesfl_simnet::profile::SERVER_GFLOPS,
+                server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,
             });
             return;
         }
@@ -365,6 +369,12 @@ impl FlEngine {
                 let w: Vec<f32> = vec![1.0; selected.len()];
                 LabelDistribution::mixture(&dists, &w).kl_divergence(&self.iid_reference)
             },
+            // Full-model FL has no split server stage: no shard breakdown, no sync, and
+            // the uncalibrated aggregation-cost constants for the record.
+            shards: Vec::new(),
+            cross_sync_seconds: 0.0,
+            server_gflops: mergesfl_simnet::profile::SERVER_GFLOPS,
+            server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,
         });
     }
 

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod baselines;
+pub mod calibrate;
 pub mod config;
 pub mod control;
 pub mod experiment;

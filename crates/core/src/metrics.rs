@@ -5,7 +5,26 @@
 //! and average per-round waiting time (Fig. 9).
 
 use crate::json::{self, JsonValue};
+use mergesfl_simnet::profile::{SERVER_CRITICAL_FRACTION, SERVER_GFLOPS};
 use serde::{Deserialize, Serialize};
+
+/// Per-shard slice of one round's server-side timing: how one parameter-server instance
+/// spent the round on its routed share of the cohort's uploads.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardBreakdown {
+    /// Shard index.
+    pub shard: usize,
+    /// Number of cohort members routed to this shard.
+    pub participants: usize,
+    /// Samples per iteration routed to this shard (its merged mini-batch size).
+    pub batch: usize,
+    /// Per-iteration drain of this shard's routed uploads through its ingress link, s.
+    pub ingress_seconds: f64,
+    /// Per-iteration pre-dispatch server time on this shard, seconds.
+    pub server_critical_seconds: f64,
+    /// Per-iteration overlappable server time on this shard, seconds.
+    pub server_overlap_seconds: f64,
+}
 
 /// Measurements taken at the end of one communication round.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -35,6 +54,17 @@ pub struct RoundRecord {
     pub total_batch: usize,
     /// KL divergence of the selected cohort's label mixture from the IID reference.
     pub cohort_kl: f32,
+    /// Per-shard server-side breakdown of the round (one entry per parameter-server
+    /// shard the plan routed uploads to; empty for FL rounds and legacy records).
+    pub shards: Vec<ShardBreakdown>,
+    /// Cross-shard top-model sync charged this round, seconds (0 when no sync was due or
+    /// a single shard serves the round).
+    pub cross_sync_seconds: f64,
+    /// Calibrated server throughput the round was charged at, GFLOP/s
+    /// (`mergesfl::calibrate::ServerCostModel`; the global constant for legacy records).
+    pub server_gflops: f64,
+    /// Calibrated dispatch-critical fraction of a server step the round was charged with.
+    pub server_critical_fraction: f64,
 }
 
 /// The full trace of one training run.
@@ -178,7 +208,30 @@ impl RunResult {
                 r.participants, r.total_batch
             );
             json::write_f64(&mut out, f64::from(r.cohort_kl));
-            out.push('}');
+            out.push_str(",\"server_gflops\":");
+            json::write_f64(&mut out, r.server_gflops);
+            out.push_str(",\"server_critical_fraction\":");
+            json::write_f64(&mut out, r.server_critical_fraction);
+            out.push_str(",\"cross_sync_seconds\":");
+            json::write_f64(&mut out, r.cross_sync_seconds);
+            out.push_str(",\"shards\":[");
+            for (j, s) in r.shards.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"shard\":{},\"participants\":{},\"batch\":{},\"ingress_seconds\":",
+                    s.shard, s.participants, s.batch
+                );
+                json::write_f64(&mut out, s.ingress_seconds);
+                out.push_str(",\"server_critical_seconds\":");
+                json::write_f64(&mut out, s.server_critical_seconds);
+                out.push_str(",\"server_overlap_seconds\":");
+                json::write_f64(&mut out, s.server_overlap_seconds);
+                out.push('}');
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -221,7 +274,37 @@ impl RunResult {
             .get("records")
             .and_then(JsonValue::as_array)
             .ok_or("missing 'records' array")?;
+        // Fields introduced by the sharded-server refactor are optional so traces written
+        // by the single-server versions of this format keep parsing: legacy records get
+        // an empty shard breakdown, no sync cost and the old global cost constants.
+        let opt_num = |value: &JsonValue, key: &str, default: f64| -> Result<f64, String> {
+            match value.get(key) {
+                None => Ok(default),
+                Some(JsonValue::Null) => Ok(f64::NAN),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| format!("non-numeric field '{key}'")),
+            }
+        };
         for r in records {
+            let shards = match r.get("shards") {
+                None => Vec::new(),
+                Some(v) => {
+                    let entries = v.as_array().ok_or("non-array 'shards'")?;
+                    let mut out = Vec::with_capacity(entries.len());
+                    for s in entries {
+                        out.push(ShardBreakdown {
+                            shard: int(s, "shard")?,
+                            participants: int(s, "participants")?,
+                            batch: int(s, "batch")?,
+                            ingress_seconds: num(s, "ingress_seconds")?,
+                            server_critical_seconds: num(s, "server_critical_seconds")?,
+                            server_overlap_seconds: num(s, "server_overlap_seconds")?,
+                        });
+                    }
+                    out
+                }
+            };
             result.push(RoundRecord {
                 round: int(r, "round")?,
                 sim_time: num(r, "sim_time")?,
@@ -237,6 +320,14 @@ impl RunResult {
                 participants: int(r, "participants")?,
                 total_batch: int(r, "total_batch")?,
                 cohort_kl: num(r, "cohort_kl")? as f32,
+                shards,
+                cross_sync_seconds: opt_num(r, "cross_sync_seconds", 0.0)?,
+                server_gflops: opt_num(r, "server_gflops", SERVER_GFLOPS)?,
+                server_critical_fraction: opt_num(
+                    r,
+                    "server_critical_fraction",
+                    SERVER_CRITICAL_FRACTION,
+                )?,
             });
         }
         Ok(result)
@@ -260,6 +351,27 @@ mod tests {
             participants: 5,
             total_batch: 40,
             cohort_kl: 0.01,
+            shards: vec![
+                ShardBreakdown {
+                    shard: 0,
+                    participants: 3,
+                    batch: 24,
+                    ingress_seconds: 0.004,
+                    server_critical_seconds: 0.002,
+                    server_overlap_seconds: 0.001,
+                },
+                ShardBreakdown {
+                    shard: 1,
+                    participants: 2,
+                    batch: 16,
+                    ingress_seconds: 0.003,
+                    server_critical_seconds: 0.0015,
+                    server_overlap_seconds: 0.0008,
+                },
+            ],
+            cross_sync_seconds: if round % 2 == 1 { 0.006 } else { 0.0 },
+            server_gflops: 450.25,
+            server_critical_fraction: 0.7,
         }
     }
 
@@ -341,6 +453,44 @@ mod tests {
         assert!(RunResult::from_json("not json").is_err());
         assert!(RunResult::from_json("{}").is_err());
         assert!(RunResult::from_json(r#"{"approach":"A","dataset":"B"}"#).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_per_shard_breakdown() {
+        let r = sample_run();
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.records[0].shards.len(), 2);
+        assert_eq!(back.records[0].shards[1].shard, 1);
+        assert_eq!(back.records[0].shards[1].batch, 16);
+        assert_eq!(back.records[0].shards[0].ingress_seconds, 0.004);
+        assert_eq!(back.records[1].cross_sync_seconds, 0.006);
+        assert_eq!(back.records[0].server_gflops, 450.25);
+        assert_eq!(back.records[0].server_critical_fraction, 0.7);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn legacy_single_shard_records_still_parse() {
+        // A record written before the sharded-server refactor: no shards array, no sync
+        // cost, no calibrated constants. Parsing must succeed with the documented
+        // defaults so fig8/fig9 post-processing keeps working on archived traces.
+        let legacy = r#"{"approach":"MergeSFL","dataset":"HAR","non_iid_level":10,
+"records":[{"round":0,"sim_time":10,"accuracy":0.2,"train_loss":1,
+"avg_waiting_time":2,"round_makespan_barrier":12,"round_makespan_pipelined":9,
+"traffic_mb":5,"participants":5,"total_batch":40,"cohort_kl":0.01}]}"#;
+        let parsed = RunResult::from_json(legacy).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        let r = &parsed.records[0];
+        assert!(r.shards.is_empty());
+        assert_eq!(r.cross_sync_seconds, 0.0);
+        assert_eq!(r.server_gflops, mergesfl_simnet::profile::SERVER_GFLOPS);
+        assert_eq!(
+            r.server_critical_fraction,
+            mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION
+        );
+        // And a re-serialised legacy record round-trips through the new schema.
+        let back = RunResult::from_json(&parsed.to_json()).unwrap();
+        assert_eq!(back, parsed);
     }
 
     #[test]

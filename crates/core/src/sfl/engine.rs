@@ -6,18 +6,18 @@
 //! realises is decided by an [`SflStrategy`]: MergeSFL enables every mechanism, the
 //! ablations and baselines switch individual mechanisms off.
 
+use crate::calibrate::ServerCostModel;
 use crate::config::RunConfig;
 use crate::control::{ControlModule, PlanOptions, RoundPlan};
-use crate::metrics::{RoundRecord, RunResult};
-use crate::sfl::merge::{align_gradients, merge_features, FeatureUpload};
-use crate::sfl::server::SflServer;
+use crate::metrics::{RoundRecord, RunResult, ShardBreakdown};
+use crate::sfl::merge::{align_gradients, merge_feature_refs, FeatureUpload};
+use crate::sfl::server::ShardedServer;
 use crate::sfl::worker::SflWorker;
 use mergesfl_data::{eval_subsample, partition_dirichlet, synth, Dataset, DatasetSpec, Partition};
 use mergesfl_nn::optim::LrSchedule;
 use mergesfl_nn::rng::derive_seed;
 use mergesfl_nn::zoo;
 use mergesfl_nn::{Sequential, Tensor};
-use mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION;
 use mergesfl_simnet::{
     Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
 };
@@ -155,7 +155,8 @@ pub struct SflEngine {
     clock: SimClock,
     traffic: TrafficMeter,
     control: ControlModule,
-    server: SflServer,
+    server: ShardedServer,
+    cost_model: ServerCostModel,
     workers: Vec<SflWorker>,
     eval_bottom: Sequential,
     eval_indices: Vec<usize>,
@@ -194,13 +195,27 @@ impl SflEngine {
             profile,
         );
 
-        // Global model: one split instance for the server (top + initial global bottom),
-        // one bottom replica per worker, one replica for evaluation. All replicas are built
-        // from the same seed, so they start identical.
+        // Global model: one top-model replica per parameter-server shard plus one for
+        // evaluation, the initial global bottom, one bottom replica per worker and one
+        // bottom replica for evaluation. All replicas are built from the same seed, so
+        // they start identical — with `num_servers = 1` the server subsystem collapses to
+        // the paper's single-PS loop bit for bit.
         let model_seed = derive_seed(config.seed, 4);
         let split = zoo::build(spec.architecture, spec.num_classes, model_seed).into_split();
         let global_bottom = split.bottom.state();
-        let server = SflServer::new(split.top, global_bottom);
+        let mut tops = vec![split.top];
+        for _ in 1..config.num_servers {
+            tops.push(
+                zoo::build(spec.architecture, spec.num_classes, model_seed)
+                    .into_split()
+                    .top,
+            );
+        }
+        let eval_top = zoo::build(spec.architecture, spec.num_classes, model_seed)
+            .into_split()
+            .top;
+        let server = ShardedServer::new(tops, eval_top, global_bottom, config.sync_every);
+        let cost_model = ServerCostModel::for_architecture(spec.architecture);
 
         let workers = partition
             .indices
@@ -252,6 +267,7 @@ impl SflEngine {
             traffic: TrafficMeter::new(),
             control,
             server,
+            cost_model,
             workers,
             eval_bottom,
             eval_indices,
@@ -270,6 +286,7 @@ impl SflEngine {
             budget_rescale: self.strategy.budget_rescale,
             max_participants: self.config.participants_per_round,
             uniform_batch: self.config.uniform_batch,
+            num_servers: self.config.num_servers,
         }
     }
 
@@ -311,18 +328,35 @@ impl SflEngine {
         }
         if plan.selected.is_empty() {
             eprintln!("[mergesfl] round {round}: empty cohort after sanitising; skipping round");
+            // A skipped round still counts toward the sync period: replicas trained in
+            // earlier rounds must not drift past the `sync_every` contract just because
+            // this round's plan degenerated. The sync's cost is recorded; no worker
+            // timing exists to advance the clock by.
+            let synced = self.server.end_round(round);
+            let cross_sync_seconds = if synced {
+                self.cluster
+                    .profile()
+                    .cross_shard_sync_seconds(self.config.num_servers)
+            } else {
+                0.0
+            };
+            self.clock.advance_by(cross_sync_seconds);
             self.result.push(RoundRecord {
                 round,
                 sim_time: self.clock.elapsed_seconds(),
                 accuracy: None,
                 train_loss: 0.0,
                 avg_waiting_time: 0.0,
-                round_makespan_barrier: 0.0,
-                round_makespan_pipelined: 0.0,
+                round_makespan_barrier: cross_sync_seconds,
+                round_makespan_pipelined: cross_sync_seconds,
                 traffic_mb: self.traffic.total_megabytes(),
                 participants: 0,
                 total_batch: 0,
                 cohort_kl: plan.cohort_kl,
+                shards: Vec::new(),
+                cross_sync_seconds,
+                server_gflops: self.cost_model.gflops,
+                server_critical_fraction: self.cost_model.critical_fraction,
             });
             return;
         }
@@ -412,10 +446,23 @@ impl SflEngine {
         }
         self.control.record_participation(&plan.selected);
 
-        // --- Simulated timing (Eq. 7–8, plus the per-stage breakdown for the pipelined
-        // makespan). The clock advances by the schedule the run is configured for; both
-        // makespans are recorded so one run reports the pipeline's win.
-        let timing = self.round_timing(&plan, tau);
+        // --- Cross-shard sync: the replicated topology periodically averages the shard
+        // top models (weighted by samples each shard processed since the last sync).
+        // Per-shard aggregation happened inside the iteration loop; this is the round
+        // boundary where replicas reconverge. A single shard makes it a no-op.
+        let synced = self.server.end_round(round);
+        let cross_sync_seconds = if synced {
+            self.cluster
+                .profile()
+                .cross_shard_sync_seconds(self.config.num_servers)
+        } else {
+            0.0
+        };
+
+        // --- Simulated timing (Eq. 7–8, plus the per-shard stage breakdown for the
+        // pipelined makespan). The clock advances by the schedule the run is configured
+        // for; both makespans are recorded so one run reports the pipeline's win.
+        let (timing, shard_breakdown) = self.round_timing(&plan, tau, cross_sync_seconds);
         self.clock.advance_round(&timing);
 
         // --- Evaluation and bookkeeping. ---
@@ -438,13 +485,25 @@ impl SflEngine {
             participants: plan.selected.len(),
             total_batch: plan.total_batch(),
             cohort_kl: plan.cohort_kl,
+            shards: shard_breakdown,
+            cross_sync_seconds,
+            server_gflops: self.cost_model.gflops,
+            server_critical_fraction: self.cost_model.critical_fraction,
         });
     }
 
     /// Computes the simulated round timing for the selected cohort, including the
-    /// per-stage breakdown (worker iterations + the server's top-model step split into its
-    /// dispatch-critical and overlappable parts).
-    fn round_timing(&self, plan: &RoundPlan, tau: usize) -> RoundTiming {
+    /// per-shard stage breakdown: worker iterations, then per parameter-server shard the
+    /// drain of its routed uploads through its own ingress link and its top-model step
+    /// split into dispatch-critical and overlappable parts at the calibrated
+    /// per-architecture cost model. Returns the timing plus the shard breakdown recorded
+    /// in the round's `RoundRecord`.
+    fn round_timing(
+        &self,
+        plan: &RoundPlan,
+        tau: usize,
+        cross_sync: f64,
+    ) -> (RoundTiming, Vec<ShardBreakdown>) {
         let mut durations = Vec::with_capacity(plan.selected.len());
         let mut sync_overhead: f64 = 0.0;
         for (&w, &d) in plan.selected.iter().zip(&plan.batch_sizes) {
@@ -461,27 +520,56 @@ impl SflEngine {
                 .transfer_seconds(w, 2.0 * self.bottom_param_bytes);
             sync_overhead = sync_overhead.max(sync);
         }
-        // The drain of one iteration's merged uploads through the shared PS ingress link
-        // (`Σ d_i · c / B^h` — the quantity Eq. 10 budgets). In the barrier schedule it
-        // serialises with worker and server compute; pipelined, early arrivals drain
-        // while stragglers are still computing.
-        let ingress = plan.total_batch() as f64 * self.cluster.profile().feature_bytes_per_sample
-            / self.cluster.ps_ingress_budget().max(1.0);
-        let server_step = self.cluster.server_step_seconds(plan.total_batch());
-        RoundTiming::with_split_stages(
+        // Per shard: the drain of one iteration's routed uploads through that shard's
+        // ingress link (`Σ_{i∈shard} d_i · c / B^h` — each PS instance brings its own
+        // NIC, so sharding divides the quantity Eq. 10 budgets), and the shard's
+        // top-model step at the calibrated throughput. In the barrier schedule the
+        // slowest shard's segment serialises with worker compute every iteration;
+        // pipelined, early arrivals drain and the optimizer tail runs while workers are
+        // already on the next iteration.
+        let profile = self.cluster.profile();
+        let budget = self.cluster.ps_ingress_budget().max(1.0);
+        let top_gflop = profile.top_gflop_per_sample();
+        let mut shard_ingress = Vec::with_capacity(plan.num_shards);
+        let mut shard_critical = Vec::with_capacity(plan.num_shards);
+        let mut shard_overlap = Vec::with_capacity(plan.num_shards);
+        let mut breakdown = Vec::with_capacity(plan.num_shards);
+        for shard in 0..plan.num_shards {
+            let batch = plan.shard_batch(shard);
+            let ingress = batch as f64 * profile.feature_bytes_per_sample / budget;
+            let step = self.cost_model.server_step_seconds(top_gflop, batch);
+            let critical = self.cost_model.critical_fraction * step;
+            let overlap = (1.0 - self.cost_model.critical_fraction) * step;
+            shard_ingress.push(ingress);
+            shard_critical.push(critical);
+            shard_overlap.push(overlap);
+            breakdown.push(ShardBreakdown {
+                shard,
+                participants: plan.shard_positions(shard).len(),
+                batch,
+                ingress_seconds: ingress,
+                server_critical_seconds: critical,
+                server_overlap_seconds: overlap,
+            });
+        }
+        let timing = RoundTiming::with_sharded_stages(
             durations,
             sync_overhead,
             tau,
-            ingress,
-            SERVER_CRITICAL_FRACTION * server_step,
-            (1.0 - SERVER_CRITICAL_FRACTION) * server_step,
-        )
+            shard_ingress,
+            shard_critical,
+            shard_overlap,
+            cross_sync,
+        );
+        (timing, breakdown)
     }
 
     /// Evaluates the combined global model on the run's seeded test subsample, in chunks
-    /// so large `eval_samples` settings never materialise one giant batch.
+    /// so large `eval_samples` settings never materialise one giant batch. The top side
+    /// evaluates the cross-shard average (exactly shard 0 for a single-server run).
     fn evaluate_global(&mut self) -> f32 {
         self.server.load_global_bottom(&mut self.eval_bottom);
+        self.server.prepare_eval();
         let mut weighted_accuracy = 0.0f64;
         let mut total = 0usize;
         for chunk in self.eval_indices.chunks(EVAL_CHUNK) {
@@ -605,21 +693,66 @@ fn record_feature_traffic(traffic: &mut TrafficMeter, uploads: &[FeatureUpload],
     }
 }
 
-/// The server's handling of one iteration's uploads: top-model update (merged or
-/// per-worker) and gradient dispatch, with the gradients reordered into plan order.
-/// Returns the iteration loss and the aligned gradients.
+/// The uploads of one iteration routed to one shard, in plan order. `uploads` is aligned
+/// with the plan's cohort, so position `p` routes to `plan.shard_of[p]`.
+fn routed_uploads<'a>(
+    uploads: &'a [FeatureUpload],
+    plan: &RoundPlan,
+    shard: usize,
+) -> Vec<&'a FeatureUpload> {
+    uploads
+        .iter()
+        .zip(&plan.shard_of)
+        .filter(|&(_, &s)| s == shard)
+        .map(|(u, _)| u)
+        .collect()
+}
+
+/// Combines per-shard iteration losses (each a mean over the shard's merged samples)
+/// into the iteration's sample-weighted mean loss. A single shard passes its loss
+/// through untouched, keeping single-server trajectories bit-identical.
+fn combine_shard_losses(per_shard: &[(f32, usize)]) -> f32 {
+    match per_shard {
+        [] => 0.0,
+        [(loss, _)] => *loss,
+        many => {
+            let total: usize = many.iter().map(|(_, n)| n).sum();
+            let weighted: f32 = many.iter().map(|&(l, n)| l * n as f32).sum();
+            weighted / total.max(1) as f32
+        }
+    }
+}
+
+/// The server side of one iteration: every shard processes its routed share of the
+/// uploads (one merged top-model update per shard, or per-worker sequential updates
+/// without merging) and dispatches split-layer gradients, which are reordered into plan
+/// order. Returns the iteration's sample-weighted loss and the aligned gradients.
 fn server_iteration(
-    server: &mut SflServer,
+    server: &mut ShardedServer,
     uploads: &[FeatureUpload],
-    plan_order: &[usize],
+    plan: &RoundPlan,
     merging: bool,
 ) -> (f32, Vec<Option<Tensor>>) {
-    let step = if merging {
-        server.process_merged(uploads)
-    } else {
-        server.process_sequential(uploads)
-    };
-    (step.loss, align_gradients(plan_order, step.gradients))
+    let mut gradients: Vec<(usize, Tensor)> = Vec::with_capacity(uploads.len());
+    let mut shard_losses: Vec<(f32, usize)> = Vec::with_capacity(plan.num_shards);
+    for shard in 0..plan.num_shards {
+        let routed = routed_uploads(uploads, plan, shard);
+        if routed.is_empty() {
+            continue; // A shard emptied by plan sanitising has nothing this round.
+        }
+        let samples: usize = routed.iter().map(|u| u.batch_size()).sum();
+        let step = if merging {
+            server.process_merged(shard, &routed)
+        } else {
+            server.process_sequential(shard, &routed)
+        };
+        shard_losses.push((step.loss, samples));
+        gradients.extend(step.gradients);
+    }
+    (
+        combine_shard_losses(&shard_losses),
+        align_gradients(&plan.selected, gradients),
+    )
 }
 
 /// The barrier round loop (the oracle): every iteration fully serialises worker forward →
@@ -628,7 +761,7 @@ fn server_iteration(
 fn run_iterations_barrier(
     cohort: &mut [&mut SflWorker],
     train: &Dataset,
-    server: &mut SflServer,
+    server: &mut ShardedServer,
     traffic: &mut TrafficMeter,
     feature_bytes: f64,
     plan: &RoundPlan,
@@ -639,7 +772,7 @@ fn run_iterations_barrier(
     for _k in 0..tau {
         let uploads = forward_all(cohort, train, &plan.batch_sizes, params.parallel);
         record_feature_traffic(traffic, &uploads, feature_bytes);
-        let (loss, grads) = server_iteration(server, &uploads, &plan.selected, params.merging);
+        let (loss, grads) = server_iteration(server, &uploads, plan, params.merging);
         loss_sum += loss;
         apply_all(cohort, grads, &plan.batch_sizes, params);
     }
@@ -649,17 +782,18 @@ fn run_iterations_barrier(
 /// The pipelined round loop: the cohort's worker stage runs on its own thread, streaming
 /// each iteration's uploads through a bounded channel to the server stage on the calling
 /// thread and receiving the dispatched gradients through a second one. Under feature
-/// merging the server ships gradients as soon as its backward pass finishes
-/// ([`SflServer::begin_step`]) and runs the optimizer update
-/// ([`SflServer::finish_step`]) while the workers are already applying gradients and
+/// merging every shard ships gradients as soon as its backward pass finishes
+/// ([`ShardedServer::begin_step`]) and runs the optimizer update
+/// ([`ShardedServer::finish_step`]) while the workers are already applying gradients and
 /// computing iteration `k+1`'s forward pass — the overlap the round's pipelined makespan
-/// models. Arithmetic order is identical to the barrier loop, so trajectories are
-/// bit-identical; only scheduling differs. Returns the summed iteration losses.
+/// models. Arithmetic order is identical to the barrier loop (shards are visited in
+/// shard order either way), so trajectories are bit-identical; only scheduling differs.
+/// Returns the summed iteration losses.
 #[allow(clippy::too_many_arguments)]
 fn run_iterations_pipelined(
     cohort: &mut [&mut SflWorker],
     train: &Dataset,
-    server: &mut SflServer,
+    server: &mut ShardedServer,
     traffic: &mut TrafficMeter,
     feature_bytes: f64,
     plan: &RoundPlan,
@@ -695,19 +829,38 @@ fn run_iterations_pipelined(
             };
             record_feature_traffic(traffic, &uploads, feature_bytes);
             if params.merging {
-                let merged = merge_features(&uploads);
-                let step = server.begin_step(&merged);
-                loss_sum += step.loss;
-                let grads = align_gradients(&plan.selected, step.gradients);
+                // Dispatch-critical pass of every shard first, so gradients ship as one
+                // plan-ordered batch the moment the last shard's backward finishes; the
+                // optimizer tails then overlap the workers' backward + next forward.
+                let mut gradients: Vec<(usize, Tensor)> = Vec::with_capacity(uploads.len());
+                let mut shard_losses: Vec<(f32, usize)> = Vec::with_capacity(plan.num_shards);
+                let mut active_shards = Vec::with_capacity(plan.num_shards);
+                for shard in 0..plan.num_shards {
+                    let routed = routed_uploads(&uploads, plan, shard);
+                    if routed.is_empty() {
+                        continue;
+                    }
+                    let merged = merge_feature_refs(&routed);
+                    let samples = merged.total();
+                    let step = server.begin_step(shard, &merged);
+                    shard_losses.push((step.loss, samples));
+                    gradients.extend(step.gradients);
+                    active_shards.push(shard);
+                }
+                loss_sum += combine_shard_losses(&shard_losses);
+                let grads = align_gradients(&plan.selected, gradients);
                 if grad_tx.send(grads).is_err() {
                     break;
                 }
                 // Overlapped with the workers' backward + next forward.
-                server.finish_step();
+                for shard in active_shards {
+                    server.finish_step(shard);
+                }
             } else {
-                // Without merging the top model steps once per worker, so every gradient
-                // depends on the full sequential sweep; dispatch after the sweep.
-                let (loss, grads) = server_iteration(server, &uploads, &plan.selected, false);
+                // Without merging each shard's top model steps once per routed worker,
+                // so every gradient depends on the full sequential sweep; dispatch after
+                // the sweep.
+                let (loss, grads) = server_iteration(server, &uploads, plan, false);
                 loss_sum += loss;
                 if grad_tx.send(grads).is_err() {
                     break;

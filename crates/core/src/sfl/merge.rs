@@ -63,6 +63,14 @@ impl MergedBatch {
 
 /// Merges per-worker uploads into a single mixed feature sequence (feature merging).
 pub fn merge_features(uploads: &[FeatureUpload]) -> MergedBatch {
+    let refs: Vec<&FeatureUpload> = uploads.iter().collect();
+    merge_feature_refs(&refs)
+}
+
+/// [`merge_features`] over borrowed uploads: the shard router merges each shard's routed
+/// subset of one iteration's uploads without cloning feature tensors out of the cohort's
+/// upload buffer.
+pub fn merge_feature_refs(uploads: &[&FeatureUpload]) -> MergedBatch {
     assert!(!uploads.is_empty(), "merge_features: no uploads");
     let tensors: Vec<&Tensor> = uploads.iter().map(|u| &u.features).collect();
     let features = Tensor::concat_batch(&tensors);
@@ -187,6 +195,29 @@ mod tests {
         let zeros = merged.labels.iter().filter(|&&l| l == 0).count();
         assert_eq!(zeros, 4);
         assert_eq!(merged.total(), 8);
+    }
+
+    #[test]
+    fn merging_refs_equals_merging_owned_uploads() {
+        // The shard router merges borrowed subsets; the result must be exactly what
+        // merging an owned slice of the same uploads produces.
+        let uploads = vec![
+            upload(2, &[1.0, 2.0, 3.0, 4.0], &[0, 1]),
+            upload(5, &[5.0, 6.0], &[1]),
+            upload(9, &[7.0, 8.0, 9.0, 10.0], &[2, 0]),
+        ];
+        let owned = merge_features(&uploads);
+        let refs: Vec<&FeatureUpload> = uploads.iter().collect();
+        let borrowed = merge_feature_refs(&refs);
+        assert_eq!(owned.features.data(), borrowed.features.data());
+        assert_eq!(owned.labels, borrowed.labels);
+        assert_eq!(owned.worker_order, borrowed.worker_order);
+        assert_eq!(owned.sizes, borrowed.sizes);
+        // A routed subset keeps its own order and sizes.
+        let subset = merge_feature_refs(&[&uploads[2], &uploads[0]]);
+        assert_eq!(subset.worker_order, vec![9, 2]);
+        assert_eq!(subset.sizes, vec![2, 2]);
+        assert_eq!(subset.labels, vec![2, 0, 0, 1]);
     }
 
     #[test]

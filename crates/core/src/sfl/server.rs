@@ -1,11 +1,21 @@
-//! Parameter-server side of split federated learning.
+//! Parameter-server side of split federated learning, sharded across PS instances.
 //!
-//! The server owns the top model. Per iteration it either processes one *merged* feature
-//! sequence (MergeSFL) or the features of each worker separately (typical SFL), producing
-//! the split-layer gradients that are dispatched back. At the end of a round it aggregates
-//! the workers' bottom models with batch-size weights (paper Eq. 17) or uniformly (Eq. 4).
+//! The top model lives on one or more parameter-server shards. [`TopModelShard`] is the
+//! seam one PS instance implements: per iteration it either processes one *merged*
+//! feature sequence (MergeSFL) or the features of each routed worker separately (typical
+//! SFL), producing the split-layer gradients that are dispatched back. [`TopShard`] is
+//! the concrete replica used by the replicated topology; the trait seam keeps
+//! output-partitioned sharding (each shard owning a slice of the classifier) open.
+//!
+//! [`ShardedServer`] is the subsystem the engine drives: it routes per-shard work to the
+//! shard instances, periodically synchronises the replicas (averaging weighted by the
+//! samples each shard processed since the last sync), owns the global bottom model that
+//! is aggregated from the workers at the end of a round (paper Eq. 17 / Eq. 4), and
+//! evaluates the combined global model. With one shard it is exactly the paper's
+//! single-server loop: work is routed to the only replica and synchronisation is a no-op,
+//! so trajectories are bit-identical to the pre-sharding engine.
 
-use crate::sfl::merge::{dispatch_gradients, merge_features, FeatureUpload, MergedBatch};
+use crate::sfl::merge::{dispatch_gradients, merge_feature_refs, FeatureUpload, MergedBatch};
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy, Tensor};
 
@@ -25,83 +35,61 @@ pub struct TopStep {
     pub gradients: Vec<(usize, Tensor)>,
 }
 
-/// The split-federated-learning parameter server.
-pub struct SflServer {
-    top: Sequential,
-    optimizer: Sgd,
-    loss: SoftmaxCrossEntropy,
-    global_bottom: Vec<f32>,
-}
+/// One parameter-server instance holding (a partition of) the top model: the seam the
+/// sharded server routes iteration work through.
+///
+/// The replicated topology's [`TopShard`] holds a full replica; an output-partitioned
+/// implementation would hold a slice of the classifier and exchange partial logits
+/// instead of synchronising states — the trait's state accessors are what the periodic
+/// cross-shard sync of the replicated topology uses, and are also how tests and the
+/// evaluation path observe shard parameters.
+pub trait TopModelShard: Send {
+    /// Sets the learning rate used for this shard's top-model updates.
+    fn set_lr(&mut self, lr: f32);
 
-impl SflServer {
-    /// Creates the server from the top model and the initial global bottom-model state.
-    pub fn new(top: Sequential, global_bottom: Vec<f32>) -> Self {
-        assert!(!top.is_empty(), "SflServer: top model must have layers");
-        // Clipping bounds the occasional merged-batch gradient spike in the first rounds,
-        // which would otherwise saturate the top model before training gets going.
-        let optimizer = Sgd::new(0.05, 0.0, 0.0).with_max_grad_norm(GRAD_CLIP_NORM);
-        Self {
-            top,
-            optimizer,
-            loss: SoftmaxCrossEntropy::new(),
-            global_bottom,
-        }
-    }
+    /// The gradient-dispatch-critical part of one top-model update: merged-batch forward,
+    /// loss, backward, and split-layer gradient dispatching. The returned gradients can
+    /// be shipped to the routed workers immediately; the pipelined engine overlaps the
+    /// remaining [`TopModelShard::finish_step`] with the workers' bottom-backward and
+    /// next forward.
+    fn begin_step(&mut self, merged: &MergedBatch) -> TopStep;
 
-    /// The current global bottom-model state broadcast to selected workers each round.
-    pub fn global_bottom(&self) -> &[f32] {
-        &self.global_bottom
-    }
+    /// The overlappable tail of one top-model update: the optimizer step on the gradients
+    /// accumulated by [`TopModelShard::begin_step`]. Must be called exactly once per
+    /// `begin_step` before the next iteration's features are processed.
+    fn finish_step(&mut self);
 
-    /// Sets the learning rate used for top-model updates this round.
-    pub fn set_lr(&mut self, lr: f32) {
-        self.optimizer.set_lr(lr);
-    }
+    /// Serialises this shard's top-model parameters.
+    fn state(&self) -> Vec<f32>;
 
-    /// Processes a round of uploads **with feature merging**: one forward/backward pass of
-    /// the top model over the mixed feature sequence, then gradient dispatching.
-    pub fn process_merged(&mut self, uploads: &[FeatureUpload]) -> TopStep {
-        let merged = merge_features(uploads);
+    /// Loads top-model parameters (the cross-shard sync writes the averaged state back).
+    fn load_state(&mut self, state: &[f32]);
+
+    /// Inference-mode forward pass through this shard's top model (evaluation only —
+    /// no gradients are accumulated). A single-shard server evaluates through its one
+    /// replica directly instead of copying state into the evaluation replica.
+    fn eval_forward(&mut self, features: &Tensor) -> Tensor;
+
+    /// Processes routed uploads **with feature merging**: one forward/backward pass over
+    /// the mixed feature sequence, then gradient dispatching.
+    fn process_merged(&mut self, uploads: &[&FeatureUpload]) -> TopStep {
+        let merged = merge_feature_refs(uploads);
         let step = self.begin_step(&merged);
         self.finish_step();
         step
     }
 
-    /// The gradient-dispatch-critical part of one top-model update: merge-batch forward,
-    /// loss, backward, and split-layer gradient dispatching. The returned gradients can be
-    /// shipped to the workers immediately; the pipelined engine overlaps the remaining
-    /// [`SflServer::finish_step`] with the workers' bottom-backward and next forward.
-    pub fn begin_step(&mut self, merged: &MergedBatch) -> TopStep {
-        self.top.zero_grad();
-        let logits = self.top.forward(&merged.features, true);
-        let out = self.loss.forward(&logits, &merged.labels);
-        let grad_features = self.top.backward(&out.grad);
-        let gradients = dispatch_gradients(merged, &grad_features);
-        TopStep {
-            loss: out.loss,
-            accuracy: out.accuracy,
-            gradients,
-        }
-    }
-
-    /// The overlappable tail of one top-model update: the optimizer step on the gradients
-    /// accumulated by [`SflServer::begin_step`]. Must be called exactly once per
-    /// `begin_step` before the next iteration's features are processed.
-    pub fn finish_step(&mut self) {
-        self.optimizer.step(&mut self.top);
-        self.top.zero_grad();
-    }
-
-    /// Processes uploads **without feature merging** (typical SFL): the top model is updated
-    /// once per worker, in sequence, each update using only that worker's features.
-    pub fn process_sequential(&mut self, uploads: &[FeatureUpload]) -> TopStep {
+    /// Processes routed uploads **without feature merging** (typical SFL): the shard's
+    /// top model is updated once per routed worker, in sequence, each update using only
+    /// that worker's features.
+    fn process_sequential(&mut self, uploads: &[&FeatureUpload]) -> TopStep {
         assert!(!uploads.is_empty(), "process_sequential: no uploads");
         let mut gradients = Vec::with_capacity(uploads.len());
         let mut loss_sum = 0.0f32;
         let mut acc_sum = 0.0f32;
         let mut samples = 0usize;
         for upload in uploads {
-            let single = merge_features(std::slice::from_ref(upload));
+            let single = merge_feature_refs(std::slice::from_ref(upload));
             let step = self.begin_step(&single);
             self.finish_step();
             loss_sum += step.loss * upload.batch_size() as f32;
@@ -115,9 +103,218 @@ impl SflServer {
             gradients,
         }
     }
+}
 
-    /// Aggregates bottom models pushed by the selected workers, weighting each by its batch
-    /// size (paper Eq. 17). Passing equal weights reproduces plain FedAvg aggregation.
+/// A full top-model replica on one PS instance (the replicated topology's shard).
+pub struct TopShard {
+    top: Sequential,
+    optimizer: Sgd,
+    loss: SoftmaxCrossEntropy,
+}
+
+impl TopShard {
+    /// Creates a shard from a top-model replica.
+    pub fn new(top: Sequential) -> Self {
+        assert!(!top.is_empty(), "TopShard: top model must have layers");
+        // Clipping bounds the occasional merged-batch gradient spike in the first rounds,
+        // which would otherwise saturate the top model before training gets going.
+        let optimizer = Sgd::new(0.05, 0.0, 0.0).with_max_grad_norm(GRAD_CLIP_NORM);
+        Self {
+            top,
+            optimizer,
+            loss: SoftmaxCrossEntropy::new(),
+        }
+    }
+}
+
+impl TopModelShard for TopShard {
+    fn set_lr(&mut self, lr: f32) {
+        self.optimizer.set_lr(lr);
+    }
+
+    fn begin_step(&mut self, merged: &MergedBatch) -> TopStep {
+        self.top.zero_grad();
+        let logits = self.top.forward(&merged.features, true);
+        let out = self.loss.forward(&logits, &merged.labels);
+        let grad_features = self.top.backward(&out.grad);
+        let gradients = dispatch_gradients(merged, &grad_features);
+        TopStep {
+            loss: out.loss,
+            accuracy: out.accuracy,
+            gradients,
+        }
+    }
+
+    fn finish_step(&mut self) {
+        self.optimizer.step(&mut self.top);
+        self.top.zero_grad();
+    }
+
+    fn state(&self) -> Vec<f32> {
+        self.top.state()
+    }
+
+    fn load_state(&mut self, state: &[f32]) {
+        self.top.load_state(state);
+    }
+
+    fn eval_forward(&mut self, features: &Tensor) -> Tensor {
+        self.top.forward(features, false)
+    }
+}
+
+/// How the top model is laid out across the parameter-server shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardTopology {
+    /// Every shard holds a full top-model replica trained on its routed uploads; replicas
+    /// are averaged at the periodic cross-shard sync.
+    Replicated,
+    // The seam stays open for `OutputPartitioned`: each shard would own a slice of the
+    // classifier and exchange partial activations instead of synchronising full states.
+}
+
+/// The sharded parameter-server subsystem: the shard instances, the cross-shard sync
+/// policy, the global bottom model and the evaluation replica of the top model.
+pub struct ShardedServer {
+    shards: Vec<Box<dyn TopModelShard>>,
+    topology: ShardTopology,
+    sync_every: usize,
+    /// Samples each shard processed since the last cross-shard sync (the sync weights).
+    samples_since_sync: Vec<f64>,
+    global_bottom: Vec<f32>,
+    eval_top: Sequential,
+    eval_loss: SoftmaxCrossEntropy,
+}
+
+impl ShardedServer {
+    /// Creates the sharded server from identically initialised top-model replicas (one
+    /// per shard), an evaluation replica of the same architecture, the initial global
+    /// bottom-model state and the cross-shard sync period in rounds.
+    pub fn new(
+        tops: Vec<Sequential>,
+        eval_top: Sequential,
+        global_bottom: Vec<f32>,
+        sync_every: usize,
+    ) -> Self {
+        assert!(!tops.is_empty(), "ShardedServer: need at least one shard");
+        assert!(
+            sync_every >= 1,
+            "ShardedServer: sync_every must be positive"
+        );
+        let shards: Vec<Box<dyn TopModelShard>> = tops
+            .into_iter()
+            .map(|top| Box::new(TopShard::new(top)) as Box<dyn TopModelShard>)
+            .collect();
+        let samples_since_sync = vec![0.0; shards.len()];
+        Self {
+            shards,
+            topology: ShardTopology::Replicated,
+            sync_every,
+            samples_since_sync,
+            global_bottom,
+            eval_top,
+            eval_loss: SoftmaxCrossEntropy::new(),
+        }
+    }
+
+    /// Number of parameter-server shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard layout in use.
+    pub fn topology(&self) -> ShardTopology {
+        self.topology
+    }
+
+    /// Cross-shard synchronisation period in rounds.
+    pub fn sync_every(&self) -> usize {
+        self.sync_every
+    }
+
+    /// Sets the learning rate used for top-model updates this round, on every shard.
+    pub fn set_lr(&mut self, lr: f32) {
+        for shard in &mut self.shards {
+            shard.set_lr(lr);
+        }
+    }
+
+    /// The current global bottom-model state broadcast to selected workers each round.
+    pub fn global_bottom(&self) -> &[f32] {
+        &self.global_bottom
+    }
+
+    /// Routes one merged batch to a shard's dispatch-critical step (tracks the shard's
+    /// processed samples for the sync weights).
+    pub fn begin_step(&mut self, shard: usize, merged: &MergedBatch) -> TopStep {
+        self.samples_since_sync[shard] += merged.total() as f64;
+        self.shards[shard].begin_step(merged)
+    }
+
+    /// Routes the overlappable optimizer tail to a shard.
+    pub fn finish_step(&mut self, shard: usize) {
+        self.shards[shard].finish_step();
+    }
+
+    /// Routes one iteration's uploads to a shard with feature merging.
+    pub fn process_merged(&mut self, shard: usize, uploads: &[&FeatureUpload]) -> TopStep {
+        self.samples_since_sync[shard] +=
+            uploads.iter().map(|u| u.batch_size() as f64).sum::<f64>();
+        self.shards[shard].process_merged(uploads)
+    }
+
+    /// Routes one iteration's uploads to a shard without feature merging (typical SFL).
+    pub fn process_sequential(&mut self, shard: usize, uploads: &[&FeatureUpload]) -> TopStep {
+        self.samples_since_sync[shard] +=
+            uploads.iter().map(|u| u.batch_size() as f64).sum::<f64>();
+        self.shards[shard].process_sequential(uploads)
+    }
+
+    /// The cross-shard average of the shard top-model states, weighted by the samples
+    /// each shard processed since the last sync (uniform right after a sync). With one
+    /// shard this is that shard's state, bit for bit.
+    pub fn averaged_top_state(&self) -> Vec<f32> {
+        if self.shards.len() == 1 {
+            return self.shards[0].state();
+        }
+        let states: Vec<Vec<f32>> = self.shards.iter().map(|s| s.state()).collect();
+        let total: f64 = self.samples_since_sync.iter().sum();
+        let weights: Vec<f32> = if total > 0.0 {
+            self.samples_since_sync.iter().map(|&w| w as f32).collect()
+        } else {
+            vec![1.0; states.len()]
+        };
+        weighted_average_states(&states, &weights)
+    }
+
+    /// Performs one cross-shard synchronisation now: averages the replicas (weighted by
+    /// samples processed since the last sync) and writes the result back to every shard.
+    /// A single shard only resets its sample counter.
+    pub fn sync_now(&mut self) {
+        if self.shards.len() > 1 {
+            let averaged = self.averaged_top_state();
+            for shard in &mut self.shards {
+                shard.load_state(&averaged);
+            }
+        }
+        for w in &mut self.samples_since_sync {
+            *w = 0.0;
+        }
+    }
+
+    /// Round-boundary hook: synchronises the shards when round `round` (0-based) ends a
+    /// `sync_every`-period. Returns whether a sync ran.
+    pub fn end_round(&mut self, round: usize) -> bool {
+        let due = self.shards.len() > 1 && (round + 1).is_multiple_of(self.sync_every);
+        if due {
+            self.sync_now();
+        }
+        due
+    }
+
+    /// Aggregates bottom models pushed by the selected workers, weighting each by its
+    /// batch size (paper Eq. 17). Passing equal weights reproduces plain FedAvg
+    /// aggregation. The bottom plane is not sharded: one aggregate serves every shard.
     pub fn aggregate_bottoms(&mut self, states: &[Vec<f32>], weights: &[f32]) {
         let aggregated = weighted_average_states(states, weights);
         assert_eq!(
@@ -129,15 +326,27 @@ impl SflServer {
     }
 
     /// Loads the current global bottom-model state into an evaluation replica. Chunked
-    /// evaluation loops call this once, then [`SflServer::evaluate_preloaded`] per chunk,
-    /// instead of re-copying the full state for every chunk.
+    /// evaluation loops call this once, then [`ShardedServer::evaluate_preloaded`] per
+    /// chunk, instead of re-copying the full state for every chunk.
     pub fn load_global_bottom(&self, bottom_replica: &mut Sequential) {
         bottom_replica.load_state(&self.global_bottom);
     }
 
-    /// Evaluates the combined global model (aggregated bottom + current top) on a dataset
-    /// slice, returning `(loss, accuracy)`. The bottom replica passed in is loaded with the
-    /// global state before evaluation.
+    /// Loads the evaluation replica of the top model with the current cross-shard
+    /// average. Call once before a chunked evaluation loop; between syncs this is what
+    /// "the global top model" means under the replicated topology. A single shard needs
+    /// no replica — evaluation forwards through it directly, with zero state copies.
+    pub fn prepare_eval(&mut self) {
+        if self.shards.len() == 1 {
+            return;
+        }
+        let state = self.averaged_top_state();
+        self.eval_top.load_state(&state);
+    }
+
+    /// Evaluates the combined global model (aggregated bottom + cross-shard averaged
+    /// top) on a dataset slice, returning `(loss, accuracy)`. The bottom replica passed
+    /// in is loaded with the global state before evaluation.
     pub fn evaluate(
         &mut self,
         bottom_replica: &mut Sequential,
@@ -145,10 +354,12 @@ impl SflServer {
         labels: &[usize],
     ) -> (f32, f32) {
         self.load_global_bottom(bottom_replica);
+        self.prepare_eval();
         self.evaluate_preloaded(bottom_replica, inputs, labels)
     }
 
-    /// Evaluates on a replica already loaded via [`SflServer::load_global_bottom`].
+    /// Evaluates on replicas already loaded via [`ShardedServer::load_global_bottom`] and
+    /// [`ShardedServer::prepare_eval`].
     pub fn evaluate_preloaded(
         &mut self,
         bottom_replica: &mut Sequential,
@@ -156,14 +367,24 @@ impl SflServer {
         labels: &[usize],
     ) -> (f32, f32) {
         let features = bottom_replica.forward(inputs, false);
-        let logits = self.top.forward(&features, false);
-        let out = self.loss.forward(&logits, labels);
+        let logits = if self.shards.len() == 1 {
+            // The one replica IS the global top model: no averaged-state copy needed.
+            self.shards[0].eval_forward(&features)
+        } else {
+            self.eval_top.forward(&features, false)
+        };
+        let out = self.eval_loss.forward(&logits, labels);
         (out.loss, out.accuracy)
     }
 
-    /// Serialises the top model (used by tests to check that updates happen).
+    /// Serialises one shard's top-model parameters (tests and diagnostics).
+    pub fn shard_state(&self, shard: usize) -> Vec<f32> {
+        self.shards[shard].state()
+    }
+
+    /// Serialises shard 0's top model (kept as the historical accessor name).
     pub fn top_state(&self) -> Vec<f32> {
-        self.top.state()
+        self.shards[0].state()
     }
 }
 
@@ -181,16 +402,25 @@ mod tests {
             .push(Box::new(Linear::new(&mut rng, 16, 4)))
     }
 
+    fn sharded(shards: usize, sync_every: usize) -> ShardedServer {
+        let tops = (0..shards).map(|_| toy_top()).collect();
+        ShardedServer::new(tops, toy_top(), vec![0.0; 10], sync_every)
+    }
+
     fn upload(worker: usize, batch: usize, class: usize) -> FeatureUpload {
         let features = Tensor::full(&[batch, 8], 0.3 + class as f32 * 0.2);
         FeatureUpload::new(worker, features, vec![class; batch])
     }
 
+    fn refs(uploads: &[FeatureUpload]) -> Vec<&FeatureUpload> {
+        uploads.iter().collect()
+    }
+
     #[test]
     fn merged_processing_returns_gradients_for_every_worker() {
-        let mut server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let mut shard = TopShard::new(toy_top());
         let uploads = vec![upload(0, 3, 0), upload(1, 5, 1), upload(2, 2, 3)];
-        let step = server.process_merged(&uploads);
+        let step = shard.process_merged(&refs(&uploads));
         assert_eq!(step.gradients.len(), 3);
         assert_eq!(step.gradients[0].0, 0);
         assert_eq!(step.gradients[0].1.batch(), 3);
@@ -200,17 +430,18 @@ mod tests {
 
     #[test]
     fn merged_processing_updates_top_model_once() {
-        let mut server = SflServer::new(toy_top(), vec![0.0; 10]);
-        let before = server.top_state();
-        let _ = server.process_merged(&[upload(0, 4, 0), upload(1, 4, 1)]);
-        assert_ne!(before, server.top_state());
+        let mut shard = TopShard::new(toy_top());
+        let before = shard.state();
+        let uploads = [upload(0, 4, 0), upload(1, 4, 1)];
+        let _ = shard.process_merged(&refs(&uploads));
+        assert_ne!(before, shard.state());
     }
 
     #[test]
     fn sequential_processing_matches_upload_order_and_sizes() {
-        let mut server = SflServer::new(toy_top(), vec![0.0; 10]);
+        let mut shard = TopShard::new(toy_top());
         let uploads = vec![upload(5, 2, 0), upload(9, 6, 1)];
-        let step = server.process_sequential(&uploads);
+        let step = shard.process_sequential(&refs(&uploads));
         assert_eq!(step.gradients.len(), 2);
         assert_eq!(step.gradients[0].0, 5);
         assert_eq!(step.gradients[0].1.batch(), 2);
@@ -224,16 +455,80 @@ mod tests {
         // the top model on the mixed batch, sequential updating takes two skewed steps. The
         // resulting top models must differ — this is the effect the paper's Fig. 4 shows.
         let uploads = vec![upload(0, 6, 0), upload(1, 6, 1)];
-        let mut merged_server = SflServer::new(toy_top(), vec![0.0; 10]);
-        let mut seq_server = SflServer::new(toy_top(), vec![0.0; 10]);
-        let _ = merged_server.process_merged(&uploads);
-        let _ = seq_server.process_sequential(&uploads);
-        assert_ne!(merged_server.top_state(), seq_server.top_state());
+        let mut merged_shard = TopShard::new(toy_top());
+        let mut seq_shard = TopShard::new(toy_top());
+        let _ = merged_shard.process_merged(&refs(&uploads));
+        let _ = seq_shard.process_sequential(&refs(&uploads));
+        assert_ne!(merged_shard.state(), seq_shard.state());
+    }
+
+    #[test]
+    fn single_shard_server_routes_work_identically_to_a_bare_shard() {
+        // The bit-identity contract of num_servers = 1: routing through the sharded
+        // server must be exactly the bare shard's arithmetic.
+        let uploads = vec![upload(0, 3, 0), upload(1, 5, 1)];
+        let mut bare = TopShard::new(toy_top());
+        let mut server = sharded(1, 1);
+        let a = bare.process_merged(&refs(&uploads));
+        let b = server.process_merged(0, &refs(&uploads));
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(bare.state(), server.top_state());
+        // end_round on a single shard is a no-op on the model.
+        let before = server.top_state();
+        assert!(!server.end_round(0));
+        assert_eq!(before, server.top_state());
+    }
+
+    #[test]
+    fn replicas_diverge_between_syncs_and_converge_at_sync() {
+        let mut server = sharded(2, 1);
+        // Each shard trains on a different single-class stream: replicas must diverge.
+        let a = [upload(0, 6, 0)];
+        let b = [upload(1, 6, 1)];
+        let _ = server.process_merged(0, &refs(&a));
+        let _ = server.process_merged(1, &refs(&b));
+        assert_ne!(server.shard_state(0), server.shard_state(1));
+        // The sync averages them back together.
+        assert!(server.end_round(0));
+        assert_eq!(server.shard_state(0), server.shard_state(1));
+    }
+
+    #[test]
+    fn sync_weights_follow_samples_processed_since_last_sync() {
+        let mut server = sharded(2, 1);
+        let heavy = [upload(0, 12, 0)];
+        let light = [upload(1, 2, 1)];
+        let _ = server.process_merged(0, &refs(&heavy));
+        let _ = server.process_merged(1, &refs(&light));
+        let s0 = server.shard_state(0);
+        let s1 = server.shard_state(1);
+        let expected = weighted_average_states(&[s0, s1], &[12.0, 2.0]);
+        assert_eq!(server.averaged_top_state(), expected);
+        server.sync_now();
+        assert_eq!(server.shard_state(0), expected);
+        // Counters reset: the next average is uniform until new work arrives.
+        assert_eq!(
+            server.averaged_top_state(),
+            weighted_average_states(&[expected.clone(), expected.clone()], &[1.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn end_round_honours_the_sync_period() {
+        let mut server = sharded(2, 3);
+        assert!(!server.end_round(0));
+        assert!(!server.end_round(1));
+        assert!(server.end_round(2)); // rounds 0..=2 completed: one period
+        assert!(!server.end_round(3));
+        assert!(server.end_round(5));
+        assert_eq!(server.sync_every(), 3);
+        assert_eq!(server.topology(), ShardTopology::Replicated);
     }
 
     #[test]
     fn aggregation_replaces_global_bottom_with_weighted_average() {
-        let mut server = SflServer::new(toy_top(), vec![0.0; 4]);
+        let tops = vec![toy_top()];
+        let mut server = ShardedServer::new(tops, toy_top(), vec![0.0; 4], 1);
         server.aggregate_bottoms(&[vec![1.0; 4], vec![3.0; 4]], &[1.0, 1.0]);
         assert_eq!(server.global_bottom(), &[2.0, 2.0, 2.0, 2.0]);
         server.aggregate_bottoms(&[vec![0.0; 4], vec![4.0; 4]], &[3.0, 1.0]);
@@ -250,11 +545,38 @@ mod tests {
         let mut replica = Sequential::new()
             .push(Box::new(Linear::new(&mut rng, 6, 8)))
             .push(Box::new(Relu::new()));
-        let mut server = SflServer::new(toy_top(), global);
+        let mut server = ShardedServer::new(vec![toy_top()], toy_top(), global, 1);
         let inputs = Tensor::full(&[5, 6], 0.2);
         let labels = vec![0, 1, 2, 3, 0];
         let (loss, acc) = server.evaluate(&mut replica, &inputs, &labels);
         assert!(loss > 0.0);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn evaluation_uses_the_cross_shard_average() {
+        // Two diverged replicas: evaluation must go through their average, which equals
+        // neither shard alone but equals a single-shard server loaded with that average.
+        let mut rng = seeded(3);
+        let mut bottom = Sequential::new().push(Box::new(Linear::new(&mut rng, 6, 8)));
+        let mut server =
+            ShardedServer::new(vec![toy_top(), toy_top()], toy_top(), bottom.state(), 10);
+        let a = [upload(0, 4, 0)];
+        let b = [upload(1, 4, 2)];
+        let _ = server.process_merged(0, &refs(&a));
+        let _ = server.process_merged(1, &refs(&b));
+        server.prepare_eval();
+        let averaged = server.averaged_top_state();
+        assert_ne!(averaged, server.shard_state(0));
+        assert_ne!(averaged, server.shard_state(1));
+
+        let inputs = Tensor::full(&[3, 6], 0.1);
+        let labels = vec![0, 1, 2];
+        let (loss, _) = server.evaluate(&mut bottom, &inputs, &labels);
+
+        let mut reference = ShardedServer::new(vec![toy_top()], toy_top(), bottom.state(), 1);
+        reference.shards[0].load_state(&averaged);
+        let (ref_loss, _) = reference.evaluate(&mut bottom, &inputs, &labels);
+        assert_eq!(loss, ref_loss);
     }
 }

@@ -196,6 +196,113 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_send_blocks_until_the_slot_frees() {
+        // Strict backpressure at the smallest bound: with one slot occupied, a second
+        // send must park until the receiver drains the slot. The flag is only set after
+        // the blocked send returns, so observing it unset after a generous sleep means
+        // the producer was genuinely parked (a non-blocking regression would set it
+        // almost immediately); the final recv order proves nothing was reordered or lost.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let second_send_done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&second_send_done);
+        let producer = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+            flag.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !second_send_done.load(Ordering::SeqCst),
+            "send into a full capacity-1 channel did not block"
+        );
+        assert_eq!(rx.recv(), Some(1));
+        producer.join().unwrap();
+        assert!(second_send_done.load(Ordering::SeqCst));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn sender_dropped_mid_round_leaves_the_channel_usable() {
+        // A pipeline stage dying mid-round (e.g. a panicking worker thread dropping its
+        // Sender during unwind) must neither lose the items it already sent nor wedge
+        // the surviving producers: the receiver keeps draining until the LAST sender is
+        // gone, and only then observes disconnection.
+        let (tx, rx) = bounded(2);
+        let survivor = tx.clone();
+        let dying = std::thread::spawn(move || {
+            tx.send("dying-0").unwrap();
+            tx.send("dying-1").unwrap();
+            // `tx` dropped here, mid-round from the receiver's point of view.
+        });
+        dying.join().unwrap();
+        let surviving = std::thread::spawn(move || {
+            for _ in 0..3 {
+                survivor.send("survivor").unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        surviving.join().unwrap();
+        assert_eq!(got.len(), 5, "an item was lost when a sender dropped");
+        assert_eq!(got.iter().filter(|v| v.starts_with("dying")).count(), 2);
+        // The dying sender's items kept their send order.
+        let dying_items: Vec<&&str> = got.iter().filter(|v| v.starts_with("dying")).collect();
+        assert_eq!(dying_items, [&"dying-0", &"dying-1"]);
+    }
+
+    #[test]
+    fn receiver_drop_mid_round_returns_items_to_blocked_senders() {
+        // The complementary shutdown: the consumer stage dies while a producer is parked
+        // on a full queue. The blocked send must wake, fail, and hand the item back
+        // (the engines rely on this to unwind instead of deadlocking the round).
+        let (tx, rx) = bounded(1);
+        tx.send(10).unwrap();
+        let producer = std::thread::spawn(move || tx.send(20));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(producer.join().unwrap(), Err(SendError(20)));
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved_under_many_producers() {
+        // The sharded router fans uploads in from many producers; the FIFO must keep
+        // each producer's subsequence in its own send order even under heavy
+        // interleaving through a tiny buffer.
+        let (tx, rx) = bounded(2);
+        let mut handles = Vec::new();
+        for producer in 0..8u32 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    tx.send((producer, i)).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut next_expected = [0u32; 8];
+        let mut total = 0;
+        while let Some((producer, i)) = rx.recv() {
+            assert_eq!(
+                i, next_expected[producer as usize],
+                "producer {producer} items reordered"
+            );
+            next_expected[producer as usize] += 1;
+            total += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total, 8 * 50);
+        assert!(next_expected.iter().all(|&n| n == 50));
+    }
+
+    #[test]
     fn multiple_producers_all_drain() {
         let (tx, rx) = bounded(2);
         let mut handles = Vec::new();

@@ -18,24 +18,31 @@ use serde::{Deserialize, Serialize};
 /// Per-stage breakdown of a round, enabling overlap-aware (pipelined) makespan accounting.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum StageModel {
-    /// A split-learning round of `iterations` iterations. Each iteration is a worker stage
-    /// (bottom forward + last-hop feature/gradient transfer + bottom backward; the slowest
-    /// selected worker gates it), the drain of the cohort's uploads through the shared PS
-    /// ingress link (`ingress` — the bandwidth the paper's Eq. 10 budgets), and a server
-    /// stage of which `server_critical` seconds must complete before gradients dispatch
-    /// and `server_overlap` seconds can overlap with the workers' next iteration. In the
-    /// barrier schedule all four serialise; pipelined, the ingress drain of early
-    /// arrivals, the server's overlappable tail and the workers' next iteration all run
-    /// concurrently (NIC, GPU and workers are independent resources).
+    /// A split-learning round of `iterations` iterations across one or more top-model
+    /// shards. Each iteration is a worker stage (bottom forward + last-hop
+    /// feature/gradient transfer + bottom backward; the slowest selected worker gates
+    /// it), then — **independently per shard, on that shard's own machine and ingress
+    /// link** — the drain of the shard's routed uploads (`Σ_{i∈shard} d_i · c / B^h`,
+    /// the bandwidth the paper's Eq. 10 budgets per PS instance), a pre-dispatch server
+    /// part (`shard_critical`) and an overlappable server part (`shard_overlap`). In the
+    /// barrier schedule worker stage and the slowest shard's full server segment
+    /// serialise every iteration; pipelined, each shard's ingress drain, overlappable
+    /// tail and the workers' next iteration run concurrently (NIC, GPU and workers are
+    /// independent resources) and shards run concurrently with each other. A
+    /// `cross_sync` term charges the periodic cross-shard top-model synchronisation of
+    /// the replicated topology at the end of the round in both schedules.
     SplitRound {
         /// Local updating frequency τ of the round.
         iterations: usize,
-        /// PS-ingress drain of one iteration's merged uploads (`Σ d_i · c / B^h`), seconds.
-        ingress: f64,
-        /// Pre-dispatch server time per iteration (merge + top forward/backward), seconds.
-        server_critical: f64,
-        /// Overlappable server time per iteration (top optimizer step + bookkeeping), seconds.
-        server_overlap: f64,
+        /// Per-shard PS-ingress drain of one iteration's routed uploads, seconds.
+        shard_ingress: Vec<f64>,
+        /// Per-shard pre-dispatch server time per iteration (merge + top fwd/bwd), seconds.
+        shard_critical: Vec<f64>,
+        /// Per-shard overlappable server time per iteration (optimizer step), seconds.
+        shard_overlap: Vec<f64>,
+        /// Cross-shard top-model sync charged once at the end of the round, seconds
+        /// (zero for a single shard or a round where no sync is due).
+        cross_sync: f64,
     },
     /// A full-model FL round: workers train locally and upload; the server folds each
     /// arriving model state into the aggregate, `per_state_seconds` per worker. Pipelined,
@@ -78,8 +85,8 @@ impl RoundTiming {
         }
     }
 
-    /// Creates the timing record of a split round with a per-stage breakdown.
-    /// `worker_durations` remain whole-round totals (`τ · d_i · (µ_i + β_i)`).
+    /// Creates the timing record of a single-shard split round with a per-stage
+    /// breakdown. `worker_durations` remain whole-round totals (`τ · d_i · (µ_i + β_i)`).
     pub fn with_split_stages(
         worker_durations: Vec<f64>,
         sync_overhead: f64,
@@ -88,22 +95,56 @@ impl RoundTiming {
         server_critical: f64,
         server_overlap: f64,
     ) -> Self {
+        Self::with_sharded_stages(
+            worker_durations,
+            sync_overhead,
+            iterations,
+            vec![ingress],
+            vec![server_critical],
+            vec![server_overlap],
+            0.0,
+        )
+    }
+
+    /// Creates the timing record of a split round whose server stage is partitioned
+    /// across parameter-server shards, each with its own per-iteration ingress drain and
+    /// critical/overlappable server parts, plus the round's cross-shard sync cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_sharded_stages(
+        worker_durations: Vec<f64>,
+        sync_overhead: f64,
+        iterations: usize,
+        shard_ingress: Vec<f64>,
+        shard_critical: Vec<f64>,
+        shard_overlap: Vec<f64>,
+        cross_sync: f64,
+    ) -> Self {
         assert!(iterations > 0, "RoundTiming: need at least one iteration");
         assert!(
-            ingress.is_finite()
-                && ingress >= 0.0
-                && server_critical.is_finite()
-                && server_critical >= 0.0
-                && server_overlap.is_finite()
-                && server_overlap >= 0.0,
+            !shard_ingress.is_empty(),
+            "RoundTiming: need at least one shard"
+        );
+        assert!(
+            shard_ingress.len() == shard_critical.len()
+                && shard_ingress.len() == shard_overlap.len(),
+            "RoundTiming: shard stage vectors must align"
+        );
+        let valid = |v: &[f64]| v.iter().all(|&t| t.is_finite() && t >= 0.0);
+        assert!(
+            valid(&shard_ingress)
+                && valid(&shard_critical)
+                && valid(&shard_overlap)
+                && cross_sync.is_finite()
+                && cross_sync >= 0.0,
             "RoundTiming: invalid stage duration"
         );
         let mut timing = Self::new(worker_durations, sync_overhead);
         timing.stages = Some(StageModel::SplitRound {
             iterations,
-            ingress,
-            server_critical,
-            server_overlap,
+            shard_ingress,
+            shard_critical,
+            shard_overlap,
+            cross_sync,
         });
         timing
     }
@@ -138,10 +179,22 @@ impl RoundTiming {
             None => base,
             Some(StageModel::SplitRound {
                 iterations,
-                ingress,
-                server_critical,
-                server_overlap,
-            }) => base + *iterations as f64 * (ingress + server_critical + server_overlap),
+                shard_ingress,
+                shard_critical,
+                shard_overlap,
+                cross_sync,
+            }) => {
+                // Shards serve their routed uploads concurrently on separate machines
+                // and links, so each iteration's server segment is gated by the slowest
+                // shard; the cross-shard sync serialises at the round boundary.
+                let slowest_shard = shard_ingress
+                    .iter()
+                    .zip(shard_critical)
+                    .zip(shard_overlap)
+                    .map(|((i, c), o)| (i + c) + o)
+                    .fold(0.0, f64::max);
+                base + *iterations as f64 * slowest_shard + cross_sync
+            }
             Some(StageModel::AggregateRound { per_state_seconds }) => {
                 base + self.worker_durations.len() as f64 * per_state_seconds
             }
@@ -157,23 +210,34 @@ impl RoundTiming {
             None => self.barrier_completion_time(),
             Some(StageModel::SplitRound {
                 iterations,
-                ingress,
-                server_critical,
-                server_overlap,
+                shard_ingress,
+                shard_critical,
+                shard_overlap,
+                cross_sync,
             }) => {
                 let tau = *iterations as f64;
                 // Slowest worker's per-iteration duration: the worker stage of one slot.
                 let a = self.barrier_time() / tau;
-                // Critical path: the first iteration fills the pipe (worker stage, full
-                // ingress drain, critical server part). Every further iteration costs its
-                // critical server part plus the longest of the three stages that overlap
-                // each other — the workers' compute, the NIC draining early uploads, and
-                // the server's overlappable tail. The last overlap part drains the pipe.
-                a + ingress
-                    + tau * server_critical
-                    + (tau - 1.0) * a.max(*ingress).max(*server_overlap)
-                    + server_overlap
-                    + self.sync_overhead
+                // Critical path per shard: the first iteration fills the pipe (worker
+                // stage, the shard's ingress drain, its critical server part). Every
+                // further iteration costs the shard's critical part plus the longest of
+                // the three stages that overlap each other — the workers' compute, the
+                // shard's NIC draining early uploads, and its overlappable tail. The
+                // last overlap part drains the pipe. Shards pipeline independently and
+                // concurrently, so the round is gated by the slowest shard's strand;
+                // the cross-shard sync serialises at the round boundary.
+                let slowest_strand = shard_ingress
+                    .iter()
+                    .zip(shard_critical)
+                    .zip(shard_overlap)
+                    .map(|((&ingress, &server_critical), &server_overlap)| {
+                        a + ingress
+                            + tau * server_critical
+                            + (tau - 1.0) * a.max(ingress).max(server_overlap)
+                            + server_overlap
+                    })
+                    .fold(0.0, f64::max);
+                slowest_strand + self.sync_overhead + cross_sync
             }
             Some(StageModel::AggregateRound { per_state_seconds }) => {
                 // States are folded in arrival order; each fold starts when both the state
@@ -351,6 +415,113 @@ mod tests {
         let timing = RoundTiming::with_split_stages(vec![2.5, 1.0], 0.3, 1, 0.6, 0.2, 0.4);
         assert!(
             (timing.pipelined_completion_time() - timing.barrier_completion_time()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn single_entry_sharded_stages_equal_the_split_stage_model_exactly() {
+        let split = RoundTiming::with_split_stages(vec![2.0, 4.0], 0.2, 4, 0.8, 0.3, 0.1);
+        let sharded = RoundTiming::with_sharded_stages(
+            vec![2.0, 4.0],
+            0.2,
+            4,
+            vec![0.8],
+            vec![0.3],
+            vec![0.1],
+            0.0,
+        );
+        assert_eq!(
+            split.barrier_completion_time(),
+            sharded.barrier_completion_time()
+        );
+        assert_eq!(
+            split.pipelined_completion_time(),
+            sharded.pipelined_completion_time()
+        );
+    }
+
+    #[test]
+    fn sharded_makespans_match_manual_computation() {
+        // τ=4, worker totals {2, 4} (slowest per-iteration stage a = 1.0); two shards:
+        // shard 0 gets ingress 0.5, crit 0.2, overlap 0.06; shard 1 gets 0.3/0.1/0.04.
+        // Cross-shard sync 0.15 s, plus 0.2 s bottom-model sync overhead.
+        let timing = RoundTiming::with_sharded_stages(
+            vec![2.0, 4.0],
+            0.2,
+            4,
+            vec![0.5, 0.3],
+            vec![0.2, 0.1],
+            vec![0.06, 0.04],
+            0.15,
+        );
+        // Barrier: 4 + 4·max(0.76, 0.44) + 0.2 + 0.15 = 7.39.
+        assert!((timing.barrier_completion_time() - 7.39).abs() < 1e-9);
+        // Pipelined strands: shard0 = 1.0 + 0.5 + 4·0.2 + 3·max(1.0, 0.5, 0.06) + 0.06
+        // = 5.36; shard1 = 1.0 + 0.3 + 4·0.1 + 3·1.0 + 0.04 = 4.74. Max + 0.2 + 0.15.
+        assert!((timing.pipelined_completion_time() - 5.71).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitting_the_server_stage_across_shards_shrinks_both_makespans() {
+        // The same total server load, once on a single PS and once split across four
+        // shards (each with its own ingress link and GPU): both makespans must drop,
+        // strictly for the pipelined schedule as long as the shards see real load.
+        let single = RoundTiming::with_split_stages(vec![3.0, 6.0], 0.4, 6, 1.2, 0.8, 0.4);
+        let sharded = RoundTiming::with_sharded_stages(
+            vec![3.0, 6.0],
+            0.4,
+            6,
+            vec![0.3; 4],
+            vec![0.2; 4],
+            vec![0.1; 4],
+            0.0,
+        );
+        assert!(sharded.barrier_completion_time() < single.barrier_completion_time());
+        assert!(sharded.pipelined_completion_time() < single.pipelined_completion_time());
+        // Waiting time is a property of worker heterogeneity, not of the server layout.
+        assert_eq!(
+            sharded.average_waiting_time(),
+            single.average_waiting_time()
+        );
+    }
+
+    #[test]
+    fn cross_shard_sync_charges_both_schedules_equally() {
+        let base = RoundTiming::with_sharded_stages(
+            vec![2.0],
+            0.0,
+            2,
+            vec![0.1, 0.1],
+            vec![0.1, 0.1],
+            vec![0.1, 0.1],
+            0.0,
+        );
+        let synced = RoundTiming::with_sharded_stages(
+            vec![2.0],
+            0.0,
+            2,
+            vec![0.1, 0.1],
+            vec![0.1, 0.1],
+            vec![0.1, 0.1],
+            0.5,
+        );
+        let barrier_delta = synced.barrier_completion_time() - base.barrier_completion_time();
+        let pipelined_delta = synced.pipelined_completion_time() - base.pipelined_completion_time();
+        assert!((barrier_delta - 0.5).abs() < 1e-12);
+        assert!((pipelined_delta - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard stage vectors must align")]
+    fn rejects_misaligned_shard_vectors() {
+        let _ = RoundTiming::with_sharded_stages(
+            vec![1.0],
+            0.0,
+            1,
+            vec![0.1, 0.2],
+            vec![0.1],
+            vec![0.1, 0.2],
+            0.0,
         );
     }
 

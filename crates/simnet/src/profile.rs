@@ -22,7 +22,17 @@ pub const SERVER_GFLOPS: f64 = 2000.0;
 /// gradients can be dispatched (merge + top forward + backward). The remainder — the
 /// optimizer update of the top model and per-round bookkeeping — can overlap with the
 /// workers' bottom-backward and next bottom-forward in the pipelined schedule.
+///
+/// Both this and [`SERVER_GFLOPS`] are the *uncalibrated* defaults; the SFL engine
+/// charges per-architecture values calibrated from measured `kernel_bench` timings
+/// (`mergesfl::calibrate::ServerCostModel`) and records them in every `RoundRecord`.
 pub const SERVER_CRITICAL_FRACTION: f64 = 0.75;
+
+/// Bandwidth of the datacenter interconnect between parameter-server shards, in Gb/s.
+/// Cross-shard top-model synchronisation (the replicated topology's periodic all-reduce)
+/// is charged at this rate; PS shards are co-located workstation-class machines on a
+/// switched network, unlike the WiFi-attached workers.
+pub const SERVER_INTERCONNECT_GBPS: f64 = 10.0;
 
 /// Paper-scale cost model of one architecture.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -86,8 +96,32 @@ impl ModelProfile {
         self.full_gflop_per_sample - self.bottom_gflop_per_sample
     }
 
+    /// Size of the server-side (top) model in bytes: whatever of the full model the
+    /// workers do not hold. This is what the replicated shard topology must move over the
+    /// datacenter interconnect at every cross-shard synchronisation point.
+    pub fn top_model_bytes(&self) -> f64 {
+        self.full_model_bytes - self.bottom_model_bytes
+    }
+
+    /// Seconds one cross-shard top-model synchronisation takes with `shards` replicated
+    /// parameter-server instances: a reduce + broadcast of the top-model state over the
+    /// [`SERVER_INTERCONNECT_GBPS`] switch, where each shard exchanges the `(S-1)/S`
+    /// share of the state it does not already hold in the aggregate. One shard has
+    /// nothing to synchronise.
+    pub fn cross_shard_sync_seconds(&self, shards: usize) -> f64 {
+        if shards <= 1 {
+            return 0.0;
+        }
+        let interconnect_bytes_per_sec = SERVER_INTERCONNECT_GBPS * 1e9 / 8.0;
+        let share = (shards as f64 - 1.0) / shards as f64;
+        2.0 * self.top_model_bytes() * share / interconnect_bytes_per_sec
+    }
+
     /// Seconds the parameter server spends on one top-model step over a merged batch of
-    /// `total_batch` samples (forward + backward + update at [`SERVER_GFLOPS`]).
+    /// `total_batch` samples (forward + backward + update) at the **uncalibrated**
+    /// [`SERVER_GFLOPS`] baseline. The SFL engine charges the per-architecture
+    /// calibrated model (`mergesfl::calibrate::ServerCostModel`) instead; this baseline
+    /// remains for callers without access to kernel measurements.
     pub fn server_step_seconds(&self, total_batch: usize) -> f64 {
         total_batch as f64 * self.top_gflop_per_sample() / SERVER_GFLOPS
     }
@@ -145,6 +179,27 @@ mod tests {
             assert!(step < 1.0, "{arch:?}: server step {step} implausibly slow");
             assert!(p.aggregate_seconds_per_state() > 0.0, "{arch:?}");
         }
+    }
+
+    #[test]
+    fn cross_shard_sync_is_free_for_one_shard_and_grows_with_model_size() {
+        for arch in Architecture::all() {
+            let p = ModelProfile::for_architecture(arch);
+            assert!(p.top_model_bytes() > 0.0, "{arch:?}");
+            assert_eq!(p.cross_shard_sync_seconds(1), 0.0, "{arch:?}");
+            let two = p.cross_shard_sync_seconds(2);
+            let four = p.cross_shard_sync_seconds(4);
+            assert!(two > 0.0, "{arch:?}");
+            // More shards exchange a larger share of the state, but the cost is bounded
+            // by a full 2x state exchange.
+            assert!(four > two, "{arch:?}");
+            let bound = 2.0 * p.top_model_bytes() / (SERVER_INTERCONNECT_GBPS * 1e9 / 8.0);
+            assert!(four < bound, "{arch:?}");
+        }
+        // VGG16's 265 MB top model takes longest to synchronise.
+        let vgg = ModelProfile::for_architecture(Architecture::Vgg16Lite);
+        let cnn = ModelProfile::for_architecture(Architecture::CnnH);
+        assert!(vgg.cross_shard_sync_seconds(4) > cnn.cross_shard_sync_seconds(4));
     }
 
     #[test]

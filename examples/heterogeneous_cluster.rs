@@ -72,6 +72,7 @@ fn main() {
             budget_rescale: true,
             max_participants: 10,
             uniform_batch: 16,
+            num_servers: 1,
         },
     );
 

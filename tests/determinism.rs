@@ -212,6 +212,126 @@ fn pipelined_makespan_wins_on_the_straggler_heavy_config() {
 }
 
 #[test]
+fn single_shard_is_bit_identical_to_the_reference_across_the_full_matrix() {
+    // The sharding contract: with num_servers = 1 and sync_every = 1 the sharded server
+    // must BE the single-server engine, whatever the execution schedule. The reference is
+    // the sequential barrier oracle; every parallel × pipeline combination must agree on
+    // the full trajectory, and an inert sync period must not perturb a single bit.
+    let reference = {
+        let mut c = tiny(41);
+        c.num_servers = 1;
+        c.sync_every = 1;
+        c.parallel = false;
+        c.pipeline = false;
+        trajectory(&run(Approach::MergeSfl, &c))
+    };
+    for (parallel, pipeline) in [(false, false), (false, true), (true, false), (true, true)] {
+        for sync_every in [1, 3] {
+            let mut c = tiny(41);
+            c.num_servers = 1;
+            c.sync_every = sync_every;
+            c.parallel = parallel;
+            c.pipeline = pipeline;
+            let got = trajectory(&run(Approach::MergeSfl, &c));
+            assert_eq!(
+                got, reference,
+                "num_servers=1 sync_every={sync_every} parallel={parallel} pipeline={pipeline} \
+                 diverged from the single-server oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_trajectories_are_schedule_independent() {
+    // Multi-shard runs change the trajectory (each shard steps on its routed sub-batch),
+    // but they must carry the same contract as the single server: parallel fan-out and
+    // pipelined staging never change arithmetic, only scheduling. Both merged (MergeSFL)
+    // and sequential (LocFedMix-SL) top-update paths are pinned.
+    for approach in [Approach::MergeSfl, Approach::LocFedMixSl] {
+        let reference = {
+            let mut c = tiny(42);
+            c.num_servers = 4;
+            c.sync_every = 2;
+            c.parallel = false;
+            c.pipeline = false;
+            trajectory(&run(approach, &c))
+        };
+        for (parallel, pipeline) in [(false, true), (true, false), (true, true)] {
+            let mut c = tiny(42);
+            c.num_servers = 4;
+            c.sync_every = 2;
+            c.parallel = parallel;
+            c.pipeline = pipeline;
+            let got = trajectory(&run(approach, &c));
+            assert_eq!(
+                got, reference,
+                "{approach:?} 4-shard parallel={parallel} pipeline={pipeline} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn four_shards_report_a_strictly_smaller_pipelined_makespan() {
+    // The horizontal-scaling claim of the sharded server (fig9 timing model): routing the
+    // cohort across 4 PS instances shrinks every round's server segment, and the total
+    // pipelined makespan — cross-shard sync costs included — is strictly below the
+    // 1-shard counterpart. Plans are identical across the two runs (the control module
+    // does not feed training results back), so the comparison isolates the server layout.
+    let single = {
+        let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
+        c.num_servers = 1;
+        c.sync_every = 1;
+        run(Approach::MergeSfl, &c)
+    };
+    let sharded = {
+        let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
+        c.num_servers = 4;
+        c.sync_every = 2;
+        run(Approach::MergeSfl, &c)
+    };
+    assert!(
+        sharded.total_pipelined_makespan() < single.total_pipelined_makespan(),
+        "4-shard pipelined makespan {} not below 1-shard {}",
+        sharded.total_pipelined_makespan(),
+        single.total_pipelined_makespan()
+    );
+    assert!(
+        sharded.total_barrier_makespan() < single.total_barrier_makespan(),
+        "4-shard barrier makespan {} not below 1-shard {}",
+        sharded.total_barrier_makespan(),
+        single.total_barrier_makespan()
+    );
+    // The per-shard breakdown is recorded: multi-shard rounds report one entry per
+    // shard whose batches sum to the merged batch, and sync rounds charge a sync.
+    for r in &sharded.records {
+        assert!(
+            r.shards.len() > 1,
+            "round {} lost its shard breakdown",
+            r.round
+        );
+        let sum: usize = r.shards.iter().map(|s| s.batch).sum();
+        assert_eq!(
+            sum, r.total_batch,
+            "round {} shard batches disagree",
+            r.round
+        );
+    }
+    assert!(
+        sharded.records.iter().any(|r| r.cross_sync_seconds > 0.0),
+        "no round charged a cross-shard sync"
+    );
+    assert!(
+        sharded
+            .records
+            .iter()
+            .any(|r| r.cross_sync_seconds == 0.0 && r.participants > 0),
+        "sync_every=2 should leave sync-free rounds"
+    );
+}
+
+#[test]
 fn every_engine_is_deterministic_across_modes() {
     // One SFL-family and one FL-family approach beyond the headline pair, so a future
     // strategy-specific code path cannot silently lose determinism.

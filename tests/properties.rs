@@ -170,6 +170,50 @@ proptest! {
             "saving {} != expected {}", barrier - pipelined, expected_saving);
     }
 
+    /// A sharded split round: the pipelined makespan never exceeds the barrier sum, both
+    /// makespans are gated by the slowest shard's strand plus the cross-shard sync, and
+    /// splitting the same server load across shards never costs more than keeping it on
+    /// one PS (sync aside) — sharding can only divide work, not create it.
+    #[test]
+    fn sharded_split_round_makespan_bounds(
+        iter_durations in prop::collection::vec(0.01f64..5.0, 1..8),
+        tau in 1usize..10,
+        raw_ingress in prop::collection::vec(0.0f64..2.0, 1..6),
+        raw_critical in prop::collection::vec(0.0f64..1.5, 1..6),
+        raw_overlap in prop::collection::vec(0.0f64..1.5, 1..6),
+        sync in 0.0f64..2.0,
+        cross_sync in 0.0f64..1.0,
+    ) {
+        let totals: Vec<f64> = iter_durations.iter().map(|d| d * tau as f64).collect();
+        let shards = raw_ingress.len().min(raw_critical.len()).min(raw_overlap.len());
+        let ingress: Vec<f64> = raw_ingress[..shards].to_vec();
+        let critical: Vec<f64> = raw_critical[..shards].to_vec();
+        let overlap: Vec<f64> = raw_overlap[..shards].to_vec();
+        let sharded = RoundTiming::with_sharded_stages(
+            totals.clone(), sync, tau, ingress.clone(), critical.clone(), overlap.clone(), cross_sync);
+        let barrier = sharded.barrier_completion_time();
+        let pipelined = sharded.pipelined_completion_time();
+
+        prop_assert!(pipelined <= barrier + 1e-9, "pipelined {} exceeds barrier {}", pipelined, barrier);
+        prop_assert!(pipelined + 1e-9 >= sharded.barrier_time() + cross_sync);
+        for s in 0..ingress.len() {
+            // No schedule beats any single shard's serial strands.
+            prop_assert!(pipelined + 1e-9 >= tau as f64 * ingress[s] + cross_sync);
+            prop_assert!(pipelined + 1e-9 >= tau as f64 * (critical[s] + overlap[s]) + cross_sync);
+            prop_assert!(barrier + 1e-9 >= tau as f64 * (ingress[s] + critical[s] + overlap[s]) + cross_sync);
+        }
+
+        // The same total load concentrated on one PS (no sync needed there) is never
+        // cheaper than the sharded layout with the sync stripped.
+        let one_ps = RoundTiming::with_split_stages(
+            totals, sync, tau,
+            ingress.iter().sum(), critical.iter().sum(), overlap.iter().sum());
+        let sharded_no_sync = RoundTiming::with_sharded_stages(
+            sharded.worker_durations.clone(), sync, tau, ingress, critical, overlap, 0.0);
+        prop_assert!(sharded_no_sync.barrier_completion_time() <= one_ps.barrier_completion_time() + 1e-9);
+        prop_assert!(sharded_no_sync.pipelined_completion_time() <= one_ps.pipelined_completion_time() + 1e-9);
+    }
+
     /// The streaming-aggregation makespan of an FL round never exceeds the barrier sum and
     /// never beats the last arrival plus one fold (the fold of the slowest worker's state
     /// can never be hidden).
