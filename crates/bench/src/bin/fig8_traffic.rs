@@ -45,4 +45,8 @@ fn main() {
     println!(
         "full-model FL (PyramidFL, FedAvg); MergeSFL consumes the least to reach each target."
     );
+    println!("With MERGESFL_NUM_SERVERS > 1 the totals include the server-plane traffic of the");
+    println!("chosen MERGESFL_TOPOLOGY: periodic whole-state syncs (replicated) or per-iteration");
+    println!("activation exchanges (partitioned) — the 'server shards' lines break them out, so");
+    println!("one run per topology yields the fig8 traffic comparison between the two layouts.");
 }

@@ -26,6 +26,10 @@ fn main() {
     println!("that share small — the waiting pathology itself is worker-side heterogeneity,");
     println!("which batch regulation (not pipelining) removes. Sharding the top model across");
     println!("MERGESFL_NUM_SERVERS PS instances divides the server-side share per shard (the");
-    println!("'server shards' columns above), at the price of a periodic cross-shard sync");
-    println!("(MERGESFL_SYNC_EVERY rounds per sync).");
+    println!("'server shards' columns above). MERGESFL_TOPOLOGY picks the layout: 'replicated'");
+    println!("pays a periodic cross-shard sync (MERGESFL_SYNC_EVERY rounds per sync) and");
+    println!("perturbs the trajectory between syncs; 'partitioned' slices the classifier's");
+    println!("output dimension across the shards — the exact single-server trajectory, with a");
+    println!("per-iteration activation exchange on the server interconnect instead of a sync,");
+    println!("and the batch-size solve budgeted against the aggregate S*B^h ingress.");
 }

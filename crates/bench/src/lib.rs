@@ -117,10 +117,13 @@ pub fn print_makespan_summary(results: &[RunResult]) {
     }
 }
 
-/// Prints the per-shard server breakdown recorded in each approach's `RoundRecord`s: how
-/// the merged batch was routed across the parameter-server shards, the per-iteration
-/// server seconds each shard carried, the total cross-shard sync cost, and the calibrated
-/// cost model the run was charged under. FL baselines (no split server) are skipped.
+/// Prints the per-shard server breakdown recorded in each approach's `RoundRecord`s: the
+/// server topology, how the merged batch was routed (replicated) or striped
+/// (output-partitioned) across the parameter-server shards, the per-iteration server
+/// seconds each shard carried, the topology's server-plane cost — total cross-shard sync
+/// time for replication, total activation-exchange traffic for partitioning — and the
+/// calibrated cost model the run was charged under. FL baselines (no split server) are
+/// skipped.
 pub fn print_shard_summary(results: &[RunResult]) {
     let sharded: Vec<&RunResult> = results
         .iter()
@@ -134,13 +137,24 @@ pub fn print_shard_summary(results: &[RunResult]) {
         let rounds: Vec<_> = r.records.iter().filter(|x| !x.shards.is_empty()).collect();
         let num_shards = rounds.iter().map(|x| x.shards.len()).max().unwrap_or(1);
         let total_sync: f64 = r.records.iter().map(|x| x.cross_sync_seconds).sum();
+        let exchange_mb: f64 =
+            r.records.iter().map(|x| x.exchange_bytes).sum::<f64>() / (1024.0 * 1024.0);
+        let topology = rounds
+            .first()
+            .map(|x| x.topology.name())
+            .unwrap_or("replicated");
+        let server_plane = if exchange_mb > 0.0 {
+            format!("activation exchange {exchange_mb:.1} MB total")
+        } else {
+            format!("cross-shard sync {total_sync:.3} s total")
+        };
         let (gflops, fraction) = rounds
             .first()
             .map(|x| (x.server_gflops, x.server_critical_fraction))
             .unwrap_or_default();
         println!(
-            "  {:<14} {num_shards} shard(s), calibrated {gflops:.0} GFLOP/s, critical {:.0}%, \
-             cross-shard sync {total_sync:.3} s total",
+            "  {:<14} {num_shards} {topology} shard(s), calibrated {gflops:.0} GFLOP/s, \
+             critical {:.0}%, {server_plane}",
             r.approach,
             100.0 * fraction
         );
@@ -242,6 +256,8 @@ mod tests {
             total_batch: 8,
             cohort_kl: 0.0,
             shards: Vec::new(),
+            topology: Default::default(),
+            exchange_bytes: 0.0,
             cross_sync_seconds: 0.0,
             server_gflops: 2000.0,
             server_critical_fraction: 0.75,

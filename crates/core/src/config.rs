@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+pub use crate::sfl::server::ShardTopology;
 use mergesfl_data::DatasetKind;
 pub use mergesfl_nn::kernels::KernelBackend;
 use serde::{Deserialize, Serialize};
@@ -56,17 +57,27 @@ pub struct RunConfig {
     /// constructors honour the `MERGESFL_KERNELS` environment variable.
     pub kernel_backend: KernelBackend,
     /// Number of parameter-server instances the top model is sharded across. With 1 (the
-    /// default) the engine is the single-server loop; with more, the control plane routes
-    /// each cohort member to a shard, every shard trains its own top-model replica on the
-    /// uploads routed to it, and replicas are averaged every [`RunConfig::sync_every`]
-    /// rounds (the replicated topology — the `TopModelShard` seam keeps output-partitioned
-    /// sharding open). Constructors honour the `MERGESFL_NUM_SERVERS` environment variable.
+    /// default) the engine is the single-server loop; with more, the layout is decided by
+    /// [`RunConfig::topology`]: replicated shards each train a full replica on the cohort
+    /// members routed to them (averaged every [`RunConfig::sync_every`] rounds), while
+    /// output-partitioned shards each own a slice of the classifier (capped at the class
+    /// count) and jointly compute the exact global step. Either way the planner budgets
+    /// the cohort against the aggregate `S·B^h` ingress capacity. Constructors honour the
+    /// `MERGESFL_NUM_SERVERS` environment variable.
     pub num_servers: usize,
     /// Cross-shard synchronisation period in rounds: shard replicas of the top model are
     /// averaged (weighted by samples processed since the last sync) at the end of every
-    /// `sync_every`-th round. Irrelevant when `num_servers == 1`. Constructors honour the
-    /// `MERGESFL_SYNC_EVERY` environment variable.
+    /// `sync_every`-th round. Irrelevant when `num_servers == 1` or under the
+    /// output-partitioned topology (which has no replica state to synchronise).
+    /// Constructors honour the `MERGESFL_SYNC_EVERY` environment variable.
     pub sync_every: usize,
+    /// How the top model is laid out across the `num_servers` parameter-server instances:
+    /// `Replicated` (each shard trains a full replica on its routed uploads, periodically
+    /// averaged) or `OutputPartitioned` (each shard owns a contiguous slice of the
+    /// classifier's output dimension and exchanges partial activations every iteration —
+    /// exact, no sync staleness). Constructors honour the `MERGESFL_TOPOLOGY`
+    /// environment variable (`replicated` / `partitioned`).
+    pub topology: ShardTopology,
 }
 
 /// Reads the pipelined-execution default from the `MERGESFL_PIPELINE` environment
@@ -101,6 +112,16 @@ pub fn sync_every_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Reads the server topology from the `MERGESFL_TOPOLOGY` environment variable
+/// (`replicated`, `partitioned` / `output-partitioned`); unset, empty or unknown values
+/// keep the replicated default.
+pub fn topology_from_env() -> ShardTopology {
+    std::env::var("MERGESFL_TOPOLOGY")
+        .ok()
+        .and_then(|v| ShardTopology::parse(&v))
+        .unwrap_or_default()
+}
+
 impl RunConfig {
     /// Full-scale configuration mirroring the paper's setup for a dataset (80 workers and
     /// the paper's round budget). Heavy — intended for the figure-regeneration binaries.
@@ -127,6 +148,7 @@ impl RunConfig {
             kernel_backend: KernelBackend::from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
+            topology: topology_from_env(),
         }
     }
 
@@ -155,6 +177,7 @@ impl RunConfig {
             kernel_backend: KernelBackend::from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
+            topology: topology_from_env(),
         }
     }
 
@@ -182,6 +205,7 @@ impl RunConfig {
             kernel_backend: KernelBackend::from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
+            topology: topology_from_env(),
         }
     }
 

@@ -29,6 +29,7 @@ pub use finetune::{finetune_batches, FinetuneConfig, FinetuneOutcome};
 pub use genetic::{select_workers, GeneticConfig, SelectionOutcome, SelectionProblem};
 pub use priority::ParticipationTracker;
 
+use crate::sfl::server::ShardTopology;
 use mergesfl_data::LabelDistribution;
 use mergesfl_nn::rng::derive_seed;
 
@@ -48,11 +49,16 @@ pub struct PlanOptions {
     pub max_participants: usize,
     /// Batch size used when `batch_regulation` is off.
     pub uniform_batch: usize,
-    /// Number of parameter-server shards the round's uploads are routed across. The
-    /// planner balances the cohort over `min(num_servers, cohort size)` shards by batch
-    /// size (longest-processing-time greedy), so no shard stays the single consumer of
-    /// every upload.
+    /// Number of parameter-server shards the round's uploads are routed across. Under the
+    /// replicated topology the planner balances the cohort over
+    /// `min(num_servers, cohort size)` shards by batch size (longest-processing-time
+    /// greedy), so no shard stays the single consumer of every upload. Under output
+    /// partitioning every shard sees the full cohort and `num_servers` only sizes the
+    /// slice layout and the aggregate ingress budget.
     pub num_servers: usize,
+    /// How the top model is laid out across the shards: member→shard routing
+    /// (`Replicated`) or slice assignment over the full cohort (`OutputPartitioned`).
+    pub topology: ShardTopology,
 }
 
 /// The per-round decision: which workers train, with which batch sizes, and which
@@ -64,10 +70,15 @@ pub struct RoundPlan {
     /// Batch size per selected worker (aligned with `selected`).
     pub batch_sizes: Vec<usize>,
     /// Parameter-server shard each selected worker is routed to (aligned with
-    /// `selected`; all zeros for a single-server plan).
+    /// `selected`; all zeros for a single-server or output-partitioned plan, where the
+    /// whole cohort flows through one route group).
     pub shard_of: Vec<usize>,
-    /// Number of parameter-server shards this plan routes across.
+    /// Number of parameter-server instances this plan spans. Replicated: independently
+    /// routed replicas. Output-partitioned: classifier slices that all see the full
+    /// cohort (a single route group).
     pub num_shards: usize,
+    /// Server topology the plan routes for.
+    pub topology: ShardTopology,
     /// KL divergence of the cohort's batch-weighted label mixture from the IID reference.
     pub cohort_kl: f32,
     /// Predicted average waiting time of the cohort for this round (seconds).
@@ -104,21 +115,49 @@ impl RoundPlan {
         self.batch_sizes.iter().sum()
     }
 
-    /// Cohort positions routed to one shard, in cohort (plan) order.
-    pub fn shard_positions(&self, shard: usize) -> Vec<usize> {
-        (0..self.selected.len())
-            .filter(|&p| self.shard_of[p] == shard)
-            .collect()
+    /// Number of independently routed server groups the engine iterates: one per shard
+    /// under the replicated topology (each replica processes only its routed members),
+    /// exactly one under output partitioning (every slice participates in the full
+    /// cohort's merged step).
+    pub fn route_groups(&self) -> usize {
+        match self.topology {
+            ShardTopology::Replicated => self.num_shards,
+            ShardTopology::OutputPartitioned => 1,
+        }
     }
 
-    /// Samples per iteration routed to one shard (the shard's merged mini-batch size).
+    /// Cohort positions whose uploads shard `shard` participates in, in cohort (plan)
+    /// order. Replicated shards see only their routed members; output-partitioned shards
+    /// all see the full cohort.
+    pub fn shard_positions(&self, shard: usize) -> Vec<usize> {
+        match self.topology {
+            ShardTopology::Replicated => (0..self.selected.len())
+                .filter(|&p| self.shard_of[p] == shard)
+                .collect(),
+            ShardTopology::OutputPartitioned => (0..self.selected.len()).collect(),
+        }
+    }
+
+    /// Samples per iteration drained through one shard's ingress link. Replicated: the
+    /// shard's routed members' batches (its merged mini-batch). Output-partitioned: an
+    /// even stripe of the full merged batch — the cohort's uploads are striped across
+    /// the `S` instance NICs and re-assembled over the server interconnect, so each link
+    /// carries `⌈total/S⌉` or `⌊total/S⌋` samples.
     pub fn shard_batch(&self, shard: usize) -> usize {
-        self.batch_sizes
-            .iter()
-            .zip(&self.shard_of)
-            .filter(|&(_, &s)| s == shard)
-            .map(|(&d, _)| d)
-            .sum()
+        match self.topology {
+            ShardTopology::Replicated => self
+                .batch_sizes
+                .iter()
+                .zip(&self.shard_of)
+                .filter(|&(_, &s)| s == shard)
+                .map(|(&d, _)| d)
+                .sum(),
+            ShardTopology::OutputPartitioned => {
+                let total = self.total_batch();
+                let shards = self.num_shards.max(1);
+                total / shards + usize::from(shard < total % shards)
+            }
+        }
     }
 
     /// Drops participants whose assigned batch size is zero, returning how many were
@@ -126,8 +165,13 @@ impl RoundPlan {
     /// `min_batch >= 1`, but a degenerate plan must not reach the training engines: a
     /// zero-size participant would panic the mini-batch loader and the feature-merge path
     /// (`FeatureUpload` rejects empty uploads by design). Engines skip the round entirely
-    /// — with a logged round record — if nothing survives. Shard routing is kept aligned;
-    /// a shard emptied by the drop simply processes nothing that round.
+    /// — with a logged round record — if nothing survives. The drop is topology-aware
+    /// through the plan's accessors rather than through the columns themselves: the
+    /// member→shard column stays positionally aligned with the survivors (a replicated
+    /// shard emptied by the drop simply processes nothing that round), and under output
+    /// partitioning — where `shard_of` is a single route group and `num_shards` counts
+    /// classifier slices, not member groups — the slice layout is untouched however many
+    /// members drop; `shard_batch`/`shard_positions` re-derive from the surviving cohort.
     pub fn drop_empty_participants(&mut self) -> usize {
         debug_assert_eq!(self.selected.len(), self.batch_sizes.len());
         debug_assert_eq!(self.selected.len(), self.shard_of.len());
@@ -250,7 +294,22 @@ impl ControlModule {
             "plan_round: uniform batch must be positive"
         );
         let n = self.num_workers();
-        let budget = self.estimator.ingress_or(ingress_budget_fallback);
+        // Shard-aware ingress budget: with S parameter-server instances each bringing
+        // its own NIC, the bandwidth constraint of Eq. 10 bounds the cohort's
+        // per-iteration feature traffic by the aggregate `S · B^h` under both
+        // topologies. Output-partitioned shards drain even sample-level stripes of the
+        // merged batch, so the full aggregate is achievable at any cohort size;
+        // replicated routing is member-level, so no more links can carry traffic than
+        // the cohort has members — the multiplier is capped at the cohort bound to keep
+        // the solve honest about what the LPT spread can actually drain. Selection and
+        // the budget-rescale step both solve against the aggregate.
+        let effective_links = match opts.topology {
+            ShardTopology::OutputPartitioned => opts.num_servers.max(1),
+            // Both factors are asserted >= 1 (max_participants above, label_dists at
+            // construction), so the cap never zeroes the budget.
+            ShardTopology::Replicated => opts.num_servers.max(1).min(opts.max_participants.min(n)),
+        };
+        let budget = self.estimator.ingress_or(ingress_budget_fallback) * effective_links as f64;
 
         // Per-worker cost estimates (µ_i + β_i), falling back to the population mean for
         // workers that have never reported.
@@ -324,9 +383,10 @@ impl ControlModule {
             cohort_kl = outcome.kl;
         }
 
-        // Line 7: exploit the remaining ingress budget. The default maximum batch size D is
-        // still an upper bound per worker — scaling up is only allowed to recover headroom
-        // lost to regulation/fine-tuning, not to exceed what a worker can hold in memory.
+        // Line 7: exploit the remaining (aggregate) ingress budget. The default maximum
+        // batch size D is still an upper bound per worker — scaling up is only allowed
+        // to recover headroom lost to regulation/fine-tuning, not to exceed what a
+        // worker can hold in memory.
         if opts.budget_rescale {
             batch_sizes = rescale_to_budget_capped(
                 &batch_sizes,
@@ -340,15 +400,27 @@ impl ControlModule {
         let durations = predicted_durations(&batch_sizes, &sel_costs, self.tau);
         let predicted_waiting = predicted_waiting_time(&durations);
         // Route the cohort across the parameter-server shards (Alg. 1's plan gains the
-        // shard column): balance by batch size so no shard's ingress link or top-model
-        // replica stays the single consumer of every upload.
-        let shard_of = assign_shards(&batch_sizes, opts.num_servers);
-        let num_shards = shard_of.iter().copied().max().unwrap_or(0) + 1;
+        // shard column). Replicated: balance members by batch size so no shard's ingress
+        // link or top-model replica stays the single consumer of every upload.
+        // Output-partitioned: routing is slice assignment, not member assignment — every
+        // shard sees the full cohort, so the column collapses to one route group and
+        // `num_shards` carries the slice count for timing and budget accounting.
+        let (shard_of, num_shards) = match opts.topology {
+            ShardTopology::Replicated => {
+                let shard_of = assign_shards(&batch_sizes, opts.num_servers);
+                let num_shards = shard_of.iter().copied().max().unwrap_or(0) + 1;
+                (shard_of, num_shards)
+            }
+            ShardTopology::OutputPartitioned => {
+                (vec![0; batch_sizes.len()], opts.num_servers.max(1))
+            }
+        };
         RoundPlan {
             selected,
             batch_sizes,
             shard_of,
             num_shards,
+            topology: opts.topology,
             cohort_kl,
             predicted_waiting,
         }
@@ -396,6 +468,7 @@ mod tests {
             max_participants: 8,
             uniform_batch: 8,
             num_servers: 1,
+            topology: ShardTopology::Replicated,
         }
     }
 
@@ -545,6 +618,7 @@ mod tests {
             batch_sizes: vec![2, 0, 1, 0],
             shard_of: vec![0, 1, 1, 0],
             num_shards: 2,
+            topology: ShardTopology::Replicated,
             cohort_kl: 0.1,
             predicted_waiting: 0.0,
         };
@@ -559,6 +633,7 @@ mod tests {
             batch_sizes: vec![0, 0],
             shard_of: vec![0, 0],
             num_shards: 1,
+            topology: ShardTopology::Replicated,
             cohort_kl: 0.0,
             predicted_waiting: 0.0,
         };
@@ -571,6 +646,7 @@ mod tests {
             batch_sizes: vec![1],
             shard_of: vec![0],
             num_shards: 1,
+            topology: ShardTopology::Replicated,
             cohort_kl: 0.0,
             predicted_waiting: 0.0,
         };
@@ -627,6 +703,99 @@ mod tests {
         assert_ne!(solo[0], solo[1]);
         // Empty cohort stays empty.
         assert!(assign_shards(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn partitioned_plans_use_slice_assignment_over_the_full_cohort() {
+        let mut m = module(16, 4);
+        observe_heterogeneous(&mut m);
+        let mut opts = default_opts();
+        opts.num_servers = 4;
+        opts.topology = ShardTopology::OutputPartitioned;
+        let plan = m.plan_round(0, 1e9, &opts);
+        assert_eq!(plan.topology, ShardTopology::OutputPartitioned);
+        // Slice assignment: num_shards carries the instance count, but the cohort flows
+        // through one route group and every shard participates in every position.
+        assert_eq!(plan.num_shards, 4);
+        assert_eq!(plan.route_groups(), 1);
+        assert!(plan.shard_of.iter().all(|&s| s == 0));
+        for shard in 0..plan.num_shards {
+            assert_eq!(plan.shard_positions(shard).len(), plan.selected.len());
+        }
+        // Ingress striping: per-shard batches are an even split of the merged batch.
+        let stripes: Vec<usize> = (0..plan.num_shards).map(|s| plan.shard_batch(s)).collect();
+        assert_eq!(stripes.iter().sum::<usize>(), plan.total_batch());
+        let lo = *stripes.iter().min().unwrap();
+        let hi = *stripes.iter().max().unwrap();
+        assert!(hi - lo <= 1, "uneven stripes {stripes:?}");
+    }
+
+    #[test]
+    fn degenerate_partitioned_cohort_keeps_routing_consistent() {
+        // Regression for the latent member→shard routing assumption: dropping zero-size
+        // participants from an output-partitioned plan must leave the slice layout
+        // intact (num_shards is the slice count, not a member-group count) and keep the
+        // stripe/position accessors consistent with the surviving cohort.
+        let mut plan = RoundPlan {
+            selected: vec![7, 2, 9, 4],
+            batch_sizes: vec![3, 0, 5, 0],
+            shard_of: vec![0, 0, 0, 0],
+            num_shards: 4,
+            topology: ShardTopology::OutputPartitioned,
+            cohort_kl: 0.1,
+            predicted_waiting: 0.0,
+        };
+        assert_eq!(plan.drop_empty_participants(), 2);
+        assert_eq!(plan.selected, vec![7, 9]);
+        assert_eq!(plan.batch_sizes, vec![3, 5]);
+        assert_eq!(plan.shard_of, vec![0, 0]);
+        assert_eq!(plan.num_shards, 4, "slice layout must survive the drop");
+        assert_eq!(plan.route_groups(), 1);
+        let stripes: Vec<usize> = (0..4).map(|s| plan.shard_batch(s)).collect();
+        assert_eq!(stripes, vec![2, 2, 2, 2]);
+        for shard in 0..4 {
+            assert_eq!(plan.shard_positions(shard), vec![0, 1]);
+        }
+        // A fully degenerate cohort still answers without panicking.
+        let mut empty = plan.clone();
+        empty.batch_sizes = vec![0, 0];
+        assert_eq!(empty.drop_empty_participants(), 2);
+        assert!(empty.selected.is_empty());
+        assert_eq!(empty.shard_batch(0), 0);
+        assert_eq!(empty.route_groups(), 1);
+        assert!(empty.shard_positions(3).is_empty());
+    }
+
+    #[test]
+    fn shard_aware_rescale_budgets_the_aggregate_ingress() {
+        // A budget that starves one NIC but not four: with S shards the rescale step
+        // solves against S·B^h, so the cohort's batches grow strictly.
+        for topology in [ShardTopology::Replicated, ShardTopology::OutputPartitioned] {
+            let solve = |servers: usize| {
+                let mut m = module(16, 4);
+                observe_heterogeneous(&mut m);
+                let mut opts = default_opts();
+                opts.budget_rescale = true;
+                opts.num_servers = servers;
+                opts.topology = topology;
+                // 24 kB per iteration at 1 kB per sample: binding at S = 1.
+                m.observe_ingress(24_000.0);
+                m.plan_round(0, 24_000.0, &opts)
+            };
+            let single = solve(1);
+            let sharded = solve(4);
+            assert!(
+                sharded.total_batch() > single.total_batch(),
+                "{topology:?}: aggregate budget did not grow the solve \
+                 ({} vs {})",
+                sharded.total_batch(),
+                single.total_batch()
+            );
+            assert!(
+                sharded.batch_sizes.iter().all(|&d| d <= 32),
+                "{topology:?}: per-worker cap violated"
+            );
+        }
     }
 
     #[test]

@@ -242,6 +242,8 @@ impl FlEngine {
                 total_batch: 0,
                 cohort_kl: 0.0,
                 shards: Vec::new(),
+                topology: Default::default(),
+                exchange_bytes: 0.0,
                 cross_sync_seconds: 0.0,
                 server_gflops: mergesfl_simnet::profile::SERVER_GFLOPS,
                 server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,
@@ -372,6 +374,8 @@ impl FlEngine {
             // Full-model FL has no split server stage: no shard breakdown, no sync, and
             // the uncalibrated aggregation-cost constants for the record.
             shards: Vec::new(),
+            topology: Default::default(),
+            exchange_bytes: 0.0,
             cross_sync_seconds: 0.0,
             server_gflops: mergesfl_simnet::profile::SERVER_GFLOPS,
             server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,

@@ -5,6 +5,7 @@
 //! and average per-round waiting time (Fig. 9).
 
 use crate::json::{self, JsonValue};
+use crate::sfl::server::ShardTopology;
 use mergesfl_simnet::profile::{SERVER_CRITICAL_FRACTION, SERVER_GFLOPS};
 use serde::{Deserialize, Serialize};
 
@@ -57,9 +58,17 @@ pub struct RoundRecord {
     /// Per-shard server-side breakdown of the round (one entry per parameter-server
     /// shard the plan routed uploads to; empty for FL rounds and legacy records).
     pub shards: Vec<ShardBreakdown>,
-    /// Cross-shard top-model sync charged this round, seconds (0 when no sync was due or
-    /// a single shard serves the round).
+    /// Server topology the round trained under (`Replicated` for FL rounds and legacy
+    /// records — the only layout that existed before topologies were recorded).
+    pub topology: ShardTopology,
+    /// Cross-shard top-model sync charged this round, seconds (0 when no sync was due,
+    /// a single shard serves the round, or the topology never syncs state).
     pub cross_sync_seconds: f64,
+    /// Server-interconnect bytes the output-partitioned topology exchanged this round
+    /// (per-iteration feature all-gather + split-gradient all-reduce, summed over the
+    /// round's iterations; 0 under replication, whose server-plane cost is the periodic
+    /// sync reported in `cross_sync_seconds`).
+    pub exchange_bytes: f64,
     /// Calibrated server throughput the round was charged at, GFLOP/s
     /// (`mergesfl::calibrate::ServerCostModel`; the global constant for legacy records).
     pub server_gflops: f64,
@@ -214,6 +223,10 @@ impl RunResult {
             json::write_f64(&mut out, r.server_critical_fraction);
             out.push_str(",\"cross_sync_seconds\":");
             json::write_f64(&mut out, r.cross_sync_seconds);
+            out.push_str(",\"topology\":");
+            json::write_escaped(&mut out, r.topology.name());
+            out.push_str(",\"exchange_bytes\":");
+            json::write_f64(&mut out, r.exchange_bytes);
             out.push_str(",\"shards\":[");
             for (j, s) in r.shards.iter().enumerate() {
                 if j > 0 {
@@ -321,6 +334,15 @@ impl RunResult {
                 total_batch: int(r, "total_batch")?,
                 cohort_kl: num(r, "cohort_kl")? as f32,
                 shards,
+                // Legacy records predate topology accounting: everything written before
+                // output partitioning existed was the replicated layout (or a single
+                // server, which the replicated name covers) with no activation exchange.
+                topology: r
+                    .get("topology")
+                    .and_then(JsonValue::as_str)
+                    .and_then(ShardTopology::parse)
+                    .unwrap_or_default(),
+                exchange_bytes: opt_num(r, "exchange_bytes", 0.0)?,
                 cross_sync_seconds: opt_num(r, "cross_sync_seconds", 0.0)?,
                 server_gflops: opt_num(r, "server_gflops", SERVER_GFLOPS)?,
                 server_critical_fraction: opt_num(
@@ -369,6 +391,12 @@ mod tests {
                     server_overlap_seconds: 0.0008,
                 },
             ],
+            topology: if round % 2 == 1 {
+                ShardTopology::OutputPartitioned
+            } else {
+                ShardTopology::Replicated
+            },
+            exchange_bytes: if round % 2 == 1 { 81_920.0 } else { 0.0 },
             cross_sync_seconds: if round % 2 == 1 { 0.006 } else { 0.0 },
             server_gflops: 450.25,
             server_critical_fraction: 0.7,
@@ -464,6 +492,10 @@ mod tests {
         assert_eq!(back.records[0].shards[1].batch, 16);
         assert_eq!(back.records[0].shards[0].ingress_seconds, 0.004);
         assert_eq!(back.records[1].cross_sync_seconds, 0.006);
+        assert_eq!(back.records[0].topology, ShardTopology::Replicated);
+        assert_eq!(back.records[1].topology, ShardTopology::OutputPartitioned);
+        assert_eq!(back.records[0].exchange_bytes, 0.0);
+        assert_eq!(back.records[1].exchange_bytes, 81_920.0);
         assert_eq!(back.records[0].server_gflops, 450.25);
         assert_eq!(back.records[0].server_critical_fraction, 0.7);
         assert_eq!(back, r);
@@ -483,6 +515,8 @@ mod tests {
         let r = &parsed.records[0];
         assert!(r.shards.is_empty());
         assert_eq!(r.cross_sync_seconds, 0.0);
+        assert_eq!(r.topology, ShardTopology::Replicated);
+        assert_eq!(r.exchange_bytes, 0.0);
         assert_eq!(r.server_gflops, mergesfl_simnet::profile::SERVER_GFLOPS);
         assert_eq!(
             r.server_critical_fraction,

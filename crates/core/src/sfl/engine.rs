@@ -11,7 +11,7 @@ use crate::config::RunConfig;
 use crate::control::{ControlModule, PlanOptions, RoundPlan};
 use crate::metrics::{RoundRecord, RunResult, ShardBreakdown};
 use crate::sfl::merge::{align_gradients, merge_feature_refs, FeatureUpload};
-use crate::sfl::server::ShardedServer;
+use crate::sfl::server::{ShardTopology, ShardedServer};
 use crate::sfl::worker::SflWorker;
 use mergesfl_data::{eval_subsample, partition_dirichlet, synth, Dataset, DatasetSpec, Partition};
 use mergesfl_nn::optim::LrSchedule;
@@ -195,26 +195,39 @@ impl SflEngine {
             profile,
         );
 
-        // Global model: one top-model replica per parameter-server shard plus one for
-        // evaluation, the initial global bottom, one bottom replica per worker and one
-        // bottom replica for evaluation. All replicas are built from the same seed, so
-        // they start identical — with `num_servers = 1` the server subsystem collapses to
+        // Global model: the top model laid out across the parameter-server instances
+        // according to the configured topology, plus an evaluation replica, the initial
+        // global bottom, one bottom replica per worker and one bottom replica for
+        // evaluation. All replicas are built from the same seed, so they start identical
+        // — with `num_servers = 1` (either topology) the server subsystem collapses to
         // the paper's single-PS loop bit for bit.
         let model_seed = derive_seed(config.seed, 4);
         let split = zoo::build(spec.architecture, spec.num_classes, model_seed).into_split();
         let global_bottom = split.bottom.state();
-        let mut tops = vec![split.top];
-        for _ in 1..config.num_servers {
-            tops.push(
-                zoo::build(spec.architecture, spec.num_classes, model_seed)
-                    .into_split()
-                    .top,
-            );
-        }
         let eval_top = zoo::build(spec.architecture, spec.num_classes, model_seed)
             .into_split()
             .top;
-        let server = ShardedServer::new(tops, eval_top, global_bottom, config.sync_every);
+        let server = match config.topology {
+            // Replicated: one full top-model replica per shard, trained on its routed
+            // uploads and periodically averaged.
+            ShardTopology::Replicated => {
+                let mut tops = vec![split.top];
+                for _ in 1..config.num_servers {
+                    tops.push(
+                        zoo::build(spec.architecture, spec.num_classes, model_seed)
+                            .into_split()
+                            .top,
+                    );
+                }
+                ShardedServer::new(tops, eval_top, global_bottom, config.sync_every)
+            }
+            // Output-partitioned: one top model whose classifier is sliced across the
+            // instances (capped at the class count); every instance sees the full
+            // cohort's merged batch and exchanges partial activations within the step.
+            ShardTopology::OutputPartitioned => {
+                ShardedServer::partitioned(split.top, eval_top, global_bottom, config.num_servers)
+            }
+        };
         let cost_model = ServerCostModel::for_architecture(spec.architecture);
 
         let workers = partition
@@ -277,7 +290,9 @@ impl SflEngine {
         }
     }
 
-    /// The per-round plan options implied by the strategy and configuration.
+    /// The per-round plan options implied by the strategy and configuration. The shard
+    /// count the planner routes and budgets for is the server's *effective* instance
+    /// count (output partitioning caps it at the class count), not the raw setting.
     fn plan_options(&self) -> PlanOptions {
         PlanOptions {
             batch_regulation: self.strategy.batch_regulation,
@@ -286,7 +301,8 @@ impl SflEngine {
             budget_rescale: self.strategy.budget_rescale,
             max_participants: self.config.participants_per_round,
             uniform_batch: self.config.uniform_batch,
-            num_servers: self.config.num_servers,
+            num_servers: self.server.num_shards(),
+            topology: self.server.topology(),
         }
     }
 
@@ -336,10 +352,18 @@ impl SflEngine {
             let cross_sync_seconds = if synced {
                 self.cluster
                     .profile()
-                    .cross_shard_sync_seconds(self.config.num_servers)
+                    .cross_shard_sync_seconds(self.server.num_shards())
             } else {
                 0.0
             };
+            if synced {
+                let sync_bytes = self
+                    .cluster
+                    .profile()
+                    .cross_shard_sync_bytes(self.server.num_shards());
+                self.traffic
+                    .record(TrafficCategory::ServerExchange, sync_bytes);
+            }
             self.clock.advance_by(cross_sync_seconds);
             self.result.push(RoundRecord {
                 round,
@@ -354,6 +378,8 @@ impl SflEngine {
                 total_batch: 0,
                 cohort_kl: plan.cohort_kl,
                 shards: Vec::new(),
+                topology: self.server.topology(),
+                exchange_bytes: 0.0,
                 cross_sync_seconds,
                 server_gflops: self.cost_model.gflops,
                 server_critical_fraction: self.cost_model.critical_fraction,
@@ -446,18 +472,43 @@ impl SflEngine {
         }
         self.control.record_participation(&plan.selected);
 
-        // --- Cross-shard sync: the replicated topology periodically averages the shard
-        // top models (weighted by samples each shard processed since the last sync).
-        // Per-shard aggregation happened inside the iteration loop; this is the round
-        // boundary where replicas reconverge. A single shard makes it a no-op.
+        // --- Server-plane accounting at the round boundary. Replicated topology:
+        // periodically average the shard top models (weighted by samples each shard
+        // processed since the last sync) and charge the state exchange — a single shard
+        // or the partitioned topology makes this a no-op (partitioned shards never hold
+        // divergent state). Output-partitioned topology: charge the per-iteration
+        // activation exchange (feature all-gather + split-gradient all-reduce) the
+        // round's iterations performed instead.
         let synced = self.server.end_round(round);
         let cross_sync_seconds = if synced {
             self.cluster
                 .profile()
-                .cross_shard_sync_seconds(self.config.num_servers)
+                .cross_shard_sync_seconds(self.server.num_shards())
         } else {
             0.0
         };
+        if synced {
+            let sync_bytes = self
+                .cluster
+                .profile()
+                .cross_shard_sync_bytes(self.server.num_shards());
+            self.traffic
+                .record(TrafficCategory::ServerExchange, sync_bytes);
+        }
+        let exchange_bytes = match self.server.topology() {
+            ShardTopology::OutputPartitioned => {
+                tau as f64
+                    * self
+                        .cluster
+                        .profile()
+                        .partitioned_exchange_bytes(self.server.num_shards(), plan.total_batch())
+            }
+            ShardTopology::Replicated => 0.0,
+        };
+        if exchange_bytes > 0.0 {
+            self.traffic
+                .record(TrafficCategory::ServerExchange, exchange_bytes);
+        }
 
         // --- Simulated timing (Eq. 7–8, plus the per-shard stage breakdown for the
         // pipelined makespan). The clock advances by the schedule the run is configured
@@ -486,6 +537,8 @@ impl SflEngine {
             total_batch: plan.total_batch(),
             cohort_kl: plan.cohort_kl,
             shards: shard_breakdown,
+            topology: self.server.topology(),
+            exchange_bytes,
             cross_sync_seconds,
             server_gflops: self.cost_model.gflops,
             server_critical_fraction: self.cost_model.critical_fraction,
@@ -520,13 +573,21 @@ impl SflEngine {
                 .transfer_seconds(w, 2.0 * self.bottom_param_bytes);
             sync_overhead = sync_overhead.max(sync);
         }
-        // Per shard: the drain of one iteration's routed uploads through that shard's
-        // ingress link (`Σ_{i∈shard} d_i · c / B^h` — each PS instance brings its own
-        // NIC, so sharding divides the quantity Eq. 10 budgets), and the shard's
-        // top-model step at the calibrated throughput. In the barrier schedule the
-        // slowest shard's segment serialises with worker compute every iteration;
-        // pipelined, early arrivals drain and the optimizer tail runs while workers are
-        // already on the next iteration.
+        // Per shard: the drain of one iteration's uploads through that shard's ingress
+        // link (each PS instance brings its own NIC, so sharding divides the quantity
+        // Eq. 10 budgets — routed members' batches under replication, an even stripe of
+        // the merged batch under output partitioning), and the shard's top-model step at
+        // the calibrated throughput. Replicated shards step on their routed sub-batch;
+        // output-partitioned shards each carry a `1/S` column slice of the full merged
+        // step — the ideal whole-head tensor-parallel division (every top layer
+        // column-partitioned), which the functional simulation realises only at the
+        // final layer; see the `PartitionedShard` docs and the ROADMAP item on making
+        // the trunk division real — plus the per-iteration activation-exchange
+        // collective over the server interconnect that replaces the replicated
+        // topology's periodic state sync. In the barrier schedule the slowest
+        // shard's segment serialises with worker compute every iteration; pipelined,
+        // early arrivals drain and the optimizer tail runs while workers are already on
+        // the next iteration.
         let profile = self.cluster.profile();
         let budget = self.cluster.ps_ingress_budget().max(1.0);
         let top_gflop = profile.top_gflop_per_sample();
@@ -534,10 +595,18 @@ impl SflEngine {
         let mut shard_critical = Vec::with_capacity(plan.num_shards);
         let mut shard_overlap = Vec::with_capacity(plan.num_shards);
         let mut breakdown = Vec::with_capacity(plan.num_shards);
+        let partitioned = plan.topology == ShardTopology::OutputPartitioned;
+        let full_step = self
+            .cost_model
+            .server_step_seconds(top_gflop, plan.total_batch());
         for shard in 0..plan.num_shards {
             let batch = plan.shard_batch(shard);
             let ingress = batch as f64 * profile.feature_bytes_per_sample / budget;
-            let step = self.cost_model.server_step_seconds(top_gflop, batch);
+            let step = if partitioned {
+                full_step / plan.num_shards as f64
+            } else {
+                self.cost_model.server_step_seconds(top_gflop, batch)
+            };
             let critical = self.cost_model.critical_fraction * step;
             let overlap = (1.0 - self.cost_model.critical_fraction) * step;
             shard_ingress.push(ingress);
@@ -552,6 +621,11 @@ impl SflEngine {
                 server_overlap_seconds: overlap,
             });
         }
+        let exchange = if partitioned {
+            profile.partitioned_exchange_seconds(plan.num_shards, plan.total_batch())
+        } else {
+            0.0
+        };
         let timing = RoundTiming::with_sharded_stages(
             durations,
             sync_overhead,
@@ -560,7 +634,8 @@ impl SflEngine {
             shard_critical,
             shard_overlap,
             cross_sync,
-        );
+        )
+        .with_activation_exchange(exchange);
         (timing, breakdown)
     }
 
@@ -693,19 +768,24 @@ fn record_feature_traffic(traffic: &mut TrafficMeter, uploads: &[FeatureUpload],
     }
 }
 
-/// The uploads of one iteration routed to one shard, in plan order. `uploads` is aligned
-/// with the plan's cohort, so position `p` routes to `plan.shard_of[p]`.
+/// The uploads of one iteration a server route group processes, in plan order.
+/// Replicated topology: `uploads` is aligned with the plan's cohort, so position `p`
+/// routes to `plan.shard_of[p]`. Output-partitioned topology: the single route group
+/// carries the full cohort — every classifier slice participates in every merged batch.
 fn routed_uploads<'a>(
     uploads: &'a [FeatureUpload],
     plan: &RoundPlan,
-    shard: usize,
+    group: usize,
 ) -> Vec<&'a FeatureUpload> {
-    uploads
-        .iter()
-        .zip(&plan.shard_of)
-        .filter(|&(_, &s)| s == shard)
-        .map(|(u, _)| u)
-        .collect()
+    match plan.topology {
+        ShardTopology::Replicated => uploads
+            .iter()
+            .zip(&plan.shard_of)
+            .filter(|&(_, &s)| s == group)
+            .map(|(u, _)| u)
+            .collect(),
+        ShardTopology::OutputPartitioned => uploads.iter().collect(),
+    }
 }
 
 /// Combines per-shard iteration losses (each a mean over the shard's merged samples)
@@ -723,10 +803,11 @@ fn combine_shard_losses(per_shard: &[(f32, usize)]) -> f32 {
     }
 }
 
-/// The server side of one iteration: every shard processes its routed share of the
-/// uploads (one merged top-model update per shard, or per-worker sequential updates
-/// without merging) and dispatches split-layer gradients, which are reordered into plan
-/// order. Returns the iteration's sample-weighted loss and the aligned gradients.
+/// The server side of one iteration: every route group processes its share of the
+/// uploads (one merged top-model update per replicated shard — or one exact partitioned
+/// step over the full cohort — or per-worker sequential updates without merging) and
+/// dispatches split-layer gradients, which are reordered into plan order. Returns the
+/// iteration's sample-weighted loss and the aligned gradients.
 fn server_iteration(
     server: &mut ShardedServer,
     uploads: &[FeatureUpload],
@@ -734,8 +815,8 @@ fn server_iteration(
     merging: bool,
 ) -> (f32, Vec<Option<Tensor>>) {
     let mut gradients: Vec<(usize, Tensor)> = Vec::with_capacity(uploads.len());
-    let mut shard_losses: Vec<(f32, usize)> = Vec::with_capacity(plan.num_shards);
-    for shard in 0..plan.num_shards {
+    let mut shard_losses: Vec<(f32, usize)> = Vec::with_capacity(plan.route_groups());
+    for shard in 0..plan.route_groups() {
         let routed = routed_uploads(uploads, plan, shard);
         if routed.is_empty() {
             continue; // A shard emptied by plan sanitising has nothing this round.
@@ -833,9 +914,9 @@ fn run_iterations_pipelined(
                 // plan-ordered batch the moment the last shard's backward finishes; the
                 // optimizer tails then overlap the workers' backward + next forward.
                 let mut gradients: Vec<(usize, Tensor)> = Vec::with_capacity(uploads.len());
-                let mut shard_losses: Vec<(f32, usize)> = Vec::with_capacity(plan.num_shards);
-                let mut active_shards = Vec::with_capacity(plan.num_shards);
-                for shard in 0..plan.num_shards {
+                let mut shard_losses: Vec<(f32, usize)> = Vec::with_capacity(plan.route_groups());
+                let mut active_shards = Vec::with_capacity(plan.route_groups());
+                for shard in 0..plan.route_groups() {
                     let routed = routed_uploads(&uploads, plan, shard);
                     if routed.is_empty() {
                         continue;

@@ -16,6 +16,7 @@
 //! so trajectories are bit-identical to the pre-sharding engine.
 
 use crate::sfl::merge::{dispatch_gradients, merge_feature_refs, FeatureUpload, MergedBatch};
+use mergesfl_nn::kernels::{self, Epilogue};
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy, Tensor};
 
@@ -164,13 +165,372 @@ impl TopModelShard for TopShard {
 }
 
 /// How the top model is laid out across the parameter-server shards.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ShardTopology {
     /// Every shard holds a full top-model replica trained on its routed uploads; replicas
     /// are averaged at the periodic cross-shard sync.
+    #[default]
     Replicated,
-    // The seam stays open for `OutputPartitioned`: each shard would own a slice of the
-    // classifier and exchange partial activations instead of synchronising full states.
+    /// Each shard owns a contiguous slice of the classifier's output dimension, runs on
+    /// the full merged batch every iteration, and exchanges partial activations (logit
+    /// all-gather before softmax/loss, gradient-slice scatter back) instead of whole-model
+    /// state. The global trajectory is exact: no replica averaging, no sync staleness.
+    OutputPartitioned,
+}
+
+impl ShardTopology {
+    /// Short name used in run records and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Replicated => "replicated",
+            Self::OutputPartitioned => "partitioned",
+        }
+    }
+
+    /// Parses a topology name (`replicated`, `partitioned`, `output-partitioned`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_lowercase().as_str() {
+            "replicated" => Some(Self::Replicated),
+            "partitioned" | "output-partitioned" | "output_partitioned" => {
+                Some(Self::OutputPartitioned)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One parameter-server instance's share of the output-partitioned classifier: the
+/// contiguous class range `[lo, hi)` with the matching rows of the `[classes, in]` weight
+/// matrix and entries of the bias (rows of the row-major weight are classes, so a class
+/// slice is a contiguous block of the flat parameter vector). The slice carries its own
+/// gradient buffers — in a real deployment these never leave the shard's machine.
+struct ClassifierSlice {
+    lo: usize,
+    hi: usize,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+}
+
+impl ClassifierSlice {
+    fn width(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// The output-partitioned parameter-server ensemble behind the [`TopModelShard`] seam.
+///
+/// Each of the `S` shards owns a contiguous slice of the classifier's output dimension;
+/// the layers below the classifier (the *trunk*) stay bit-identical on every shard, so
+/// the simulation materialises them once. (The *timing* model charges the ideal
+/// output-parallel division of the whole top-model head — every layer column-partitioned
+/// Megatron-style, `1/S` of the step per shard — which is also mathematically exact;
+/// the functional simulation slices only the final layer because that is already
+/// sufficient for bit-exactness, the hidden layers' column partition being
+/// arithmetically transparent. Making the parameter-level trunk division real is a
+/// recorded ROADMAP item.) One iteration runs exactly the tensor-parallel schedule:
+///
+/// 1. every shard runs the trunk forward on the full merged feature batch;
+/// 2. every shard computes its **partial logits** `h · W_s^T + b_s` for its class slice;
+/// 3. the partial logits are **all-gathered** into the full logit matrix, softmax/loss
+///    runs on the gathered logits;
+/// 4. the logit gradient is **scattered** back: each shard takes its class columns and
+///    computes its own weight/bias gradient slices locally;
+/// 5. the per-shard partial trunk gradients are **all-reduced** (evaluated here in
+///    canonical class order — one GEMM against the gathered weight — so the sum carries
+///    the exact bits of the unsharded backward rather than a reassociated float sum);
+/// 6. the gradient-clipping norm (a scalar all-reduce across shards in a real system) is
+///    folded in canonical full-model parameter order, and every shard applies the same
+///    plain-SGD update to its slice while the trunk takes the identical full update.
+///
+/// Because every combining step evaluates the mathematically identical sum in the
+/// unsharded operation order, the ensemble's trajectory is **bit-identical** to a single
+/// [`TopShard`] — the property the topology-parity tests pin. The per-shard slice GEMMs
+/// themselves are bitwise exact by the kernel contract (every backend computes each
+/// output element as the same k-ordered fold, so a column block of the full GEMM equals
+/// the narrow GEMM over the owned rows).
+pub struct PartitionedShard {
+    trunk: Sequential,
+    in_features: usize,
+    classes: usize,
+    slices: Vec<ClassifierSlice>,
+    lr: f32,
+    loss: SoftmaxCrossEntropy,
+}
+
+impl PartitionedShard {
+    /// Partitions a full top model across `num_shards` output slices. The model must end
+    /// in a `Linear` classifier; the slice count is capped at the class count (a shard
+    /// cannot own less than one output column). Slices are contiguous and balanced: the
+    /// first `classes % shards` slices own one extra class.
+    pub fn new(top: Sequential, num_shards: usize) -> Self {
+        assert!(
+            !top.is_empty(),
+            "PartitionedShard: top model must have layers"
+        );
+        assert!(
+            top.layer_names().last() == Some(&"Linear"),
+            "PartitionedShard: top model must end in a Linear classifier"
+        );
+        let classifier_index = top.num_layers() - 1;
+        let (trunk, classifier) = top.split_at(classifier_index);
+        let params = classifier.params();
+        let weight_shape = params[0].value.shape().to_vec();
+        let (classes, in_features) = (weight_shape[0], weight_shape[1]);
+        let weight = params[0].value.data();
+        let bias = params[1].value.data();
+
+        let shards = num_shards.max(1).min(classes);
+        let base = classes / shards;
+        let extra = classes % shards;
+        let mut slices = Vec::with_capacity(shards);
+        let mut lo = 0usize;
+        for s in 0..shards {
+            let width = base + usize::from(s < extra);
+            let hi = lo + width;
+            slices.push(ClassifierSlice {
+                lo,
+                hi,
+                weight: weight[lo * in_features..hi * in_features].to_vec(),
+                bias: bias[lo..hi].to_vec(),
+                grad_w: vec![0.0; width * in_features],
+                grad_b: vec![0.0; width],
+            });
+            lo = hi;
+        }
+        Self {
+            trunk,
+            in_features,
+            classes,
+            slices,
+            // Matches TopShard's optimizer default; the engine overrides it every round.
+            lr: 0.05,
+            loss: SoftmaxCrossEntropy::new(),
+        }
+    }
+
+    /// Number of classifier slices (parameter-server instances) in the ensemble.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The contiguous class range owned by one slice.
+    pub fn slice_range(&self, slice: usize) -> std::ops::Range<usize> {
+        self.slices[slice].lo..self.slices[slice].hi
+    }
+
+    /// The all-gather of the partial logits: every slice's `h · W_s^T + b_s` block
+    /// written into its class columns of the full `[batch, classes]` logit matrix.
+    fn gathered_logits(&self, h: &Tensor) -> Tensor {
+        let batch = h.shape()[0];
+        let backend = kernels::default_backend();
+        let mut full = vec![0.0f32; batch * self.classes];
+        for s in &self.slices {
+            let width = s.width();
+            let mut partial = vec![0.0f32; batch * width];
+            kernels::gemm_nt(
+                backend,
+                batch,
+                width,
+                self.in_features,
+                h.data(),
+                &s.weight,
+                &mut partial,
+                Epilogue::BiasRow(&s.bias),
+            );
+            for (row, chunk) in partial.chunks(width).enumerate() {
+                full[row * self.classes + s.lo..row * self.classes + s.hi].copy_from_slice(chunk);
+            }
+        }
+        Tensor::from_vec(full, &[batch, self.classes])
+    }
+
+    /// The gathered `[classes, in]` classifier weight (slices are contiguous row blocks,
+    /// so gathering is concatenation in class order). Re-gathered per step by design:
+    /// the copy is `classes·in` floats against the step's `batch·classes·in` GEMM work,
+    /// and a persistent mirror would add a second state invariant to keep in sync
+    /// through every slice update and `load_state`.
+    fn gathered_weight(&self) -> Vec<f32> {
+        let mut w = Vec::with_capacity(self.classes * self.in_features);
+        for s in &self.slices {
+            w.extend_from_slice(&s.weight);
+        }
+        w
+    }
+}
+
+/// Copies the class columns `[lo, hi)` out of a row-major `[batch, classes]` matrix.
+fn scatter_columns(grad: &Tensor, lo: usize, hi: usize) -> Vec<f32> {
+    let cols = grad.shape()[1];
+    let mut out = Vec::with_capacity(grad.shape()[0] * (hi - lo));
+    for row in grad.data().chunks(cols) {
+        out.extend_from_slice(&row[lo..hi]);
+    }
+    out
+}
+
+impl TopModelShard for PartitionedShard {
+    fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "PartitionedShard: learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn begin_step(&mut self, merged: &MergedBatch) -> TopStep {
+        self.trunk.zero_grad();
+        let h = self.trunk.forward(&merged.features, true);
+        let batch = h.shape()[0];
+        let backend = kernels::default_backend();
+
+        // Partial logits per slice, all-gathered before softmax/loss.
+        let logits = self.gathered_logits(&h);
+        let out = self.loss.forward(&logits, &merged.labels);
+
+        // Scatter: each shard takes its class columns of the logit gradient and computes
+        // its weight/bias gradient slices locally (the same GEMM/fold the unsharded
+        // Linear backward runs restricted to the owned rows).
+        for s in &mut self.slices {
+            let width = s.width();
+            let grad_block = scatter_columns(&out.grad, s.lo, s.hi);
+            s.grad_w.fill(0.0);
+            kernels::gemm_tn(
+                backend,
+                width,
+                self.in_features,
+                batch,
+                &grad_block,
+                h.data(),
+                &mut s.grad_w,
+                Epilogue::None,
+            );
+            s.grad_b.fill(0.0);
+            for row in grad_block.chunks(width) {
+                for (acc, g) in s.grad_b.iter_mut().zip(row) {
+                    *acc += *g;
+                }
+            }
+        }
+
+        // All-reduce of the partial trunk gradients, evaluated in canonical class order:
+        // one GEMM against the gathered weight carries the exact bits of the unsharded
+        // `grad_logits · W`, where a chunk-then-add float sum would not.
+        let gathered_w = self.gathered_weight();
+        let mut grad_h = vec![0.0f32; batch * self.in_features];
+        kernels::gemm_nn(
+            backend,
+            batch,
+            self.in_features,
+            self.classes,
+            out.grad.data(),
+            &gathered_w,
+            &mut grad_h,
+            Epilogue::None,
+        );
+        let grad_features = self
+            .trunk
+            .backward(&Tensor::from_vec(grad_h, &[batch, self.in_features]));
+        let gradients = dispatch_gradients(merged, &grad_features);
+        TopStep {
+            loss: out.loss,
+            accuracy: out.accuracy,
+            gradients,
+        }
+    }
+
+    fn finish_step(&mut self) {
+        // Gradient clipping by global norm (a scalar all-reduce across shards in a real
+        // deployment), folded in canonical full-model parameter order — trunk parameters
+        // first, then the gathered classifier weight and bias — exactly as `Sgd::step`
+        // folds the unsharded model.
+        let mut sq_norm: f32 = 0.0;
+        for p in self.trunk.params() {
+            sq_norm += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+        }
+        let mut weight_sq: f32 = 0.0;
+        for s in &self.slices {
+            for &g in &s.grad_w {
+                weight_sq += g * g;
+            }
+        }
+        sq_norm += weight_sq;
+        let mut bias_sq: f32 = 0.0;
+        for s in &self.slices {
+            for &g in &s.grad_b {
+                bias_sq += g * g;
+            }
+        }
+        sq_norm += bias_sq;
+        let norm = sq_norm.sqrt();
+        let clip_scale = if norm.is_finite() && norm > GRAD_CLIP_NORM {
+            GRAD_CLIP_NORM / norm
+        } else {
+            1.0
+        };
+
+        // Plain-SGD updates with the shared clip scale: the trunk takes the identical
+        // full update on every shard (materialised once); each shard updates its own
+        // slice. Element-for-element this is `Sgd::step` without momentum/weight decay.
+        for p in self.trunk.params_mut() {
+            let value = p.value.data_mut();
+            let grad = p.grad.data();
+            for i in 0..value.len() {
+                let g = grad[i] * clip_scale;
+                value[i] -= self.lr * g;
+            }
+        }
+        for s in &mut self.slices {
+            for i in 0..s.weight.len() {
+                let g = s.grad_w[i] * clip_scale;
+                s.weight[i] -= self.lr * g;
+            }
+            for i in 0..s.bias.len() {
+                let g = s.grad_b[i] * clip_scale;
+                s.bias[i] -= self.lr * g;
+            }
+        }
+        self.trunk.zero_grad();
+    }
+
+    fn state(&self) -> Vec<f32> {
+        // Canonical full-top-model layout: trunk parameters, then the classifier weight
+        // (slices are contiguous row blocks) and bias — interchangeable with TopShard.
+        let mut out = self.trunk.state();
+        for s in &self.slices {
+            out.extend_from_slice(&s.weight);
+        }
+        for s in &self.slices {
+            out.extend_from_slice(&s.bias);
+        }
+        out
+    }
+
+    fn load_state(&mut self, state: &[f32]) {
+        let trunk_len = self.trunk.num_params();
+        let expected = trunk_len + self.classes * self.in_features + self.classes;
+        assert_eq!(
+            state.len(),
+            expected,
+            "PartitionedShard::load_state: expected {expected} values, got {}",
+            state.len()
+        );
+        self.trunk.load_state(&state[..trunk_len]);
+        let mut offset = trunk_len;
+        for s in &mut self.slices {
+            let n = s.weight.len();
+            s.weight.copy_from_slice(&state[offset..offset + n]);
+            offset += n;
+        }
+        for s in &mut self.slices {
+            let n = s.bias.len();
+            s.bias.copy_from_slice(&state[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    fn eval_forward(&mut self, features: &Tensor) -> Tensor {
+        let h = self.trunk.forward(features, false);
+        self.gathered_logits(&h)
+    }
 }
 
 /// The sharded parameter-server subsystem: the shard instances, the cross-shard sync
@@ -178,6 +538,10 @@ pub enum ShardTopology {
 pub struct ShardedServer {
     shards: Vec<Box<dyn TopModelShard>>,
     topology: ShardTopology,
+    /// Parameter-server instances the topology spreads the top model across. Replicated:
+    /// one replica per routed group (`shards.len()`). Output-partitioned: the slice count
+    /// of the one coordinated ensemble (`shards.len() == 1` routed group).
+    instances: usize,
     sync_every: usize,
     /// Samples each shard processed since the last cross-shard sync (the sync weights).
     samples_since_sync: Vec<f64>,
@@ -206,9 +570,11 @@ impl ShardedServer {
             .map(|top| Box::new(TopShard::new(top)) as Box<dyn TopModelShard>)
             .collect();
         let samples_since_sync = vec![0.0; shards.len()];
+        let instances = shards.len();
         Self {
             shards,
             topology: ShardTopology::Replicated,
+            instances,
             sync_every,
             samples_since_sync,
             global_bottom,
@@ -217,8 +583,41 @@ impl ShardedServer {
         }
     }
 
-    /// Number of parameter-server shards.
+    /// Creates an output-partitioned sharded server: one top model whose classifier is
+    /// sliced across `num_shards` parameter-server instances (capped at the class count).
+    /// The ensemble is routed as a single group — every instance sees the full cohort's
+    /// merged batch and the shards exchange partial activations within the step — so
+    /// there is no replica state to synchronise and `sync_every` does not apply.
+    pub fn partitioned(
+        top: Sequential,
+        eval_top: Sequential,
+        global_bottom: Vec<f32>,
+        num_shards: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "ShardedServer: need at least one shard");
+        let ensemble = PartitionedShard::new(top, num_shards);
+        let instances = ensemble.num_slices();
+        Self {
+            shards: vec![Box::new(ensemble)],
+            topology: ShardTopology::OutputPartitioned,
+            instances,
+            sync_every: 1,
+            samples_since_sync: vec![0.0],
+            global_bottom,
+            eval_top,
+            eval_loss: SoftmaxCrossEntropy::new(),
+        }
+    }
+
+    /// Number of parameter-server instances the top model is spread across.
     pub fn num_shards(&self) -> usize {
+        self.instances
+    }
+
+    /// Number of independently routed server groups: one per replica under the
+    /// replicated topology; exactly one under output partitioning, where every instance
+    /// participates in every routed batch.
+    pub fn num_route_groups(&self) -> usize {
         self.shards.len()
     }
 
@@ -551,6 +950,145 @@ mod tests {
         let (loss, acc) = server.evaluate(&mut replica, &inputs, &labels);
         assert!(loss > 0.0);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn partitioned_shard_matches_the_full_top_shard_bit_for_bit() {
+        // The keystone of the output-partitioned topology: partial-logit forward,
+        // scattered gradient slices, the canonical-order trunk all-reduce and the global
+        // clip fold must reproduce the unsharded TopShard's arithmetic exactly — losses,
+        // dispatched gradients and parameters, bit for bit, step after step (including
+        // the early steps where gradient clipping is active).
+        for shards in [1usize, 2, 3, 4] {
+            let mut reference = TopShard::new(toy_top());
+            let mut partitioned = PartitionedShard::new(toy_top(), shards);
+            reference.set_lr(0.1);
+            partitioned.set_lr(0.1);
+            assert_eq!(reference.state(), partitioned.state(), "initial state");
+            for step in 0..4 {
+                let uploads = vec![
+                    upload(0, 3, step % 4),
+                    upload(1, 5, (step + 1) % 4),
+                    upload(2, 2, (step + 2) % 4),
+                ];
+                let a = reference.process_merged(&refs(&uploads));
+                let b = partitioned.process_merged(&refs(&uploads));
+                assert_eq!(a.loss, b.loss, "{shards} shards, step {step}: loss");
+                assert_eq!(a.accuracy, b.accuracy, "{shards} shards, step {step}");
+                assert_eq!(a.gradients.len(), b.gradients.len());
+                for ((wa, ga), (wb, gb)) in a.gradients.iter().zip(&b.gradients) {
+                    assert_eq!(wa, wb);
+                    assert_eq!(
+                        ga.data(),
+                        gb.data(),
+                        "{shards} shards, step {step}: dispatched gradient"
+                    );
+                }
+                assert_eq!(
+                    reference.state(),
+                    partitioned.state(),
+                    "{shards} shards, step {step}: parameters diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_shard_sequential_processing_matches_the_reference() {
+        // The no-merging (typical SFL) path steps once per routed worker; the partitioned
+        // ensemble must track the reference through the provided sequential sweep too.
+        let mut reference = TopShard::new(toy_top());
+        let mut partitioned = PartitionedShard::new(toy_top(), 3);
+        let uploads = vec![upload(4, 2, 0), upload(9, 6, 1), upload(2, 3, 3)];
+        let a = reference.process_sequential(&refs(&uploads));
+        let b = partitioned.process_sequential(&refs(&uploads));
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(reference.state(), partitioned.state());
+        assert_eq!(a.gradients[1].0, 9);
+        assert_eq!(a.gradients[1].1.data(), b.gradients[1].1.data());
+    }
+
+    #[test]
+    fn partitioned_eval_forward_matches_the_full_model() {
+        let mut reference = TopShard::new(toy_top());
+        let mut partitioned = PartitionedShard::new(toy_top(), 4);
+        let uploads = [upload(0, 4, 1), upload(1, 4, 2)];
+        let _ = reference.process_merged(&refs(&uploads));
+        let _ = partitioned.process_merged(&refs(&uploads));
+        let features = Tensor::full(&[5, 8], 0.17);
+        assert_eq!(
+            reference.eval_forward(&features).data(),
+            partitioned.eval_forward(&features).data()
+        );
+    }
+
+    #[test]
+    fn partitioned_slices_are_contiguous_balanced_and_capped_at_class_count() {
+        // toy_top has 4 output classes: 3 shards slice as 2/1/1, and requesting more
+        // shards than classes caps the ensemble (a shard cannot own zero columns).
+        let three = PartitionedShard::new(toy_top(), 3);
+        assert_eq!(three.num_slices(), 3);
+        assert_eq!(three.slice_range(0), 0..2);
+        assert_eq!(three.slice_range(1), 2..3);
+        assert_eq!(three.slice_range(2), 3..4);
+        let capped = PartitionedShard::new(toy_top(), 16);
+        assert_eq!(capped.num_slices(), 4);
+        let mut covered = 0;
+        for s in 0..capped.num_slices() {
+            let range = capped.slice_range(s);
+            assert_eq!(range.start, covered, "slices must be contiguous");
+            assert!(!range.is_empty());
+            covered = range.end;
+        }
+        assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn partitioned_state_roundtrips_through_the_slice_layout() {
+        let reference = TopShard::new(toy_top());
+        let mut partitioned = PartitionedShard::new(toy_top(), 3);
+        let state = reference.state();
+        partitioned.load_state(&state);
+        assert_eq!(partitioned.state(), state);
+    }
+
+    #[test]
+    fn partitioned_server_is_a_single_route_group_with_no_sync() {
+        let mut server = ShardedServer::partitioned(toy_top(), toy_top(), vec![0.0; 10], 4);
+        assert_eq!(server.topology(), ShardTopology::OutputPartitioned);
+        assert_eq!(server.num_shards(), 4);
+        assert_eq!(server.num_route_groups(), 1);
+        let uploads = vec![upload(0, 3, 0), upload(1, 5, 1)];
+        let a = server.process_merged(0, &refs(&uploads));
+
+        // The ensemble's step equals the unsharded single-server step exactly, and the
+        // round boundary never syncs (there is no replica state to reconverge).
+        let mut reference = ShardedServer::new(vec![toy_top()], toy_top(), vec![0.0; 10], 1);
+        let b = reference.process_merged(0, &refs(&uploads));
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(server.top_state(), reference.top_state());
+        let before = server.top_state();
+        assert!(!server.end_round(0));
+        assert!(!server.end_round(1));
+        assert_eq!(server.top_state(), before);
+    }
+
+    #[test]
+    fn partitioned_server_evaluation_matches_the_single_server() {
+        let mut rng = seeded(5);
+        let mut bottom = Sequential::new().push(Box::new(Linear::new(&mut rng, 6, 8)));
+        let global = bottom.state();
+        let mut partitioned = ShardedServer::partitioned(toy_top(), toy_top(), global.clone(), 4);
+        let mut reference = ShardedServer::new(vec![toy_top()], toy_top(), global, 1);
+        let uploads = [upload(0, 4, 0), upload(1, 4, 2)];
+        let _ = partitioned.process_merged(0, &refs(&uploads));
+        let _ = reference.process_merged(0, &refs(&uploads));
+        let inputs = Tensor::full(&[3, 6], 0.1);
+        let labels = vec![0, 1, 2];
+        let (loss_a, acc_a) = partitioned.evaluate(&mut bottom, &inputs, &labels);
+        let (loss_b, acc_b) = reference.evaluate(&mut bottom, &inputs, &labels);
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(acc_a, acc_b);
     }
 
     #[test]

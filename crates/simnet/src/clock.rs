@@ -41,8 +41,16 @@ pub enum StageModel {
         /// Per-shard overlappable server time per iteration (optimizer step), seconds.
         shard_overlap: Vec<f64>,
         /// Cross-shard top-model sync charged once at the end of the round, seconds
-        /// (zero for a single shard or a round where no sync is due).
+        /// (zero for a single shard, a round where no sync is due, or the
+        /// output-partitioned topology, which never syncs state).
         cross_sync: f64,
+        /// Per-iteration activation exchange of the output-partitioned topology
+        /// (feature all-gather + split-gradient all-reduce over the server
+        /// interconnect), seconds. The collective gates gradient dispatch, so it is
+        /// charged `iterations` times on the critical path of **both** schedules —
+        /// this is the term that replaces `cross_sync` when shards exchange partial
+        /// activations instead of whole-model state. Zero under replication.
+        exchange: f64,
     },
     /// A full-model FL round: workers train locally and upload; the server folds each
     /// arriving model state into the aggregate, `per_state_seconds` per worker. Pipelined,
@@ -145,8 +153,23 @@ impl RoundTiming {
             shard_critical,
             shard_overlap,
             cross_sync,
+            exchange: 0.0,
         });
         timing
+    }
+
+    /// Sets the per-iteration activation-exchange cost of the output-partitioned
+    /// topology on a split-round stage model. Panics on a non-split stage breakdown.
+    pub fn with_activation_exchange(mut self, exchange_per_iteration: f64) -> Self {
+        assert!(
+            exchange_per_iteration.is_finite() && exchange_per_iteration >= 0.0,
+            "RoundTiming: invalid exchange duration"
+        );
+        match &mut self.stages {
+            Some(StageModel::SplitRound { exchange, .. }) => *exchange = exchange_per_iteration,
+            _ => panic!("with_activation_exchange: requires a split-round stage model"),
+        }
+        self
     }
 
     /// Creates the timing record of a full-model FL round with a streaming-aggregation
@@ -183,17 +206,20 @@ impl RoundTiming {
                 shard_critical,
                 shard_overlap,
                 cross_sync,
+                exchange,
             }) => {
                 // Shards serve their routed uploads concurrently on separate machines
                 // and links, so each iteration's server segment is gated by the slowest
-                // shard; the cross-shard sync serialises at the round boundary.
+                // shard plus the iteration's activation-exchange collective (if the
+                // topology exchanges partials); the cross-shard sync serialises at the
+                // round boundary.
                 let slowest_shard = shard_ingress
                     .iter()
                     .zip(shard_critical)
                     .zip(shard_overlap)
                     .map(|((i, c), o)| (i + c) + o)
                     .fold(0.0, f64::max);
-                base + *iterations as f64 * slowest_shard + cross_sync
+                base + *iterations as f64 * (slowest_shard + exchange) + cross_sync
             }
             Some(StageModel::AggregateRound { per_state_seconds }) => {
                 base + self.worker_durations.len() as f64 * per_state_seconds
@@ -214,6 +240,7 @@ impl RoundTiming {
                 shard_critical,
                 shard_overlap,
                 cross_sync,
+                exchange,
             }) => {
                 let tau = *iterations as f64;
                 // Slowest worker's per-iteration duration: the worker stage of one slot.
@@ -225,14 +252,17 @@ impl RoundTiming {
                 // shard's NIC draining early uploads, and its overlappable tail. The
                 // last overlap part drains the pipe. Shards pipeline independently and
                 // concurrently, so the round is gated by the slowest shard's strand;
-                // the cross-shard sync serialises at the round boundary.
+                // the cross-shard sync serialises at the round boundary. The
+                // activation-exchange collective of the partitioned topology gates
+                // every iteration's dispatch (it synchronises all shards), so it rides
+                // the critical segment and cannot be hidden by the pipeline.
                 let slowest_strand = shard_ingress
                     .iter()
                     .zip(shard_critical)
                     .zip(shard_overlap)
                     .map(|((&ingress, &server_critical), &server_overlap)| {
                         a + ingress
-                            + tau * server_critical
+                            + tau * (server_critical + exchange)
                             + (tau - 1.0) * a.max(ingress).max(server_overlap)
                             + server_overlap
                     })
@@ -483,6 +513,66 @@ mod tests {
             sharded.average_waiting_time(),
             single.average_waiting_time()
         );
+    }
+
+    #[test]
+    fn activation_exchange_charges_every_iteration_in_both_schedules() {
+        // τ=4, two shards; 0.05 s exchange per iteration. The collective gates dispatch,
+        // so both schedules pay exactly τ·exchange more than the exchange-free round.
+        let base = RoundTiming::with_sharded_stages(
+            vec![2.0, 4.0],
+            0.2,
+            4,
+            vec![0.5, 0.3],
+            vec![0.2, 0.1],
+            vec![0.06, 0.04],
+            0.0,
+        );
+        let exchanged = RoundTiming::with_sharded_stages(
+            vec![2.0, 4.0],
+            0.2,
+            4,
+            vec![0.5, 0.3],
+            vec![0.2, 0.1],
+            vec![0.06, 0.04],
+            0.0,
+        )
+        .with_activation_exchange(0.05);
+        let barrier_delta = exchanged.barrier_completion_time() - base.barrier_completion_time();
+        let pipelined_delta =
+            exchanged.pipelined_completion_time() - base.pipelined_completion_time();
+        assert!((barrier_delta - 0.2).abs() < 1e-12);
+        assert!((pipelined_delta - 0.2).abs() < 1e-12);
+        // Pipelining still never loses with the exchange on the critical segment.
+        assert!(exchanged.pipelined_completion_time() <= exchanged.barrier_completion_time());
+    }
+
+    #[test]
+    fn partitioned_shards_beat_the_single_server_despite_the_exchange() {
+        // The acceptance shape of the output-partitioned topology: the same total server
+        // load split across 4 slices (each ingress link carrying a quarter stripe, each
+        // instance computing a quarter step) beats the single PS in both schedules as
+        // long as the per-iteration exchange stays below the per-iteration saving.
+        let single = RoundTiming::with_split_stages(vec![3.0, 6.0], 0.4, 6, 1.2, 0.8, 0.4);
+        let partitioned = RoundTiming::with_sharded_stages(
+            vec![3.0, 6.0],
+            0.4,
+            6,
+            vec![0.3; 4],
+            vec![0.2; 4],
+            vec![0.1; 4],
+            0.0,
+        )
+        .with_activation_exchange(0.25);
+        assert!(partitioned.barrier_completion_time() < single.barrier_completion_time());
+        assert!(partitioned.pipelined_completion_time() < single.pipelined_completion_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a split-round stage model")]
+    fn activation_exchange_rejects_non_split_rounds() {
+        let _ =
+            RoundTiming::with_aggregate_stage(vec![1.0], 0.0, 0.1).with_activation_exchange(0.1);
     }
 
     #[test]

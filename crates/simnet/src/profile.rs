@@ -117,6 +117,49 @@ impl ModelProfile {
         2.0 * self.top_model_bytes() * share / interconnect_bytes_per_sec
     }
 
+    /// Total bytes crossing the server interconnect for one cross-shard synchronisation
+    /// of the replicated topology: every one of the `shards` instances exchanges the
+    /// `(S-1)/S` share of the top-model state it does not hold, twice (reduce +
+    /// broadcast) — `2·(S-1)` top-model states in aggregate. One shard moves nothing.
+    pub fn cross_shard_sync_bytes(&self, shards: usize) -> f64 {
+        if shards <= 1 {
+            return 0.0;
+        }
+        2.0 * (shards as f64 - 1.0) * self.top_model_bytes()
+    }
+
+    /// Total bytes crossing the server interconnect for **one iteration** of the
+    /// output-partitioned topology with `shards` instances over `samples` merged
+    /// samples: the all-gather that re-assembles the feature stripes arriving on the
+    /// `S` instance NICs plus the all-reduce of the partial split-layer gradients
+    /// before dispatch — each shard receives the `(S-1)/S` share it does not hold of
+    /// two `c`-bytes-per-sample tensors, `2·(S-1)` feature-sized passes in aggregate
+    /// (the same aggregate convention as [`ModelProfile::cross_shard_sync_bytes`], so
+    /// the two topologies' server-plane traffic meters compare like for like). The
+    /// partial-logit all-gather itself (a few bytes of class scores per sample) is
+    /// negligible against the feature tensors at paper scale and is folded into these
+    /// two terms. One shard exchanges nothing.
+    pub fn partitioned_exchange_bytes(&self, shards: usize, samples: usize) -> f64 {
+        if shards <= 1 {
+            return 0.0;
+        }
+        2.0 * (shards as f64 - 1.0) * samples as f64 * self.feature_bytes_per_sample
+    }
+
+    /// Seconds one iteration's partitioned activation exchange takes over the
+    /// [`SERVER_INTERCONNECT_GBPS`] switch: the shards transfer their `(S-1)/S` shares
+    /// concurrently, so the wall time is the aggregate volume divided across the `S`
+    /// links (mirroring the per-share [`ModelProfile::cross_shard_sync_seconds`]).
+    pub fn partitioned_exchange_seconds(&self, shards: usize, samples: usize) -> f64 {
+        if shards <= 1 {
+            return 0.0;
+        }
+        let interconnect_bytes_per_sec = SERVER_INTERCONNECT_GBPS * 1e9 / 8.0;
+        self.partitioned_exchange_bytes(shards, samples)
+            / shards as f64
+            / interconnect_bytes_per_sec
+    }
+
     /// Seconds the parameter server spends on one top-model step over a merged batch of
     /// `total_batch` samples (forward + backward + update) at the **uncalibrated**
     /// [`SERVER_GFLOPS`] baseline. The SFL engine charges the per-architecture
@@ -200,6 +243,36 @@ mod tests {
         let vgg = ModelProfile::for_architecture(Architecture::Vgg16Lite);
         let cnn = ModelProfile::for_architecture(Architecture::CnnH);
         assert!(vgg.cross_shard_sync_seconds(4) > cnn.cross_shard_sync_seconds(4));
+    }
+
+    #[test]
+    fn partitioned_exchange_is_free_for_one_shard_and_consistent_with_sync_accounting() {
+        for arch in Architecture::all() {
+            let p = ModelProfile::for_architecture(arch);
+            assert_eq!(p.partitioned_exchange_bytes(1, 64), 0.0, "{arch:?}");
+            assert_eq!(p.partitioned_exchange_seconds(1, 64), 0.0, "{arch:?}");
+            let two = p.partitioned_exchange_seconds(2, 64);
+            let four = p.partitioned_exchange_seconds(4, 64);
+            assert!(two > 0.0, "{arch:?}");
+            // More shards exchange a larger per-shard share in wall time...
+            assert!(four > two, "{arch:?}");
+            // ...while the aggregate volume is exactly 2·(S-1) feature-sized passes —
+            // the same convention as the replicated sync bytes, so fig8 can diff the
+            // two topologies' server-plane meters like for like.
+            let pass = 64.0 * p.feature_bytes_per_sample;
+            assert_eq!(p.partitioned_exchange_bytes(4, 64), 6.0 * pass, "{arch:?}");
+            assert_eq!(
+                p.cross_shard_sync_bytes(4),
+                6.0 * p.top_model_bytes(),
+                "{arch:?}"
+            );
+            // Per-shard wall time is the aggregate spread across the S links.
+            let rate = SERVER_INTERCONNECT_GBPS * 1e9 / 8.0;
+            assert!((four - 6.0 * pass / 4.0 / rate).abs() < 1e-12, "{arch:?}");
+            // Linear in the merged batch.
+            let half = p.partitioned_exchange_seconds(4, 32);
+            assert!((four - 2.0 * half).abs() < 1e-12, "{arch:?}");
+        }
     }
 
     #[test]

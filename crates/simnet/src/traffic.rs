@@ -18,16 +18,21 @@ pub enum TrafficCategory {
     Features,
     /// Split-layer gradient download (PS → worker).
     Gradients,
+    /// Server-plane traffic between parameter-server shards: the replicated topology's
+    /// periodic top-model sync, or the output-partitioned topology's per-iteration
+    /// activation exchange (feature all-gather + split-gradient all-reduce).
+    ServerExchange,
 }
 
 impl TrafficCategory {
     /// All categories.
-    pub fn all() -> [TrafficCategory; 4] {
+    pub fn all() -> [TrafficCategory; 5] {
         [
             Self::FullModel,
             Self::BottomModel,
             Self::Features,
             Self::Gradients,
+            Self::ServerExchange,
         ]
     }
 }
@@ -39,6 +44,7 @@ pub struct TrafficMeter {
     bottom_model: f64,
     features: f64,
     gradients: f64,
+    server_exchange: f64,
 }
 
 impl TrafficMeter {
@@ -55,6 +61,7 @@ impl TrafficMeter {
             TrafficCategory::BottomModel => self.bottom_model += bytes,
             TrafficCategory::Features => self.features += bytes,
             TrafficCategory::Gradients => self.gradients += bytes,
+            TrafficCategory::ServerExchange => self.server_exchange += bytes,
         }
     }
 
@@ -65,12 +72,13 @@ impl TrafficMeter {
             TrafficCategory::BottomModel => self.bottom_model,
             TrafficCategory::Features => self.features,
             TrafficCategory::Gradients => self.gradients,
+            TrafficCategory::ServerExchange => self.server_exchange,
         }
     }
 
     /// Total bytes across all categories.
     pub fn total_bytes(&self) -> f64 {
-        self.full_model + self.bottom_model + self.features + self.gradients
+        self.full_model + self.bottom_model + self.features + self.gradients + self.server_exchange
     }
 
     /// Total traffic in megabytes (the unit of the paper's Fig. 8).
@@ -84,6 +92,7 @@ impl TrafficMeter {
         self.bottom_model += other.bottom_model;
         self.features += other.features;
         self.gradients += other.gradients;
+        self.server_exchange += other.server_exchange;
     }
 }
 
@@ -113,12 +122,16 @@ mod tests {
     fn merge_adds_categories() {
         let mut a = TrafficMeter::new();
         a.record(TrafficCategory::Features, 10.0);
+        a.record(TrafficCategory::ServerExchange, 3.0);
         let mut b = TrafficMeter::new();
         b.record(TrafficCategory::Features, 5.0);
         b.record(TrafficCategory::FullModel, 7.0);
+        b.record(TrafficCategory::ServerExchange, 2.0);
         a.merge(&b);
         assert_eq!(a.bytes(TrafficCategory::Features), 15.0);
         assert_eq!(a.bytes(TrafficCategory::FullModel), 7.0);
+        assert_eq!(a.bytes(TrafficCategory::ServerExchange), 5.0);
+        assert_eq!(a.total_bytes(), 27.0);
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn main() {
             max_participants: 10,
             uniform_batch: 16,
             num_servers: 1,
+            topology: Default::default(),
         },
     );
 

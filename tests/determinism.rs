@@ -4,7 +4,7 @@
 //! carries the same contract for the *model trajectory*: only the simulated time series
 //! may differ (it charges the overlap-aware makespan instead of the barrier sum).
 
-use mergesfl::config::RunConfig;
+use mergesfl::config::{RunConfig, ShardTopology};
 use mergesfl::experiment::{run, Approach};
 use mergesfl::metrics::RunResult;
 use mergesfl_data::DatasetKind;
@@ -283,12 +283,14 @@ fn four_shards_report_a_strictly_smaller_pipelined_makespan() {
         let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
         c.num_servers = 1;
         c.sync_every = 1;
+        c.topology = ShardTopology::Replicated;
         run(Approach::MergeSfl, &c)
     };
     let sharded = {
         let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
         c.num_servers = 4;
         c.sync_every = 2;
+        c.topology = ShardTopology::Replicated;
         run(Approach::MergeSfl, &c)
     };
     assert!(
@@ -329,6 +331,133 @@ fn four_shards_report_a_strictly_smaller_pipelined_makespan() {
             .any(|r| r.cross_sync_seconds == 0.0 && r.participants > 0),
         "sync_every=2 should leave sync-free rounds"
     );
+}
+
+/// The model trajectory alone — accuracy, loss and the plan columns, without the time or
+/// traffic series. Output partitioning is *exact*, so this projection must match the
+/// single-server run bit for bit; the simulated time and server-plane traffic legitimately
+/// differ (stripe ingress, divided server step, activation-exchange cost).
+fn model_trajectory(r: &RunResult) -> Vec<(usize, Option<f32>, f32, usize, usize, f32)> {
+    r.records
+        .iter()
+        .map(|x| {
+            (
+                x.round,
+                x.accuracy,
+                x.train_loss,
+                x.participants,
+                x.total_batch,
+                x.cohort_kl,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn output_partitioned_shards_are_bit_identical_to_the_single_server() {
+    // The exactness contract of the output-partitioned topology: S classifier slices
+    // exchanging partial activations compute the *same* global step as one server —
+    // partial-logit all-gather, gradient-slice scatter, canonical-order trunk all-reduce
+    // and the shared clip scale reproduce the unsharded arithmetic bit for bit, across
+    // the full parallel × pipeline matrix and for both merged (MergeSFL) and sequential
+    // (LocFedMix-SL) top updates.
+    for approach in [Approach::MergeSfl, Approach::LocFedMixSl] {
+        let reference = {
+            let mut c = tiny(51);
+            c.num_servers = 1;
+            c.topology = ShardTopology::Replicated;
+            c.parallel = false;
+            c.pipeline = false;
+            model_trajectory(&run(approach, &c))
+        };
+        for shards in [2usize, 4] {
+            for (parallel, pipeline) in [(false, false), (false, true), (true, false), (true, true)]
+            {
+                let mut c = tiny(51);
+                c.num_servers = shards;
+                c.topology = ShardTopology::OutputPartitioned;
+                c.parallel = parallel;
+                c.pipeline = pipeline;
+                let got = run(approach, &c);
+                assert_eq!(
+                    model_trajectory(&got),
+                    reference,
+                    "{approach:?} partitioned shards={shards} parallel={parallel} \
+                     pipeline={pipeline} diverged from the single-server oracle"
+                );
+                // The topology and its per-round exchange are recorded.
+                for r in &got.records {
+                    assert_eq!(r.topology, ShardTopology::OutputPartitioned);
+                    assert!(
+                        r.exchange_bytes > 0.0,
+                        "round {} recorded no activation exchange",
+                        r.round
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn four_partitioned_shards_divide_the_server_critical_term() {
+    // The scaling claim of output partitioning (fig9 timing model): slicing the
+    // classifier across 4 instances divides every round's server-critical term — the
+    // segment that gates gradient dispatch in *both* schedules — and, with the
+    // activation exchange charged, both whole-round makespans still beat the single
+    // server on the fig9 configuration.
+    let single = {
+        let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
+        c.num_servers = 1;
+        c.topology = ShardTopology::Replicated;
+        run(Approach::MergeSfl, &c)
+    };
+    let partitioned = {
+        let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
+        c.num_servers = 4;
+        c.topology = ShardTopology::OutputPartitioned;
+        run(Approach::MergeSfl, &c)
+    };
+    for (s, p) in single.records.iter().zip(&partitioned.records) {
+        assert_eq!(s.round, p.round);
+        let single_critical = s
+            .shards
+            .iter()
+            .map(|x| x.server_critical_seconds)
+            .fold(0.0, f64::max);
+        let partitioned_critical = p
+            .shards
+            .iter()
+            .map(|x| x.server_critical_seconds)
+            .fold(0.0, f64::max);
+        assert_eq!(p.shards.len(), 4, "round {} lost its breakdown", p.round);
+        assert!(
+            partitioned_critical < single_critical,
+            "round {}: partitioned critical {partitioned_critical} not below \
+             single-server {single_critical}",
+            p.round
+        );
+        // Stripe ingress: per-shard batches are an even split summing to the merged batch.
+        let stripe_sum: usize = p.shards.iter().map(|x| x.batch).sum();
+        assert_eq!(stripe_sum, p.total_batch, "round {}", p.round);
+        assert!(
+            p.round_makespan_barrier < s.round_makespan_barrier,
+            "round {}: barrier {} not below single {}",
+            p.round,
+            p.round_makespan_barrier,
+            s.round_makespan_barrier
+        );
+        assert!(
+            p.round_makespan_pipelined < s.round_makespan_pipelined,
+            "round {}: pipelined {} not below single {}",
+            p.round,
+            p.round_makespan_pipelined,
+            s.round_makespan_pipelined
+        );
+        // Partitioning exchanges activations instead of syncing state.
+        assert_eq!(p.cross_sync_seconds, 0.0);
+        assert!(p.exchange_bytes > 0.0);
+    }
 }
 
 #[test]

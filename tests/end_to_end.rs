@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: full training runs of every approach on the quick
 //! configuration, checking the qualitative claims of the paper hold end to end.
 
-use mergesfl::config::RunConfig;
+use mergesfl::config::{RunConfig, ShardTopology};
 use mergesfl::experiment::{run, Approach};
 use mergesfl_data::DatasetKind;
 
@@ -174,6 +174,7 @@ fn sharded_training_still_converges() {
     config.local_iterations = Some(4);
     config.num_servers = 4;
     config.sync_every = 2;
+    config.topology = ShardTopology::Replicated;
     let result = run(Approach::MergeSfl, &config);
     assert_eq!(result.records.len(), 8);
     // HAR analogue has 6 classes; random guessing is ~0.17.
@@ -184,6 +185,128 @@ fn sharded_training_still_converges() {
     );
     for r in &result.records {
         assert!(r.train_loss.is_finite());
+    }
+}
+
+#[test]
+fn output_partitioning_is_exact_while_replication_trails() {
+    // The topology comparison behind fig8's server-scale-out story, at S = 4 on one
+    // seed: output partitioning computes the exact single-server step (its accuracy
+    // series must match bit for bit), while the replicated topology's periodic averaging
+    // (sync_every = 2) perturbs the trajectory — each replica steps on a skewed quarter
+    // of the merged batch between syncs — and trails the exact trajectory's accuracy on
+    // this non-IID configuration.
+    let configure = |servers: usize, topology: ShardTopology, sync_every: usize| {
+        let mut c = tiny(DatasetKind::Har, 10.0, 23);
+        c.rounds = 8;
+        c.local_iterations = Some(4);
+        c.eval_every = 1;
+        c.num_servers = servers;
+        c.topology = topology;
+        c.sync_every = sync_every;
+        c
+    };
+    let single = run(
+        Approach::MergeSfl,
+        &configure(1, ShardTopology::Replicated, 1),
+    );
+    let partitioned = run(
+        Approach::MergeSfl,
+        &configure(4, ShardTopology::OutputPartitioned, 1),
+    );
+    let replicated = run(
+        Approach::MergeSfl,
+        &configure(4, ShardTopology::Replicated, 2),
+    );
+
+    let accuracy =
+        |r: &mergesfl::metrics::RunResult| r.records.iter().map(|x| x.accuracy).collect::<Vec<_>>();
+    let losses = |r: &mergesfl::metrics::RunResult| {
+        r.records.iter().map(|x| x.train_loss).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        accuracy(&partitioned),
+        accuracy(&single),
+        "partitioned accuracy series must equal the single server bit for bit"
+    );
+    assert_eq!(losses(&partitioned), losses(&single));
+    assert_ne!(
+        losses(&replicated),
+        losses(&single),
+        "replica averaging should perturb the trajectory between syncs"
+    );
+    assert!(
+        replicated.best_accuracy() < partitioned.best_accuracy(),
+        "replicated (sync_every=2) accuracy {} should trail the exact partitioned {}",
+        replicated.best_accuracy(),
+        partitioned.best_accuracy()
+    );
+
+    // Both topologies' per-round server-plane traffic is recorded for fig8: the
+    // partitioned run pays a per-iteration activation exchange every round, the
+    // replicated run pays periodic whole-state syncs; both roll into the traffic curve.
+    for r in &partitioned.records {
+        assert_eq!(r.topology, ShardTopology::OutputPartitioned);
+        assert!(
+            r.exchange_bytes > 0.0,
+            "round {} lost its exchange",
+            r.round
+        );
+        assert_eq!(r.cross_sync_seconds, 0.0);
+    }
+    assert!(replicated.records.iter().all(|r| r.exchange_bytes == 0.0));
+    assert!(
+        replicated
+            .records
+            .iter()
+            .any(|r| r.cross_sync_seconds > 0.0),
+        "replicated run never synced"
+    );
+    assert!(
+        partitioned.total_traffic_mb() > single.total_traffic_mb(),
+        "the activation exchange must show up in the traffic curve"
+    );
+    assert!(
+        replicated.total_traffic_mb() > single.total_traffic_mb(),
+        "the periodic state sync must show up in the traffic curve"
+    );
+}
+
+#[test]
+fn shard_aware_budget_rescaling_grows_the_solved_batches() {
+    // The control-plane half of the scale-out: on a fig9-style configuration whose
+    // ingress budget binds at one NIC, budgeting the cohort against the aggregate
+    // S·B^h link capacity yields strictly larger solved batch sizes at S = 4 — visible
+    // in the recorded per-round plans — without ever exceeding the per-worker cap D.
+    let configure = |servers: usize, topology: ShardTopology| {
+        let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 91);
+        c.rounds = 4;
+        // Starve the single link so the budget-rescale step binds below the cohort's
+        // regulated batches (quick HAR: ~2 kB features/sample, regulated cohorts of
+        // 40–70 samples need ~90–145 kB/iteration; 0.5 Mb/s offers at most ~75 kB).
+        c.ps_ingress_mean_mbps = 0.5;
+        c.num_servers = servers;
+        c.topology = topology;
+        c
+    };
+    for topology in [ShardTopology::Replicated, ShardTopology::OutputPartitioned] {
+        let single = run(Approach::MergeSfl, &configure(1, topology));
+        let sharded = run(Approach::MergeSfl, &configure(4, topology));
+        for (s, m) in single.records.iter().zip(&sharded.records) {
+            assert!(
+                m.total_batch > s.total_batch,
+                "{topology:?} round {}: aggregate budget did not grow the solve \
+                 ({} vs {})",
+                s.round,
+                m.total_batch,
+                s.total_batch
+            );
+            assert!(
+                m.total_batch <= m.participants * 16,
+                "{topology:?} round {}: a worker exceeded the quick-config cap D=16",
+                s.round
+            );
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! merge/dispatch round-trips, aggregation weights, label-distribution mixtures and
 //! batch-size regulation.
 
-use mergesfl::control::{regulate_batch_sizes, rescale_to_budget};
+use mergesfl::control::{regulate_batch_sizes, rescale_to_budget, rescale_to_budget_capped};
 use mergesfl::sfl::{dispatch_gradients, merge_features, FeatureUpload};
 use mergesfl_data::{eval_subsample, LabelDistribution};
 use mergesfl_nn::model::weighted_average_states;
@@ -212,6 +212,75 @@ proptest! {
             sharded.worker_durations.clone(), sync, tau, ingress, critical, overlap, 0.0);
         prop_assert!(sharded_no_sync.barrier_completion_time() <= one_ps.barrier_completion_time() + 1e-9);
         prop_assert!(sharded_no_sync.pipelined_completion_time() <= one_ps.pipelined_completion_time() + 1e-9);
+    }
+
+    /// Shard-aware budget rescaling: solving against the aggregate `S · B^h` ingress
+    /// budget never yields a smaller batch than the single-link solve for any worker, is
+    /// monotone in the shard count, and never exceeds the per-worker capacity `D`.
+    #[test]
+    fn shard_aware_rescale_grows_monotonically_and_respects_the_cap(
+        sizes in prop::collection::vec(1usize..32, 1..10),
+        feature_bytes in 16.0f64..4096.0,
+        budget_factor in 0.2f64..3.0,
+        max_batch in 1usize..64,
+    ) {
+        let current: f64 = sizes.iter().map(|&d| d as f64).sum::<f64>() * feature_bytes;
+        let single_link = current * budget_factor;
+        let mut previous: Option<Vec<usize>> = None;
+        for shards in 1usize..=6 {
+            let aggregate = single_link * shards as f64;
+            let solved = rescale_to_budget_capped(&sizes, feature_bytes, aggregate, max_batch);
+            prop_assert_eq!(solved.len(), sizes.len());
+            prop_assert!(solved.iter().all(|&d| d >= 1 && d <= max_batch),
+                "shards {}: {:?} outside [1, {}]", shards, solved, max_batch);
+            if let Some(prev) = &previous {
+                for (s, p) in solved.iter().zip(prev) {
+                    prop_assert!(s >= p,
+                        "more shards shrank a batch: {:?} after {:?}", solved, prev);
+                }
+            }
+            previous = Some(solved);
+        }
+    }
+
+    /// The partitioned-exchange makespan term: the activation collective rides the
+    /// critical segment, so both schedules pay exactly `τ · exchange` over the
+    /// exchange-free round, pipelining still never exceeds the barrier sum, and no
+    /// schedule beats the serial exchange strand itself.
+    #[test]
+    fn partitioned_exchange_makespan_bounds(
+        iter_durations in prop::collection::vec(0.01f64..5.0, 1..8),
+        tau in 1usize..10,
+        raw_ingress in prop::collection::vec(0.0f64..2.0, 1..6),
+        raw_critical in prop::collection::vec(0.0f64..1.5, 1..6),
+        raw_overlap in prop::collection::vec(0.0f64..1.5, 1..6),
+        sync in 0.0f64..2.0,
+        exchange in 0.0f64..1.0,
+    ) {
+        let totals: Vec<f64> = iter_durations.iter().map(|d| d * tau as f64).collect();
+        let shards = raw_ingress.len().min(raw_critical.len()).min(raw_overlap.len());
+        let ingress: Vec<f64> = raw_ingress[..shards].to_vec();
+        let critical: Vec<f64> = raw_critical[..shards].to_vec();
+        let overlap: Vec<f64> = raw_overlap[..shards].to_vec();
+        let base = RoundTiming::with_sharded_stages(
+            totals.clone(), sync, tau, ingress.clone(), critical.clone(), overlap.clone(), 0.0);
+        let exchanged = RoundTiming::with_sharded_stages(
+            totals, sync, tau, ingress.clone(), critical.clone(), overlap, 0.0)
+            .with_activation_exchange(exchange);
+
+        let barrier = exchanged.barrier_completion_time();
+        let pipelined = exchanged.pipelined_completion_time();
+        prop_assert!(pipelined <= barrier + 1e-9, "pipelined {} exceeds barrier {}", pipelined, barrier);
+        // The collective gates dispatch in every iteration of both schedules.
+        let tau_f = tau as f64;
+        prop_assert!((barrier - base.barrier_completion_time() - tau_f * exchange).abs() < 1e-9);
+        prop_assert!((pipelined - base.pipelined_completion_time() - tau_f * exchange).abs() < 1e-9);
+        // No schedule beats the serial exchange strand or any shard's critical strand.
+        prop_assert!(pipelined + 1e-9 >= tau_f * exchange);
+        for s in 0..shards {
+            prop_assert!(pipelined + 1e-9 >= tau_f * (critical[s] + exchange));
+            prop_assert!(barrier + 1e-9 >= tau_f * (ingress[s] + critical[s] + exchange));
+        }
     }
 
     /// The streaming-aggregation makespan of an FL round never exceeds the barrier sum and
