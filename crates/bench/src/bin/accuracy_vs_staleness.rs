@@ -1,0 +1,55 @@
+//! Accuracy-vs-staleness curves for the bounded-staleness execution mode: MergeSFL on
+//! each selected dataset at version windows k ∈ {0, 1, 2, 4}, printing final/best
+//! accuracy, the simulated makespan win of the stale pipelined clock over the
+//! synchronous one, and the aggregated version-lag histogram. CI uploads this output as
+//! the `accuracy_vs_staleness` artifact.
+//!
+//! The explicit `staleness` sweep overrides `MERGESFL_STALENESS`; the usual scale,
+//! dataset, topology and pipeline env knobs apply.
+
+use mergesfl::experiment::{run, Approach};
+use mergesfl_bench::{datasets_from_env, json_output, Scale};
+
+const WINDOWS: [usize; 4] = [0, 1, 2, 4];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Accuracy vs staleness — MergeSFL, non-IID data (p = 10), k ∈ {WINDOWS:?}\n");
+    for dataset in datasets_from_env() {
+        let base = scale.config(dataset, 10.0, 73);
+        println!(
+            "== {} (p = 10) — {} workers, {} rounds, pipeline {} ==",
+            dataset.name(),
+            base.num_workers,
+            base.rounds,
+            if base.pipeline { "on" } else { "off" }
+        );
+        for k in WINDOWS {
+            let mut config = base.clone();
+            config.staleness = k;
+            let result = run(Approach::MergeSfl, &config);
+            let mut histogram = vec![0usize; k + 1];
+            for record in &result.records {
+                for (lag, &count) in record.version_lag.iter().enumerate() {
+                    histogram[lag] += count;
+                }
+            }
+            println!(
+                "  k={k}  final_acc={:.3}  best_acc={:.3}  sim_time={:>10.1}s  lag_hist={histogram:?}",
+                result.final_accuracy(),
+                result.best_accuracy(),
+                result.total_sim_time(),
+            );
+            if json_output() {
+                println!("JSON {}", result.to_json());
+            }
+        }
+        println!();
+    }
+    println!("Expected shape: best accuracy stays flat (within seed noise) across the window —");
+    println!("stale split-layer gradients at quick scale cost little statistical efficiency —");
+    println!("while with MERGESFL_PIPELINE=on the simulated time drops as k grows, until the");
+    println!("window covers the whole round boundary (bottom sync + cross-shard sync) and the");
+    println!("curve saturates. The lag histogram fills buckets 0..=k: each route group climbs");
+    println!("to the bound and then saturates, and cross-shard syncs reset it to zero.");
+}

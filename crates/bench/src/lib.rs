@@ -261,6 +261,8 @@ mod tests {
             cross_sync_seconds: 0.0,
             server_gflops: 2000.0,
             server_critical_fraction: 0.75,
+            staleness: 0,
+            version_lag: Vec::new(),
         });
         assert_eq!(format_curve(&r), "12s:0.500");
     }

@@ -78,6 +78,14 @@ pub struct RunConfig {
     /// exact, no sync staleness). Constructors honour the `MERGESFL_TOPOLOGY`
     /// environment variable (`replicated` / `partitioned`).
     pub topology: ShardTopology,
+    /// Bounded-staleness window `k`: each top-model shard may compute its split-layer
+    /// gradients on parameter state up to `k` optimizer steps older than the state the
+    /// update is applied to, letting round `h+1` planning/broadcast overlap round `h`
+    /// aggregation and cross-shard sync. `0` (the default) is the synchronous loop and
+    /// stays trajectory-bit-identical to the barrier oracle; `k > 0` deliberately breaks
+    /// bit-identity and is validated statistically by the `tests/convergence.rs`
+    /// harness. Constructors honour the `MERGESFL_STALENESS` environment variable.
+    pub staleness: usize,
 }
 
 /// Reads the pipelined-execution default from the `MERGESFL_PIPELINE` environment
@@ -110,6 +118,15 @@ pub fn sync_every_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Reads the bounded-staleness window from the `MERGESFL_STALENESS` environment variable;
+/// unset, empty or unparsable values keep the synchronous default of 0.
+pub fn staleness_from_env() -> usize {
+    std::env::var("MERGESFL_STALENESS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 /// Reads the server topology from the `MERGESFL_TOPOLOGY` environment variable
@@ -149,6 +166,7 @@ impl RunConfig {
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
+            staleness: staleness_from_env(),
         }
     }
 
@@ -178,6 +196,7 @@ impl RunConfig {
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
+            staleness: staleness_from_env(),
         }
     }
 
@@ -206,6 +225,7 @@ impl RunConfig {
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
+            staleness: staleness_from_env(),
         }
     }
 
@@ -303,6 +323,18 @@ mod tests {
             let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
             c.num_servers = servers;
             c.sync_every = sync;
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn any_staleness_window_validates() {
+        // The test environment may pin MERGESFL_STALENESS (the CI matrix does); assert
+        // explicit settings across the harness's sweep validate, including the
+        // synchronous default.
+        for k in [0, 1, 2, 4, 16] {
+            let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+            c.staleness = k;
             c.validate();
         }
     }

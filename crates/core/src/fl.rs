@@ -247,6 +247,8 @@ impl FlEngine {
                 cross_sync_seconds: 0.0,
                 server_gflops: mergesfl_simnet::profile::SERVER_GFLOPS,
                 server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,
+                staleness: 0,
+                version_lag: Vec::new(),
             });
             return;
         }
@@ -379,6 +381,9 @@ impl FlEngine {
             cross_sync_seconds: 0.0,
             server_gflops: mergesfl_simnet::profile::SERVER_GFLOPS,
             server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,
+            // The FL loop has no top-model version ring: always synchronous.
+            staleness: 0,
+            version_lag: Vec::new(),
         });
     }
 

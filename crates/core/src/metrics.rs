@@ -74,6 +74,13 @@ pub struct RoundRecord {
     pub server_gflops: f64,
     /// Calibrated dispatch-critical fraction of a server step the round was charged with.
     pub server_critical_fraction: f64,
+    /// Bounded-staleness window `k` the round trained under (0 for the synchronous loop,
+    /// FL rounds and legacy records).
+    pub staleness: usize,
+    /// Histogram of observed top-model version lags this round (index = lag in optimizer
+    /// steps, length `staleness + 1`); empty for synchronous rounds, FL rounds and
+    /// legacy records.
+    pub version_lag: Vec<usize>,
 }
 
 /// The full trace of one training run.
@@ -227,6 +234,14 @@ impl RunResult {
             json::write_escaped(&mut out, r.topology.name());
             out.push_str(",\"exchange_bytes\":");
             json::write_f64(&mut out, r.exchange_bytes);
+            let _ = write!(out, ",\"staleness\":{},\"version_lag\":[", r.staleness);
+            for (j, count) in r.version_lag.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{count}");
+            }
+            out.push(']');
             out.push_str(",\"shards\":[");
             for (j, s) in r.shards.iter().enumerate() {
                 if j > 0 {
@@ -350,6 +365,30 @@ impl RunResult {
                     "server_critical_fraction",
                     SERVER_CRITICAL_FRACTION,
                 )?,
+                // Records written before the bounded-staleness mode are synchronous:
+                // window 0, no lag histogram.
+                staleness: match r.get("staleness") {
+                    None => 0,
+                    Some(_) => int(r, "staleness")?,
+                },
+                version_lag: match r.get("version_lag") {
+                    None => Vec::new(),
+                    Some(v) => {
+                        let entries = v.as_array().ok_or("non-array 'version_lag'")?;
+                        let mut out = Vec::with_capacity(entries.len());
+                        for e in entries {
+                            let n = e.as_f64().ok_or("non-numeric 'version_lag' entry")?;
+                            if !n.is_finite() || n < 0.0 {
+                                return Err(
+                                    "'version_lag' entry is not a valid non-negative integer"
+                                        .to_string(),
+                                );
+                            }
+                            out.push(n as usize);
+                        }
+                        out
+                    }
+                },
             });
         }
         Ok(result)
@@ -400,6 +439,12 @@ mod tests {
             cross_sync_seconds: if round % 2 == 1 { 0.006 } else { 0.0 },
             server_gflops: 450.25,
             server_critical_fraction: 0.7,
+            staleness: if round % 2 == 1 { 2 } else { 0 },
+            version_lag: if round % 2 == 1 {
+                vec![1, 3, 12]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -522,9 +567,23 @@ mod tests {
             r.server_critical_fraction,
             mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION
         );
+        // Pre-staleness records are synchronous: window 0, no lag histogram.
+        assert_eq!(r.staleness, 0);
+        assert!(r.version_lag.is_empty());
         // And a re-serialised legacy record round-trips through the new schema.
         let back = RunResult::from_json(&parsed.to_json()).unwrap();
         assert_eq!(back, parsed);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_version_lag_histogram() {
+        let r = sample_run();
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.records[0].staleness, 0);
+        assert!(back.records[0].version_lag.is_empty());
+        assert_eq!(back.records[1].staleness, 2);
+        assert_eq!(back.records[1].version_lag, vec![1, 3, 12]);
+        assert_eq!(back, r);
     }
 
     #[test]

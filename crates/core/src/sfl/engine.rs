@@ -207,7 +207,7 @@ impl SflEngine {
         let eval_top = zoo::build(spec.architecture, spec.num_classes, model_seed)
             .into_split()
             .top;
-        let server = match config.topology {
+        let mut server = match config.topology {
             // Replicated: one full top-model replica per shard, trained on its routed
             // uploads and periodically averaged.
             ShardTopology::Replicated => {
@@ -228,6 +228,7 @@ impl SflEngine {
                 ShardedServer::partitioned(split.top, eval_top, global_bottom, config.num_servers)
             }
         };
+        server.set_staleness(config.staleness);
         let cost_model = ServerCostModel::for_architecture(spec.architecture);
 
         let workers = partition
@@ -276,7 +277,7 @@ impl SflEngine {
             test,
             partition,
             cluster,
-            clock: SimClock::with_pipelining(config.pipeline),
+            clock: SimClock::with_schedule(config.pipeline, config.staleness),
             traffic: TrafficMeter::new(),
             control,
             server,
@@ -383,6 +384,8 @@ impl SflEngine {
                 cross_sync_seconds,
                 server_gflops: self.cost_model.gflops,
                 server_critical_fraction: self.cost_model.critical_fraction,
+                staleness: self.config.staleness,
+                version_lag: Vec::new(),
             });
             return;
         }
@@ -542,6 +545,8 @@ impl SflEngine {
             cross_sync_seconds,
             server_gflops: self.cost_model.gflops,
             server_critical_fraction: self.cost_model.critical_fraction,
+            staleness: self.config.staleness,
+            version_lag: self.server.take_lag_counts(),
         });
     }
 

@@ -19,6 +19,7 @@ use crate::sfl::merge::{dispatch_gradients, merge_feature_refs, FeatureUpload, M
 use mergesfl_nn::kernels::{self, Epilogue};
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::{Sequential, Sgd, SoftmaxCrossEntropy, Tensor};
+use rayon::channel::VersionedSlot;
 
 /// Gradient-clipping norm used by both sides of split training (and the FL baselines).
 /// Large enough to be inactive in steady state; small enough that a single bad merged
@@ -545,6 +546,23 @@ pub struct ShardedServer {
     sync_every: usize,
     /// Samples each shard processed since the last cross-shard sync (the sync weights).
     samples_since_sync: Vec<f64>,
+    /// Bounded-staleness window `k`: each route group's gradients may be computed on
+    /// top-model state up to `k` optimizer steps older than the state the update is
+    /// applied to. 0 (the default) is the synchronous loop — no snapshots are taken and
+    /// the step arithmetic is untouched.
+    staleness: usize,
+    /// Per-route-group ring of the `k` most recent pre-step parameter states. The oldest
+    /// retained version is what `begin_step` computes gradients on; the worst-case
+    /// deterministic schedule keeps the lag saturated at the ring length so the bound is
+    /// actually exercised (a lighter backlog would make the convergence harness vacuous
+    /// on this hardware profile, where the worker stage dominates the server stage).
+    version_rings: Vec<VersionedSlot<Vec<f32>>>,
+    /// Per-route-group snapshot of the *current* (pre-step) state, taken at `begin_step`
+    /// and published to the ring at `finish_step`.
+    pending_version: Vec<Option<Vec<f32>>>,
+    /// Histogram of observed version lags (index = lag in optimizer steps, length
+    /// `staleness + 1`); empty when `staleness == 0`. Drained per round by the engine.
+    lag_counts: Vec<usize>,
     global_bottom: Vec<f32>,
     eval_top: Sequential,
     eval_loss: SoftmaxCrossEntropy,
@@ -571,12 +589,17 @@ impl ShardedServer {
             .collect();
         let samples_since_sync = vec![0.0; shards.len()];
         let instances = shards.len();
+        let pending_version = (0..shards.len()).map(|_| None).collect();
         Self {
             shards,
             topology: ShardTopology::Replicated,
             instances,
             sync_every,
             samples_since_sync,
+            staleness: 0,
+            version_rings: Vec::new(),
+            pending_version,
+            lag_counts: Vec::new(),
             global_bottom,
             eval_top,
             eval_loss: SoftmaxCrossEntropy::new(),
@@ -603,6 +626,10 @@ impl ShardedServer {
             instances,
             sync_every: 1,
             samples_since_sync: vec![0.0],
+            staleness: 0,
+            version_rings: Vec::new(),
+            pending_version: vec![None],
+            lag_counts: Vec::new(),
             global_bottom,
             eval_top,
             eval_loss: SoftmaxCrossEntropy::new(),
@@ -643,30 +670,139 @@ impl ShardedServer {
         &self.global_bottom
     }
 
+    /// Sets the bounded-staleness window `k` for every route group, (re)creating the
+    /// per-group version rings. With `k = 0` no snapshots are taken and every step is
+    /// the synchronous arithmetic, bit for bit.
+    pub fn set_staleness(&mut self, staleness: usize) {
+        self.staleness = staleness;
+        self.version_rings = if staleness > 0 {
+            (0..self.shards.len())
+                .map(|_| VersionedSlot::new(staleness))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.pending_version = (0..self.shards.len()).map(|_| None).collect();
+        self.lag_counts = if staleness > 0 {
+            vec![0; staleness + 1]
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// The bounded-staleness window in optimizer steps (0 = synchronous).
+    pub fn staleness(&self) -> usize {
+        self.staleness
+    }
+
+    /// Drains the version-lag histogram accumulated since the last call (index = lag in
+    /// optimizer steps, length `staleness + 1`; empty when `staleness == 0`).
+    pub fn take_lag_counts(&mut self) -> Vec<usize> {
+        if self.staleness == 0 {
+            return Vec::new();
+        }
+        std::mem::replace(&mut self.lag_counts, vec![0; self.staleness + 1])
+    }
+
+    /// The dispatch-critical half of one stale-aware step: under a positive window the
+    /// gradients are computed on the oldest state the group's version ring retains (the
+    /// worst case the bound admits), then the *current* parameters are restored so the
+    /// matching [`ShardedServer::finish_step`] applies those stale gradients to them.
+    /// The restore only touches parameter values — the gradient buffers accumulated by
+    /// `begin_step` survive untouched for the optimizer tail.
+    fn stale_begin(&mut self, shard: usize, merged: &MergedBatch) -> TopStep {
+        if self.staleness == 0 {
+            return self.shards[shard].begin_step(merged);
+        }
+        let lag = self.version_rings[shard].lag();
+        debug_assert!(
+            lag <= self.staleness,
+            "version lag {lag} exceeds the staleness bound {}",
+            self.staleness
+        );
+        self.lag_counts[lag] += 1;
+        let current = self.shards[shard].state();
+        let stale = self.version_rings[shard]
+            .oldest()
+            .map(|(_, state)| state.clone());
+        let step = match stale {
+            Some(state) => {
+                self.shards[shard].load_state(&state);
+                let step = self.shards[shard].begin_step(merged);
+                self.shards[shard].load_state(&current);
+                step
+            }
+            None => self.shards[shard].begin_step(merged),
+        };
+        debug_assert!(
+            self.pending_version[shard].is_none(),
+            "begin_step called twice without finish_step"
+        );
+        self.pending_version[shard] = Some(current);
+        step
+    }
+
     /// Routes one merged batch to a shard's dispatch-critical step (tracks the shard's
     /// processed samples for the sync weights).
     pub fn begin_step(&mut self, shard: usize, merged: &MergedBatch) -> TopStep {
         self.samples_since_sync[shard] += merged.total() as f64;
-        self.shards[shard].begin_step(merged)
+        self.stale_begin(shard, merged)
     }
 
-    /// Routes the overlappable optimizer tail to a shard.
+    /// Routes the overlappable optimizer tail to a shard. Under a positive staleness
+    /// window this publishes the pre-step state to the group's version ring, advancing
+    /// the version the next steps may lag behind.
     pub fn finish_step(&mut self, shard: usize) {
         self.shards[shard].finish_step();
+        if self.staleness > 0 {
+            let pre_step = self.pending_version[shard]
+                .take()
+                .expect("finish_step without a matching begin_step");
+            self.version_rings[shard].publish(pre_step);
+        }
     }
 
     /// Routes one iteration's uploads to a shard with feature merging.
     pub fn process_merged(&mut self, shard: usize, uploads: &[&FeatureUpload]) -> TopStep {
         self.samples_since_sync[shard] +=
             uploads.iter().map(|u| u.batch_size() as f64).sum::<f64>();
-        self.shards[shard].process_merged(uploads)
+        if self.staleness == 0 {
+            return self.shards[shard].process_merged(uploads);
+        }
+        let merged = merge_feature_refs(uploads);
+        let step = self.stale_begin(shard, &merged);
+        self.finish_step(shard);
+        step
     }
 
     /// Routes one iteration's uploads to a shard without feature merging (typical SFL).
+    /// Each per-worker update is its own version under a positive staleness window,
+    /// mirroring the merged path's step granularity.
     pub fn process_sequential(&mut self, shard: usize, uploads: &[&FeatureUpload]) -> TopStep {
         self.samples_since_sync[shard] +=
             uploads.iter().map(|u| u.batch_size() as f64).sum::<f64>();
-        self.shards[shard].process_sequential(uploads)
+        if self.staleness == 0 {
+            return self.shards[shard].process_sequential(uploads);
+        }
+        assert!(!uploads.is_empty(), "process_sequential: no uploads");
+        let mut gradients = Vec::with_capacity(uploads.len());
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f32;
+        let mut samples = 0usize;
+        for upload in uploads {
+            let single = merge_feature_refs(std::slice::from_ref(upload));
+            let step = self.stale_begin(shard, &single);
+            self.finish_step(shard);
+            loss_sum += step.loss * upload.batch_size() as f32;
+            acc_sum += step.accuracy * upload.batch_size() as f32;
+            samples += upload.batch_size();
+            gradients.extend(step.gradients);
+        }
+        TopStep {
+            loss: loss_sum / samples as f32,
+            accuracy: acc_sum / samples as f32,
+            gradients,
+        }
     }
 
     /// The cross-shard average of the shard top-model states, weighted by the samples
@@ -698,6 +834,11 @@ impl ShardedServer {
         }
         for w in &mut self.samples_since_sync {
             *w = 0.0;
+        }
+        // Averaging invalidates the retained versions: they no longer describe any live
+        // parameter vector, so the staleness window restarts from the synced state.
+        for ring in &mut self.version_rings {
+            ring.clear();
         }
     }
 
@@ -859,6 +1000,121 @@ mod tests {
         let _ = merged_shard.process_merged(&refs(&uploads));
         let _ = seq_shard.process_sequential(&refs(&uploads));
         assert_ne!(merged_shard.state(), seq_shard.state());
+    }
+
+    #[test]
+    fn first_stale_step_is_the_synchronous_step_bit_for_bit() {
+        // With an empty ring (no prior finish_step) there is no older version to read:
+        // the first step under any window must be the k = 0 arithmetic exactly.
+        let uploads = [upload(0, 4, 0), upload(1, 4, 1)];
+        let mut sync = sharded(1, 1);
+        let mut stale = sharded(1, 1);
+        stale.set_staleness(3);
+        let a = sync.process_merged(0, &refs(&uploads));
+        let b = stale.process_merged(0, &refs(&uploads));
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(sync.top_state(), stale.top_state());
+        assert_eq!(stale.take_lag_counts(), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stale_gradients_come_from_the_oldest_retained_version() {
+        // Two steps at k = 1: step B's dispatched gradients must be computed on the
+        // pre-step-A parameters (the ring's oldest version), not on the current ones —
+        // while the update itself still applies to the current parameters.
+        let batch_a = [upload(0, 4, 0)];
+        let batch_b = [upload(0, 4, 1)];
+        let mut server = sharded(1, 1);
+        server.set_staleness(1);
+        let v0 = server.top_state();
+        let _ = server.process_merged(0, &refs(&batch_a));
+        let v1 = server.top_state();
+        let step_b = server.process_merged(0, &refs(&batch_b));
+
+        let mut at_v0 = TopShard::new(toy_top());
+        at_v0.load_state(&v0);
+        let expected = at_v0.begin_step(&merge_feature_refs(&refs(&batch_b)));
+        assert_eq!(step_b.loss, expected.loss);
+        assert_eq!(step_b.gradients[0].1.data(), expected.gradients[0].1.data());
+        let mut at_v1 = TopShard::new(toy_top());
+        at_v1.load_state(&v1);
+        let current = at_v1.begin_step(&merge_feature_refs(&refs(&batch_b)));
+        assert_ne!(step_b.gradients[0].1.data(), current.gradients[0].1.data());
+
+        // The update applied those stale gradients to v1, not to v0: the resulting state
+        // differs from both a fully synchronous run and a run stuck at v0.
+        at_v1.finish_step();
+        assert_ne!(server.top_state(), at_v1.state());
+        assert_ne!(server.top_state(), v1);
+        assert_eq!(server.take_lag_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn lag_histogram_saturates_at_the_staleness_bound() {
+        let uploads = [upload(0, 4, 0), upload(1, 4, 1)];
+        let mut server = sharded(1, 1);
+        server.set_staleness(2);
+        for _ in 0..5 {
+            let _ = server.process_merged(0, &refs(&uploads));
+        }
+        // Lags observed: 0 (empty ring), 1, then saturated at the bound.
+        assert_eq!(server.take_lag_counts(), vec![1, 1, 3]);
+        // Draining resets the histogram.
+        assert_eq!(server.take_lag_counts(), vec![0, 0, 0]);
+        assert_eq!(server.staleness(), 2);
+    }
+
+    #[test]
+    fn cross_shard_sync_clears_the_version_rings() {
+        let a = [upload(0, 6, 0)];
+        let b = [upload(1, 6, 1)];
+        let mut server = sharded(2, 1);
+        server.set_staleness(2);
+        for _ in 0..3 {
+            let _ = server.process_merged(0, &refs(&a));
+            let _ = server.process_merged(1, &refs(&b));
+        }
+        let _ = server.take_lag_counts();
+        // The sync averages the replicas: every retained version is invalidated, so the
+        // next step on each shard starts from an empty ring at lag 0.
+        server.sync_now();
+        let _ = server.process_merged(0, &refs(&a));
+        let _ = server.process_merged(1, &refs(&b));
+        assert_eq!(server.take_lag_counts(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn stale_sequential_processing_versions_every_per_worker_update() {
+        // Without merging each routed worker's update is its own version: two uploads
+        // advance the ring twice, and the second sub-step already lags the first.
+        let uploads = vec![upload(5, 2, 0), upload(9, 6, 1)];
+        let mut server = sharded(1, 1);
+        server.set_staleness(2);
+        let step = server.process_sequential(0, &refs(&uploads));
+        assert_eq!(step.gradients.len(), 2);
+        assert_eq!(step.gradients[0].0, 5);
+        assert_eq!(step.gradients[1].0, 9);
+        assert_eq!(server.take_lag_counts(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn partitioned_ensemble_matches_the_single_server_under_staleness() {
+        // PartitionedShard state vectors are interchangeable with TopShard's, and both
+        // run the same stale snapshot dance at the ShardedServer level: the same upload
+        // stream at the same window must stay bit-identical between the layouts.
+        let uploads = [upload(0, 4, 0), upload(1, 4, 1), upload(2, 4, 2)];
+        let mut single = sharded(1, 1);
+        let mut partitioned = ShardedServer::partitioned(toy_top(), toy_top(), vec![0.0; 10], 2);
+        single.set_staleness(2);
+        partitioned.set_staleness(2);
+        for _ in 0..4 {
+            let a = single.process_merged(0, &refs(&uploads));
+            let b = partitioned.process_merged(0, &refs(&uploads));
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.accuracy, b.accuracy);
+        }
+        assert_eq!(single.top_state(), partitioned.top_state());
+        assert_eq!(single.take_lag_counts(), partitioned.take_lag_counts());
     }
 
     #[test]

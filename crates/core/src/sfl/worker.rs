@@ -4,6 +4,12 @@
 //! optimizer. During a round it repeatedly (a) samples a mini-batch of its assigned batch
 //! size, (b) runs the bottom forward pass and uploads the features, and (c) applies the
 //! dispatched split-layer gradient with a batch-size-scaled learning rate.
+//!
+//! Under the bounded-staleness mode (`RunConfig::staleness > 0`) the dispatched gradient
+//! a worker applies in (c) may have been computed by the server on top-model state up to
+//! `k` optimizer steps older than the state the server updated — the worker arithmetic
+//! is unchanged; only the provenance of the split-layer gradient is relaxed, and the
+//! server asserts the version lag never exceeds the bound.
 
 use crate::sfl::merge::FeatureUpload;
 use mergesfl_data::{Dataset, WorkerLoader};

@@ -143,6 +143,91 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
+/// A bounded ring of versioned states for staleness-tolerant pipelines.
+///
+/// Where the bounded channel above keeps pipeline *stages* in lockstep, a
+/// `VersionedSlot` relaxes the lockstep on *state*: a producer publishes successive
+/// versions of some state (e.g. the top model's parameters after each optimizer step) and
+/// the slot retains up to `capacity` of the most recent ones, each tagged with a
+/// monotonically increasing version number. A consumer that reads [`VersionedSlot::oldest`]
+/// therefore operates on state at most `capacity` versions behind the newest publish —
+/// the bounded-staleness invariant the convergence harness asserts. Single-threaded by
+/// design: the engines publish and read from the server stage, which already owns the
+/// shard; the bound, not concurrency, is the point.
+#[derive(Clone, Debug)]
+pub struct VersionedSlot<T> {
+    ring: VecDeque<(u64, T)>,
+    capacity: usize,
+    next_version: u64,
+}
+
+impl<T> VersionedSlot<T> {
+    /// Creates an empty slot retaining at most `capacity` published versions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "VersionedSlot: capacity must be positive");
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            next_version: 0,
+        }
+    }
+
+    /// Maximum number of retained versions (the staleness bound `k`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Publishes a new version of the state, evicting the oldest retained one if the
+    /// ring is full, and returns the version number assigned to `state`.
+    pub fn publish(&mut self, state: T) -> u64 {
+        let version = self.next_version;
+        self.next_version += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((version, state));
+        version
+    }
+
+    /// The oldest retained `(version, state)`, i.e. the most stale view a consumer can
+    /// observe, or `None` before the first publish (and after [`Self::clear`]).
+    pub fn oldest(&self) -> Option<&(u64, T)> {
+        self.ring.front()
+    }
+
+    /// The newest retained `(version, state)`.
+    pub fn latest(&self) -> Option<&(u64, T)> {
+        self.ring.back()
+    }
+
+    /// Number of versions currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no version is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Version lag of the oldest retained state behind the next version to be published:
+    /// how many optimizer steps stale a consumer reading [`Self::oldest`] is. Zero when
+    /// empty. Never exceeds `capacity` — the bounded-staleness invariant.
+    pub fn lag(&self) -> usize {
+        self.ring
+            .front()
+            .map(|(v, _)| (self.next_version - v) as usize)
+            .unwrap_or(0)
+    }
+
+    /// Drops every retained version (version numbering keeps increasing). The engines
+    /// call this when cross-shard synchronisation averages replica state: the retained
+    /// versions no longer describe any live parameter vector.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +385,56 @@ mod tests {
         }
         assert_eq!(total, 8 * 50);
         assert!(next_expected.iter().all(|&n| n == 50));
+    }
+
+    #[test]
+    fn versioned_slot_retains_at_most_capacity_versions() {
+        let mut slot = VersionedSlot::new(3);
+        assert!(slot.is_empty());
+        assert_eq!(slot.lag(), 0);
+        for state in 0..5 {
+            slot.publish(state);
+        }
+        // Versions 0 and 1 were evicted; 2, 3, 4 remain.
+        assert_eq!(slot.len(), 3);
+        assert_eq!(slot.oldest(), Some(&(2, 2)));
+        assert_eq!(slot.latest(), Some(&(4, 4)));
+    }
+
+    #[test]
+    fn versioned_slot_lag_is_bounded_by_capacity() {
+        let mut slot = VersionedSlot::new(2);
+        assert_eq!(slot.lag(), 0);
+        slot.publish("a");
+        assert_eq!(slot.lag(), 1);
+        slot.publish("b");
+        assert_eq!(slot.lag(), 2);
+        for s in ["c", "d", "e", "f"] {
+            slot.publish(s);
+            assert!(slot.lag() <= slot.capacity());
+            assert_eq!(slot.lag(), 2);
+        }
+    }
+
+    #[test]
+    fn versioned_slot_clear_resets_lag_but_not_version_numbering() {
+        let mut slot = VersionedSlot::new(4);
+        slot.publish(1.0);
+        slot.publish(2.0);
+        slot.clear();
+        assert!(slot.is_empty());
+        assert_eq!(slot.lag(), 0);
+        assert_eq!(slot.oldest(), None);
+        // Numbering continues where it left off: the next publish is version 2.
+        assert_eq!(slot.publish(3.0), 2);
+        assert_eq!(slot.oldest(), Some(&(2, 3.0)));
+        assert_eq!(slot.lag(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn versioned_slot_rejects_zero_capacity() {
+        let _ = VersionedSlot::<u8>::new(0);
     }
 
     #[test]

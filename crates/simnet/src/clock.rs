@@ -283,6 +283,36 @@ impl RoundTiming {
         }
     }
 
+    /// Wall-clock completion time under the **bounded-staleness async** schedule: on top
+    /// of the pipelined overlap, round `h+1`'s planning/broadcast and the first
+    /// iterations of its worker stage may proceed on top-model state up to `staleness`
+    /// versions old, so the round-boundary work (bottom sync overhead plus any
+    /// cross-shard top sync) hides behind the next round's first `staleness` iterations
+    /// instead of serialising at the boundary. The hidden amount is capped both by the
+    /// boundary work itself and by the `staleness · a` window the version bound opens
+    /// (`a` = the slowest worker's per-iteration stage). At `staleness = 0` this *is*
+    /// the pipelined makespan; FL aggregate rounds have no version ring and are
+    /// unchanged.
+    pub fn async_completion_time(&self, staleness: usize) -> f64 {
+        let pipelined = self.pipelined_completion_time();
+        if staleness == 0 {
+            return pipelined;
+        }
+        match &self.stages {
+            Some(StageModel::SplitRound {
+                iterations,
+                cross_sync,
+                ..
+            }) => {
+                let a = self.barrier_time() / *iterations as f64;
+                let boundary = self.sync_overhead + cross_sync;
+                let window = staleness as f64 * a;
+                pipelined - boundary.min(window)
+            }
+            _ => pipelined,
+        }
+    }
+
     /// Wall-clock completion time of the round under the barrier schedule (the oracle
     /// model; kept as the historical name).
     pub fn completion_time(&self) -> f64 {
@@ -318,6 +348,7 @@ pub struct SimClock {
     rounds: usize,
     total_waiting: f64,
     pipelined: bool,
+    staleness: usize,
 }
 
 impl SimClock {
@@ -335,14 +366,34 @@ impl SimClock {
         }
     }
 
+    /// Creates a clock at time zero charging the chosen schedule, including the
+    /// bounded-staleness async one: with `pipelined` set and `staleness > 0`, rounds
+    /// advance by [`RoundTiming::async_completion_time`]. A positive staleness without
+    /// pipelining still charges the barrier makespan — the version ring relaxes *which
+    /// state* steps read, but only the pipelined loop exposes boundary work to hide.
+    pub fn with_schedule(pipelined: bool, staleness: usize) -> Self {
+        Self {
+            pipelined,
+            staleness,
+            ..Self::default()
+        }
+    }
+
     /// Whether this clock charges the pipelined schedule.
     pub fn is_pipelined(&self) -> bool {
         self.pipelined
     }
 
+    /// The staleness bound whose async makespan this clock charges (0 = plain pipelined).
+    pub fn staleness(&self) -> usize {
+        self.staleness
+    }
+
     /// Advances the clock by one round and returns the round's completion time.
     pub fn advance_round(&mut self, timing: &RoundTiming) -> f64 {
-        let completion = if self.pipelined {
+        let completion = if self.pipelined && self.staleness > 0 {
+            timing.async_completion_time(self.staleness)
+        } else if self.pipelined {
             timing.pipelined_completion_time()
         } else {
             timing.barrier_completion_time()
@@ -623,6 +674,104 @@ mod tests {
         let timing = RoundTiming::with_aggregate_stage(vec![10.0, 1.0, 2.0], 0.0, 1.0);
         assert!((timing.pipelined_completion_time() - 11.0).abs() < 1e-9);
         assert!((timing.barrier_completion_time() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn async_makespan_matches_manual_computation() {
+        // τ=4 (a = 1.0), boundary work = 0.2 sync overhead + 0.15 cross-shard sync.
+        let timing = RoundTiming::with_sharded_stages(
+            vec![2.0, 4.0],
+            0.2,
+            4,
+            vec![0.5, 0.3],
+            vec![0.2, 0.1],
+            vec![0.06, 0.04],
+            0.15,
+        );
+        // Pipelined makespan is 5.71 (see sharded_makespans_match_manual_computation).
+        // k=1 opens a 1.0 s window, more than the 0.35 s boundary: all of it hides.
+        assert!((timing.async_completion_time(1) - (5.71 - 0.35)).abs() < 1e-9);
+        // Larger k cannot hide more than the boundary work itself.
+        assert_eq!(
+            timing.async_completion_time(1),
+            timing.async_completion_time(4)
+        );
+    }
+
+    #[test]
+    fn async_makespan_at_zero_staleness_is_the_pipelined_makespan() {
+        let timing = RoundTiming::with_split_stages(vec![2.0, 4.0], 0.2, 4, 0.8, 0.3, 0.1);
+        assert_eq!(
+            timing.async_completion_time(0),
+            timing.pipelined_completion_time()
+        );
+    }
+
+    #[test]
+    fn async_makespan_window_caps_the_hidden_boundary_work() {
+        // Huge boundary work (3.0 s) against a 0.5 s per-iteration worker stage: k=2
+        // hides only 2·0.5 = 1.0 s of it.
+        let timing = RoundTiming::with_split_stages(vec![1.0, 2.0], 2.0, 4, 0.1, 0.1, 0.1);
+        assert!(
+            (timing.pipelined_completion_time() - timing.async_completion_time(2) - 1.0).abs()
+                < 1e-9
+        );
+        // Monotone nonincreasing in k, floored at pipelined − boundary.
+        let mut prev = timing.async_completion_time(0);
+        for k in 1..8 {
+            let cur = timing.async_completion_time(k);
+            assert!(cur <= prev + 1e-12);
+            assert!(cur >= timing.pipelined_completion_time() - 2.0 - 1e-12);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn async_makespan_leaves_aggregate_rounds_unchanged() {
+        let timing = RoundTiming::with_aggregate_stage(vec![10.0, 1.0, 2.0], 0.5, 1.0);
+        assert_eq!(
+            timing.async_completion_time(4),
+            timing.pipelined_completion_time()
+        );
+    }
+
+    #[test]
+    fn stale_clock_advances_by_the_async_makespan_only_when_pipelined() {
+        let timing = RoundTiming::with_sharded_stages(
+            vec![2.0, 4.0],
+            0.2,
+            4,
+            vec![0.5, 0.3],
+            vec![0.2, 0.1],
+            vec![0.06, 0.04],
+            0.15,
+        );
+        let mut barrier_stale = SimClock::with_schedule(false, 2);
+        let mut pipelined_plain = SimClock::with_schedule(true, 0);
+        let mut pipelined_stale = SimClock::with_schedule(true, 2);
+        barrier_stale.advance_round(&timing);
+        pipelined_plain.advance_round(&timing);
+        pipelined_stale.advance_round(&timing);
+        // Staleness without pipelining charges the barrier makespan.
+        assert_eq!(
+            barrier_stale.elapsed_seconds(),
+            timing.barrier_completion_time()
+        );
+        assert_eq!(
+            pipelined_plain.elapsed_seconds(),
+            timing.pipelined_completion_time()
+        );
+        assert_eq!(
+            pipelined_stale.elapsed_seconds(),
+            timing.async_completion_time(2)
+        );
+        assert!(pipelined_stale.elapsed_seconds() < pipelined_plain.elapsed_seconds());
+        assert_eq!(pipelined_stale.staleness(), 2);
+        // Waiting time is schedule-independent across all three.
+        assert_eq!(
+            barrier_stale.mean_waiting_time(),
+            pipelined_stale.mean_waiting_time()
+        );
     }
 
     #[test]

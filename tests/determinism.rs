@@ -461,6 +461,89 @@ fn four_partitioned_shards_divide_the_server_critical_term() {
 }
 
 #[test]
+fn zero_staleness_is_bit_identical_to_the_barrier_oracle_across_the_matrix() {
+    // The k = 0 contract of the bounded-staleness mode: with the window at zero no
+    // snapshot is ever taken, so every cell of the parallel × pipeline × shards ×
+    // topology matrix must reproduce its barrier oracle bit for bit — exactly the
+    // guarantee the pre-staleness engine gave. Staleness is pinned explicitly on both
+    // sides because the CI matrix may set MERGESFL_STALENESS for the whole suite.
+    for (servers, topology) in [
+        (1, ShardTopology::Replicated),
+        (4, ShardTopology::Replicated),
+        (1, ShardTopology::OutputPartitioned),
+        (4, ShardTopology::OutputPartitioned),
+    ] {
+        let reference = {
+            let mut c = tiny(61);
+            c.num_servers = servers;
+            c.sync_every = 2;
+            c.topology = topology;
+            c.parallel = false;
+            c.pipeline = false;
+            c.staleness = 0;
+            trajectory(&run(Approach::MergeSfl, &c))
+        };
+        for (parallel, pipeline) in [(false, true), (true, false), (true, true)] {
+            let mut c = tiny(61);
+            c.num_servers = servers;
+            c.sync_every = 2;
+            c.topology = topology;
+            c.parallel = parallel;
+            c.pipeline = pipeline;
+            c.staleness = 0;
+            let got = run(Approach::MergeSfl, &c);
+            assert_eq!(
+                trajectory(&got),
+                reference,
+                "staleness=0 servers={servers} topology={} parallel={parallel} \
+                 pipeline={pipeline} diverged from the barrier oracle",
+                topology.name()
+            );
+            // Synchronous rounds record no version-lag histogram.
+            assert!(got
+                .records
+                .iter()
+                .all(|r| r.staleness == 0 && r.version_lag.is_empty()));
+        }
+    }
+}
+
+#[test]
+fn stale_trajectories_are_schedule_independent() {
+    // k > 0 deliberately changes the trajectory (gradients come from older versions),
+    // but the per-group sequence of begin/finish steps is identical across schedules:
+    // parallel fan-out and pipelined staging must not change a single bit even under a
+    // positive window, for both merged and sequential top-update paths.
+    for approach in [Approach::MergeSfl, Approach::LocFedMixSl] {
+        for (servers, sync_every) in [(1usize, 1usize), (4, 2)] {
+            let reference = {
+                let mut c = tiny(62);
+                c.num_servers = servers;
+                c.sync_every = sync_every;
+                c.staleness = 2;
+                c.parallel = false;
+                c.pipeline = false;
+                trajectory(&run(approach, &c))
+            };
+            for (parallel, pipeline) in [(false, true), (true, false), (true, true)] {
+                let mut c = tiny(62);
+                c.num_servers = servers;
+                c.sync_every = sync_every;
+                c.staleness = 2;
+                c.parallel = parallel;
+                c.pipeline = pipeline;
+                let got = trajectory(&run(approach, &c));
+                assert_eq!(
+                    got, reference,
+                    "{approach:?} staleness=2 servers={servers} parallel={parallel} \
+                     pipeline={pipeline} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn every_engine_is_deterministic_across_modes() {
     // One SFL-family and one FL-family approach beyond the headline pair, so a future
     // strategy-specific code path cannot silently lose determinism.

@@ -2,9 +2,11 @@
 //! merge/dispatch round-trips, aggregation weights, label-distribution mixtures and
 //! batch-size regulation.
 
+use mergesfl::config::RunConfig;
 use mergesfl::control::{regulate_batch_sizes, rescale_to_budget, rescale_to_budget_capped};
+use mergesfl::experiment::{run, Approach};
 use mergesfl::sfl::{dispatch_gradients, merge_features, FeatureUpload};
-use mergesfl_data::{eval_subsample, LabelDistribution};
+use mergesfl_data::{eval_subsample, DatasetKind, LabelDistribution};
 use mergesfl_nn::model::weighted_average_states;
 use mergesfl_nn::Tensor;
 use mergesfl_simnet::RoundTiming;
@@ -283,6 +285,50 @@ proptest! {
         }
     }
 
+    /// The bounded-staleness async makespan: equals the pipelined makespan exactly at
+    /// k = 0, never exceeds it (hence never the barrier sum) for any k, is monotone
+    /// nonincreasing in k, never hides more than the round-boundary work (bottom sync
+    /// overhead + cross-shard sync), and never beats the slowest worker strand — the
+    /// version window can only hide boundary work behind next-round iterations, not
+    /// delete compute.
+    #[test]
+    fn async_makespan_bounds(
+        iter_durations in prop::collection::vec(0.01f64..5.0, 1..8),
+        tau in 1usize..10,
+        raw_ingress in prop::collection::vec(0.0f64..2.0, 1..6),
+        raw_critical in prop::collection::vec(0.0f64..1.5, 1..6),
+        raw_overlap in prop::collection::vec(0.0f64..1.5, 1..6),
+        sync in 0.0f64..2.0,
+        cross_sync in 0.0f64..1.0,
+        staleness in 0usize..8,
+    ) {
+        let totals: Vec<f64> = iter_durations.iter().map(|d| d * tau as f64).collect();
+        let shards = raw_ingress.len().min(raw_critical.len()).min(raw_overlap.len());
+        let timing = RoundTiming::with_sharded_stages(
+            totals, sync, tau,
+            raw_ingress[..shards].to_vec(),
+            raw_critical[..shards].to_vec(),
+            raw_overlap[..shards].to_vec(),
+            cross_sync);
+        let barrier = timing.barrier_completion_time();
+        let pipelined = timing.pipelined_completion_time();
+        let async_t = timing.async_completion_time(staleness);
+
+        prop_assert_eq!(timing.async_completion_time(0), pipelined);
+        prop_assert!(async_t <= pipelined + 1e-9, "async {} exceeds pipelined {}", async_t, pipelined);
+        prop_assert!(async_t <= barrier + 1e-9, "async {} exceeds barrier {}", async_t, barrier);
+        prop_assert!(async_t + 1e-9 >= pipelined - (sync + cross_sync),
+            "async {} hides more than the boundary work {}", async_t, sync + cross_sync);
+        prop_assert!(async_t + 1e-9 >= timing.barrier_time(),
+            "async {} beats the slowest worker strand {}", async_t, timing.barrier_time());
+        let mut prev = pipelined;
+        for k in 1..=staleness {
+            let cur = timing.async_completion_time(k);
+            prop_assert!(cur <= prev + 1e-12, "async makespan not monotone at k={}", k);
+            prev = cur;
+        }
+    }
+
     /// The streaming-aggregation makespan of an FL round never exceeds the barrier sum and
     /// never beats the last arrival plus one fold (the fold of the slowest worker's state
     /// can never be hidden).
@@ -348,4 +394,49 @@ fn rescale_single_worker_tracks_budget_exactly() {
         grown[0] >= 4,
         "budget headroom should never shrink the batch"
     );
+}
+
+#[test]
+fn version_lag_stays_bounded_under_cohort_churn() {
+    // Workers drop in and out of each shard's route group every round (genetic selection
+    // re-picks the cohort under heavy non-IID) and the periodic cross-shard sync clears
+    // the version rings mid-run, so the ring length keeps being rebuilt from zero. The
+    // recorded per-round lag histogram must still have exactly k+1 buckets — a lag beyond
+    // the bound has nowhere to be counted, and the engine asserts the bound on every step
+    // under debug_assertions — and the run must genuinely exercise positive lags.
+    for k in [1usize, 4] {
+        let mut c = RunConfig::quick(DatasetKind::Har, 10.0, 77);
+        c.num_workers = 8;
+        c.rounds = 4;
+        c.local_iterations = Some(3);
+        c.participants_per_round = 4;
+        c.train_size = Some(400);
+        c.eval_every = 4;
+        c.eval_samples = 80;
+        c.num_servers = 2;
+        c.sync_every = 2;
+        c.staleness = k;
+        let result = run(Approach::MergeSfl, &c);
+        let mut lagged_steps = 0usize;
+        for r in result.records.iter().filter(|r| r.participants > 0) {
+            assert_eq!(
+                r.staleness, k,
+                "round {} lost the configured staleness",
+                r.round
+            );
+            assert_eq!(
+                r.version_lag.len(),
+                k + 1,
+                "round {}: lag histogram must have k+1 buckets",
+                r.round
+            );
+            let steps: usize = r.version_lag.iter().sum();
+            assert!(steps > 0, "round {} recorded no top-model steps", r.round);
+            lagged_steps += r.version_lag.iter().skip(1).sum::<usize>();
+        }
+        assert!(
+            lagged_steps > 0,
+            "staleness {k} never produced a positive version lag"
+        );
+    }
 }
