@@ -1,5 +1,6 @@
 //! Kernel benchmark: times the blocked GEMM/conv kernels against the naive oracle on
-//! shapes drawn from the model zoo, and emits the repo's perf trajectory file.
+//! shapes drawn from the model zoo, counts steady-state heap allocations on the blocked
+//! hot path, and emits the repo's perf trajectory file.
 //!
 //! ```text
 //! kernel_bench [--json] [--check] [--min-speedup X]
@@ -7,22 +8,42 @@
 //!
 //! * `--json` — additionally write the results to `BENCH_kernels.json` in the current
 //!   directory (schema documented in README.md, "Compute kernels and the perf gate").
-//! * `--check` — exit non-zero if the blocked backend is slower than `--min-speedup`
-//!   (default 1.0, i.e. "not slower than naive") on the gate shape, the largest GEMM.
-//!   This is what CI's `perf-smoke` job runs.
+//! * `--check` — exit non-zero if any of the gates fail. Three gates run:
+//!   1. the blocked backend must not be slower than `--min-speedup` (default 1.0) times
+//!      the naive oracle on the gate shape, the largest GEMM;
+//!   2. the gate-shape speedup must stay within `MERGESFL_PERF_FLOOR` (default 0.70) of
+//!      the committed `BENCH_kernels.json` baseline, when one is present — a
+//!      noise-tolerant regression floor rather than an exact match;
+//!   3. with the tensor pool enabled, every blocked GEMM/conv case must run with zero
+//!      steady-state heap allocations per iteration (`MERGESFL_COUNT_ALLOCS=off`
+//!      skips the measurement and the gate).
+//!
+//! `--check` with all three gates is what CI's `perf-smoke` job runs.
 //!
 //! Every measurement reports the best wall-clock time over several repetitions, which is
-//! robust against scheduler noise on shared CI runners.
+//! robust against scheduler noise on shared CI runners. Allocation counts are measured
+//! after the timing phase with the fan-out pinned to one thread
+//! (`rayon::set_num_threads(1)`), so thread-spawn allocations on multi-core runners
+//! don't pollute the steady-state count.
 
-use mergesfl::json::write_f64;
+use mergesfl::json::{self, write_f64, JsonValue};
 use mergesfl_nn::kernels::conv::{conv_backward, conv_forward, ConvGeom};
 use mergesfl_nn::kernels::{gemm_cfg, Epilogue, GemmBlocking, KernelBackend, Trans};
 use mergesfl_nn::rng::seeded;
 use rand::Rng;
 use std::time::Instant;
 
+/// The allocation probe: every heap allocation in this binary bumps a counter the
+/// steady-state measurement reads. The library never installs it, so training binaries
+/// pay nothing.
+#[global_allocator]
+static ALLOC_PROBE: mergesfl_nn::pool::CountingAlloc = mergesfl_nn::pool::CountingAlloc;
+
 /// Gate shape: the largest GEMM; `--check` compares blocked vs naive here.
 const GATE: &str = "gemm_nn_256x256x256";
+
+/// Default fraction of the committed baseline's gate speedup the fresh run must reach.
+const DEFAULT_PERF_FLOOR: f64 = 0.70;
 
 /// What one benchmark entry runs.
 enum Case {
@@ -143,6 +164,9 @@ struct Measurement {
     flops: f64,
     naive_ns: f64,
     blocked_ns: f64,
+    /// Steady-state heap allocations per blocked-path iteration (warmed pool, one
+    /// thread); `None` when counting is disabled via `MERGESFL_COUNT_ALLOCS=off`.
+    allocs_per_iter: Option<f64>,
 }
 
 impl Measurement {
@@ -263,6 +287,7 @@ fn measure(entry: &Entry) -> Measurement {
                 flops,
                 naive_ns,
                 blocked_ns,
+                allocs_per_iter: None,
             }
         }
         Case::ConvForward(geom) => {
@@ -287,6 +312,7 @@ fn measure(entry: &Entry) -> Measurement {
                 flops,
                 naive_ns,
                 blocked_ns,
+                allocs_per_iter: None,
             }
         }
         Case::ConvBackward(geom) => {
@@ -324,6 +350,7 @@ fn measure(entry: &Entry) -> Measurement {
                 flops,
                 naive_ns,
                 blocked_ns,
+                allocs_per_iter: None,
             }
         }
     }
@@ -334,9 +361,114 @@ fn conv_flops(geom: &ConvGeom) -> f64 {
         * (geom.c_in * geom.kh * geom.kw) as f64
 }
 
+/// Steady-state heap allocations per invocation of `f`: warm-up iterations populate the
+/// tensor pool, then the probe counter is read around a measured batch. Call sites pin
+/// `RAYON_NUM_THREADS=1` first so thread spawns don't land in the count.
+fn steady_state_allocs<F: FnMut()>(mut f: F) -> f64 {
+    const WARMUP: usize = 3;
+    const ITERS: u64 = 8;
+    for _ in 0..WARMUP {
+        f();
+    }
+    let before = mergesfl_nn::pool::heap_allocs();
+    for _ in 0..ITERS {
+        f();
+    }
+    (mergesfl_nn::pool::heap_allocs() - before) as f64 / ITERS as f64
+}
+
+/// Measures `allocs_per_iter` for one entry's blocked (hot) path. Buffers returned by
+/// the conv kernels are pooled `Vec`s and are recycled explicitly — exactly what
+/// `Tensor::from_vec` adoption does for them on the training path.
+fn measure_allocs(entry: &Entry) -> f64 {
+    let mut rng = seeded(42);
+    match &entry.case {
+        Case::Gemm {
+            trans,
+            m,
+            n,
+            k,
+            fused_bias_relu,
+        } => {
+            let (m, n, k) = (*m, *n, *k);
+            let a = random_vec(&mut rng, m * k);
+            let b = random_vec(&mut rng, k * n);
+            let bias = random_vec(&mut rng, n);
+            let mut c = vec![0.0f32; m * n];
+            steady_state_allocs(|| {
+                c.fill(0.0);
+                gemm_cfg(
+                    KernelBackend::Blocked,
+                    *trans,
+                    m,
+                    n,
+                    k,
+                    &a,
+                    &b,
+                    &mut c,
+                    if *fused_bias_relu {
+                        Epilogue::BiasRowRelu(&bias)
+                    } else {
+                        Epilogue::None
+                    },
+                    &GemmBlocking::default(),
+                );
+                std::hint::black_box(&c);
+            })
+        }
+        Case::ConvForward(geom) => {
+            let x = random_vec(&mut rng, geom.n * geom.c_in * geom.h * geom.w);
+            let w = random_vec(&mut rng, geom.c_out * geom.c_in * geom.kh * geom.kw);
+            let bias = random_vec(&mut rng, geom.c_out);
+            steady_state_allocs(|| {
+                let out = conv_forward(KernelBackend::Blocked, geom, &x, &w, &bias);
+                std::hint::black_box(&out);
+                mergesfl_nn::pool::recycle(out);
+            })
+        }
+        Case::ConvBackward(geom) => {
+            let x = random_vec(&mut rng, geom.n * geom.c_in * geom.h * geom.w);
+            let w = random_vec(&mut rng, geom.c_out * geom.c_in * geom.kh * geom.kw);
+            let go = random_vec(&mut rng, geom.n * geom.c_out * geom.h_out() * geom.w_out());
+            let mut grad_w = vec![0.0f32; w.len()];
+            let mut grad_b = vec![0.0f32; geom.c_out];
+            steady_state_allocs(|| {
+                grad_w.fill(0.0);
+                grad_b.fill(0.0);
+                let grad_in = conv_backward(
+                    KernelBackend::Blocked,
+                    geom,
+                    &x,
+                    &w,
+                    &go,
+                    &mut grad_w,
+                    &mut grad_b,
+                );
+                std::hint::black_box(&grad_in);
+                mergesfl_nn::pool::recycle(grad_in);
+            })
+        }
+    }
+}
+
+/// The gate-shape speedup recorded in a previously written `BENCH_kernels.json`
+/// (either schema version), if the file exists and parses. Read before `--json`
+/// overwrites the file, this is the committed perf-floor reference.
+fn baseline_gate_speedup(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    let gate = doc.get("gate").and_then(JsonValue::as_str)?.to_string();
+    doc.get("entries")?
+        .as_array()?
+        .iter()
+        .find(|e| e.get("name").and_then(JsonValue::as_str) == Some(gate.as_str()))?
+        .get("speedup")?
+        .as_f64()
+}
+
 fn render_json(results: &[Measurement], threads: usize) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"mergesfl-kernel-bench/v1\",\n");
+    out.push_str("  \"schema\": \"mergesfl-kernel-bench/v2\",\n");
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"gate\": \"{GATE}\",\n"));
     out.push_str("  \"entries\": [\n");
@@ -360,7 +492,13 @@ fn render_json(results: &[Measurement], threads: usize) -> String {
             "\"blocked_gflops\": {}, ",
             num(round3(r.gflops(r.blocked_ns)))
         ));
-        out.push_str(&format!("\"speedup\": {}", num(round3(r.speedup()))));
+        out.push_str(&format!("\"speedup\": {}, ", num(round3(r.speedup()))));
+        // v2 addition; `null` when counting was disabled. v1 consumers
+        // (`calibrate::ServerCostModel`) ignore unknown fields.
+        match r.allocs_per_iter {
+            Some(a) => out.push_str(&format!("\"allocs_per_iter\": {}", num(round3(a)))),
+            None => out.push_str("\"allocs_per_iter\": null"),
+        }
         out.push_str(if i + 1 == results.len() {
             "}\n"
         } else {
@@ -398,6 +536,10 @@ fn main() {
         }
     }
 
+    // The committed trajectory file is the perf-floor reference; read it before
+    // `--json` overwrites it with this run's numbers.
+    let baseline_speedup = baseline_gate_speedup("BENCH_kernels.json");
+
     let threads = rayon::current_num_threads();
     println!("kernel_bench: naive oracle vs blocked kernels ({threads} thread(s))\n");
     println!(
@@ -420,6 +562,19 @@ fn main() {
         results.push(r);
     }
 
+    // Allocation phase, after all timing: pin the fan-out to one thread so scoped
+    // thread spawns on multi-core runners stay out of the steady-state count.
+    if mergesfl_nn::pool::count_allocs() {
+        rayon::set_num_threads(1);
+        println!();
+        for (entry, r) in zoo().iter().zip(results.iter_mut()) {
+            let allocs = measure_allocs(entry);
+            println!("  {:<32} allocs/iter (steady state): {allocs:.3}", r.name);
+            r.allocs_per_iter = Some(allocs);
+        }
+        rayon::set_num_threads(0);
+    }
+
     if emit_json {
         let json = render_json(&results, threads);
         std::fs::write("BENCH_kernels.json", &json).expect("failed to write BENCH_kernels.json");
@@ -427,6 +582,7 @@ fn main() {
     }
 
     if check {
+        let mut failed = false;
         let gate = results
             .iter()
             .find(|r| r.name == GATE)
@@ -437,8 +593,61 @@ fn main() {
                 "PERF GATE FAILED: blocked GEMM is {speedup:.2}x the naive oracle on {GATE} \
                  (required >= {min_speedup:.2}x)"
             );
+            failed = true;
+        } else {
+            println!("\nperf gate passed: {speedup:.2}x >= {min_speedup:.2}x on {GATE}");
+        }
+
+        // Perf floor against the committed baseline (noise-tolerant regression check).
+        let floor = std::env::var("MERGESFL_PERF_FLOOR")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|f| f.is_finite() && *f > 0.0)
+            .unwrap_or(DEFAULT_PERF_FLOOR);
+        match baseline_speedup {
+            Some(reference) => {
+                let required = floor * reference;
+                if speedup < required {
+                    eprintln!(
+                        "PERF FLOOR FAILED: gate speedup {speedup:.2}x fell below \
+                         {floor:.2} x the committed baseline {reference:.2}x \
+                         (required >= {required:.2}x)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "perf floor passed: {speedup:.2}x >= {floor:.2} x baseline \
+                         {reference:.2}x on {GATE}"
+                    );
+                }
+            }
+            None => println!("perf floor skipped: no parsable committed BENCH_kernels.json"),
+        }
+
+        // Allocation gate: every blocked GEMM/conv case must be allocation-free in
+        // steady state when the pool serves checkouts.
+        if mergesfl_nn::pool::count_allocs() && mergesfl_nn::pool::enabled() {
+            let leaky: Vec<&str> = results
+                .iter()
+                .filter(|r| r.allocs_per_iter.is_some_and(|a| a > 0.0))
+                .map(|r| r.name)
+                .collect();
+            if leaky.is_empty() {
+                println!("alloc gate passed: 0 steady-state allocs/iter on all cases");
+            } else {
+                eprintln!(
+                    "ALLOC GATE FAILED: steady-state heap allocations on the blocked \
+                     hot path: {}",
+                    leaky.join(", ")
+                );
+                failed = true;
+            }
+        } else {
+            println!("alloc gate skipped: counting or the tensor pool is disabled");
+        }
+
+        if failed {
             std::process::exit(1);
         }
-        println!("\nperf gate passed: {speedup:.2}x >= {min_speedup:.2}x on {GATE}");
     }
 }

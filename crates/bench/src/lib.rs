@@ -263,6 +263,9 @@ mod tests {
             server_critical_fraction: 0.75,
             staleness: 0,
             version_lag: Vec::new(),
+            pool_pages: 0,
+            pool_bytes: 0,
+            pool_hit_rate: 1.0,
         });
         assert_eq!(format_curve(&r), "12s:0.500");
     }

@@ -349,4 +349,39 @@ mod tests {
         assert!(parse_bench_json("not json").is_err());
         assert!(parse_bench_json("{}").is_err());
     }
+
+    #[test]
+    fn both_schema_versions_calibrate() {
+        // v1 documents predate `allocs_per_iter`; v2 documents carry it (possibly as
+        // null when counting was disabled). Calibration only consumes name / flops /
+        // blocked_ns, so `MERGESFL_BENCH_JSON` pointing at either vintage must load.
+        let v1 = r#"{
+  "schema": "mergesfl-kernel-bench/v1",
+  "entries": [{"name": "gemm_nn_256x256x256", "flops": 33554432, "blocked_ns": 500000}]
+}"#;
+        let v2 = r#"{
+  "schema": "mergesfl-kernel-bench/v2",
+  "entries": [
+    {"name": "gemm_nn_256x256x256", "flops": 33554432, "blocked_ns": 500000, "allocs_per_iter": 0},
+    {"name": "gemm_nn_128x128x128", "flops": 4194304, "blocked_ns": 100000, "allocs_per_iter": null}
+  ]
+}"#;
+        let from_v1 = parse_bench_json(v1).expect("v1 parses");
+        let from_v2 = parse_bench_json(v2).expect("v2 parses");
+        assert_eq!(
+            lookup(&from_v1, "gemm_nn_256x256x256").blocked_ns,
+            500_000.0
+        );
+        assert_eq!(
+            lookup(&from_v2, "gemm_nn_256x256x256").blocked_ns,
+            500_000.0
+        );
+        assert_eq!(
+            lookup(&from_v2, "gemm_nn_128x128x128").blocked_ns,
+            100_000.0
+        );
+        let a = ServerCostModel::from_measurements(Architecture::Vgg16Lite, &from_v1);
+        let b = ServerCostModel::from_measurements(Architecture::Vgg16Lite, &from_v2);
+        assert!(a.gflops > 0.0 && b.gflops > 0.0);
+    }
 }

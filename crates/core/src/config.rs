@@ -56,6 +56,12 @@ pub struct RunConfig {
     /// or the naive loop-nest oracle). Applied process-wide by `experiment::run`;
     /// constructors honour the `MERGESFL_KERNELS` environment variable.
     pub kernel_backend: KernelBackend,
+    /// Whether tensor storage and kernel scratch check pages out of the size-classed
+    /// memory pool (`mergesfl_nn::pool`) instead of allocating. Pooling changes where
+    /// buffers live, never their contents — trajectories are bit-identical either way.
+    /// Applied process-wide by `experiment::run`; constructors honour the
+    /// `MERGESFL_TENSOR_POOL` environment variable (`off` disables; default on).
+    pub tensor_pool: bool,
     /// Number of parameter-server instances the top model is sharded across. With 1 (the
     /// default) the engine is the single-server loop; with more, the layout is decided by
     /// [`RunConfig::topology`]: replicated shards each train a full replica on the cohort
@@ -97,6 +103,20 @@ pub fn pipeline_from_env() -> bool {
             .to_lowercase()
             .as_str(),
         "on" | "1" | "true"
+    )
+}
+
+/// Reads the tensor-pool toggle from the `MERGESFL_TENSOR_POOL` environment variable;
+/// the pool is on by default and `off`/`0`/`false` disables it (every checkout then
+/// falls through to the heap — the bit-identical baseline the determinism tests
+/// compare against).
+pub fn tensor_pool_from_env() -> bool {
+    !matches!(
+        std::env::var("MERGESFL_TENSOR_POOL")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str(),
+        "off" | "0" | "false"
     )
 }
 
@@ -163,6 +183,7 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            tensor_pool: tensor_pool_from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
@@ -193,6 +214,7 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            tensor_pool: tensor_pool_from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
@@ -222,6 +244,7 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            tensor_pool: tensor_pool_from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),

@@ -89,6 +89,8 @@ pub fn run(approach: Approach, config: &RunConfig) -> RunResult {
     // Select the compute-kernel backend for the NN hot path. The setting is process-wide
     // (layers read it at call time), so concurrent runs should use the same backend.
     mergesfl_nn::kernels::set_default_backend(config.kernel_backend);
+    // Same story for the tensor memory pool: checkouts consult the flag at call time.
+    mergesfl_nn::pool::set_enabled(config.tensor_pool);
     match approach {
         Approach::MergeSfl => SflEngine::new(SflStrategy::merge_sfl(), config).run(),
         Approach::MergeSflWithoutFm => {

@@ -217,6 +217,7 @@ impl FlEngine {
         self.cluster.begin_round(round);
         let tau = self.config.tau();
         let batch = self.config.uniform_batch;
+        let pool_mark = mergesfl_nn::pool::stats();
 
         for state in self.cluster.all_worker_states() {
             // FL workers do not ship per-sample features, so only compute time matters for
@@ -229,6 +230,7 @@ impl FlEngine {
             // Selection is validated to produce at least one worker; guard the degenerate
             // case anyway with a logged, skipped round instead of panicking downstream.
             eprintln!("[mergesfl] round {round}: empty FL cohort; skipping round");
+            let pool = mergesfl_nn::pool::stats();
             self.result.push(RoundRecord {
                 round,
                 sim_time: self.clock.elapsed_seconds(),
@@ -249,6 +251,9 @@ impl FlEngine {
                 server_critical_fraction: mergesfl_simnet::profile::SERVER_CRITICAL_FRACTION,
                 staleness: 0,
                 version_lag: Vec::new(),
+                pool_pages: pool.pages as usize,
+                pool_bytes: pool.bytes as usize,
+                pool_hit_rate: pool.since(&pool_mark).hit_rate(),
             });
             return;
         }
@@ -308,7 +313,8 @@ impl FlEngine {
                     self.config.parallel,
                     &train_one,
                 );
-                self.global_model = aggregate;
+                let old = std::mem::replace(&mut self.global_model, aggregate);
+                mergesfl_nn::pool::recycle(old);
                 loss_sum = streamed_loss;
             } else {
                 let outcomes: Vec<(Vec<f32>, f32)> = if self.config.parallel {
@@ -321,7 +327,14 @@ impl FlEngine {
                     states.push(state);
                     loss_sum += local_loss;
                 }
-                self.global_model = weighted_average_states(&states, &weights);
+                let old = std::mem::replace(
+                    &mut self.global_model,
+                    weighted_average_states(&states, &weights),
+                );
+                mergesfl_nn::pool::recycle(old);
+                for state in states {
+                    mergesfl_nn::pool::recycle(state);
+                }
             }
         }
         self.tracker.record_participation(&selected);
@@ -356,6 +369,7 @@ impl FlEngine {
         } else {
             None
         };
+        let pool = mergesfl_nn::pool::stats();
         self.result.push(RoundRecord {
             round,
             sim_time: self.clock.elapsed_seconds(),
@@ -384,6 +398,9 @@ impl FlEngine {
             // The FL loop has no top-model version ring: always synchronous.
             staleness: 0,
             version_lag: Vec::new(),
+            pool_pages: pool.pages as usize,
+            pool_bytes: pool.bytes as usize,
+            pool_hit_rate: pool.since(&pool_mark).hit_rate(),
         });
     }
 
@@ -441,7 +458,7 @@ where
         "stream_aggregate: weights must sum to a positive value"
     );
 
-    let mut aggregate = vec![0.0f32; model_len];
+    let mut aggregate = mergesfl_nn::pool::take_zeroed::<f32>(model_len);
     let mut loss_sum = 0.0f32;
     let threads = if parallel {
         rayon::current_num_threads().min(n).max(1)
@@ -489,6 +506,7 @@ where
                     *o += coeff * v;
                 }
                 loss_sum += local_loss;
+                mergesfl_nn::pool::recycle(state);
                 next += 1;
             }
         }

@@ -28,7 +28,13 @@ pub struct ShardBreakdown {
 }
 
 /// Measurements taken at the end of one communication round.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the *trajectory* — every field except the `pool_*` gauges, which
+/// read process-global pool counters and therefore depend on how warm the pool already
+/// was (a second same-seed run in the same process sees higher hit rates, not a
+/// different model). The determinism suite's "bit-identical traces" contract is about
+/// the trajectory; the pool gauges are telemetry riding along.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Communication round index (0-based).
     pub round: usize,
@@ -81,6 +87,41 @@ pub struct RoundRecord {
     /// steps, length `staleness + 1`); empty for synchronous rounds, FL rounds and
     /// legacy records.
     pub version_lag: Vec<usize>,
+    /// Pages held by the tensor memory pool at the end of the round (cumulative: pages
+    /// are never freed, only recycled). 0 for legacy records and pool-disabled runs.
+    pub pool_pages: usize,
+    /// Bytes held by the tensor memory pool at the end of the round. 0 for legacy
+    /// records and pool-disabled runs.
+    pub pool_bytes: usize,
+    /// Fraction of this round's pool checkouts served without a heap allocation
+    /// (local hit or reservoir refill). 1.0 after warmup on the steady-state path;
+    /// 0.0 for legacy records and pool-disabled runs.
+    pub pool_hit_rate: f64,
+}
+
+impl PartialEq for RoundRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the pool gauges (see the struct docs for why).
+        self.round == other.round
+            && self.sim_time == other.sim_time
+            && self.accuracy == other.accuracy
+            && self.train_loss == other.train_loss
+            && self.avg_waiting_time == other.avg_waiting_time
+            && self.round_makespan_barrier == other.round_makespan_barrier
+            && self.round_makespan_pipelined == other.round_makespan_pipelined
+            && self.traffic_mb == other.traffic_mb
+            && self.participants == other.participants
+            && self.total_batch == other.total_batch
+            && self.cohort_kl == other.cohort_kl
+            && self.shards == other.shards
+            && self.topology == other.topology
+            && self.cross_sync_seconds == other.cross_sync_seconds
+            && self.exchange_bytes == other.exchange_bytes
+            && self.server_gflops == other.server_gflops
+            && self.server_critical_fraction == other.server_critical_fraction
+            && self.staleness == other.staleness
+            && self.version_lag == other.version_lag
+    }
 }
 
 /// The full trace of one training run.
@@ -234,6 +275,12 @@ impl RunResult {
             json::write_escaped(&mut out, r.topology.name());
             out.push_str(",\"exchange_bytes\":");
             json::write_f64(&mut out, r.exchange_bytes);
+            let _ = write!(
+                out,
+                ",\"pool_pages\":{},\"pool_bytes\":{},\"pool_hit_rate\":",
+                r.pool_pages, r.pool_bytes
+            );
+            json::write_f64(&mut out, r.pool_hit_rate);
             let _ = write!(out, ",\"staleness\":{},\"version_lag\":[", r.staleness);
             for (j, count) in r.version_lag.iter().enumerate() {
                 if j > 0 {
@@ -371,6 +418,16 @@ impl RunResult {
                     None => 0,
                     Some(_) => int(r, "staleness")?,
                 },
+                // Records written before the tensor memory pool report no pool activity.
+                pool_pages: match r.get("pool_pages") {
+                    None => 0,
+                    Some(_) => int(r, "pool_pages")?,
+                },
+                pool_bytes: match r.get("pool_bytes") {
+                    None => 0,
+                    Some(_) => int(r, "pool_bytes")?,
+                },
+                pool_hit_rate: opt_num(r, "pool_hit_rate", 0.0)?,
                 version_lag: match r.get("version_lag") {
                     None => Vec::new(),
                     Some(v) => {
@@ -445,6 +502,9 @@ mod tests {
             } else {
                 Vec::new()
             },
+            pool_pages: 17,
+            pool_bytes: 1_048_576,
+            pool_hit_rate: 0.96875,
         }
     }
 
@@ -570,6 +630,10 @@ mod tests {
         // Pre-staleness records are synchronous: window 0, no lag histogram.
         assert_eq!(r.staleness, 0);
         assert!(r.version_lag.is_empty());
+        // Pre-pool records report no pool activity.
+        assert_eq!(r.pool_pages, 0);
+        assert_eq!(r.pool_bytes, 0);
+        assert_eq!(r.pool_hit_rate, 0.0);
         // And a re-serialised legacy record round-trips through the new schema.
         let back = RunResult::from_json(&parsed.to_json()).unwrap();
         assert_eq!(back, parsed);
@@ -584,6 +648,34 @@ mod tests {
         assert_eq!(back.records[1].staleness, 2);
         assert_eq!(back.records[1].version_lag, vec![1, 3, 12]);
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_pool_gauges() {
+        // Equality ignores the pool gauges, so their roundtrip is pinned field by field.
+        let r = sample_run();
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        for rec in &back.records {
+            assert_eq!(rec.pool_pages, 17);
+            assert_eq!(rec.pool_bytes, 1_048_576);
+            assert_eq!(rec.pool_hit_rate, 0.96875);
+        }
+    }
+
+    #[test]
+    fn equality_compares_the_trajectory_not_the_pool_gauges() {
+        // Two same-seed runs in one process see different pool warmth (first run fills
+        // the arena, second run hits it), so trace equality must not depend on the
+        // gauges — but any trajectory field still breaks it.
+        let r = sample_run();
+        let mut warm = r.clone();
+        warm.records[0].pool_pages = 0;
+        warm.records[0].pool_bytes = 0;
+        warm.records[0].pool_hit_rate = 0.0;
+        assert_eq!(warm, r);
+        let mut diverged = r.clone();
+        diverged.records[0].train_loss += 1.0;
+        assert_ne!(diverged, r);
     }
 
     #[test]

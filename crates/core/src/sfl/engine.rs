@@ -319,6 +319,9 @@ impl SflEngine {
     fn run_round(&mut self, round: usize) {
         self.cluster.begin_round(round);
         let tau = self.config.tau();
+        // Marks the pool counters so the round record reports this round's hit rate
+        // (the pages/bytes gauges are cumulative by design — pages are never freed).
+        let pool_mark = mergesfl_nn::pool::stats();
 
         // --- Control: collect state, plan the round (Alg. 1). ---
         for state in self.cluster.all_worker_states() {
@@ -366,6 +369,7 @@ impl SflEngine {
                     .record(TrafficCategory::ServerExchange, sync_bytes);
             }
             self.clock.advance_by(cross_sync_seconds);
+            let pool = mergesfl_nn::pool::stats();
             self.result.push(RoundRecord {
                 round,
                 sim_time: self.clock.elapsed_seconds(),
@@ -386,6 +390,9 @@ impl SflEngine {
                 server_critical_fraction: self.cost_model.critical_fraction,
                 staleness: self.config.staleness,
                 version_lag: Vec::new(),
+                pool_pages: pool.pages as usize,
+                pool_bytes: pool.bytes as usize,
+                pool_hit_rate: pool.since(&pool_mark).hit_rate(),
             });
             return;
         }
@@ -469,6 +476,9 @@ impl SflEngine {
                 vec![1.0; plan.selected.len()]
             };
             server.aggregate_bottoms(&states, &weights);
+            for state in states {
+                mergesfl_nn::pool::recycle(state);
+            }
             for _ in &plan.selected {
                 traffic.record(TrafficCategory::BottomModel, self.bottom_param_bytes);
             }
@@ -527,6 +537,7 @@ impl SflEngine {
         } else {
             None
         };
+        let pool = mergesfl_nn::pool::stats();
         self.result.push(RoundRecord {
             round,
             sim_time: self.clock.elapsed_seconds(),
@@ -547,6 +558,9 @@ impl SflEngine {
             server_critical_fraction: self.cost_model.critical_fraction,
             staleness: self.config.staleness,
             version_lag: self.server.take_lag_counts(),
+            pool_pages: pool.pages as usize,
+            pool_bytes: pool.bytes as usize,
+            pool_hit_rate: pool.since(&pool_mark).hit_rate(),
         });
     }
 

@@ -326,10 +326,13 @@ impl PartitionedShard {
     fn gathered_logits(&self, h: &Tensor) -> Tensor {
         let batch = h.shape()[0];
         let backend = kernels::default_backend();
-        let mut full = vec![0.0f32; batch * self.classes];
+        // The slices partition [0, classes), so every element of `full` is overwritten by
+        // exactly one copy below — the exchange buffer can skip zeroing. The per-slice
+        // partials are GEMM accumulation targets and must start zeroed.
+        let mut full = mergesfl_nn::pool::take_uninit::<f32>(batch * self.classes);
         for s in &self.slices {
             let width = s.width();
-            let mut partial = vec![0.0f32; batch * width];
+            let mut partial = mergesfl_nn::pool::take_zeroed::<f32>(batch * width);
             kernels::gemm_nt(
                 backend,
                 batch,
@@ -343,6 +346,7 @@ impl PartitionedShard {
             for (row, chunk) in partial.chunks(width).enumerate() {
                 full[row * self.classes + s.lo..row * self.classes + s.hi].copy_from_slice(chunk);
             }
+            mergesfl_nn::pool::recycle(partial);
         }
         Tensor::from_vec(full, &[batch, self.classes])
     }
@@ -353,9 +357,11 @@ impl PartitionedShard {
     /// and a persistent mirror would add a second state invariant to keep in sync
     /// through every slice update and `load_state`.
     fn gathered_weight(&self) -> Vec<f32> {
-        let mut w = Vec::with_capacity(self.classes * self.in_features);
+        let mut w = mergesfl_nn::pool::take_uninit::<f32>(self.classes * self.in_features);
+        let mut offset = 0usize;
         for s in &self.slices {
-            w.extend_from_slice(&s.weight);
+            w[offset..offset + s.weight.len()].copy_from_slice(&s.weight);
+            offset += s.weight.len();
         }
         w
     }
@@ -364,9 +370,10 @@ impl PartitionedShard {
 /// Copies the class columns `[lo, hi)` out of a row-major `[batch, classes]` matrix.
 fn scatter_columns(grad: &Tensor, lo: usize, hi: usize) -> Vec<f32> {
     let cols = grad.shape()[1];
-    let mut out = Vec::with_capacity(grad.shape()[0] * (hi - lo));
-    for row in grad.data().chunks(cols) {
-        out.extend_from_slice(&row[lo..hi]);
+    let width = hi - lo;
+    let mut out = mergesfl_nn::pool::take_uninit::<f32>(grad.shape()[0] * width);
+    for (dst, row) in out.chunks_mut(width.max(1)).zip(grad.data().chunks(cols)) {
+        dst.copy_from_slice(&row[lo..hi]);
     }
     out
 }
@@ -410,13 +417,14 @@ impl TopModelShard for PartitionedShard {
                     *acc += *g;
                 }
             }
+            mergesfl_nn::pool::recycle(grad_block);
         }
 
         // All-reduce of the partial trunk gradients, evaluated in canonical class order:
         // one GEMM against the gathered weight carries the exact bits of the unsharded
         // `grad_logits · W`, where a chunk-then-add float sum would not.
         let gathered_w = self.gathered_weight();
-        let mut grad_h = vec![0.0f32; batch * self.in_features];
+        let mut grad_h = mergesfl_nn::pool::take_zeroed::<f32>(batch * self.in_features);
         kernels::gemm_nn(
             backend,
             batch,
@@ -427,6 +435,7 @@ impl TopModelShard for PartitionedShard {
             &mut grad_h,
             Epilogue::None,
         );
+        mergesfl_nn::pool::recycle(gathered_w);
         let grad_features = self
             .trunk
             .backward(&Tensor::from_vec(grad_h, &[batch, self.in_features]));
@@ -722,14 +731,19 @@ impl ShardedServer {
         );
         self.lag_counts[lag] += 1;
         let current = self.shards[shard].state();
-        let stale = self.version_rings[shard]
-            .oldest()
-            .map(|(_, state)| state.clone());
+        // Copy the stale snapshot through the pool instead of cloning: the ring keeps
+        // its page, the working copy returns to the pool right after the restore.
+        let stale = self.version_rings[shard].oldest().map(|(_, state)| {
+            let mut copy = mergesfl_nn::pool::take_uninit::<f32>(state.len());
+            copy.copy_from_slice(state);
+            copy
+        });
         let step = match stale {
             Some(state) => {
                 self.shards[shard].load_state(&state);
                 let step = self.shards[shard].begin_step(merged);
                 self.shards[shard].load_state(&current);
+                mergesfl_nn::pool::recycle(state);
                 step
             }
             None => self.shards[shard].begin_step(merged),
@@ -758,7 +772,10 @@ impl ShardedServer {
             let pre_step = self.pending_version[shard]
                 .take()
                 .expect("finish_step without a matching begin_step");
-            self.version_rings[shard].publish(pre_step);
+            let (_, evicted) = self.version_rings[shard].publish_evicting(pre_step);
+            if let Some(state) = evicted {
+                mergesfl_nn::pool::recycle(state);
+            }
         }
     }
 
@@ -819,7 +836,11 @@ impl ShardedServer {
         } else {
             vec![1.0; states.len()]
         };
-        weighted_average_states(&states, &weights)
+        let averaged = weighted_average_states(&states, &weights);
+        for state in states {
+            mergesfl_nn::pool::recycle(state);
+        }
+        averaged
     }
 
     /// Performs one cross-shard synchronisation now: averages the replicas (weighted by
@@ -831,14 +852,18 @@ impl ShardedServer {
             for shard in &mut self.shards {
                 shard.load_state(&averaged);
             }
+            mergesfl_nn::pool::recycle(averaged);
         }
         for w in &mut self.samples_since_sync {
             *w = 0.0;
         }
         // Averaging invalidates the retained versions: they no longer describe any live
-        // parameter vector, so the staleness window restarts from the synced state.
+        // parameter vector, so the staleness window restarts from the synced state. The
+        // snapshots drain back to the pool rather than being freed.
         for ring in &mut self.version_rings {
-            ring.clear();
+            for (_, state) in ring.drain() {
+                mergesfl_nn::pool::recycle(state);
+            }
         }
     }
 
@@ -862,7 +887,8 @@ impl ShardedServer {
             self.global_bottom.len(),
             "aggregate_bottoms: bottom model size changed"
         );
-        self.global_bottom = aggregated;
+        let old = std::mem::replace(&mut self.global_bottom, aggregated);
+        mergesfl_nn::pool::recycle(old);
     }
 
     /// Loads the current global bottom-model state into an evaluation replica. Chunked
@@ -882,6 +908,7 @@ impl ShardedServer {
         }
         let state = self.averaged_top_state();
         self.eval_top.load_state(&state);
+        mergesfl_nn::pool::recycle(state);
     }
 
     /// Evaluates the combined global model (aggregated bottom + cross-shard averaged

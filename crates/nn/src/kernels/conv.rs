@@ -164,7 +164,9 @@ pub fn conv_forward(
     geom.validate(x.len(), weight.len());
     assert_eq!(bias.len(), geom.c_out, "conv_forward: bias length mismatch");
     let plane = geom.h_out() * geom.w_out();
-    let mut out = vec![0.0f32; geom.n * geom.per_image_out()];
+    // Pooled page, not zeroed: init_bias_planes seeds every element below. Callers adopt
+    // the returned buffer into a pooled Tensor (or recycle it), closing the reuse loop.
+    let mut out = crate::pool::take_uninit::<f32>(geom.n * geom.per_image_out());
     // Shared epilogue seed: the output starts at the bias and the kernels accumulate on
     // top, which keeps the naive and blocked accumulation orders identical.
     init_bias_planes(&mut out, bias, plane);
@@ -205,7 +207,8 @@ pub fn conv_backward(
         geom.c_out,
         "conv_backward: grad_b length mismatch"
     );
-    let mut grad_in = vec![0.0f32; x.len()];
+    // Zeroed checkout: both backends accumulate into grad_in via `+=`.
+    let mut grad_in = crate::pool::take_zeroed::<f32>(x.len());
     match backend {
         KernelBackend::Naive => {
             backward_naive(geom, x, weight, grad_out, grad_w, grad_b, &mut grad_in)
@@ -435,7 +438,11 @@ fn forward_blocked(geom: &ConvGeom, x: &[f32], weight: &[f32], out: &mut [f32]) 
         // One image per task: disjoint output slices, fixed order, own scratch buffer.
         let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(per_out).enumerate().collect();
         tasks.into_par_iter().for_each(|(ni, out_img)| {
-            let mut cols = vec![0.0f32; geom.h_out() * geom.w_out() * geom.patch_len()];
+            // im2col overwrites the whole scratch, so an uninit checkout from the
+            // worker thread's own pool is exact; recycling keeps it for the thread's
+            // next image (and the reservoir after the scoped thread exits).
+            let mut cols =
+                crate::pool::take_uninit::<f32>(geom.h_out() * geom.w_out() * geom.patch_len());
             forward_one_image(
                 geom,
                 &x[ni * per_in..(ni + 1) * per_in],
@@ -443,9 +450,11 @@ fn forward_blocked(geom: &ConvGeom, x: &[f32], weight: &[f32], out: &mut [f32]) 
                 &mut cols,
                 out_img,
             );
+            crate::pool::recycle(cols);
         });
     } else {
-        let mut cols = vec![0.0f32; geom.h_out() * geom.w_out() * geom.patch_len()];
+        let mut cols =
+            crate::pool::take_uninit::<f32>(geom.h_out() * geom.w_out() * geom.patch_len());
         for (ni, out_img) in out.chunks_mut(per_out).enumerate() {
             forward_one_image(
                 geom,
@@ -455,6 +464,7 @@ fn forward_blocked(geom: &ConvGeom, x: &[f32], weight: &[f32], out: &mut [f32]) 
                 out_img,
             );
         }
+        crate::pool::recycle(cols);
     }
 }
 
@@ -475,8 +485,10 @@ fn backward_blocked(
     if geom.n == 0 || per_out == 0 {
         return;
     }
-    let mut cols = vec![0.0f32; plane * ckk];
-    let mut dcols = vec![0.0f32; plane * ckk];
+    // im2col rewrites `cols` per image and `dcols` is zero-filled per image below, so
+    // neither checkout needs zeroing.
+    let mut cols = crate::pool::take_uninit::<f32>(plane * ckk);
+    let mut dcols = crate::pool::take_uninit::<f32>(plane * ckk);
     // Images run strictly in batch order so gradient accumulation folds exactly like the
     // naive nest (per-image partial sums would reassociate the reduction).
     for ni in 0..geom.n {
@@ -518,6 +530,8 @@ fn backward_blocked(
         );
         col2im_add(geom, &dcols, &mut grad_in[ni * per_in..(ni + 1) * per_in]);
     }
+    crate::pool::recycle(cols);
+    crate::pool::recycle(dcols);
 }
 
 #[cfg(test)]

@@ -520,8 +520,11 @@ fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
     let kc_max = blocking.kc.min(k);
     let mc_max = blocking.mc.min(m_local);
     let nc_max = blocking.nc.min(n);
-    let mut ap = vec![0.0f32; mc_max.div_ceil(TMR) * TMR * kc_max];
-    let mut bp = vec![0.0f32; nc_max.div_ceil(TNR) * TNR * kc_max];
+    // Pooled packing panels: every used slot (padding lanes included) is rewritten by
+    // pack_a / pack_b before the micro-kernel reads it, so stale contents never
+    // influence C and the checkout can skip zeroing. Recycled on every return path.
+    let mut ap = crate::pool::take_uninit::<f32>(mc_max.div_ceil(TMR) * TMR * kc_max);
+    let mut bp = crate::pool::take_uninit::<f32>(nc_max.div_ceil(TNR) * TNR * kc_max);
 
     for jc in (0..n).step_by(nc_max) {
         let nc_eff = nc_max.min(n - jc);
@@ -569,6 +572,8 @@ fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
             }
         }
     }
+    crate::pool::recycle(ap);
+    crate::pool::recycle(bp);
 }
 
 #[cfg(test)]

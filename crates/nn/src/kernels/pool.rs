@@ -34,8 +34,11 @@ pub fn maxpool_forward(
     );
     let (h_out, w_out) = (h / kh, w / kw);
     let out_plane = h_out * w_out;
-    let mut out = vec![f32::NEG_INFINITY; planes * out_plane];
-    let mut argmax = vec![0usize; out.len()];
+    // Pooled checkouts with the same seeds the fresh vecs had: the scan compares
+    // against -inf, and argmax must start at 0 (a NaN-only window never overwrites it).
+    let mut out = crate::pool::take_uninit::<f32>(planes * out_plane);
+    out.fill(f32::NEG_INFINITY);
+    let mut argmax = crate::pool::take_zeroed::<usize>(out.len());
 
     let run_plane = |plane: usize, out_p: &mut [f32], arg_p: &mut [usize]| {
         let base = plane * h * w;
@@ -87,7 +90,7 @@ pub fn maxpool_backward(grad_out: &[f32], argmax: &[usize], input_len: usize) ->
         argmax.len(),
         "maxpool_backward: length mismatch"
     );
-    let mut grad_in = vec![0.0f32; input_len];
+    let mut grad_in = crate::pool::take_zeroed::<f32>(input_len);
     for (g, &idx) in grad_out.iter().zip(argmax) {
         grad_in[idx] += g;
     }

@@ -4,15 +4,20 @@ use super::Layer;
 use crate::tensor::Tensor;
 
 /// Rectified linear unit: `y = max(0, x)`, applied element-wise to any shape.
+///
+/// The backward mask (`x > 0.0`) is recomputed from a cached copy of the input instead
+/// of being materialised as a `Vec<bool>`: the cached tensor lives in pooled storage, so
+/// steady-state forward/backward touches no heap, and the gradient is bit-identical
+/// (`g` passes exactly where `x > 0.0`, as before).
 #[derive(Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    cached_input: Option<Tensor>,
 }
 
 impl Relu {
     /// Creates a new ReLU layer.
     pub fn new() -> Self {
-        Self { mask: None }
+        Self { cached_input: None }
     }
 }
 
@@ -22,38 +27,33 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
-        let data = input
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&x, &m)| if m { x } else { 0.0 })
-            .collect();
-        self.mask = Some(mask);
-        Tensor::from_vec(data, input.shape())
+        let mut out = crate::pool::take_uninit::<f32>(input.len());
+        for (o, &x) in out.iter_mut().zip(input.data()) {
+            *o = if x > 0.0 { x } else { 0.0 };
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(out, input.shape())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self
-            .mask
+        let input = self
+            .cached_input
             .take()
             .expect("Relu::backward called without a cached forward pass");
         assert_eq!(
-            mask.len(),
+            input.len(),
             grad_output.len(),
             "Relu: gradient length mismatch"
         );
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let mut data = crate::pool::take_uninit::<f32>(grad_output.len());
+        for ((o, &g), &x) in data.iter_mut().zip(grad_output.data()).zip(input.data()) {
+            *o = if x > 0.0 { g } else { 0.0 };
+        }
         Tensor::from_vec(data, grad_output.shape())
     }
 
     fn reset_cache(&mut self) {
-        self.mask = None;
+        self.cached_input = None;
     }
 }
 

@@ -43,16 +43,20 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| {
-                if self.rng.gen::<f32>() < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let data = input.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
+        // Pooled mask and output; the RNG consumes one draw per element in the same
+        // order as before, so trajectories are unchanged.
+        let mut mask = crate::pool::take_uninit::<f32>(input.len());
+        for m in mask.iter_mut() {
+            *m = if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
+        }
+        let mut data = crate::pool::take_uninit::<f32>(input.len());
+        for ((o, x), m) in data.iter_mut().zip(input.data()).zip(&mask) {
+            *o = x * m;
+        }
         self.mask = Some(mask);
         Tensor::from_vec(data, input.shape())
     }
@@ -60,12 +64,11 @@ impl Layer for Dropout {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         match self.mask.take() {
             Some(mask) => {
-                let data = grad_output
-                    .data()
-                    .iter()
-                    .zip(&mask)
-                    .map(|(g, m)| g * m)
-                    .collect();
+                let mut data = crate::pool::take_uninit::<f32>(grad_output.len());
+                for ((o, g), m) in data.iter_mut().zip(grad_output.data()).zip(&mask) {
+                    *o = g * m;
+                }
+                crate::pool::recycle(mask);
                 Tensor::from_vec(data, grad_output.shape())
             }
             // Evaluation mode (or p == 0): identity.
@@ -74,7 +77,9 @@ impl Layer for Dropout {
     }
 
     fn reset_cache(&mut self) {
-        self.mask = None;
+        if let Some(mask) = self.mask.take() {
+            crate::pool::recycle(mask);
+        }
     }
 }
 

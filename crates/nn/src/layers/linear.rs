@@ -65,7 +65,7 @@ impl Layer for Linear {
         // y = x W^T + b, straight through the GEMM kernels (no transposed copy of W) with
         // the bias broadcast as a fused epilogue.
         let batch = input.shape()[0];
-        let mut out = vec![0.0f32; batch * self.out_features];
+        let mut out = crate::pool::take_zeroed::<f32>(batch * self.out_features);
         kernels::gemm_nt(
             kernels::default_backend(),
             batch,
@@ -95,7 +95,7 @@ impl Layer for Linear {
         // dL/dx = grad_output @ W              -> [batch, in]
         let backend = kernels::default_backend();
         let batch = input.shape()[0];
-        let mut grad_w = vec![0.0f32; self.out_features * self.in_features];
+        let mut grad_w = crate::pool::take_zeroed::<f32>(self.out_features * self.in_features);
         kernels::gemm_tn(
             backend,
             self.out_features,
@@ -110,7 +110,7 @@ impl Layer for Linear {
             .grad
             .add_assign(&Tensor::from_vec(grad_w, self.weight.value.shape()));
         self.bias.grad.add_assign(&grad_output.sum_rows());
-        let mut grad_in = vec![0.0f32; batch * self.in_features];
+        let mut grad_in = crate::pool::take_zeroed::<f32>(batch * self.in_features);
         kernels::gemm_nn(
             backend,
             batch,

@@ -63,11 +63,14 @@ impl Layer for MaxPool2d {
             .take()
             .expect("MaxPool2d: missing input shape");
         let grad_in = maxpool_backward(grad_output.data(), &argmax, shape.iter().product());
+        crate::pool::recycle(argmax);
         Tensor::from_vec(grad_in, &shape)
     }
 
     fn reset_cache(&mut self) {
-        self.argmax = None;
+        if let Some(argmax) = self.argmax.take() {
+            crate::pool::recycle(argmax);
+        }
         self.input_shape = None;
     }
 }
@@ -117,11 +120,14 @@ impl Layer for MaxPool1d {
             .take()
             .expect("MaxPool1d: missing input shape");
         let grad_in = maxpool_backward(grad_output.data(), &argmax, shape.iter().product());
+        crate::pool::recycle(argmax);
         Tensor::from_vec(grad_in, &shape)
     }
 
     fn reset_cache(&mut self) {
-        self.argmax = None;
+        if let Some(argmax) = self.argmax.take() {
+            crate::pool::recycle(argmax);
+        }
         self.input_shape = None;
     }
 }

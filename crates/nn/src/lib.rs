@@ -16,6 +16,9 @@
 //!   matching the schedules used in the paper's experiments.
 //! * [`model`] — [`model::Sequential`] containers with parameter (de)serialisation used for
 //!   federated aggregation.
+//! * [`pool`] — size-classed pooled tensor memory (thread-local free lists over exclusive
+//!   pages with a shared reservoir) backing `Tensor` storage and kernel scratch, for a
+//!   zero-allocation steady-state hot path (`MERGESFL_TENSOR_POOL`).
 //! * [`split`] — [`split::SplitModel`], a model cut at a *split layer* into a bottom part
 //!   (trained on workers) and a top part (trained on the parameter server), the core
 //!   abstraction of split federated learning.
@@ -32,6 +35,7 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 pub mod split;
 pub mod tensor;

@@ -32,12 +32,18 @@ impl SoftmaxCrossEntropy {
     pub fn softmax(logits: &Tensor) -> Tensor {
         assert_eq!(logits.shape().len(), 2, "softmax: logits must be 2-D");
         let classes = logits.shape()[1];
-        let mut out = Vec::with_capacity(logits.len());
-        for row in logits.data().chunks(classes) {
+        // Exponentials land directly in the pooled output row (no per-row scratch);
+        // the fold order of max, sum and the final division are unchanged.
+        let mut out = crate::pool::take_uninit::<f32>(logits.len());
+        for (out_row, row) in out.chunks_mut(classes).zip(logits.data().chunks(classes)) {
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-            let sum: f32 = exps.iter().sum();
-            out.extend(exps.iter().map(|e| e / sum));
+            for (o, &x) in out_row.iter_mut().zip(row) {
+                *o = (x - max).exp();
+            }
+            let sum: f32 = out_row.iter().sum();
+            for o in out_row.iter_mut() {
+                *o /= sum;
+            }
         }
         Tensor::from_vec(out, logits.shape())
     }

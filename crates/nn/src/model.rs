@@ -116,19 +116,27 @@ impl Sequential {
     }
 
     /// Copies all parameters into one flat vector (layer order, value order within layer).
+    /// The buffer is pooled — dropping it (or passing it back through
+    /// [`crate::pool::recycle`]) keeps the page for the next snapshot.
     pub fn state(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.num_params());
+        let mut out = crate::pool::take_uninit::<f32>(self.num_params());
+        let mut offset = 0usize;
         for p in self.params() {
-            out.extend_from_slice(p.value.data());
+            let data = p.value.data();
+            out[offset..offset + data.len()].copy_from_slice(data);
+            offset += data.len();
         }
         out
     }
 
     /// Copies all parameter gradients into one flat vector (same ordering as [`Self::state`]).
     pub fn grad_state(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.num_params());
+        let mut out = crate::pool::take_uninit::<f32>(self.num_params());
+        let mut offset = 0usize;
         for p in self.params() {
-            out.extend_from_slice(p.grad.data());
+            let data = p.grad.data();
+            out[offset..offset + data.len()].copy_from_slice(data);
+            offset += data.len();
         }
         out
     }
@@ -192,7 +200,7 @@ pub fn weighted_average_states(states: &[Vec<f32>], weights: &[f32]) -> Vec<f32>
         total > 0.0,
         "weighted_average_states: weights must sum to a positive value"
     );
-    let mut out = vec![0.0f32; len];
+    let mut out = crate::pool::take_zeroed::<f32>(len);
     for (state, &w) in states.iter().zip(weights) {
         let coeff = w / total;
         for (o, &v) in out.iter_mut().zip(state) {

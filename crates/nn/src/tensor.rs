@@ -5,14 +5,20 @@
 //! arithmetic, batch-axis concatenation/segmentation, and simple reductions). All data is
 //! stored contiguously in row-major order, so a shape `[n, c, h, w]` indexes as
 //! `((n * C + c) * H + h) * W + w`.
+//!
+//! Storage lives in a [`PoolBuf`], so every tensor — activations, gradients, merge staging,
+//! short-lived temporaries — checks its page out of the size-classed memory pool
+//! ([`crate::pool`]) and returns it on drop. In steady state no tensor operation touches
+//! the heap allocator; values are bit-identical to plain `Vec` storage either way.
 
+use crate::pool::{self, PoolBuf};
 use std::fmt;
 
 /// A dense, row-major tensor of `f32` values.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: PoolBuf,
 }
 
 impl fmt::Debug for Tensor {
@@ -23,6 +29,7 @@ impl fmt::Debug for Tensor {
 
 impl Tensor {
     /// Creates a tensor from raw data and a shape. Panics if the element count mismatches.
+    /// The buffer is adopted without copying and joins the pool when the tensor drops.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let expected: usize = shape.iter().product();
         assert_eq!(
@@ -34,7 +41,7 @@ impl Tensor {
         );
         Self {
             shape: shape.to_vec(),
-            data,
+            data: PoolBuf::from_vec(data),
         }
     }
 
@@ -43,26 +50,30 @@ impl Tensor {
         let n: usize = shape.iter().product();
         Self {
             shape: shape.to_vec(),
-            data: vec![0.0; n],
+            data: PoolBuf::zeroed(n),
         }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(shape: &[usize]) -> Self {
-        let n: usize = shape.iter().product();
-        Self {
-            shape: shape.to_vec(),
-            data: vec![1.0; n],
-        }
+        Self::full(shape, 1.0)
     }
 
     /// Creates a tensor filled with a constant value.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
+        let mut data = PoolBuf::uninit(n);
+        data.fill(value);
         Self {
             shape: shape.to_vec(),
-            data: vec![value; n],
+            data,
         }
+    }
+
+    /// Internal constructor over pooled storage; the caller guarantees the element count.
+    fn from_buf(shape: Vec<usize>, data: PoolBuf) -> Self {
+        debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+        Self { shape, data }
     }
 
     /// The shape of the tensor.
@@ -90,9 +101,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns the underlying buffer.
+    /// Consumes the tensor and returns the underlying buffer (withdrawing it from the
+    /// pool; recycle it by re-adopting through [`Tensor::from_vec`] or dropping it).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Size of the leading (batch) dimension; 0 for rank-0 tensors.
@@ -141,22 +153,17 @@ impl Tensor {
     /// Element-wise addition; shapes must match exactly.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "add: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Tensor {
-            shape: self.shape.clone(),
-            data,
+        let mut data = PoolBuf::uninit(self.data.len());
+        for ((o, a), b) in data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = a + b;
         }
+        Tensor::from_buf(self.shape.clone(), data)
     }
 
     /// Element-wise in-place addition.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -164,45 +171,35 @@ impl Tensor {
     /// Element-wise subtraction; shapes must match exactly.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "sub: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a - b)
-            .collect();
-        Tensor {
-            shape: self.shape.clone(),
-            data,
+        let mut data = PoolBuf::uninit(self.data.len());
+        for ((o, a), b) in data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = a - b;
         }
+        Tensor::from_buf(self.shape.clone(), data)
     }
 
     /// Element-wise multiplication; shapes must match exactly.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "mul: shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .collect();
-        Tensor {
-            shape: self.shape.clone(),
-            data,
+        let mut data = PoolBuf::uninit(self.data.len());
+        for ((o, a), b) in data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = a * b;
         }
+        Tensor::from_buf(self.shape.clone(), data)
     }
 
     /// Multiplication by a scalar.
     pub fn scale(&self, s: f32) -> Tensor {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Tensor {
-            shape: self.shape.clone(),
-            data,
+        let mut data = PoolBuf::uninit(self.data.len());
+        for (o, a) in data.iter_mut().zip(self.data.iter()) {
+            *o = a * s;
         }
+        Tensor::from_buf(self.shape.clone(), data)
     }
 
     /// In-place multiplication by a scalar.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
+        for a in self.data.iter_mut() {
             *a *= s;
         }
     }
@@ -210,14 +207,14 @@ impl Tensor {
     /// In-place `self += alpha * other` (axpy), used by the optimizers and aggregation.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
 
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        for a in &mut self.data {
+        for a in self.data.iter_mut() {
             *a = 0.0;
         }
     }
@@ -250,7 +247,12 @@ impl Tensor {
             other.len(),
             "cosine_similarity: length mismatch"
         );
-        let dot: f32 = self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum();
+        let dot: f32 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum();
         let denom = self.norm() * other.norm();
         if denom <= f32::EPSILON {
             0.0
@@ -270,7 +272,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_zeroed(m * n);
         crate::kernels::gemm_nn(
             crate::kernels::default_backend(),
             m,
@@ -281,26 +283,20 @@ impl Tensor {
             &mut out,
             crate::kernels::Epilogue::None,
         );
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        Tensor::from_buf(vec![m, n], PoolBuf::from_vec(out))
     }
 
     /// Transpose of a 2-D tensor.
     pub fn transpose2(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "transpose2: tensor must be 2-D");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = PoolBuf::uninit(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor {
-            shape: vec![n, m],
-            data: out,
-        }
+        Tensor::from_buf(vec![n, m], out)
     }
 
     /// Adds a 1-D bias of length `n` to every row of a 2-D `[m, n]` tensor.
@@ -314,30 +310,24 @@ impl Tensor {
         let n = self.shape[1];
         let mut data = self.data.clone();
         for row in data.chunks_mut(n) {
-            for (x, b) in row.iter_mut().zip(&bias.data) {
+            for (x, b) in row.iter_mut().zip(bias.data.iter()) {
                 *x += b;
             }
         }
-        Tensor {
-            shape: self.shape.clone(),
-            data,
-        }
+        Tensor::from_buf(self.shape.clone(), data)
     }
 
     /// Sums a 2-D `[m, n]` tensor over rows, producing a 1-D `[n]` tensor.
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "sum_rows: tensor must be 2-D");
         let n = self.shape[1];
-        let mut out = vec![0.0f32; n];
+        let mut out = PoolBuf::zeroed(n);
         for row in self.data.chunks(n) {
             for (o, x) in out.iter_mut().zip(row) {
                 *o += x;
             }
         }
-        Tensor {
-            shape: vec![n],
-            data: out,
-        }
+        Tensor::from_buf(vec![n], out)
     }
 
     /// Concatenates tensors along the leading (batch) axis.
@@ -348,6 +338,7 @@ impl Tensor {
     pub fn concat_batch(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "concat_batch: no parts");
         let item_shape: Vec<usize> = parts[0].shape[1..].to_vec();
+        let mut total_elems = 0usize;
         let mut total = 0usize;
         for p in parts {
             assert_eq!(
@@ -356,14 +347,17 @@ impl Tensor {
                 "concat_batch: item shape mismatch"
             );
             total += p.shape[0];
+            total_elems += p.data.len();
         }
-        let mut data = Vec::with_capacity(total * item_shape.iter().product::<usize>().max(1));
+        let mut data = PoolBuf::uninit(total_elems);
+        let mut offset = 0usize;
         for p in parts {
-            data.extend_from_slice(&p.data);
+            data[offset..offset + p.data.len()].copy_from_slice(&p.data);
+            offset += p.data.len();
         }
         let mut shape = vec![total];
         shape.extend_from_slice(&item_shape);
-        Tensor { shape, data }
+        Tensor::from_buf(shape, data)
     }
 
     /// Splits a tensor along the leading (batch) axis into chunks of the given sizes.
@@ -387,8 +381,8 @@ impl Tensor {
         for &s in sizes {
             let mut shape = vec![s];
             shape.extend_from_slice(&item_shape);
-            let data = self.data[offset * per_item..(offset + s) * per_item].to_vec();
-            out.push(Tensor { shape, data });
+            let data = PoolBuf::copy_of(&self.data[offset * per_item..(offset + s) * per_item]);
+            out.push(Tensor::from_buf(shape, data));
             offset += s;
         }
         out
@@ -400,8 +394,8 @@ impl Tensor {
         let per_item = self.per_item();
         let mut shape = self.shape.clone();
         shape[0] = count;
-        let data = self.data[start * per_item..(start + count) * per_item].to_vec();
-        Tensor { shape, data }
+        let data = PoolBuf::copy_of(&self.data[start * per_item..(start + count) * per_item]);
+        Tensor::from_buf(shape, data)
     }
 
     /// Gathers arbitrary batch items by index.
@@ -409,12 +403,13 @@ impl Tensor {
         let per_item = self.per_item();
         let mut shape = self.shape.clone();
         shape[0] = indices.len();
-        let mut data = Vec::with_capacity(indices.len() * per_item);
-        for &i in indices {
+        let mut data = PoolBuf::uninit(indices.len() * per_item);
+        for (k, &i) in indices.iter().enumerate() {
             assert!(i < self.batch(), "gather_batch: index {i} out of range");
-            data.extend_from_slice(&self.data[i * per_item..(i + 1) * per_item]);
+            data[k * per_item..(k + 1) * per_item]
+                .copy_from_slice(&self.data[i * per_item..(i + 1) * per_item]);
         }
-        Tensor { shape, data }
+        Tensor::from_buf(shape, data)
     }
 
     /// Row-wise argmax of a 2-D tensor (used for classification accuracy).
@@ -575,5 +570,23 @@ mod tests {
         let b = a.reshape(&[3, 2]);
         assert_eq!(b.shape(), &[3, 2]);
         assert_eq!(b.data(), a.data());
+    }
+
+    // Pooling is an allocation-placement concern only: a dropped tensor's page comes
+    // back for the next same-class tensor, carrying no trace of its old contents into
+    // any observable value.
+    #[test]
+    fn dropped_tensor_storage_is_reused() {
+        let _guard = crate::pool::POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let a = Tensor::full(&[33, 7], 3.5);
+        let ptr = a.data().as_ptr();
+        drop(a);
+        let b = Tensor::zeros(&[33, 7]);
+        if crate::pool::enabled() {
+            assert_eq!(b.data().as_ptr(), ptr);
+        }
+        assert!(b.data().iter().all(|&v| v == 0.0));
     }
 }

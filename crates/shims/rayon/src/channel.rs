@@ -180,13 +180,28 @@ impl<T> VersionedSlot<T> {
     /// Publishes a new version of the state, evicting the oldest retained one if the
     /// ring is full, and returns the version number assigned to `state`.
     pub fn publish(&mut self, state: T) -> u64 {
+        self.publish_evicting(state).0
+    }
+
+    /// Like [`Self::publish`], but hands the evicted oldest state (if the ring was
+    /// full) back to the caller instead of dropping it — so pooled buffers can be
+    /// recycled rather than freed.
+    pub fn publish_evicting(&mut self, state: T) -> (u64, Option<T>) {
         let version = self.next_version;
         self.next_version += 1;
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-        }
+        let evicted = if self.ring.len() == self.capacity {
+            self.ring.pop_front().map(|(_, s)| s)
+        } else {
+            None
+        };
         self.ring.push_back((version, state));
-        version
+        (version, evicted)
+    }
+
+    /// Removes and returns every retained `(version, state)` pair, oldest first
+    /// (version numbering keeps increasing, exactly like [`Self::clear`]).
+    pub fn drain(&mut self) -> std::collections::vec_deque::Drain<'_, (u64, T)> {
+        self.ring.drain(..)
     }
 
     /// The oldest retained `(version, state)`, i.e. the most stale view a consumer can

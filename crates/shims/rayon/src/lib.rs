@@ -18,11 +18,41 @@ pub mod prelude {
 
 pub mod channel;
 
-/// Number of worker threads a parallel call may fan out to.
+/// Runtime override of the fan-out width; 0 means "no override". Set via
+/// [`set_num_threads`], checked before the cached environment/host default.
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Pins (or, with 0, unpins) the fan-out width for subsequent parallel calls,
+/// process-wide. The allocation-counting phase of `kernel_bench` pins 1 so thread
+/// spawns stay out of its steady-state heap-allocation counts; real rayon has no such
+/// hook because its pool is sized once at build time.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Number of worker threads a parallel call may fan out to: the [`set_num_threads`]
+/// override if one is pinned, else the standard `RAYON_NUM_THREADS` environment
+/// variable (like real rayon's pool-build default), else the host parallelism. The
+/// environment and host lookups both allocate, so their result is resolved once and
+/// cached — this function is called on every parallel fan-out, including from the
+/// allocation-free kernel hot path.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let pinned = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if pinned >= 1 {
+        return pinned;
+    }
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Order-preserving parallel map over an owned list of tasks.

@@ -544,6 +544,43 @@ fn stale_trajectories_are_schedule_independent() {
 }
 
 #[test]
+fn tensor_pool_is_bit_identical_across_the_execution_matrix() {
+    // The pooling contract: checking buffers out of the size-classed arena changes where
+    // bytes live, never their values. Every cell of the parallel × pipeline matrix — plus
+    // replicated and output-partitioned shard layouts, which recycle merge staging, ring
+    // snapshots and logit-exchange buffers through the pool — must produce the same trace
+    // with the pool off and on. Both runs happen inside one test because `run` flips the
+    // process-wide pool switch. (`RunResult` equality already ignores the `pool_*`
+    // gauges, which legitimately differ between a cold heap and a warm arena.)
+    for (servers, topology) in [
+        (1, ShardTopology::Replicated),
+        (2, ShardTopology::Replicated),
+        (2, ShardTopology::OutputPartitioned),
+    ] {
+        for (parallel, pipeline) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut unpooled = tiny(71);
+            unpooled.num_servers = servers;
+            unpooled.sync_every = 2;
+            unpooled.topology = topology;
+            unpooled.parallel = parallel;
+            unpooled.pipeline = pipeline;
+            unpooled.tensor_pool = false;
+            let mut pooled = unpooled.clone();
+            pooled.tensor_pool = true;
+            let a = run(Approach::MergeSfl, &unpooled);
+            let b = run(Approach::MergeSfl, &pooled);
+            assert_eq!(
+                a,
+                b,
+                "servers={servers} topology={} parallel={parallel} pipeline={pipeline}: \
+                 pooled run diverged from the unpooled oracle",
+                topology.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn every_engine_is_deterministic_across_modes() {
     // One SFL-family and one FL-family approach beyond the headline pair, so a future
     // strategy-specific code path cannot silently lose determinism.
