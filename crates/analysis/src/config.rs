@@ -1,0 +1,210 @@
+//! Hand-rolled parser for the committed `lint.toml` configuration.
+//!
+//! Same spirit as `mergesfl::json`: the build environment has no crates.io access,
+//! so the TOML subset the lint needs is parsed by hand. The subset is deliberately
+//! small — `[section]` headers, `key = [ "string", … ]` arrays and `key = "string"`
+//! scalars, with `#` comment lines — and the parser is *strict*: unknown sections,
+//! unknown keys and malformed values are hard errors, so a typo in `lint.toml`
+//! cannot silently disable a rule.
+//!
+//! ```toml
+//! [scan]
+//! exclude = ["target", "crates/analysis/tests/fixtures"]
+//!
+//! [rule.hot-path-alloc]
+//! scope = ["crates/nn/src/kernels", "crates/nn/src/layers"]
+//!
+//! [rule.env-read]
+//! allow_files = ["crates/nn/src/env.rs"]
+//! ```
+//!
+//! Per-rule semantics:
+//! * `scope` — path prefixes (relative to the scan root) the rule applies to; an
+//!   absent or empty list means the whole tree.
+//! * `allow_files` — exact relative paths where the rule's *location* constraint is
+//!   satisfied (e.g. files `unsafe` or raw environment reads are permitted in).
+
+use std::collections::BTreeMap;
+
+/// Per-rule configuration (see module docs for field semantics).
+#[derive(Clone, Debug, Default)]
+pub struct RuleConfig {
+    pub scope: Vec<String>,
+    pub allow_files: Vec<String>,
+}
+
+/// The whole parsed configuration. Rule sections are keyed by rule id in a
+/// `BTreeMap` so every iteration over them is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Path prefixes (relative to the scan root) excluded from every scan.
+    pub exclude: Vec<String>,
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Configuration for `rule`, defaulting to "whole tree, no allowed files".
+    pub fn rule(&self, id: &str) -> RuleConfig {
+        self.rules.get(id).cloned().unwrap_or_default()
+    }
+
+    /// Parses the `lint.toml` subset; returns a descriptive error on any line it
+    /// does not understand.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {n}: unterminated section header"))?
+                    .trim();
+                section = match header {
+                    "scan" => Section::Scan,
+                    _ => match header.strip_prefix("rule.") {
+                        Some(rule) if !rule.is_empty() => {
+                            config.rules.entry(rule.to_string()).or_default();
+                            Section::Rule(rule.to_string())
+                        }
+                        _ => return Err(format!("line {n}: unknown section [{header}]")),
+                    },
+                };
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {n}: expected `key = value`"))?;
+            let key = key.trim();
+            let values = parse_string_array(value.trim()).map_err(|e| format!("line {n}: {e}"))?;
+            match (&section, key) {
+                (Section::Scan, "exclude") => config.exclude = values,
+                (Section::Scan, _) => {
+                    return Err(format!("line {n}: unknown [scan] key `{key}`"));
+                }
+                (Section::Rule(rule), "scope") => {
+                    config.rules.get_mut(rule).unwrap().scope = values;
+                }
+                (Section::Rule(rule), "allow_files") => {
+                    config.rules.get_mut(rule).unwrap().allow_files = values;
+                }
+                (Section::Rule(rule), _) => {
+                    return Err(format!("line {n}: unknown [rule.{rule}] key `{key}`"));
+                }
+                (Section::None, _) => {
+                    return Err(format!("line {n}: key `{key}` outside any section"));
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+enum Section {
+    None,
+    Scan,
+    Rule(String),
+}
+
+/// Parses `["a", "b"]` (or a single `"a"` scalar, treated as a one-element list).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or("unterminated array (arrays must be single-line)")?;
+        let mut out = Vec::new();
+        for item in split_top_level(inner) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            out.push(parse_string(item)?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+/// Splits an array body on commas (no nesting in this subset, so a plain split —
+/// but commas inside quoted strings are respected).
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[scan]
+exclude = ["target", "crates/analysis/tests/fixtures"]
+
+[rule.no-fma]
+scope = ["crates/nn"]
+
+[rule.env-read]
+allow_files = ["crates/nn/src/env.rs", "crates/shims/rayon/src/lib.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, ["target", "crates/analysis/tests/fixtures"]);
+        assert_eq!(cfg.rule("no-fma").scope, ["crates/nn"]);
+        assert_eq!(cfg.rule("env-read").allow_files.len(), 2);
+        // Unconfigured rules default to whole-tree scope.
+        assert!(cfg.rule("unsafe-audit").scope.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::parse("[surprise]\n").is_err());
+        assert!(Config::parse("[scan]\ninclude = [\"x\"]\n").is_err());
+        assert!(Config::parse("[rule.no-fma]\nseverity = \"high\"\n").is_err());
+        assert!(Config::parse("orphan = [\"x\"]\n").is_err());
+        assert!(Config::parse("[rule.no-fma]\nscope = [\"unterminated\"\n").is_err());
+        assert!(Config::parse("[rule.]\n").is_err());
+    }
+
+    #[test]
+    fn scalar_string_becomes_single_element_list() {
+        let cfg = Config::parse("[rule.no-fma]\nscope = \"crates/nn\"\n").unwrap();
+        assert_eq!(cfg.rule("no-fma").scope, ["crates/nn"]);
+    }
+
+    #[test]
+    fn commas_inside_quotes_do_not_split() {
+        let cfg = Config::parse("[scan]\nexclude = [\"a,b\", \"c\"]\n").unwrap();
+        assert_eq!(cfg.exclude, ["a,b", "c"]);
+    }
+}

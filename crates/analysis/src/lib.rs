@@ -1,0 +1,22 @@
+//! `mergesfl-lint` — a purpose-built static-analysis pass for this workspace.
+//!
+//! The repo's core invariants (blocked == naive bit-identity, zero steady-state
+//! allocation on the training hot path, audited `unsafe`, reproducible iteration
+//! order, centralised environment reads) were previously defended only by runtime
+//! tests, which catch a violation only on the shapes and seeds they happen to run.
+//! This crate proves the same contracts at the source level: a hand-rolled Rust
+//! lexer ([`lexer`]) classifies every byte as code / comment / literal, a rule
+//! engine ([`engine`]) runs the registered rules ([`rules`]) over the token stream,
+//! and a committed `lint.toml` ([`config`]) scopes each rule and carries its
+//! allowlists.
+//!
+//! No crates.io dependencies, by construction: the build environment is offline, so
+//! both the lexer and the config parser are written by hand in the same spirit as
+//! `mergesfl::json`.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,179 @@
+//! CLI for the lint engine. Exit codes: 0 clean, 1 violations found, 2 usage or
+//! configuration error (a broken `lint.toml` must fail CI loudly, not pass as
+//! "no rules configured").
+
+#![forbid(unsafe_code)]
+
+use mergesfl_analysis::config::Config;
+use mergesfl_analysis::engine::{self, Violation};
+use mergesfl_analysis::rules;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mergesfl-lint — static analysis for the MergeSFL workspace invariants
+
+USAGE:
+    mergesfl-lint --check [PATH...]   lint the workspace (or just PATHs, relative
+                                      to the scan root); exit 1 on violations
+    mergesfl-lint --list              list the registered rules
+    mergesfl-lint --explain <rule>    print a rule's contract and escape hatch
+
+OPTIONS:
+    --root <dir>       scan root (default: nearest ancestor containing lint.toml)
+    --config <file>    config path (default: <root>/lint.toml)
+    -h, --help         this text";
+
+enum Mode {
+    Check,
+    List,
+    Explain(String),
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("mergesfl-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut mode = None;
+    let mut root_arg = None;
+    let mut config_arg = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => mode = Some(Mode::Check),
+            "--list" => mode = Some(Mode::List),
+            "--explain" => {
+                let rule = it.next().ok_or("--explain requires a rule id")?;
+                mode = Some(Mode::Explain(rule));
+            }
+            "--root" => {
+                root_arg = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ));
+            }
+            "--config" => {
+                config_arg = Some(PathBuf::from(
+                    it.next().ok_or("--config requires a file path")?,
+                ));
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    match mode {
+        Some(Mode::List) => {
+            for rule in rules::all() {
+                println!("{:<28} {}", rule.id, rule.summary);
+            }
+            println!("\nUse `mergesfl-lint --explain <rule>` for the full contract.");
+            Ok(true)
+        }
+        Some(Mode::Explain(id)) => {
+            let rule = rules::all().iter().find(|r| r.id == id).ok_or_else(|| {
+                let known: Vec<&str> = rules::all().iter().map(|r| r.id).collect();
+                format!("unknown rule `{id}`; known rules: {}", known.join(", "))
+            })?;
+            println!("{} — {}\n\n{}", rule.id, rule.summary, rule.explain);
+            Ok(true)
+        }
+        Some(Mode::Check) => check(root_arg, config_arg, paths),
+        None => Err(format!("no mode given\n\n{USAGE}")),
+    }
+}
+
+fn check(
+    root_arg: Option<PathBuf>,
+    config_arg: Option<PathBuf>,
+    paths: Vec<String>,
+) -> Result<bool, String> {
+    let root = match root_arg {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let config_path = config_arg.unwrap_or_else(|| root.join("lint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let config = Config::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?;
+
+    let mut files = Vec::new();
+    if paths.is_empty() {
+        files = engine::collect_files(&root, &config.exclude)?;
+    } else {
+        for p in &paths {
+            let abs = root.join(p);
+            if abs.is_dir() {
+                files.extend(engine::collect_files(&abs, &[])?);
+            } else if abs.is_file() {
+                files.push(abs);
+            } else {
+                return Err(format!("{}: no such file or directory", abs.display()));
+            }
+        }
+        files.retain(|f| {
+            let rel = engine::rel_path(&root, f);
+            !config
+                .exclude
+                .iter()
+                .any(|e| engine::path_has_prefix(&rel, e))
+        });
+    }
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        violations.extend(engine::lint_source(
+            &engine::rel_path(&root, file),
+            &src,
+            &config,
+        ));
+        scanned += 1;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("mergesfl-lint: {scanned} files clean");
+        Ok(true)
+    } else {
+        println!(
+            "mergesfl-lint: {} violation(s) in {scanned} files",
+            violations.len()
+        );
+        Ok(false)
+    }
+}
+
+/// Nearest ancestor of the current directory containing a `lint.toml`, so the tool
+/// works from any subdirectory of the workspace.
+fn find_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no lint.toml found in {} or any ancestor (use --root/--config)",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

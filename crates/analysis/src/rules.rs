@@ -1,0 +1,503 @@
+//! The rule registry. Each rule guards one repo invariant that the runtime test
+//! layers defend only dynamically; see the `explain` text on each rule (surfaced by
+//! `mergesfl-lint --explain <rule>`) for the contract and the escape hatch.
+
+use crate::config::RuleConfig;
+use crate::engine::{FileCtx, Violation};
+use crate::lexer::TokKind;
+
+/// One lint rule: identity, documentation, and its check pass.
+pub struct Rule {
+    pub id: &'static str,
+    /// One-line summary for `--list`.
+    pub summary: &'static str,
+    /// Multi-paragraph rationale for `--explain`.
+    pub explain: &'static str,
+    /// Whether sites inside `#[cfg(test)]` modules are exempt. Only rules guarding
+    /// *runtime* contracts (allocation) skip tests; rules guarding *semantic*
+    /// contracts (bit-identity, determinism, unsafe hygiene) apply everywhere.
+    pub skip_tests: bool,
+    pub check: fn(&FileCtx<'_>, &RuleConfig, &mut Vec<Violation>),
+}
+
+/// Every rule, in the order they are listed and run.
+pub fn all() -> &'static [Rule] {
+    &RULES
+}
+
+static RULES: [Rule; 6] = [
+    Rule {
+        id: "no-fma",
+        summary: "forbid fused multiply-add (mul_add / fma intrinsics)",
+        explain: "\
+The kernel parity suite asserts that the blocked GEMM/conv kernels produce
+bit-identical results to the naive reference loops. That only holds because both
+sides perform the exact same sequence of IEEE-754 operations: a fused multiply-add
+computes a*b+c with a single rounding, so one `mul_add` (or an `_mm256_fmadd_*`
+intrinsic) on either side silently breaks blocked == naive at the last ulp and the
+parity tests become shape-dependent luck.
+
+Scope: the kernel and bench crates (see lint.toml). Statistics code that wants FMA
+for accuracy, not speed, may carry `lint: allow(no-fma) <reason>` in a `//` comment
+on or directly above the site.",
+        skip_tests: false,
+        check: check_no_fma,
+    },
+    Rule {
+        id: "hot-path-alloc",
+        summary: "forbid allocation calls in zero-alloc modules without a marker",
+        explain: "\
+The training hot path has an `allocs_per_iter == 0` CI gate: after warm-up, a
+forward/backward/update step must not touch the global allocator (buffers come from
+the tensor pool). This rule backs that gate at the source level by forbidding
+`Vec::with_capacity` / `vec![]` / `.to_vec()` / `Box::new` / `.collect()` in the
+modules the gate covers.
+
+Setup-time or cold-path allocation inside those modules is fine when annotated:
+write `lint: allow(hot-path-alloc) <reason>` in a `//` comment on or directly above
+the site, and say *why* the site cannot run per-iteration. `#[cfg(test)]` modules
+are exempt (tests may allocate freely).",
+        skip_tests: true,
+        check: check_hot_path_alloc,
+    },
+    Rule {
+        id: "unsafe-audit",
+        summary: "unsafe only in allowlisted files, every site behind a SAFETY comment",
+        explain: "\
+All unsafe in this workspace exists for exactly two reasons: the tensor pool's
+counting allocator and the AVX GEMM microkernel. This rule keeps it that way:
+`unsafe` may only appear in the files listed under [rule.unsafe-audit] allow_files
+in lint.toml, and every `unsafe` token — fn, block, impl, or trait — must be
+immediately preceded by (or carry on its line) a `// SAFETY:` comment or a
+`# Safety` doc section stating the invariant that makes the site sound. Attribute
+lines between the comment and the `unsafe` are fine; a blank line breaks adjacency.
+
+There is deliberately no allow-marker escape for the location constraint: new
+unsafe requires editing lint.toml, which shows up in review.",
+        skip_tests: false,
+        check: check_unsafe_audit,
+    },
+    Rule {
+        id: "env-read",
+        summary: "raw std::env reads only in the blessed env helper",
+        explain: "\
+PR 7's alloc gate caught a steady-state allocation hiding inside `std::env::var`
+(it clones the value on every successful read), and scattered raw reads also mean
+nobody can enumerate the MERGESFL_* knobs. Every environment *read* therefore goes
+through `mergesfl_nn::env` (re-exported as `mergesfl::config::env`), which
+documents every knob in one table; only that module and the rayon shim (which
+cannot depend on nn) may call `std::env::var` / `var_os` / `vars` directly.
+
+`std::env::args`, `set_var` in tests, and calls *to* the helper (`crate::env::var`,
+`mergesfl_nn::env::var`) do not match. Files listed under [rule.env-read]
+allow_files in lint.toml are exempt.",
+        skip_tests: false,
+        check: check_env_read,
+    },
+    Rule {
+        id: "nondeterministic-iteration",
+        summary: "forbid HashMap/HashSet in trajectory-affecting crates",
+        explain: "\
+Training trajectories must be schedule-independent and reproducible across runs:
+the convergence harness diffs loss curves bitwise. `std::collections::HashMap` and
+`HashSet` use a randomly seeded hasher, so *any* iteration over them injects
+run-to-run nondeterminism — and a map that is only iterated in a debug dump today
+gets iterated in a merge loop tomorrow. The trajectory-affecting crates (core, nn,
+simnet) therefore use `BTreeMap` / `BTreeSet` (or sorted vectors) exclusively.
+
+This rule applies inside `#[cfg(test)]` modules too: a hash-ordered expectation in
+a test is exactly as flaky as one in the engine. A site that provably never
+iterates may carry `lint: allow(nondeterministic-iteration) <reason>`.",
+        skip_tests: false,
+        check: check_nondeterministic_iteration,
+    },
+    Rule {
+        id: "lint-marker",
+        summary: "allow-markers must name a real rule and give a reason",
+        explain: "\
+Meta rule keeping the escape hatch honest. A marker is a `//` comment that *opens*
+with `lint: allow(<rule>) <reason>` and excuses `<rule>` on the comment's lines and
+the line immediately below it. This rule rejects markers that are malformed, name a
+rule that does not exist (typos would otherwise silently excuse nothing), or omit
+the reason (an unexplained exemption is indistinguishable from a suppressed bug).",
+        skip_tests: false,
+        check: check_lint_marker,
+    },
+];
+
+/// Pushes a violation unless the site is in an exempt test module or excused by a
+/// well-formed allow-marker.
+fn report(
+    ctx: &FileCtx<'_>,
+    rule: &'static str,
+    skip_tests: bool,
+    line: usize,
+    message: String,
+    out: &mut Vec<Violation>,
+) {
+    if skip_tests && ctx.in_tests(line) {
+        return;
+    }
+    if ctx.allowed(rule, line) {
+        return;
+    }
+    out.push(Violation {
+        rule,
+        file: ctx.rel.to_string(),
+        line,
+        message,
+    });
+}
+
+fn check_no_fma(ctx: &FileCtx<'_>, _cfg: &RuleConfig, out: &mut Vec<Violation>) {
+    for &j in &ctx.code {
+        let t = &ctx.toks[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let fused = t.text == "mul_add"
+            || t.text == "fma"
+            || t.text.contains("fmadd")
+            || t.text.contains("fmsub");
+        if fused {
+            report(
+                ctx,
+                "no-fma",
+                false,
+                t.line,
+                format!(
+                    "`{}` fuses multiply-add (single rounding) and breaks the \
+                     blocked == naive bit-identity contract",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+fn check_hot_path_alloc(ctx: &FileCtx<'_>, _cfg: &RuleConfig, out: &mut Vec<Violation>) {
+    let n = ctx.code.len();
+    for k in 0..n {
+        let t = ctx.code_tok(k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "with_capacity" | "to_vec" | "collect" => Some(t.text.clone()),
+            "vec" if k + 1 < n && ctx.code_tok(k + 1).is_punct('!') => Some("vec!".to_string()),
+            "Box"
+                if k + 3 < n
+                    && ctx.code_tok(k + 1).is_punct(':')
+                    && ctx.code_tok(k + 2).is_punct(':')
+                    && ctx.code_tok(k + 3).is_ident("new") =>
+            {
+                Some("Box::new".to_string())
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            report(
+                ctx,
+                "hot-path-alloc",
+                true,
+                t.line,
+                format!(
+                    "`{what}` allocates inside a zero-alloc module; hoist the buffer \
+                     to setup or annotate with `lint: allow(hot-path-alloc) <reason>`"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+fn check_unsafe_audit(ctx: &FileCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Violation>) {
+    let file_allowed = cfg.allow_files.iter().any(|f| f == ctx.rel);
+    for &j in &ctx.code {
+        let t = &ctx.toks[j];
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !file_allowed {
+            report(
+                ctx,
+                "unsafe-audit",
+                false,
+                t.line,
+                "`unsafe` outside the allowlisted files; extend \
+                 [rule.unsafe-audit] allow_files in lint.toml if this is deliberate"
+                    .to_string(),
+                out,
+            );
+        }
+        if !has_safety_comment(ctx, t.line) {
+            report(
+                ctx,
+                "unsafe-audit",
+                false,
+                t.line,
+                "`unsafe` site lacks an immediately preceding `// SAFETY:` comment \
+                 (or `# Safety` doc section) stating its soundness invariant"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Whether the `unsafe` token on `line` is covered by a SAFETY comment: a comment
+/// spanning the line itself, or one reached by walking upward through contiguous
+/// comment-only and attribute lines (a blank or plain-code line breaks adjacency).
+fn has_safety_comment(ctx: &FileCtx<'_>, line: usize) -> bool {
+    fn is_safety(text: &str) -> bool {
+        text.contains("SAFETY:") || text.contains("# Safety")
+    }
+    let comment_covering = |l: usize| {
+        ctx.toks
+            .iter()
+            .find(|t| t.kind == TokKind::Comment && t.line <= l && l <= t.end_line)
+    };
+    if comment_covering(line).is_some_and(|c| is_safety(&c.text)) {
+        return true;
+    }
+    let mut cur = line;
+    loop {
+        cur = match cur.checked_sub(1) {
+            Some(0) | None => return false,
+            Some(prev) => prev,
+        };
+        let text = ctx.line_text(cur).trim();
+        if text.is_empty() {
+            return false;
+        }
+        if text.starts_with("#[") || text.starts_with("#!") {
+            continue;
+        }
+        let Some(c) = comment_covering(cur) else {
+            return false;
+        };
+        if is_safety(&c.text) {
+            return true;
+        }
+        let has_code = ctx
+            .code
+            .iter()
+            .any(|&j| ctx.toks[j].line <= cur && cur <= ctx.toks[j].end_line);
+        if has_code {
+            return false;
+        }
+        // Jump above the whole comment (multi-line block comments span lines).
+        cur = c.line;
+    }
+}
+
+fn check_env_read(ctx: &FileCtx<'_>, cfg: &RuleConfig, out: &mut Vec<Violation>) {
+    if cfg.allow_files.iter().any(|f| f == ctx.rel) {
+        return;
+    }
+    let n = ctx.code.len();
+    for k in 0..n {
+        if !ctx.code_tok(k).is_ident("env") {
+            continue;
+        }
+        if k + 3 >= n || !ctx.code_tok(k + 1).is_punct(':') || !ctx.code_tok(k + 2).is_punct(':') {
+            continue;
+        }
+        let name = ctx.code_tok(k + 3);
+        if !matches!(name.text.as_str(), "var" | "var_os" | "vars") {
+            continue;
+        }
+        // `<head>::env::var` with a non-`std` head is a call to a blessed helper
+        // module (`crate::env::var`, `mergesfl_nn::env::var`); `std::env::var` and
+        // bare `env::var` are the raw reads this rule exists to catch.
+        if k >= 3 && ctx.code_tok(k - 1).is_punct(':') && ctx.code_tok(k - 2).is_punct(':') {
+            let head = ctx.code_tok(k - 3);
+            if head.kind == TokKind::Ident && head.text != "std" {
+                continue;
+            }
+        }
+        report(
+            ctx,
+            "env-read",
+            false,
+            name.line,
+            format!(
+                "raw environment read `env::{}`; go through `mergesfl_nn::env` \
+                 (alias `mergesfl::config::env`), which documents every knob",
+                name.text
+            ),
+            out,
+        );
+    }
+}
+
+fn check_nondeterministic_iteration(
+    ctx: &FileCtx<'_>,
+    _cfg: &RuleConfig,
+    out: &mut Vec<Violation>,
+) {
+    for &j in &ctx.code {
+        let t = &ctx.toks[j];
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            report(
+                ctx,
+                "nondeterministic-iteration",
+                false,
+                t.line,
+                format!(
+                    "`{}` iterates in hasher-seed order; use BTreeMap/BTreeSet or a \
+                     sorted Vec so trajectories stay reproducible",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+fn check_lint_marker(ctx: &FileCtx<'_>, _cfg: &RuleConfig, out: &mut Vec<Violation>) {
+    for m in &ctx.markers {
+        let message = if m.rule.is_empty() {
+            "malformed lint marker; expected `lint: allow(<rule>) <reason>`".to_string()
+        } else if !all().iter().any(|r| r.id == m.rule) {
+            format!(
+                "lint marker names unknown rule `{}`; a typo here would silently \
+                 excuse nothing",
+                m.rule
+            )
+        } else if m.reason.is_empty() {
+            format!(
+                "lint marker for `{}` gives no reason; say why this site is exempt",
+                m.rule
+            )
+        } else {
+            continue;
+        };
+        out.push(Violation {
+            rule: "lint-marker",
+            file: ctx.rel.to_string(),
+            line: m.line,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::Config;
+    use crate::engine::lint_source;
+
+    fn rules_hit(src: &str) -> Vec<String> {
+        lint_source("crates/nn/src/x.rs", src, &Config::default())
+            .into_iter()
+            .map(|v| v.rule.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn rule_tokens_inside_strings_and_comments_never_fire() {
+        let src = r#"
+// mentions mul_add, HashMap, unsafe, vec! and std::env::var in prose
+fn f() {
+    let s = "mul_add HashMap unsafe vec! std::env::var";
+    let r = r"Box::new(with_capacity) collect";
+    let _ = (s, r);
+}
+"#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn each_matcher_fires_on_real_code() {
+        assert_eq!(
+            rules_hit("fn f(x: f32) -> f32 { x.mul_add(2.0, 1.0) }"),
+            ["no-fma"]
+        );
+        assert_eq!(
+            rules_hit("fn f() { let v = vec![0u8; 4]; let _ = v; }"),
+            ["hot-path-alloc"]
+        );
+        assert_eq!(
+            rules_hit("fn f() { let _ = std::env::var(\"X\"); }"),
+            ["env-read"]
+        );
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;"),
+            ["nondeterministic-iteration"]
+        );
+        // `unsafe` without a SAFETY comment in a non-allowlisted file trips both
+        // halves of unsafe-audit: location and missing comment.
+        assert_eq!(
+            rules_hit("fn f() { unsafe { g() } }"),
+            ["unsafe-audit", "unsafe-audit"]
+        );
+    }
+
+    #[test]
+    fn helper_env_calls_do_not_match() {
+        assert!(rules_hit("fn f() { let _ = crate::env::var(\"X\"); }").is_empty());
+        assert!(rules_hit("fn f() { let _ = mergesfl_nn::env::var(\"X\"); }").is_empty());
+        // `std::env::args` is not an environment *read*.
+        assert!(rules_hit("fn f() { let _ = std::env::args(); }").is_empty());
+        // Bare `env::var` is conservative: treated as raw.
+        assert_eq!(
+            rules_hit("fn f() { let _ = env::var(\"X\"); }"),
+            ["env-read"]
+        );
+    }
+
+    #[test]
+    fn markers_excuse_and_meta_rule_polices_them() {
+        let ok = "// lint: allow(hot-path-alloc) one-time setup buffer\n\
+                  fn f() { let v = vec![0u8; 4]; let _ = v; }\n";
+        assert!(rules_hit(ok).is_empty());
+
+        let unknown = "// lint: allow(hot-path-allocs) typo in rule name\n\
+                       fn f() { let v = vec![0u8; 4]; let _ = v; }\n";
+        assert_eq!(rules_hit(unknown), ["lint-marker", "hot-path-alloc"]);
+
+        let no_reason = "// lint: allow(hot-path-alloc)\n\
+                         fn f() { let v = vec![0u8; 4]; let _ = v; }\n";
+        assert_eq!(rules_hit(no_reason), ["lint-marker", "hot-path-alloc"]);
+    }
+
+    #[test]
+    fn safety_comment_adjacency() {
+        let cfg =
+            Config::parse("[rule.unsafe-audit]\nallow_files = [\"crates/nn/src/x.rs\"]\n").unwrap();
+        let good = "// SAFETY: len is within the allocation\n\
+                    #[inline]\n\
+                    unsafe fn f() {}\n";
+        assert!(lint_source("crates/nn/src/x.rs", good, &cfg).is_empty());
+
+        let doc = "/// # Safety\n/// Caller upholds the aliasing rules.\n\
+                   unsafe fn f() {}\n";
+        assert!(lint_source("crates/nn/src/x.rs", doc, &cfg).is_empty());
+
+        let trailing = "fn f() { unsafe { g() } } // SAFETY: g has no preconditions\n";
+        assert!(lint_source("crates/nn/src/x.rs", trailing, &cfg).is_empty());
+
+        let blank_line_breaks = "// SAFETY: stale\n\nunsafe fn f() {}\n";
+        assert_eq!(
+            lint_source("crates/nn/src/x.rs", blank_line_breaks, &cfg).len(),
+            1
+        );
+
+        let plain_comment = "// not a safety note\nunsafe fn f() {}\n";
+        assert_eq!(
+            lint_source("crates/nn/src/x.rs", plain_comment, &cfg).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_skips_test_modules_others_do_not() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   \u{20}   fn f() { let v = vec![0u8; 4]; let _ = v; }\n\
+                   \u{20}   use std::collections::HashMap;\n\
+                   }\n";
+        assert_eq!(rules_hit(src), ["nondeterministic-iteration"]);
+    }
+}

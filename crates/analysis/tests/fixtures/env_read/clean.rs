@@ -1,0 +1,16 @@
+//! Fixture: reads go through the helper module; argv access and prose mentions
+//! must not fire.
+
+pub fn threads() -> usize {
+    crate::env::parsed::<usize>("MERGESFL_THREADS").unwrap_or(1)
+}
+
+pub fn scale() -> Option<String> {
+    mergesfl_nn::env::var("MERGESFL_SCALE")
+}
+
+pub fn program_name() -> Option<String> {
+    std::env::args().next() // argv, not an environment read
+}
+
+pub const DOC: &str = "std::env::var is banned outside mergesfl_nn::env";

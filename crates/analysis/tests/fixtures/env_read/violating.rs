@@ -1,0 +1,12 @@
+//! Fixture: raw environment reads outside the blessed helper must be flagged.
+
+pub fn threads() -> usize {
+    std::env::var("MERGESFL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn all_knobs() -> Vec<(String, String)> {
+    std::env::vars().collect()
+}

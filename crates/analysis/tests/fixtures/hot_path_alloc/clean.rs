@@ -1,0 +1,29 @@
+//! Fixture: annotated setup-time allocation plus an in-place hot path; test
+//! modules may allocate freely.
+
+pub struct Scratch {
+    buf: Vec<f32>,
+}
+
+impl Scratch {
+    pub fn new(len: usize) -> Self {
+        // lint: allow(hot-path-alloc) one-time setup buffer, reused every iteration
+        let buf = vec![0.0f32; len];
+        Self { buf }
+    }
+
+    pub fn forward(&mut self, input: &[f32]) {
+        for (o, x) in self.buf.iter_mut().zip(input) {
+            *o = *x * 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

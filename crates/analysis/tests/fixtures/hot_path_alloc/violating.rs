@@ -1,0 +1,15 @@
+//! Fixture: unannotated allocations in a zero-alloc module must be flagged.
+
+pub fn forward(input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(input.len());
+    out.extend_from_slice(input);
+    out
+}
+
+pub fn gather(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|x| x * 2.0).collect()
+}
+
+pub fn boxed(x: f32) -> Box<f32> {
+    Box::new(x)
+}

@@ -1,0 +1,18 @@
+//! Fixture: every rule's trigger tokens appear in this file — but only inside
+//! string literals, char literals, and comments, in the positions a naive
+//! regex-based scanner gets wrong. The whole file must lint clean under every
+//! rule with whole-tree scope.
+
+/* Nested /* block comment */ mentioning unsafe, mul_add, HashMap and vec! */
+
+pub fn tricky<'a>(s: &'a str) -> (&'a str, char, String) {
+    let c = 'u'; // a char literal, not the start of an identifier
+    let quote = '\''; // escaped-quote char literal
+    let raw = r#"std::env::var("X") and Box::new(y) and x.mul_add(a, b)"#;
+    let fenced = r##"inner "# fence: HashSet::new() and Vec::with_capacity(9)"##;
+    let escaped = "escaped quote \" then collect() and vec![0; 9]";
+    let bytes = br#"unsafe { HashMap::new() }"#;
+    let _ = (raw, fenced, escaped, bytes, quote);
+    let owned = format!("{s}{c}");
+    (s, c, owned)
+}

@@ -1,0 +1,16 @@
+//! Fixture: separate multiply and add round twice, matching the naive reference
+//! bit-for-bit; mentions of mul_add in prose or literals must not fire.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y; // not mul_add: two roundings, identical to the reference loop
+    }
+    let _doc = "calling x.mul_add(y, acc) here would fuse the rounding";
+    acc
+}
+
+pub fn sq_accum(x: f64, acc: f64) -> f64 {
+    // lint: allow(no-fma) jitter statistics want the extra precision; not kernel math
+    x.mul_add(x, acc)
+}

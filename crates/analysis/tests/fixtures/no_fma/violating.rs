@@ -1,0 +1,10 @@
+//! Fixture: a fused multiply-add in kernel-scope code must be flagged — one
+//! rounding instead of two breaks blocked == naive bit-identity.
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+//! Fixture: ordered containers iterate deterministically; the banned names in
+//! literals must not fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn distinct(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}
+
+pub const DOC: &str = "HashMap and HashSet iterate in hasher-seed order";

@@ -1,0 +1,16 @@
+//! Fixture: hasher-seeded containers in a trajectory-affecting crate must be
+//! flagged — iteration order varies run to run.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn distinct(xs: &[u32]) -> HashSet<u32> {
+    xs.iter().copied().collect()
+}

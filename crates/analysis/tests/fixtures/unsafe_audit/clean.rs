@@ -1,0 +1,19 @@
+//! Fixture: every unsafe site documented; the test config allowlists this file.
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `xs` must be non-empty.
+pub unsafe fn read_first(xs: &[f32]) -> f32 {
+    // SAFETY: the caller guarantees xs is non-empty, so the pointer is valid.
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn read_checked(xs: &[f32]) -> Option<f32> {
+    if xs.is_empty() {
+        return None;
+    }
+    // SAFETY: emptiness was just checked; index 0 is in bounds.
+    #[allow(clippy::missing_safety_doc)]
+    Some(unsafe { *xs.as_ptr() })
+}

@@ -1,0 +1,13 @@
+//! Fixture: `unsafe` without a SAFETY comment, in a file the config does not
+//! allowlist — both halves of the rule must fire.
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    unsafe { *xs.as_ptr() }
+}
+
+// A stale comment separated by a blank line does not count as adjacent.
+// SAFETY: this note is orphaned
+
+pub fn read_last(xs: &[f32]) -> f32 {
+    unsafe { *xs.as_ptr().add(xs.len() - 1) }
+}

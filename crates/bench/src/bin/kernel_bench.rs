@@ -139,16 +139,35 @@ fn random_vec(rng: &mut impl Rng, len: usize) -> Vec<f32> {
     (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
-/// Best-of-`reps` wall-clock nanoseconds for one invocation of `f`.
-fn best_ns<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+/// Best-of-`reps` wall-clock nanoseconds for one invocation of `f`, plus the
+/// standard deviation across the reps as a timing-jitter indicator (high jitter
+/// means the best-of figure is less trustworthy on that host).
+fn best_ns<F: FnMut()>(mut f: F, reps: usize) -> (f64, f64) {
     f(); // warm-up (page in buffers, fill caches)
-    let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let start = Instant::now();
         f();
-        best = best.min(start.elapsed().as_nanos() as f64);
+        samples.push(start.elapsed().as_nanos() as f64);
     }
-    best
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    (best, stddev_ns(&samples))
+}
+
+/// Population standard deviation of the timing samples.
+fn stddev_ns(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples
+        .iter()
+        .map(|s| s - mean)
+        // lint: allow(no-fma) fusing is welcome in a jitter statistic — accuracy,
+        // not bit-identity, matters here; kernel math must never fuse
+        .fold(0.0, |acc, d| d.mul_add(d, acc))
+        / samples.len() as f64;
+    var.sqrt()
 }
 
 /// Picks a repetition count so each measurement costs roughly 0.2 s at most.
@@ -164,6 +183,10 @@ struct Measurement {
     flops: f64,
     naive_ns: f64,
     blocked_ns: f64,
+    /// Standard deviation of the blocked-path timing samples — printed as a ±
+    /// column so noisy hosts are visible at a glance. Deliberately absent from the
+    /// JSON output: the committed baseline format (and its parser) stays stable.
+    blocked_jitter_ns: f64,
     /// Steady-state heap allocations per blocked-path iteration (warmed pool, one
     /// thread); `None` when counting is disabled via `MERGESFL_COUNT_ALLOCS=off`.
     allocs_per_iter: Option<f64>,
@@ -211,58 +234,64 @@ fn measure(entry: &Entry) -> Measurement {
             // broadcast and a separate ReLU pass for the fused entry) — timing the
             // strided naive `Nt` loop instead would be ~15x slower than that baseline.
             let naive_ns = match trans {
-                Trans::Nt => best_ns(
-                    || {
-                        let mut bt = vec![0.0f32; k * n];
-                        for j in 0..n {
-                            for p in 0..k {
-                                bt[p * n + j] = b[j * k + p];
+                Trans::Nt => {
+                    best_ns(
+                        || {
+                            let mut bt = vec![0.0f32; k * n];
+                            for j in 0..n {
+                                for p in 0..k {
+                                    bt[p * n + j] = b[j * k + p];
+                                }
                             }
-                        }
-                        c.fill(0.0);
-                        gemm_cfg(
-                            KernelBackend::Naive,
-                            Trans::Nn,
-                            m,
-                            n,
-                            k,
-                            &a,
-                            &bt,
-                            &mut c,
-                            Epilogue::None,
-                            &GemmBlocking::default(),
-                        );
-                        if *fused_bias_relu {
-                            mergesfl_nn::kernels::add_bias_rows(&mut c, &bias);
-                            for v in c.iter_mut() {
-                                *v = v.max(0.0);
+                            c.fill(0.0);
+                            gemm_cfg(
+                                KernelBackend::Naive,
+                                Trans::Nn,
+                                m,
+                                n,
+                                k,
+                                &a,
+                                &bt,
+                                &mut c,
+                                Epilogue::None,
+                                &GemmBlocking::default(),
+                            );
+                            if *fused_bias_relu {
+                                mergesfl_nn::kernels::add_bias_rows(&mut c, &bias);
+                                for v in c.iter_mut() {
+                                    *v = v.max(0.0);
+                                }
                             }
-                        }
-                        std::hint::black_box(&c);
-                    },
-                    reps,
-                ),
-                _ => best_ns(
-                    || {
-                        c.fill(0.0);
-                        gemm_cfg(
-                            KernelBackend::Naive,
-                            *trans,
-                            m,
-                            n,
-                            k,
-                            &a,
-                            &b,
-                            &mut c,
-                            epilogue(),
-                            &GemmBlocking::default(),
-                        );
-                        std::hint::black_box(&c);
-                    },
-                    reps,
-                ),
+                            std::hint::black_box(&c);
+                        },
+                        reps,
+                    )
+                    .0
+                }
+                _ => {
+                    best_ns(
+                        || {
+                            c.fill(0.0);
+                            gemm_cfg(
+                                KernelBackend::Naive,
+                                *trans,
+                                m,
+                                n,
+                                k,
+                                &a,
+                                &b,
+                                &mut c,
+                                epilogue(),
+                                &GemmBlocking::default(),
+                            );
+                            std::hint::black_box(&c);
+                        },
+                        reps,
+                    )
+                    .0
+                }
             };
-            let blocked_ns = best_ns(
+            let (blocked_ns, blocked_jitter_ns) = best_ns(
                 || {
                     c.fill(0.0);
                     gemm_cfg(
@@ -287,6 +316,7 @@ fn measure(entry: &Entry) -> Measurement {
                 flops,
                 naive_ns,
                 blocked_ns,
+                blocked_jitter_ns,
                 allocs_per_iter: None,
             }
         }
@@ -304,14 +334,15 @@ fn measure(entry: &Entry) -> Measurement {
                     reps,
                 )
             };
-            let naive_ns = run(KernelBackend::Naive);
-            let blocked_ns = run(KernelBackend::Blocked);
+            let naive_ns = run(KernelBackend::Naive).0;
+            let (blocked_ns, blocked_jitter_ns) = run(KernelBackend::Blocked);
             Measurement {
                 name: entry.name,
                 kind: "conv_forward",
                 flops,
                 naive_ns,
                 blocked_ns,
+                blocked_jitter_ns,
                 allocs_per_iter: None,
             }
         }
@@ -342,14 +373,15 @@ fn measure(entry: &Entry) -> Measurement {
                     reps,
                 )
             };
-            let naive_ns = run(KernelBackend::Naive);
-            let blocked_ns = run(KernelBackend::Blocked);
+            let naive_ns = run(KernelBackend::Naive).0;
+            let (blocked_ns, blocked_jitter_ns) = run(KernelBackend::Blocked);
             Measurement {
                 name: entry.name,
                 kind: "conv_backward",
                 flops,
                 naive_ns,
                 blocked_ns,
+                blocked_jitter_ns,
                 allocs_per_iter: None,
             }
         }
@@ -543,19 +575,20 @@ fn main() {
     let threads = rayon::current_num_threads();
     println!("kernel_bench: naive oracle vs blocked kernels ({threads} thread(s))\n");
     println!(
-        "  {:<32} {:>14} {:>12} {:>12} {:>12} {:>9}",
-        "shape", "kind", "naive", "blocked", "GFLOP/s", "speedup"
+        "  {:<32} {:>14} {:>12} {:>12} {:>10} {:>12} {:>9}",
+        "shape", "kind", "naive", "blocked", "jitter", "GFLOP/s", "speedup"
     );
 
     let mut results = Vec::new();
     for entry in zoo() {
         let r = measure(&entry);
         println!(
-            "  {:<32} {:>14} {:>10.2}ms {:>10.2}ms {:>12.2} {:>8.2}x",
+            "  {:<32} {:>14} {:>10.2}ms {:>10.2}ms {:>7.2}ms {:>12.2} {:>8.2}x",
             r.name,
             r.kind,
             r.naive_ns / 1e6,
             r.blocked_ns / 1e6,
+            r.blocked_jitter_ns / 1e6,
             r.gflops(r.blocked_ns),
             r.speedup(),
         );
@@ -599,9 +632,7 @@ fn main() {
         }
 
         // Perf floor against the committed baseline (noise-tolerant regression check).
-        let floor = std::env::var("MERGESFL_PERF_FLOOR")
-            .ok()
-            .and_then(|v| v.trim().parse::<f64>().ok())
+        let floor = mergesfl_nn::env::parsed::<f64>("MERGESFL_PERF_FLOOR")
             .filter(|f| f.is_finite() && *f > 0.0)
             .unwrap_or(DEFAULT_PERF_FLOOR);
         match baseline_speedup {

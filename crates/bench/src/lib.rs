@@ -11,6 +11,10 @@
 //! Results are printed as aligned text tables and, when `MERGESFL_JSON=1`, additionally as
 //! JSON lines for machine consumption (EXPERIMENTS.md is produced from these).
 
+// No unsafe anywhere in this crate: the only audited unsafe in the workspace
+// lives in mergesfl_nn (pool.rs, kernels/gemm.rs) — see the unsafe-audit lint rule.
+#![forbid(unsafe_code)]
+
 use mergesfl::config::RunConfig;
 use mergesfl::experiment::{run, Approach};
 use mergesfl::metrics::RunResult;
@@ -30,7 +34,7 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment (`MERGESFL_SCALE`), defaulting to quick.
     pub fn from_env() -> Self {
-        match std::env::var("MERGESFL_SCALE")
+        match mergesfl_nn::env::var("MERGESFL_SCALE")
             .unwrap_or_default()
             .to_lowercase()
             .as_str()
@@ -53,9 +57,7 @@ impl Scale {
 
 /// Whether JSON-lines output was requested (`MERGESFL_JSON=1`).
 pub fn json_output() -> bool {
-    std::env::var("MERGESFL_JSON")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    mergesfl_nn::env::var("MERGESFL_JSON").is_some_and(|v| v == "1")
 }
 
 /// Runs one approach and prints a one-line summary; returns the full result.
@@ -198,7 +200,7 @@ pub fn format_curve(result: &RunResult) -> String {
 /// Datasets restricted by the optional `MERGESFL_DATASETS` env var (comma-separated subset
 /// of `har,speech,cifar10,image100`); defaults to all four.
 pub fn datasets_from_env() -> Vec<DatasetKind> {
-    let Ok(raw) = std::env::var("MERGESFL_DATASETS") else {
+    let Some(raw) = mergesfl_nn::env::var("MERGESFL_DATASETS") else {
         return DatasetKind::all().to_vec();
     };
     let mut out = Vec::new();

@@ -176,7 +176,7 @@ fn parse_bench_json(text: &str) -> Result<Vec<BenchMeasurement>, String> {
 fn active_measurements() -> &'static [BenchMeasurement] {
     static ACTIVE: OnceLock<Vec<BenchMeasurement>> = OnceLock::new();
     ACTIVE.get_or_init(|| {
-        if let Ok(path) = std::env::var("MERGESFL_BENCH_JSON") {
+        if let Some(path) = mergesfl_nn::env::var("MERGESFL_BENCH_JSON") {
             match std::fs::read_to_string(&path).map_err(|e| e.to_string()).and_then(|t| parse_bench_json(&t)) {
                 Ok(measurements) => return measurements,
                 Err(err) => {

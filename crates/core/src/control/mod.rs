@@ -537,7 +537,7 @@ mod tests {
         let mut opts = default_opts();
         opts.kl_selection = false;
         opts.max_participants = 4;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for round in 0..6 {
             let plan = m.plan_round(round, 1e9, &opts);
             m.record_participation(&plan.selected);

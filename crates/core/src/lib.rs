@@ -32,6 +32,10 @@
 //!          result.final_accuracy(), result.total_sim_time());
 //! ```
 
+// No unsafe anywhere in this crate: the only audited unsafe in the workspace
+// lives in mergesfl_nn (pool.rs, kernels/gemm.rs) — see the unsafe-audit lint rule.
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod calibrate;
 pub mod config;

@@ -9,6 +9,10 @@
 //! distributions `V_i`, and the non-IID level `p = 1/δ` — is implemented exactly as in the
 //! paper ([`partition`]).
 
+// No unsafe anywhere in this crate: the only audited unsafe in the workspace
+// lives in mergesfl_nn (pool.rs, kernels/gemm.rs) — see the unsafe-audit lint rule.
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod datasets;
 pub mod label_dist;

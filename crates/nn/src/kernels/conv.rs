@@ -436,6 +436,8 @@ fn forward_blocked(geom: &ConvGeom, x: &[f32], weight: &[f32], out: &mut [f32]) 
     let flops = 2 * geom.n * per_out * geom.patch_len();
     if rayon::current_num_threads() > 1 && geom.n > 1 && flops >= PAR_MIN_FLOPS {
         // One image per task: disjoint output slices, fixed order, own scratch buffer.
+        // lint: allow(hot-path-alloc) multi-core fan-out task list; the alloc-gated
+        // single-core path never reaches here
         let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(per_out).enumerate().collect();
         tasks.into_par_iter().for_each(|(ni, out_img)| {
             // im2col overwrites the whole scratch, so an uninit checkout from the

@@ -233,6 +233,8 @@ pub fn gemm_cfg(
                     .chunks_mut(rows_per * n)
                     .enumerate()
                     .map(|(t, chunk)| (t * rows_per, chunk))
+                    // lint: allow(hot-path-alloc) multi-core fan-out task list; the
+                    // alloc-gated single-core path never reaches here
                     .collect();
                 tasks.into_par_iter().for_each(|(row0, c_rows)| {
                     let m_local = c_rows.len() / n;
@@ -394,6 +396,10 @@ fn pack_b(
 ///
 /// Marked `unsafe fn` only to share a function-pointer type with the AVX micro-kernel;
 /// the body is safe code.
+///
+/// # Safety
+/// None of the AVX kernel's preconditions apply: any slice lengths are accepted
+/// (short panels simply fold fewer updates), so calling this is always sound.
 unsafe fn microkernel_portable(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
     for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
         for i in 0..MR {
@@ -434,22 +440,28 @@ mod avx {
     pub unsafe fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
         debug_assert_eq!(ap.len() / MR, bp.len() / NR);
         let kc = ap.len() / MR;
-        let mut r = [_mm256_setzero_ps(); MR];
-        for (ri, row) in r.iter_mut().zip(acc.iter()) {
-            *ri = _mm256_loadu_ps(row.as_ptr());
-        }
-        let a_ptr = ap.as_ptr();
-        let b_ptr = bp.as_ptr();
-        for p in 0..kc {
-            let b_row = _mm256_loadu_ps(b_ptr.add(p * NR));
-            let a_col = a_ptr.add(p * MR);
-            for (i, ri) in r.iter_mut().enumerate() {
-                let a_bcast = _mm256_broadcast_ss(&*a_col.add(i));
-                *ri = _mm256_add_ps(*ri, _mm256_mul_ps(a_bcast, b_row));
+        // SAFETY: the `# Safety` contract above — AVX verified by the caller, so the
+        // intrinsics are available; every pointer offset below stays inside `ap`
+        // (`kc × MR` elements) and `bp` (`kc × NR` elements), and the unaligned
+        // load/store intrinsics have no alignment requirement.
+        unsafe {
+            let mut r = [_mm256_setzero_ps(); MR];
+            for (ri, row) in r.iter_mut().zip(acc.iter()) {
+                *ri = _mm256_loadu_ps(row.as_ptr());
             }
-        }
-        for (ri, row) in r.iter().zip(acc.iter_mut()) {
-            _mm256_storeu_ps(row.as_mut_ptr(), *ri);
+            let a_ptr = ap.as_ptr();
+            let b_ptr = bp.as_ptr();
+            for p in 0..kc {
+                let b_row = _mm256_loadu_ps(b_ptr.add(p * NR));
+                let a_col = a_ptr.add(p * MR);
+                for (i, ri) in r.iter_mut().enumerate() {
+                    let a_bcast = _mm256_broadcast_ss(&*a_col.add(i));
+                    *ri = _mm256_add_ps(*ri, _mm256_mul_ps(a_bcast, b_row));
+                }
+            }
+            for (ri, row) in r.iter().zip(acc.iter_mut()) {
+                _mm256_storeu_ps(row.as_mut_ptr(), *ri);
+            }
         }
     }
 }
@@ -511,6 +523,8 @@ fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
     row0: usize,
     m_local: usize,
     blocking: &GemmBlocking,
+    // SAFETY: the `unsafe fn` pointer type is shared by the portable and AVX
+    // micro-kernels; the single call site below documents why each call is sound.
     micro: unsafe fn(&[f32], &[f32], &mut [[f32; TNR]; TMR]),
 ) {
     let (m, n, k) = dims;

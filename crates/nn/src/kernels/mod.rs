@@ -55,8 +55,8 @@ impl KernelBackend {
     ///
     /// Unset or unrecognised values select [`KernelBackend::Blocked`].
     pub fn from_env() -> Self {
-        match std::env::var("MERGESFL_KERNELS") {
-            Ok(v) if v.eq_ignore_ascii_case("naive") => Self::Naive,
+        match crate::env::var("MERGESFL_KERNELS") {
+            Some(v) if v.eq_ignore_ascii_case("naive") => Self::Naive,
             _ => Self::Blocked,
         }
     }

@@ -67,6 +67,8 @@ pub fn maxpool_forward(
             .chunks_mut(out_plane)
             .zip(argmax.chunks_mut(out_plane))
             .enumerate()
+            // lint: allow(hot-path-alloc) multi-core fan-out task list; the
+            // alloc-gated single-core path never reaches here
             .collect();
         tasks
             .into_par_iter()

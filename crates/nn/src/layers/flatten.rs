@@ -10,12 +10,15 @@ use crate::tensor::Tensor;
 #[derive(Default)]
 pub struct Flatten {
     input_shape: Option<Vec<usize>>,
+    /// Buffer recycled between `backward` (which takes `input_shape`) and the next
+    /// `forward`, so the shape cache allocates once, not once per iteration.
+    shape_spare: Vec<usize>,
 }
 
 impl Flatten {
     /// Creates a new flatten layer.
     pub fn new() -> Self {
-        Self { input_shape: None }
+        Self::default()
     }
 }
 
@@ -29,7 +32,10 @@ impl Layer for Flatten {
             input.shape().len() >= 2,
             "Flatten: input must have a batch dimension"
         );
-        self.input_shape = Some(input.shape().to_vec());
+        let mut shape = std::mem::take(&mut self.shape_spare);
+        shape.clear();
+        shape.extend_from_slice(input.shape());
+        self.input_shape = Some(shape);
         let batch = input.batch();
         let features = input.per_item();
         input.reshape(&[batch, features])
@@ -40,7 +46,9 @@ impl Layer for Flatten {
             .input_shape
             .take()
             .expect("Flatten::backward called without a cached forward pass");
-        grad_output.reshape(&shape)
+        let grad = grad_output.reshape(&shape);
+        self.shape_spare = shape;
+        grad
     }
 
     fn reset_cache(&mut self) {

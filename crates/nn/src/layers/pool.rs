@@ -14,6 +14,9 @@ pub struct MaxPool2d {
     /// Flat index (into the input) of the argmax of every output element.
     argmax: Option<Vec<usize>>,
     input_shape: Option<Vec<usize>>,
+    /// Buffer recycled between `backward` (which takes `input_shape`) and the next
+    /// `forward`, so the shape cache allocates once, not once per iteration.
+    shape_spare: Vec<usize>,
 }
 
 impl MaxPool2d {
@@ -24,6 +27,7 @@ impl MaxPool2d {
             window,
             argmax: None,
             input_shape: None,
+            shape_spare: Vec::new(),
         }
     }
 }
@@ -49,7 +53,10 @@ impl Layer for MaxPool2d {
         assert!(h >= k && w >= k, "MaxPool2d: input smaller than window");
         let (out, argmax) = maxpool_forward(input.data(), n * c, h, w, k, k);
         self.argmax = Some(argmax);
-        self.input_shape = Some(input.shape().to_vec());
+        let mut shape = std::mem::take(&mut self.shape_spare);
+        shape.clear();
+        shape.extend_from_slice(input.shape());
+        self.input_shape = Some(shape);
         Tensor::from_vec(out, &[n, c, h / k, w / k])
     }
 
@@ -64,7 +71,9 @@ impl Layer for MaxPool2d {
             .expect("MaxPool2d: missing input shape");
         let grad_in = maxpool_backward(grad_output.data(), &argmax, shape.iter().product());
         crate::pool::recycle(argmax);
-        Tensor::from_vec(grad_in, &shape)
+        let grad = Tensor::from_vec(grad_in, &shape);
+        self.shape_spare = shape;
+        grad
     }
 
     fn reset_cache(&mut self) {
@@ -80,6 +89,8 @@ pub struct MaxPool1d {
     window: usize,
     argmax: Option<Vec<usize>>,
     input_shape: Option<Vec<usize>>,
+    /// See [`MaxPool2d::shape_spare`] — same single-allocation shape cache.
+    shape_spare: Vec<usize>,
 }
 
 impl MaxPool1d {
@@ -90,6 +101,7 @@ impl MaxPool1d {
             window,
             argmax: None,
             input_shape: None,
+            shape_spare: Vec::new(),
         }
     }
 }
@@ -106,7 +118,10 @@ impl Layer for MaxPool1d {
         assert!(l >= k, "MaxPool1d: input smaller than window");
         let (out, argmax) = maxpool_forward(input.data(), n * c, 1, l, 1, k);
         self.argmax = Some(argmax);
-        self.input_shape = Some(input.shape().to_vec());
+        let mut shape = std::mem::take(&mut self.shape_spare);
+        shape.clear();
+        shape.extend_from_slice(input.shape());
+        self.input_shape = Some(shape);
         Tensor::from_vec(out, &[n, c, l / k])
     }
 
@@ -121,7 +136,9 @@ impl Layer for MaxPool1d {
             .expect("MaxPool1d: missing input shape");
         let grad_in = maxpool_backward(grad_output.data(), &argmax, shape.iter().product());
         crate::pool::recycle(argmax);
-        Tensor::from_vec(grad_in, &shape)
+        let grad = Tensor::from_vec(grad_in, &shape);
+        self.shape_spare = shape;
+        grad
     }
 
     fn reset_cache(&mut self) {

@@ -29,6 +29,11 @@
 //! threads on large shapes, but every parallel path preserves the sequential accumulation
 //! order, so results are bit-identical whatever the core count.
 
+// The two files allowed to contain unsafe (pool.rs, kernels/gemm.rs) must spell
+// out each unsafe operation in its own block: see the unsafe-audit lint rule.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod env;
 pub mod init;
 pub mod kernels;
 pub mod layers;

@@ -146,10 +146,7 @@ pub fn enabled() -> bool {
         ENABLED_ON => true,
         ENABLED_OFF => false,
         _ => {
-            let on = !matches!(
-                std::env::var("MERGESFL_TENSOR_POOL").as_deref(),
-                Ok("off") | Ok("0") | Ok("false")
-            );
+            let on = !crate::env::flag_off("MERGESFL_TENSOR_POOL");
             ENABLED.store(if on { ENABLED_ON } else { ENABLED_OFF }, Ordering::Relaxed);
             on
         }
@@ -256,6 +253,7 @@ pub fn take_uninit<T: Poolable>(len: usize) -> Vec<T> {
         return Vec::new();
     }
     if !enabled() {
+        // lint: allow(hot-path-alloc) pool disabled = the deliberate oracle path
         return vec![T::default(); len];
     }
     let class = size_class(len);
@@ -315,6 +313,7 @@ fn pop_page<T: Poolable>(local: &mut LocalPool<T>, class: usize) -> Option<Vec<T
 fn fresh_page<T: Poolable>(class: usize) -> Vec<T> {
     MISSES.fetch_add(1, Ordering::Relaxed);
     PAGE_BYTES.fetch_add((class * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+    // lint: allow(hot-path-alloc) cold path: pages are minted once, then recycled
     vec![T::default(); class]
 }
 
@@ -412,22 +411,32 @@ pub struct CountingAlloc;
 // SAFETY: delegates every operation to `System` unchanged; the counter is a relaxed
 // atomic increment with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `GlobalAlloc::alloc`; upheld by forwarding to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is passed through unchanged from our own caller, who
+        // upholds the `GlobalAlloc` preconditions (non-zero size).
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `GlobalAlloc::alloc_zeroed`; forwarded to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is passed through unchanged from our own caller.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: same contract as `GlobalAlloc::realloc`; forwarded to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` was allocated by this allocator (which *is* `System` plus a
+        // counter), with `layout`, and `new_size` is non-zero per the trait contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as `GlobalAlloc::dealloc`; forwarded to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator with `layout`, per the trait contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
@@ -443,10 +452,7 @@ pub fn heap_allocs() -> u64 {
 /// only `0` / `off` / `false` disable it). `kernel_bench` consults this to decide
 /// whether to measure and emit `allocs_per_iter`.
 pub fn count_allocs() -> bool {
-    !matches!(
-        std::env::var("MERGESFL_COUNT_ALLOCS").as_deref(),
-        Ok("0") | Ok("off") | Ok("false")
-    )
+    !crate::env::flag_off("MERGESFL_COUNT_ALLOCS")
 }
 
 /// Serialises tests (across this crate's modules) that assert on page identity or flip

@@ -11,6 +11,10 @@
 //! On a single-core host (or for single-element inputs) everything degrades to a plain
 //! sequential loop with zero thread overhead.
 
+// The shim is pure safe Rust (scoped threads + pre-assigned output slots);
+// if unsafe ever creeps in, each operation must be spelled out in its own block.
+#![forbid(unsafe_code)]
+
 /// The traits engines import via `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelIterator;

@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn distance_groups_are_balanced() {
         let cluster = paper_cluster();
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for i in 0..cluster.num_workers() {
             *counts
                 .entry(format!("{:?}", cluster.distance_group(i)))
@@ -344,5 +344,42 @@ mod tests {
         let one = cluster.transfer_seconds(0, 1_000_000.0);
         let two = cluster.transfer_seconds(0, 2_000_000.0);
         assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    /// Pins down that worker-state queries are pure reads: interrogating workers in a
+    /// different order (here: reversed) must not perturb any state bit-for-bit. This is
+    /// the property that lets the engine forbid hash-ordered iteration in the simulator —
+    /// trajectory reproducibility only holds if query order can never leak into results.
+    #[test]
+    fn worker_state_queries_are_order_independent() {
+        let mut forward = paper_cluster();
+        let mut reversed = paper_cluster();
+        forward.begin_round(3);
+        reversed.begin_round(3);
+
+        let n = forward.num_workers();
+        let a: Vec<WorkerState> = (0..n).map(|i| forward.worker_state(i)).collect();
+        let mut b: Vec<WorkerState> = (0..n).rev().map(|i| reversed.worker_state(i)).collect();
+        b.reverse();
+
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.worker_id, y.worker_id);
+            assert_eq!(format!("{:?}", x.kind), format!("{:?}", y.kind));
+            assert_eq!(x.mode, y.mode);
+            // Bitwise, not approximate: the contract is bit-identity, not closeness.
+            assert_eq!(
+                x.bottom_compute_per_sample.to_bits(),
+                y.bottom_compute_per_sample.to_bits()
+            );
+            assert_eq!(
+                x.full_compute_per_sample.to_bits(),
+                y.full_compute_per_sample.to_bits()
+            );
+            assert_eq!(x.bandwidth_mbps.to_bits(), y.bandwidth_mbps.to_bits());
+            assert_eq!(
+                x.transfer_per_sample.to_bits(),
+                y.transfer_per_sample.to_bits()
+            );
+        }
     }
 }

@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn switch_mode_stays_in_range_and_eventually_varies() {
         let mut dev = SimDevice::new(3, DeviceKind::JetsonTx2, 3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..64 {
             dev.switch_mode();
             assert!(dev.mode() < 4);

@@ -24,6 +24,10 @@
 //! as fast as the CPU allows while the simulator charges the time the paper's hardware
 //! would have taken.
 
+// No unsafe anywhere in this crate: the only audited unsafe in the workspace
+// lives in mergesfl_nn (pool.rs, kernels/gemm.rs) — see the unsafe-audit lint rule.
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod clock;
 pub mod cluster;

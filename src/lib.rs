@@ -10,6 +10,10 @@
 //! * [`mergesfl_simnet`] — edge-cluster simulator (devices, bandwidth, clock, traffic).
 //! * [`mergesfl`] — the MergeSFL split-federated-learning framework and baselines.
 
+// No unsafe anywhere in this crate: the only audited unsafe in the workspace
+// lives in mergesfl_nn (pool.rs, kernels/gemm.rs) — see the unsafe-audit lint rule.
+#![forbid(unsafe_code)]
+
 pub use mergesfl;
 pub use mergesfl_data;
 pub use mergesfl_nn;
