@@ -50,57 +50,87 @@ pub const REFERENCE_MEASUREMENTS: &[BenchMeasurement] = &[
     BenchMeasurement {
         name: "gemm_nn_64x64x64",
         flops: 524_288.0,
-        blocked_ns: 24_303.0,
+        blocked_ns: 18_037.0,
     },
     BenchMeasurement {
         name: "gemm_nn_128x128x128",
         flops: 4_194_304.0,
-        blocked_ns: 107_727.0,
+        blocked_ns: 84_742.0,
     },
     BenchMeasurement {
         name: "gemm_nn_256x256x256",
         flops: 33_554_432.0,
-        blocked_ns: 723_262.0,
+        blocked_ns: 574_833.0,
     },
     BenchMeasurement {
         name: "gemm_nt_256x256x256_bias_relu",
         flops: 33_554_432.0,
-        blocked_ns: 716_251.0,
+        blocked_ns: 563_124.0,
     },
     BenchMeasurement {
         name: "linear_cnnh_fc1_b32",
         flops: 221_184.0,
-        blocked_ns: 19_435.0,
+        blocked_ns: 8_724.0,
     },
     BenchMeasurement {
         name: "linear_alexnet_fc1_b64",
         flops: 393_216.0,
-        blocked_ns: 21_990.0,
+        blocked_ns: 15_110.0,
+    },
+    BenchMeasurement {
+        name: "linear_vgg_fc1_b32",
+        flops: 65_536.0,
+        blocked_ns: 2_840.0,
+    },
+    BenchMeasurement {
+        name: "linear_vgg_fc2_b32",
+        flops: 196_608.0,
+        blocked_ns: 7_131.0,
+    },
+    BenchMeasurement {
+        name: "linear_vgg_fc2_b3",
+        flops: 18_432.0,
+        blocked_ns: 6_000.0,
+    },
+    BenchMeasurement {
+        name: "gemv_bias_grad_1x64x256",
+        flops: 32_768.0,
+        blocked_ns: 2_474.0,
+    },
+    BenchMeasurement {
+        name: "gemm_nn_12x12x12_small",
+        flops: 3_456.0,
+        blocked_ns: 612.0,
+    },
+    BenchMeasurement {
+        name: "conv2d_vgg_c2_b16_fwd",
+        flops: 1_179_648.0,
+        blocked_ns: 216_432.0,
     },
     BenchMeasurement {
         name: "conv2d_cnnh_c1_b32_fwd",
         flops: 497_664.0,
-        blocked_ns: 406_071.0,
+        blocked_ns: 128_252.0,
     },
     BenchMeasurement {
         name: "conv2d_alexnet_c1_b16_fwd",
         flops: 1_769_472.0,
-        blocked_ns: 397_821.0,
+        blocked_ns: 301_877.0,
     },
     BenchMeasurement {
         name: "conv2d_alexnet_c1_b16_bwd",
         flops: 3_538_944.0,
-        blocked_ns: 845_001.0,
+        blocked_ns: 650_971.0,
     },
     BenchMeasurement {
         name: "conv1d_cnns_c1_b16_fwd",
         flops: 81_920.0,
-        blocked_ns: 48_382.0,
+        blocked_ns: 20_974.0,
     },
     BenchMeasurement {
         name: "conv1d_cnns_c1_b16_bwd",
         flops: 163_840.0,
-        blocked_ns: 65_602.0,
+        blocked_ns: 87_922.0,
     },
 ];
 
@@ -129,8 +159,17 @@ fn representative_shapes(arch: Architecture) -> (&'static [&'static str], &'stat
             &["conv2d_alexnet_c1_b16_fwd", "linear_alexnet_fc1_b64"],
             &["conv2d_alexnet_c1_b16_bwd"],
         ),
-        // VGG16's top layers im2col into large square GEMMs.
-        Architecture::Vgg16Lite => (&["gemm_nn_256x256x256"], &["gemm_nt_256x256x256_bias_relu"]),
+        // VGG16's top layers im2col into large square GEMMs, with a measured conv
+        // stage and its two head FC layers rounding out the forward mix.
+        Architecture::Vgg16Lite => (
+            &[
+                "gemm_nn_256x256x256",
+                "conv2d_vgg_c2_b16_fwd",
+                "linear_vgg_fc1_b32",
+                "linear_vgg_fc2_b32",
+            ],
+            &["gemm_nt_256x256x256_bias_relu"],
+        ),
     }
 }
 
@@ -335,7 +374,7 @@ mod tests {
         // …the invalid one was ignored…
         assert_eq!(
             lookup(&merged, "conv1d_cnns_c1_b16_fwd").blocked_ns,
-            48_382.0
+            20_974.0
         );
         // …and a 2x-faster gate shape calibrates VGG to a faster server.
         let faster = ServerCostModel::from_measurements(Architecture::Vgg16Lite, &merged);

@@ -5,7 +5,7 @@ use mergesfl_data::DatasetKind;
 /// The blessed environment-read helper: every `MERGESFL_*` knob is documented in
 /// its module docs, and the `env-read` lint confines raw `std::env::var` there.
 pub use mergesfl_nn::env;
-pub use mergesfl_nn::kernels::KernelBackend;
+pub use mergesfl_nn::kernels::{KernelBackend, MicroKernelId, TilingOverride};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one training run (one approach on one dataset at one non-IID level).
@@ -59,6 +59,18 @@ pub struct RunConfig {
     /// or the naive loop-nest oracle). Applied process-wide by `experiment::run`;
     /// constructors honour the `MERGESFL_KERNELS` environment variable.
     pub kernel_backend: KernelBackend,
+    /// GEMM micro-kernel override: force one of the runtime's kernels (`portable`, `avx`,
+    /// `avx512`) instead of auto-selecting the widest the host supports. Kernels the host
+    /// cannot run fall back to portable. Pure performance control — every kernel is
+    /// bit-identical. Applied process-wide by `experiment::run`; constructors honour the
+    /// `MERGESFL_MICROKERNEL` environment variable.
+    pub micro_kernel: Option<MicroKernelId>,
+    /// Tiling-scheme override applied on top of the runtime's per-shape selection for
+    /// packed GEMMs: cache partition (`mc`/`kc`/`nc`), staging (`stages=1|2`) and register
+    /// tile. Pure performance control — every scheme is bit-identical. Applied
+    /// process-wide by `experiment::run`; constructors honour the `MERGESFL_TILING`
+    /// environment variable (`mc=..,kc=..,nc=..,stages=..,tile=MRxNR`).
+    pub tiling: TilingOverride,
     /// Whether tensor storage and kernel scratch check pages out of the size-classed
     /// memory pool (`mergesfl_nn::pool`) instead of allocating. Pooling changes where
     /// buffers live, never their contents — trajectories are bit-identical either way.
@@ -133,6 +145,22 @@ pub fn staleness_from_env() -> usize {
     env::parsed::<usize>("MERGESFL_STALENESS").unwrap_or(0)
 }
 
+/// Reads the GEMM micro-kernel override from the `MERGESFL_MICROKERNEL` environment
+/// variable (`portable` / `avx` / `avx512`); unset, empty or unknown values keep
+/// auto-selection.
+pub fn micro_kernel_from_env() -> Option<MicroKernelId> {
+    mergesfl_nn::env::var("MERGESFL_MICROKERNEL").and_then(|v| MicroKernelId::from_name(v.trim()))
+}
+
+/// Reads the tiling-scheme override from the `MERGESFL_TILING` environment variable;
+/// unset or malformed specs keep per-shape auto-selection (malformed specs are also
+/// reported by the kernel runtime itself).
+pub fn tiling_from_env() -> TilingOverride {
+    mergesfl_nn::env::var("MERGESFL_TILING")
+        .and_then(|v| TilingOverride::parse(&v).ok())
+        .unwrap_or_default()
+}
+
 /// Reads the server topology from the `MERGESFL_TOPOLOGY` environment variable
 /// (`replicated`, `partitioned` / `output-partitioned`); unset, empty or unknown values
 /// keep the replicated default.
@@ -168,6 +196,8 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            micro_kernel: micro_kernel_from_env(),
+            tiling: tiling_from_env(),
             tensor_pool: tensor_pool_from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
@@ -199,6 +229,8 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            micro_kernel: micro_kernel_from_env(),
+            tiling: tiling_from_env(),
             tensor_pool: tensor_pool_from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),
@@ -229,6 +261,8 @@ impl RunConfig {
             parallel: true,
             pipeline: pipeline_from_env(),
             kernel_backend: KernelBackend::from_env(),
+            micro_kernel: micro_kernel_from_env(),
+            tiling: tiling_from_env(),
             tensor_pool: tensor_pool_from_env(),
             num_servers: num_servers_from_env(),
             sync_every: sync_every_from_env(),

@@ -89,6 +89,11 @@ pub fn run(approach: Approach, config: &RunConfig) -> RunResult {
     // Select the compute-kernel backend for the NN hot path. The setting is process-wide
     // (layers read it at call time), so concurrent runs should use the same backend.
     mergesfl_nn::kernels::set_default_backend(config.kernel_backend);
+    // ... and the kernel runtime's plan overrides: the forced micro-kernel (None keeps
+    // auto-selection) and the tiling-scheme adjustments. Both are bit-identical
+    // performance controls, applied process-wide like the backend itself.
+    mergesfl_nn::kernels::set_micro_override(config.micro_kernel);
+    mergesfl_nn::kernels::set_tiling_override(config.tiling);
     // Same story for the tensor memory pool: checkouts consult the flag at call time.
     mergesfl_nn::pool::set_enabled(config.tensor_pool);
     match approach {

@@ -14,7 +14,7 @@
 //! per output position, the naive nest per output channel) and is verified to a few ULPs
 //! by the property tests.
 
-use super::gemm::{gemm_cfg, Epilogue, GemmBlocking, Trans};
+use super::gemm::{gemm_cfg, Epilogue, Trans};
 use super::{init_bias_planes, KernelBackend};
 use rayon::prelude::*;
 
@@ -423,7 +423,6 @@ fn forward_one_image(
         cols,
         out_img,
         Epilogue::None,
-        &GemmBlocking::default(),
     );
 }
 
@@ -514,7 +513,6 @@ fn backward_blocked(
             &cols,
             grad_w,
             Epilogue::None,
-            &GemmBlocking::default(),
         );
         // dcols [plane, ckk] = Gᵀ ([c_out, plane]ᵀ) · W [c_out, ckk], then scatter back.
         dcols.fill(0.0);
@@ -528,7 +526,6 @@ fn backward_blocked(
             weight,
             &mut dcols,
             Epilogue::None,
-            &GemmBlocking::default(),
         );
         col2im_add(geom, &dcols, &mut grad_in[ni * per_in..(ni + 1) * per_in]);
     }

@@ -1,17 +1,27 @@
-//! Cache-blocked, register-tiled GEMM with packed panels.
+//! Cache-blocked, register-tiled GEMM drivers behind the kernel runtime.
 //!
 //! The entry points are [`gemm_nn`], [`gemm_nt`] and [`gemm_tn`] — the three operand
 //! layouts the layers need (`C += A·B`, `C += A·Bᵀ`, `C += Aᵀ·B`). All of them
 //! *accumulate into* `C`, so callers seed `C` with zeros or a bias broadcast and may pass
 //! a fused [`Epilogue`] applied after the product.
 //!
-//! The blocked implementation follows the classic three-level blocking scheme (BLIS-style):
-//! `NC`-wide column blocks of B are packed into contiguous `NR` panels, `MC`-tall row
-//! blocks of A into `MR` panels, and an `MR×NR` register-tiled micro-kernel walks the
-//! shared `KC` dimension. The micro-kernel **loads the destination tile and folds into
-//! it**, so each output element is accumulated in exactly the same ascending-`k` order as
-//! the naive loops — blocked and naive results are bit-identical on finite inputs, which
-//! is what lets the naive backend serve as a strict oracle.
+//! How a product actually runs is decided by the process
+//! [`runtime`](super::runtime::runtime): it plans a
+//! [`TilingScheme`](super::tiling::TilingScheme) per shape and this module executes it.
+//! Three drivers exist, one per [`Staging`](super::tiling::Staging) mode:
+//!
+//! * **direct** — unpacked register tiling for small and skinny shapes;
+//! * **single** — the classic BLIS loop nest: `NC`-wide column blocks of B packed into
+//!   `NR` panels, `MC`-tall row blocks of A into `MR` panels, an `MR×NR` micro-kernel
+//!   (see [`super::micro`]) walking the shared `KC` dimension;
+//! * **double** — the same packed loop nest, but a persistent per-thread stage thread
+//!   packs stage `i+1`'s panels into an alternate buffer pair while the micro-kernel
+//!   consumes stage `i`'s, hiding pack latency behind compute.
+//!
+//! Every driver **loads the destination tile and folds into it**, so each output element
+//! is accumulated in exactly the same ascending-`k` order as the naive loops — all
+//! schemes, stagings and micro-kernels produce bit-identical results on finite inputs,
+//! which is what lets the naive backend serve as a strict oracle.
 //!
 //! When the host has more than one core and the product is large enough, the row dimension
 //! is split into one contiguous panel per thread (via the rayon shim). Each thread owns a
@@ -20,20 +30,14 @@
 
 use rayon::prelude::*;
 
-/// Rows of the portable register tile (micro-panel height of packed A).
-const MR: usize = 4;
-/// Columns of the portable register tile (micro-panel width of packed B).
-const NR: usize = 8;
+use super::micro::{self, MicroKernelId, MicroSelect};
+use super::runtime::{record_stage_wait, runtime, GemmPlan};
+use super::tiling::{PartitionSize, Staging, TilingScheme};
+use super::KernelBackend;
 
 /// Minimum number of floating-point operations (`2·m·n·k`) before the blocked path fans
 /// out across threads; below this the spawn overhead dominates.
 const PAR_MIN_FLOPS: usize = 1 << 22;
-
-/// Minimum `2·m·n·k` before packing pays for itself; smaller products run the naive loops
-/// (which are bit-identical, so the cut-over is invisible to callers).
-const BLOCKED_MIN_FLOPS: usize = 1 << 13;
-
-use super::KernelBackend;
 
 /// Operand layout of a GEMM call. `C` is always row-major `[m, n]`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,40 +95,6 @@ impl Epilogue<'_> {
     }
 }
 
-/// Cache-blocking parameters of the packed GEMM.
-///
-/// The defaults target a ~32 KiB L1 / 256 KiB–1 MiB L2 CPU: one packed A panel
-/// (`MR·kc` floats) plus one packed B panel (`NR·kc` floats) stay L1-resident while a
-/// `kc×nc` B block lives in L2.
-#[derive(Clone, Copy, Debug)]
-pub struct GemmBlocking {
-    /// Row-block height of A (and C) processed per packing round.
-    pub mc: usize,
-    /// Depth of the shared dimension packed per round.
-    pub kc: usize,
-    /// Column-block width of B (and C) processed per packing round.
-    pub nc: usize,
-}
-
-impl Default for GemmBlocking {
-    fn default() -> Self {
-        Self {
-            mc: 128,
-            kc: 256,
-            nc: 512,
-        }
-    }
-}
-
-impl GemmBlocking {
-    fn validate(&self) {
-        assert!(
-            self.mc > 0 && self.kc > 0 && self.nc > 0,
-            "GemmBlocking: block sizes must be positive"
-        );
-    }
-}
-
 /// `C += A·B` with the given backend (row-major `[m,k] · [k,n] -> [m,n]`).
 pub fn gemm_nn(
     backend: KernelBackend,
@@ -136,18 +106,7 @@ pub fn gemm_nn(
     c: &mut [f32],
     epilogue: Epilogue<'_>,
 ) {
-    gemm_cfg(
-        backend,
-        Trans::Nn,
-        m,
-        n,
-        k,
-        a,
-        b,
-        c,
-        epilogue,
-        &GemmBlocking::default(),
-    );
+    gemm_cfg(backend, Trans::Nn, m, n, k, a, b, c, epilogue);
 }
 
 /// `C += A·Bᵀ` with the given backend (row-major `[m,k] · [n,k]ᵀ -> [m,n]`).
@@ -161,18 +120,7 @@ pub fn gemm_nt(
     c: &mut [f32],
     epilogue: Epilogue<'_>,
 ) {
-    gemm_cfg(
-        backend,
-        Trans::Nt,
-        m,
-        n,
-        k,
-        a,
-        b,
-        c,
-        epilogue,
-        &GemmBlocking::default(),
-    );
+    gemm_cfg(backend, Trans::Nt, m, n, k, a, b, c, epilogue);
 }
 
 /// `C += Aᵀ·B` with the given backend (row-major `[k,m]ᵀ · [k,n] -> [m,n]`).
@@ -186,21 +134,10 @@ pub fn gemm_tn(
     c: &mut [f32],
     epilogue: Epilogue<'_>,
 ) {
-    gemm_cfg(
-        backend,
-        Trans::Tn,
-        m,
-        n,
-        k,
-        a,
-        b,
-        c,
-        epilogue,
-        &GemmBlocking::default(),
-    );
+    gemm_cfg(backend, Trans::Tn, m, n, k, a, b, c, epilogue);
 }
 
-/// Full-control entry point: explicit backend, layout and blocking parameters.
+/// Backend-dispatched entry point: the runtime plans the scheme per shape.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_cfg(
     backend: KernelBackend,
@@ -212,23 +149,38 @@ pub fn gemm_cfg(
     b: &[f32],
     c: &mut [f32],
     epilogue: Epilogue<'_>,
-    blocking: &GemmBlocking,
 ) {
     assert_eq!(a.len(), m * k, "gemm: A length must be m*k");
     assert_eq!(b.len(), k * n, "gemm: B length must be k*n");
     assert_eq!(c.len(), m * n, "gemm: C length must be m*n");
-    blocking.validate();
 
-    let flops = 2 * m * n * k;
     match backend {
         KernelBackend::Naive => gemm_naive(trans, m, n, k, a, b, c),
-        KernelBackend::Blocked if flops < BLOCKED_MIN_FLOPS => gemm_naive(trans, m, n, k, a, b, c),
         KernelBackend::Blocked => {
+            let rt = runtime();
+            let plan = rt.select(trans, m, n, k);
+            let flops = 2 * m * n * k;
             let threads = rayon::current_num_threads();
-            if threads > 1 && flops >= PAR_MIN_FLOPS && m >= 2 * MR && n > 0 {
+            let fan_out = match &plan {
+                GemmPlan::Tiled(scheme, _) => {
+                    scheme.stage != Staging::Direct
+                        && threads > 1
+                        && flops >= PAR_MIN_FLOPS
+                        && m >= 2 * scheme.tile.mr
+                        && n > 0
+                }
+                GemmPlan::Naive => false,
+            };
+            if let (true, GemmPlan::Tiled(scheme, micro)) = (fan_out, &plan) {
+                // The fan-out already owns every core, so each row slice runs
+                // single-stage: a per-slice pack thread would only oversubscribe.
+                let slice_scheme = TilingScheme {
+                    stage: Staging::Single,
+                    ..*scheme
+                };
                 // Fixed panel order: thread t owns rows [t*rows_per, ...), and every
                 // element is accumulated exactly as in the single-threaded path.
-                let rows_per = m.div_ceil(threads).max(MR);
+                let rows_per = m.div_ceil(threads).max(scheme.tile.mr);
                 let tasks: Vec<(usize, &mut [f32])> = c
                     .chunks_mut(rows_per * n)
                     .enumerate()
@@ -238,13 +190,47 @@ pub fn gemm_cfg(
                     .collect();
                 tasks.into_par_iter().for_each(|(row0, c_rows)| {
                     let m_local = c_rows.len() / n;
-                    gemm_blocked_st(trans, (m, n, k), a, b, c_rows, row0, m_local, blocking);
+                    gemm_dispatch(
+                        trans,
+                        (m, n, k),
+                        a,
+                        b,
+                        c_rows,
+                        row0,
+                        m_local,
+                        &slice_scheme,
+                        *micro,
+                    );
                 });
             } else {
-                gemm_blocked_st(trans, (m, n, k), a, b, c, 0, m, blocking);
+                rt.gemm(&plan, trans, (m, n, k), a, b, c, 0, m);
             }
         }
     }
+    epilogue.apply(c, n);
+}
+
+/// Full-control entry point: runs one explicit scheme and micro-kernel policy over the
+/// whole output, bypassing runtime selection and the threaded fan-out. The scheme is a
+/// pure performance control — results are bit-identical whatever is passed.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_scheme(
+    trans: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Epilogue<'_>,
+    scheme: &TilingScheme,
+    micro: MicroSelect,
+) {
+    assert_eq!(a.len(), m * k, "gemm: A length must be m*k");
+    assert_eq!(b.len(), k * n, "gemm: B length must be k*n");
+    assert_eq!(c.len(), m * n, "gemm: C length must be m*n");
+    scheme.validate();
+    gemm_dispatch(trans, (m, n, k), a, b, c, 0, m, scheme, micro);
     epilogue.apply(c, n);
 }
 
@@ -254,10 +240,18 @@ pub fn gemm_cfg(
 // These are the seed repository's `Tensor::matmul` loops, generalised to the three
 // layouts. For every output element the shared dimension is folded in ascending order
 // starting from the existing value of C, and `a == 0.0` contributions are skipped — the
-// exact semantics the blocked path reproduces.
+// exact semantics the tiled drivers reproduce.
 // ---------------------------------------------------------------------------
 
-fn gemm_naive(trans: Trans, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+pub(super) fn gemm_naive(
+    trans: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     match trans {
         Trans::Nn => {
             for i in 0..m {
@@ -308,7 +302,7 @@ fn gemm_naive(trans: Trans, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], 
 }
 
 // ---------------------------------------------------------------------------
-// Blocked path: packing + register-tiled micro-kernel.
+// Indexing helpers and panel packing (shared by all tiled drivers).
 // ---------------------------------------------------------------------------
 
 #[inline(always)]
@@ -391,87 +385,50 @@ fn pack_b(
     }
 }
 
-/// The portable `MR×NR` register tile: folds `kc` rank-1 updates into the accumulator in
-/// ascending `p` order. `ap` is `kc × MR`, `bp` is `kc × NR`, both `p`-major.
-///
-/// Marked `unsafe fn` only to share a function-pointer type with the AVX micro-kernel;
-/// the body is safe code.
-///
-/// # Safety
-/// None of the AVX kernel's preconditions apply: any slice lengths are accepted
-/// (short panels simply fold fewer updates), so calling this is always sound.
-unsafe fn microkernel_portable(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        for i in 0..MR {
-            let av = a_col[i];
-            for j in 0..NR {
-                acc[i][j] += av * b_row[j];
-            }
-        }
+// ---------------------------------------------------------------------------
+// Scheme dispatch: monomorphise the drivers per tile and resolve the
+// micro-kernel function pointer per (tile, policy, host).
+// ---------------------------------------------------------------------------
+
+/// The common micro-kernel signature the drivers call through (see [`super::micro`]).
+// SAFETY: the stored pointer is only ever a kernel whose CPU features were verified via
+// `is_available()`, and the drivers pass panels of at least `TMR*k` / `TNR*k` elements
+// as the kernels require. (Single line so the audit sees this comment on the `unsafe`.)
+#[rustfmt::skip]
+type MicroFn<const TMR: usize, const TNR: usize> = unsafe fn(&[f32], &[f32], &mut [[f32; TNR]; TMR]);
+
+fn resolve_8x8(select: MicroSelect) -> MicroFn<8, 8> {
+    #[cfg(target_arch = "x86_64")]
+    if select.allows(MicroKernelId::Avx8x8) && MicroKernelId::Avx8x8.is_available() {
+        return micro::avx::microkernel;
     }
+    let _ = select;
+    micro::microkernel_generic::<8, 8>
 }
 
-/// AVX micro-kernel: an `8×8` register tile of `__m256` mul+add (deliberately *not* FMA —
-/// fused multiply-add rounds once instead of twice and would break bit-identity with the
-/// naive oracle). Selected at runtime when the host supports AVX.
-#[cfg(target_arch = "x86_64")]
-mod avx {
-    use std::arch::x86_64::*;
-
-    /// Register-tile height/width of the AVX micro-kernel.
-    pub const MR: usize = 8;
-    /// Register-tile width: one 8-lane `__m256` per accumulator row.
-    pub const NR: usize = 8;
-
-    /// Whether the running CPU supports this micro-kernel.
-    pub fn available() -> bool {
-        std::arch::is_x86_feature_detected!("avx")
+fn resolve_16x8(select: MicroSelect) -> MicroFn<16, 8> {
+    #[cfg(target_arch = "x86_64")]
+    if select.allows(MicroKernelId::Avx512_16x8) && MicroKernelId::Avx512_16x8.is_available() {
+        return micro::avx512::microkernel;
     }
-
-    /// Folds `kc` rank-1 updates into the accumulator tile in ascending `p` order, exactly
-    /// like the portable kernel but eight lanes at a time.
-    ///
-    /// # Safety
-    ///
-    /// Callers must guarantee [`available`] returned true. Slice lengths must be multiples
-    /// of `MR` (for `ap`) and `NR` (for `bp`) with equal `p` extents, which the packed
-    /// panel layout guarantees.
-    #[target_feature(enable = "avx")]
-    pub unsafe fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-        debug_assert_eq!(ap.len() / MR, bp.len() / NR);
-        let kc = ap.len() / MR;
-        // SAFETY: the `# Safety` contract above — AVX verified by the caller, so the
-        // intrinsics are available; every pointer offset below stays inside `ap`
-        // (`kc × MR` elements) and `bp` (`kc × NR` elements), and the unaligned
-        // load/store intrinsics have no alignment requirement.
-        unsafe {
-            let mut r = [_mm256_setzero_ps(); MR];
-            for (ri, row) in r.iter_mut().zip(acc.iter()) {
-                *ri = _mm256_loadu_ps(row.as_ptr());
-            }
-            let a_ptr = ap.as_ptr();
-            let b_ptr = bp.as_ptr();
-            for p in 0..kc {
-                let b_row = _mm256_loadu_ps(b_ptr.add(p * NR));
-                let a_col = a_ptr.add(p * MR);
-                for (i, ri) in r.iter_mut().enumerate() {
-                    let a_bcast = _mm256_broadcast_ss(&*a_col.add(i));
-                    *ri = _mm256_add_ps(*ri, _mm256_mul_ps(a_bcast, b_row));
-                }
-            }
-            for (ri, row) in r.iter().zip(acc.iter_mut()) {
-                _mm256_storeu_ps(row.as_mut_ptr(), *ri);
-            }
-        }
-    }
+    let _ = select;
+    micro::microkernel_generic::<16, 8>
 }
 
-/// Entry point of the blocked path for one contiguous row slice: picks the widest
-/// micro-kernel the host supports. The tile size only affects panel shapes — every output
-/// element folds its `k` contributions in the same order whatever the tile — so the
-/// choice never changes results.
+fn resolve_16x16(select: MicroSelect) -> MicroFn<16, 16> {
+    #[cfg(target_arch = "x86_64")]
+    if select.allows(MicroKernelId::Avx512_16x16) && MicroKernelId::Avx512_16x16.is_available() {
+        return micro::avx512w::microkernel;
+    }
+    let _ = select;
+    micro::microkernel_generic::<16, 16>
+}
+
+/// Runs one scheme over the row slice `c_rows` (rows `[row0, row0 + m_local)` of the full
+/// `[m, n]` output). `dims` carries the full problem sizes so the transposed layouts can
+/// index A and B globally.
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked_st(
+pub(super) fn gemm_dispatch(
     trans: Trans,
     dims: (usize, usize, usize),
     a: &[f32],
@@ -479,11 +436,11 @@ fn gemm_blocked_st(
     c_rows: &mut [f32],
     row0: usize,
     m_local: usize,
-    blocking: &GemmBlocking,
+    scheme: &TilingScheme,
+    select: MicroSelect,
 ) {
-    #[cfg(target_arch = "x86_64")]
-    if avx::available() {
-        gemm_blocked_tiled::<{ avx::MR }, { avx::NR }>(
+    match (scheme.tile.mr, scheme.tile.nr) {
+        (4, 8) => run_tiled::<4, 8>(
             trans,
             dims,
             a,
@@ -491,30 +448,48 @@ fn gemm_blocked_st(
             c_rows,
             row0,
             m_local,
-            blocking,
-            avx::microkernel,
-        );
-        return;
+            scheme,
+            micro::microkernel_generic::<4, 8>,
+        ),
+        (8, 8) => run_tiled::<8, 8>(
+            trans,
+            dims,
+            a,
+            b,
+            c_rows,
+            row0,
+            m_local,
+            scheme,
+            resolve_8x8(select),
+        ),
+        (16, 8) => run_tiled::<16, 8>(
+            trans,
+            dims,
+            a,
+            b,
+            c_rows,
+            row0,
+            m_local,
+            scheme,
+            resolve_16x8(select),
+        ),
+        (16, 16) => run_tiled::<16, 16>(
+            trans,
+            dims,
+            a,
+            b,
+            c_rows,
+            row0,
+            m_local,
+            scheme,
+            resolve_16x16(select),
+        ),
+        (mr, nr) => panic!("gemm: unsupported register tile {mr}x{nr}"),
     }
-    gemm_blocked_tiled::<MR, NR>(
-        trans,
-        dims,
-        a,
-        b,
-        c_rows,
-        row0,
-        m_local,
-        blocking,
-        microkernel_portable,
-    );
 }
 
-/// Single-threaded blocked GEMM over a contiguous row slice of C with a `TMR×TNR` tile.
-///
-/// `c_rows` covers rows `[row0, row0 + m_local)` of the full `[m, n]` output; `dims`
-/// carries the full problem sizes so the transposed layouts can index A and B globally.
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
+fn run_tiled<const TMR: usize, const TNR: usize>(
     trans: Trans,
     dims: (usize, usize, usize),
     a: &[f32],
@@ -522,18 +497,170 @@ fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
     c_rows: &mut [f32],
     row0: usize,
     m_local: usize,
-    blocking: &GemmBlocking,
-    // SAFETY: the `unsafe fn` pointer type is shared by the portable and AVX
-    // micro-kernels; the single call site below documents why each call is sound.
-    micro: unsafe fn(&[f32], &[f32], &mut [[f32; TNR]; TMR]),
+    scheme: &TilingScheme,
+    micro_fn: MicroFn<TMR, TNR>,
+) {
+    match scheme.stage {
+        Staging::Direct => gemm_direct::<TMR, TNR>(trans, dims, a, b, c_rows, row0, m_local),
+        Staging::Single => gemm_packed_single::<TMR, TNR>(
+            trans,
+            dims,
+            a,
+            b,
+            c_rows,
+            row0,
+            m_local,
+            &scheme.partition,
+            micro_fn,
+        ),
+        Staging::Double => gemm_packed_double::<TMR, TNR>(
+            trans,
+            dims,
+            a,
+            b,
+            c_rows,
+            row0,
+            m_local,
+            &scheme.partition,
+            micro_fn,
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct driver: unpacked register tiling for small and skinny shapes.
+// ---------------------------------------------------------------------------
+
+/// Register-tiled GEMM without packing: the accumulator tile reads A and B in place.
+/// For the small and skinny shapes the runtime routes here, packing cannot amortise —
+/// but register tiling still beats the naive nest: each B row is loaded as one
+/// contiguous slice where the layout allows, and the multiply-accumulate always runs
+/// over the full `TNR`-wide register row (ragged tiles zero-fill `b_row`, so the
+/// padding lanes fold nothing and are never stored), which keeps the inner loop
+/// vectorisable. Per output element the `p` loop ascends, so results are
+/// bit-identical to the oracle.
+fn gemm_direct<const TMR: usize, const TNR: usize>(
+    trans: Trans,
+    dims: (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    m_local: usize,
 ) {
     let (m, n, k) = dims;
     if m_local == 0 || n == 0 || k == 0 {
         return;
     }
-    let kc_max = blocking.kc.min(k);
-    let mc_max = blocking.mc.min(m_local);
-    let nc_max = blocking.nc.min(n);
+    for i0 in (0..m_local).step_by(TMR) {
+        let rows = TMR.min(m_local - i0);
+        for j0 in (0..n).step_by(TNR) {
+            let cols = TNR.min(n - j0);
+            let mut acc = [[0.0f32; TNR]; TMR];
+            for (il, acc_row) in acc.iter_mut().enumerate().take(rows) {
+                let base = (i0 + il) * n + j0;
+                acc_row[..cols].copy_from_slice(&c_rows[base..base + cols]);
+            }
+            // Lanes >= cols stay 0.0 for the whole tile, so the full-width MAC
+            // below adds exactly 0.0 to accumulator lanes that are never stored.
+            let mut b_row = [0.0f32; TNR];
+            for p in 0..k {
+                match trans {
+                    // B is `[k, n]`: row p is contiguous in j.
+                    Trans::Nn | Trans::Tn => {
+                        let base = p * n + j0;
+                        b_row[..cols].copy_from_slice(&b[base..base + cols]);
+                    }
+                    // B is `[n, k]`: column gather, one strided read per lane.
+                    Trans::Nt => {
+                        for (jl, slot) in b_row.iter_mut().enumerate().take(cols) {
+                            *slot = b[(j0 + jl) * k + p];
+                        }
+                    }
+                }
+                for (il, acc_row) in acc.iter_mut().enumerate().take(rows) {
+                    let av = a_at(trans, a, m, k, row0 + i0 + il, p);
+                    for (cc, &bv) in acc_row.iter_mut().zip(&b_row) {
+                        *cc += av * bv;
+                    }
+                }
+            }
+            for (il, acc_row) in acc.iter().enumerate().take(rows) {
+                let base = (i0 + il) * n + j0;
+                c_rows[base..base + cols].copy_from_slice(&acc_row[..cols]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed single-stage driver (BLIS loop nest).
+// ---------------------------------------------------------------------------
+
+/// Folds one packed `(jc, ic, pc)` block into the C tiles it covers. Shared by the
+/// single- and double-stage drivers so both accumulate in exactly the same order.
+#[allow(clippy::too_many_arguments)]
+fn compute_block<const TMR: usize, const TNR: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    c_rows: &mut [f32],
+    n: usize,
+    jc: usize,
+    ic: usize,
+    mc_eff: usize,
+    nc_eff: usize,
+    kc_eff: usize,
+    micro_fn: MicroFn<TMR, TNR>,
+) {
+    for pa in 0..mc_eff.div_ceil(TMR) {
+        let i0 = ic + pa * TMR;
+        let rows = TMR.min(mc_eff - pa * TMR);
+        let ap_panel = &ap[pa * TMR * kc_eff..(pa + 1) * TMR * kc_eff];
+        for pb in 0..nc_eff.div_ceil(TNR) {
+            let j0 = jc + pb * TNR;
+            let cols = TNR.min(nc_eff - pb * TNR);
+            let bp_panel = &bp[pb * TNR * kc_eff..(pb + 1) * TNR * kc_eff];
+            // Load the destination tile (padded lanes start at zero and are
+            // discarded), fold the panel product into it, store it back.
+            let mut acc = [[0.0f32; TNR]; TMR];
+            for (il, acc_row) in acc.iter_mut().enumerate().take(rows) {
+                let c_row = &c_rows[(i0 + il) * n + j0..(i0 + il) * n + j0 + cols];
+                acc_row[..cols].copy_from_slice(c_row);
+            }
+            // SAFETY: the panel layout satisfies the micro-kernel's length
+            // contract, and the SIMD variants are only reachable after runtime
+            // feature detection (see resolve_8x8 / resolve_16x8).
+            unsafe { micro_fn(ap_panel, bp_panel, &mut acc) };
+            for (il, acc_row) in acc.iter().enumerate().take(rows) {
+                let c_row = &mut c_rows[(i0 + il) * n + j0..(i0 + il) * n + j0 + cols];
+                c_row.copy_from_slice(&acc_row[..cols]);
+            }
+        }
+    }
+}
+
+/// Single-stage packed GEMM over a contiguous row slice of C with a `TMR×TNR` tile:
+/// panels are packed inline on the compute thread, B once per `(jc, pc)` block, A once
+/// per `(jc, pc, ic)` block.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed_single<const TMR: usize, const TNR: usize>(
+    trans: Trans,
+    dims: (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    m_local: usize,
+    part: &PartitionSize,
+    micro_fn: MicroFn<TMR, TNR>,
+) {
+    let (m, n, k) = dims;
+    if m_local == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let kc_max = part.kc.min(k);
+    let mc_max = part.mc.min(m_local);
+    let nc_max = part.nc.min(n);
     // Pooled packing panels: every used slot (padding lanes included) is rewritten by
     // pack_a / pack_b before the micro-kernel reads it, so stale contents never
     // influence C and the checkout can skip zeroing. Recycled on every return path.
@@ -558,31 +685,9 @@ fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
                     &mut ap,
                     TMR,
                 );
-                for pa in 0..mc_eff.div_ceil(TMR) {
-                    let i0 = ic + pa * TMR;
-                    let rows = TMR.min(mc_eff - pa * TMR);
-                    let ap_panel = &ap[pa * TMR * kc_eff..(pa + 1) * TMR * kc_eff];
-                    for pb in 0..nc_eff.div_ceil(TNR) {
-                        let j0 = jc + pb * TNR;
-                        let cols = TNR.min(nc_eff - pb * TNR);
-                        let bp_panel = &bp[pb * TNR * kc_eff..(pb + 1) * TNR * kc_eff];
-                        // Load the destination tile (padded lanes start at zero and are
-                        // discarded), fold the panel product into it, store it back.
-                        let mut acc = [[0.0f32; TNR]; TMR];
-                        for (il, acc_row) in acc.iter_mut().enumerate().take(rows) {
-                            let c_row = &c_rows[(i0 + il) * n + j0..(i0 + il) * n + j0 + cols];
-                            acc_row[..cols].copy_from_slice(c_row);
-                        }
-                        // SAFETY: the panel layout satisfies the micro-kernel's length
-                        // contract, and the AVX variant is only reachable after runtime
-                        // feature detection (see gemm_blocked_st).
-                        unsafe { micro(ap_panel, bp_panel, &mut acc) };
-                        for (il, acc_row) in acc.iter().enumerate().take(rows) {
-                            let c_row = &mut c_rows[(i0 + il) * n + j0..(i0 + il) * n + j0 + cols];
-                            c_row.copy_from_slice(&acc_row[..cols]);
-                        }
-                    }
-                }
+                compute_block::<TMR, TNR>(
+                    &ap, &bp, c_rows, n, jc, ic, mc_eff, nc_eff, kc_eff, micro_fn,
+                );
             }
         }
     }
@@ -590,9 +695,319 @@ fn gemm_blocked_tiled<const TMR: usize, const TNR: usize>(
     crate::pool::recycle(bp);
 }
 
+// ---------------------------------------------------------------------------
+// Packed double-buffered driver.
+//
+// Stage order is jc → pc → ic, identical to the single-stage driver; stages are
+// numbered t = g·ics + r where g enumerates (jc, pc) block pairs and r the ic
+// blocks within the pair. The persistent per-thread packer thread packs stage
+// t's A panel into ap[t % 2] (and, when r == 0, the pair's B panel into
+// bp[g % 2]) and signals ready(t); the compute side waits for ready(t), folds
+// the block, and returns done(t) so the packer may reuse the buffer for t + 2.
+// The packer therefore runs at most one stage ahead, which keeps the live
+// buffers disjoint. Panel contents and the per-element ascending-k fold order
+// are schedule-independent, so double-buffering is bit-identical to
+// single-stage — it changes wall-clock time only.
+// ---------------------------------------------------------------------------
+
+/// One packing job handed to the persistent packer thread: the full stage
+/// enumeration of one GEMM call, with raw views of the operands and the two
+/// panel buffer pairs.
+struct PackJob {
+    trans: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    m_local: usize,
+    mc: usize,
+    kc: usize,
+    nc: usize,
+    tmr: usize,
+    tnr: usize,
+    a: *const f32,
+    a_len: usize,
+    b: *const f32,
+    b_len: usize,
+    ap: [*mut f32; 2],
+    ap_len: usize,
+    bp: [*mut f32; 2],
+    bp_len: usize,
+    total: usize,
+    ics: usize,
+    pcs: usize,
+}
+
+// SAFETY: the raw pointers reference the operands and pooled panel buffers owned
+// by the stack frame of `gemm_packed_double`, which does not return (or drop the
+// buffers) until it has received ready(total - 1) — sent by the packer only
+// after its final write. The ready/done protocol keeps the packer's writes on
+// buffers the compute side is not reading (see the module comment above), so no
+// location is ever accessed from both threads at once.
+unsafe impl Send for PackJob {}
+
+/// Decodes stage `t` of a job into its block coordinates and effective sizes:
+/// `(jc, pc, ic, nc_eff, kc_eff, mc_eff, r)`.
+#[allow(clippy::type_complexity)]
+fn stage_coords(
+    t: usize,
+    ics: usize,
+    pcs: usize,
+    (mc, kc, nc): (usize, usize, usize),
+    (m_local, n, k): (usize, usize, usize),
+) -> (usize, usize, usize, usize, usize, usize, usize) {
+    let g = t / ics;
+    let r = t % ics;
+    let jc = (g / pcs) * nc;
+    let pc = (g % pcs) * kc;
+    let ic = r * mc;
+    (
+        jc,
+        pc,
+        ic,
+        nc.min(n - jc),
+        kc.min(k - pc),
+        mc.min(m_local - ic),
+        r,
+    )
+}
+
+/// The packer thread's main loop: one iteration per job, exiting when the
+/// owning thread drops its command sender.
+fn packer_main(
+    cmd_rx: rayon::channel::Receiver<PackJob>,
+    ready_tx: rayon::channel::Sender<usize>,
+    done_rx: rayon::channel::Receiver<usize>,
+) {
+    while let Some(job) = cmd_rx.recv() {
+        // SAFETY: PackJob's Send contract (above): the operands stay alive and
+        // unmodified for the whole job, and each panel buffer is written only
+        // while the compute side holds no view of it.
+        let (a, b) = unsafe {
+            (
+                std::slice::from_raw_parts(job.a, job.a_len),
+                std::slice::from_raw_parts(job.b, job.b_len),
+            )
+        };
+        for t in 0..job.total {
+            if t >= 2 && done_rx.recv().is_none() {
+                return;
+            }
+            let (jc, pc, ic, nc_eff, kc_eff, mc_eff, r) = stage_coords(
+                t,
+                job.ics,
+                job.pcs,
+                (job.mc, job.kc, job.nc),
+                (job.m_local, job.n, job.k),
+            );
+            if r == 0 {
+                let g = t / job.ics;
+                // SAFETY: buffer bp[g % 2] is free — see the protocol argument in
+                // the module comment; done(t - 2) has been received for t >= 2, so
+                // the compute side is past every stage that read this buffer.
+                let bp = unsafe { std::slice::from_raw_parts_mut(job.bp[g % 2], job.bp_len) };
+                pack_b(
+                    job.trans,
+                    b,
+                    (job.n, job.k),
+                    pc,
+                    jc,
+                    kc_eff,
+                    nc_eff,
+                    bp,
+                    job.tnr,
+                );
+            }
+            // SAFETY: buffer ap[t % 2] was last used by compute stage t - 2, whose
+            // done has been received (or t < 2 and it was never used).
+            let ap = unsafe { std::slice::from_raw_parts_mut(job.ap[t % 2], job.ap_len) };
+            pack_a(
+                job.trans,
+                a,
+                (job.m, job.k),
+                job.row0 + ic,
+                pc,
+                mc_eff,
+                kc_eff,
+                ap,
+                job.tmr,
+            );
+            if ready_tx.send(t).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// A persistent per-thread packer: one OS thread plus its command/ready/done
+/// channels, created on first double-buffered GEMM and reused for every
+/// subsequent call on this thread (so the steady-state hot path allocates
+/// nothing). Dropping the handle closes the command channel, which ends the
+/// packer's main loop; the join then reaps the thread.
+struct Packer {
+    cmd_tx: Option<rayon::channel::Sender<PackJob>>,
+    ready_rx: rayon::channel::Receiver<usize>,
+    done_tx: rayon::channel::Sender<usize>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Packer {
+    fn spawn() -> Self {
+        let (cmd_tx, cmd_rx) = rayon::channel::bounded::<PackJob>(1);
+        // Capacity 2: the packer runs at most one stage ahead, so at most two
+        // ready tokens (and two done tokens) are ever in flight.
+        let (ready_tx, ready_rx) = rayon::channel::bounded::<usize>(2);
+        let (done_tx, done_rx) = rayon::channel::bounded::<usize>(2);
+        let handle = std::thread::Builder::new()
+            .name("mergesfl-gemm-pack".into())
+            .spawn(move || packer_main(cmd_rx, ready_tx, done_rx))
+            .expect("gemm: failed to spawn stage packer thread");
+        Self {
+            cmd_tx: Some(cmd_tx),
+            ready_rx,
+            done_tx,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Packer {
+    fn drop(&mut self) {
+        drop(self.cmd_tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+std::thread_local! {
+    static PACKER: std::cell::RefCell<Option<Packer>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Double-buffered packed GEMM: identical loop nest and accumulation order to
+/// [`gemm_packed_single`], with packing offloaded to the persistent stage thread.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed_double<const TMR: usize, const TNR: usize>(
+    trans: Trans,
+    dims: (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    row0: usize,
+    m_local: usize,
+    part: &PartitionSize,
+    micro_fn: MicroFn<TMR, TNR>,
+) {
+    let (m, n, k) = dims;
+    if m_local == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let kc = part.kc.min(k);
+    let mc = part.mc.min(m_local);
+    let nc = part.nc.min(n);
+    let ap_len = mc.div_ceil(TMR) * TMR * kc;
+    let bp_len = nc.div_ceil(TNR) * TNR * kc;
+    // Two buffers per operand for the double buffer; like the single-stage
+    // driver, every slot read is written by the packer first, so the checkout
+    // skips zeroing. The Vecs themselves must stay untouched until the job
+    // drains — the packer writes through raw views of their heap storage.
+    let mut ap_bufs = [
+        crate::pool::take_uninit::<f32>(ap_len),
+        crate::pool::take_uninit::<f32>(ap_len),
+    ];
+    let mut bp_bufs = [
+        crate::pool::take_uninit::<f32>(bp_len),
+        crate::pool::take_uninit::<f32>(bp_len),
+    ];
+
+    let ics = m_local.div_ceil(mc);
+    let pcs = k.div_ceil(kc);
+    let jcs = n.div_ceil(nc);
+    let total = jcs * pcs * ics;
+
+    let job = PackJob {
+        trans,
+        m,
+        n,
+        k,
+        row0,
+        m_local,
+        mc,
+        kc,
+        nc,
+        tmr: TMR,
+        tnr: TNR,
+        a: a.as_ptr(),
+        a_len: a.len(),
+        b: b.as_ptr(),
+        b_len: b.len(),
+        ap: [ap_bufs[0].as_mut_ptr(), ap_bufs[1].as_mut_ptr()],
+        ap_len,
+        bp: [bp_bufs[0].as_mut_ptr(), bp_bufs[1].as_mut_ptr()],
+        bp_len,
+        total,
+        ics,
+        pcs,
+    };
+    let ap_ptrs = job.ap;
+    let bp_ptrs = job.bp;
+
+    PACKER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let packer = slot.get_or_insert_with(Packer::spawn);
+        if packer
+            .cmd_tx
+            .as_ref()
+            .expect("gemm: packer command channel closed")
+            .send(job)
+            .is_err()
+        {
+            panic!("gemm: stage packer thread terminated");
+        }
+        let mut wait_ns = 0u64;
+        for t in 0..total {
+            let t0 = std::time::Instant::now();
+            match packer.ready_rx.recv() {
+                Some(tok) => debug_assert_eq!(tok, t),
+                None => panic!("gemm: stage packer thread terminated mid-job"),
+            }
+            wait_ns += t0.elapsed().as_nanos() as u64;
+            let (jc, _pc, ic, nc_eff, kc_eff, mc_eff, _r) =
+                stage_coords(t, ics, pcs, (mc, kc, nc), (m_local, n, k));
+            let g = t / ics;
+            // SAFETY: ready(t) guarantees the packer has finished writing
+            // ap[t % 2] (stage t) and bp[g % 2] (stage pair g) and will not
+            // touch either again before done(t) / done of this pair's last
+            // stage — which cannot be sent before these reads complete.
+            let (ap, bp) = unsafe {
+                (
+                    std::slice::from_raw_parts(ap_ptrs[t % 2], ap_len),
+                    std::slice::from_raw_parts(bp_ptrs[g % 2], bp_len),
+                )
+            };
+            compute_block::<TMR, TNR>(ap, bp, c_rows, n, jc, ic, mc_eff, nc_eff, kc_eff, micro_fn);
+            // The packer only waits for done(t) before packing stage t + 2, so
+            // the last two stages need no token (and sending one would strand
+            // it in the channel for the next job).
+            if t + 2 < total && packer.done_tx.send(t).is_err() {
+                panic!("gemm: stage packer thread terminated mid-job");
+            }
+        }
+        record_stage_wait(wait_ns, total as u64);
+    });
+
+    let [ap0, ap1] = ap_bufs;
+    let [bp0, bp1] = bp_bufs;
+    crate::pool::recycle(ap0);
+    crate::pool::recycle(ap1);
+    crate::pool::recycle(bp0);
+    crate::pool::recycle(bp1);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::tiling::TileSize;
     use crate::rng::seeded;
     use rand::Rng;
 
@@ -600,39 +1015,51 @@ mod tests {
         (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
     }
 
+    fn tiny_scheme(stage: Staging) -> TilingScheme {
+        TilingScheme {
+            tile: TileSize { mr: 4, nr: 8 },
+            partition: PartitionSize {
+                mc: 8,
+                kc: 8,
+                nc: 8,
+            },
+            stage,
+        }
+    }
+
     fn check_parity(trans: Trans, m: usize, n: usize, k: usize, seed: u64) {
         let mut rng = seeded(seed);
         let a = random_vec(&mut rng, m * k);
         let b = random_vec(&mut rng, k * n);
         let mut c_naive = random_vec(&mut rng, m * n);
-        let mut c_blocked = c_naive.clone();
-        gemm_cfg(
-            KernelBackend::Naive,
-            trans,
-            m,
-            n,
-            k,
-            &a,
-            &b,
-            &mut c_naive,
-            Epilogue::None,
-            &GemmBlocking::default(),
-        );
-        // Tiny blocking forces many ragged panels and kc splits through the blocked path.
-        let blocking = GemmBlocking {
-            mc: 8,
-            kc: 8,
-            nc: 8,
-        };
-        gemm_blocked_st(trans, (m, n, k), &a, &b, &mut c_blocked, 0, m, &blocking);
-        assert_eq!(
-            c_naive, c_blocked,
-            "{trans:?} {m}x{n}x{k}: blocked result must be bit-identical to naive"
-        );
+        let seeded_c = c_naive.clone();
+        gemm_naive(trans, m, n, k, &a, &b, &mut c_naive);
+        // Tiny blocking forces many ragged panels and kc splits through every staging.
+        for stage in [Staging::Direct, Staging::Single, Staging::Double] {
+            let mut c_tiled = seeded_c.clone();
+            gemm_with_scheme(
+                trans,
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                &mut c_tiled,
+                Epilogue::None,
+                &tiny_scheme(stage),
+                MicroSelect::Auto,
+            );
+            assert_eq!(
+                c_naive,
+                c_tiled,
+                "{trans:?} {m}x{n}x{k} {}: tiled result must be bit-identical to naive",
+                stage.name()
+            );
+        }
     }
 
     #[test]
-    fn blocked_matches_naive_on_ragged_shapes() {
+    fn all_stagings_match_naive_on_ragged_shapes() {
         for &(m, n, k) in &[
             (1, 1, 1),
             (4, 8, 16),
@@ -648,9 +1075,51 @@ mod tests {
     }
 
     #[test]
+    fn double_buffering_reuses_one_packer_across_many_stage_shapes() {
+        // Stage counts 1, 2 and many (ragged in every dimension) through the same
+        // thread-local packer, interleaved — exercises the job framing (no stranded
+        // ready/done tokens between jobs).
+        let (m, n, k) = (23, 19, 31);
+        let mut rng = seeded(42);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let mut want = vec![0.0f32; m * n];
+        gemm_naive(Trans::Nn, m, n, k, &a, &b, &mut want);
+        for (mc, kc, nc) in [
+            (32, 32, 32), // 1 stage
+            (12, 32, 32), // 2 stages (ic split only)
+            (8, 8, 8),    // 36 stages
+            (5, 7, 6),    // ragged everywhere
+        ] {
+            let scheme = TilingScheme {
+                tile: TileSize { mr: 4, nr: 8 },
+                partition: PartitionSize { mc, kc, nc },
+                stage: Staging::Double,
+            };
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_scheme(
+                Trans::Nn,
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                &mut c,
+                Epilogue::None,
+                &scheme,
+                MicroSelect::Auto,
+            );
+            assert_eq!(
+                want, c,
+                "double-buffered diverged at mc={mc} kc={kc} nc={nc}"
+            );
+        }
+    }
+
+    #[test]
     fn row_sliced_execution_matches_naive_for_every_layout() {
         // Replays exactly what the threaded fan-out does — split C into contiguous row
-        // slices and run gemm_blocked_st on each with its row0 offset — so the non-zero
+        // slices and run the dispatcher on each with its row0 offset — so the non-zero
         // row0 bookkeeping (including the strided Trans::Tn column indexing of A) is
         // covered even on single-core hosts where the parallel branch never triggers.
         let (m, n, k) = (37, 19, 23);
@@ -660,25 +1129,31 @@ mod tests {
             let b = random_vec(&mut rng, k * n);
             let mut c_naive = vec![0.0f32; m * n];
             gemm_naive(trans, m, n, k, &a, &b, &mut c_naive);
-            for rows_per in [5usize, 8, 16, 37] {
-                let mut c_sliced = vec![0.0f32; m * n];
-                for (t, chunk) in c_sliced.chunks_mut(rows_per * n).enumerate() {
-                    let m_local = chunk.len() / n;
-                    gemm_blocked_st(
-                        trans,
-                        (m, n, k),
-                        &a,
-                        &b,
-                        chunk,
-                        t * rows_per,
-                        m_local,
-                        &GemmBlocking::default(),
+            for stage in [Staging::Direct, Staging::Single, Staging::Double] {
+                let scheme = TilingScheme::packed(TileSize { mr: 4, nr: 8 }, stage);
+                for rows_per in [5usize, 8, 16, 37] {
+                    let mut c_sliced = vec![0.0f32; m * n];
+                    for (t, chunk) in c_sliced.chunks_mut(rows_per * n).enumerate() {
+                        let m_local = chunk.len() / n;
+                        gemm_dispatch(
+                            trans,
+                            (m, n, k),
+                            &a,
+                            &b,
+                            chunk,
+                            t * rows_per,
+                            m_local,
+                            &scheme,
+                            MicroSelect::Auto,
+                        );
+                    }
+                    assert_eq!(
+                        c_naive,
+                        c_sliced,
+                        "{trans:?} {} diverged with {rows_per} rows per slice",
+                        stage.name()
                     );
                 }
-                assert_eq!(
-                    c_naive, c_sliced,
-                    "{trans:?} diverged with {rows_per} rows per slice"
-                );
             }
         }
     }
@@ -686,8 +1161,8 @@ mod tests {
     #[test]
     fn large_product_through_public_api_matches_naive() {
         // 2*260*100*90 = 4.68M flops clears PAR_MIN_FLOPS (1<<22 = 4.19M) as well as
-        // BLOCKED_MIN_FLOPS, so this exercises the packed path and, on multi-core hosts
-        // (CI runners), the threaded row-panel fan-out end to end.
+        // the packed-scheme threshold, so this exercises runtime selection and, on
+        // multi-core hosts (CI runners), the threaded row-panel fan-out end to end.
         let (m, n, k) = (260, 100, 90);
         let mut rng = seeded(7);
         let a = random_vec(&mut rng, m * k);
@@ -831,6 +1306,37 @@ mod tests {
             assert_eq!(c, [7.0, 8.0], "k = 0 must leave C untouched");
             let mut c: Vec<f32> = vec![];
             gemm_nt(backend, 0, 4, 3, &[], &random(12), &mut c, Epilogue::None);
+        }
+        // Degenerate shapes through every explicit staging.
+        for stage in [Staging::Direct, Staging::Single, Staging::Double] {
+            let scheme = TilingScheme::packed(TileSize { mr: 4, nr: 8 }, stage);
+            let mut c: [f32; 0] = [];
+            gemm_with_scheme(
+                Trans::Nn,
+                0,
+                0,
+                0,
+                &[],
+                &[],
+                &mut c,
+                Epilogue::None,
+                &scheme,
+                MicroSelect::Auto,
+            );
+            let mut c = [7.0f32, 8.0];
+            gemm_with_scheme(
+                Trans::Nn,
+                1,
+                2,
+                0,
+                &[],
+                &[],
+                &mut c,
+                Epilogue::None,
+                &scheme,
+                MicroSelect::Auto,
+            );
+            assert_eq!(c, [7.0, 8.0], "k = 0 must leave C untouched");
         }
     }
 

@@ -8,9 +8,14 @@
 //! * [`KernelBackend::Naive`] — the original straightforward loop nests. They are kept
 //!   verbatim as the *test oracle*: slow, obviously correct, and the reference every
 //!   optimised path is compared against.
-//! * [`KernelBackend::Blocked`] — cache-blocked, register-tiled GEMM with packed A/B
-//!   panels ([`gemm`]), im2col-backed convolution forward and backward ([`conv`]), and
-//!   optional intra-op parallelism over row panels through the rayon shim.
+//! * [`KernelBackend::Blocked`] — the kernel **runtime**: [`runtime::Runtime::select`]
+//!   plans each GEMM as either the naive nest or an explicit [`tiling::TilingScheme`]
+//!   (register tile, mc/kc/nc cache partition, `Direct`/`Single`/`Double` panel staging)
+//!   plus a [`micro`] kernel chosen behind CPU feature detection, and the drivers in
+//!   [`gemm`] execute whatever plan they are handed — including double-buffered
+//!   multi-stage execution, where a persistent packer thread overlaps the next stage's
+//!   packing with the current stage's compute. Convolutions im2col into the same GEMMs
+//!   ([`conv`]), and intra-op parallelism fans row panels out through the rayon shim.
 //!
 //! Both backends are deterministic, and the blocked GEMM accumulates every output element
 //! in exactly the same ascending-`k` order as the naive loops (the micro-kernel loads the
@@ -22,13 +27,24 @@
 //! The process-wide default backend is read by [`crate::Tensor::matmul`] and every layer at
 //! call time; it is selected through [`set_default_backend`] (plumbed from
 //! `mergesfl::config::RunConfig::kernel_backend`) or the `MERGESFL_KERNELS` environment
-//! variable (`naive` / `blocked`).
+//! variable (`naive` / `blocked`). Plans can be steered without changing results via
+//! `MERGESFL_MICROKERNEL` (force a micro-kernel) and `MERGESFL_TILING` (adjust packed
+//! schemes) — see [`crate::env`] for the knob table.
 
 pub mod conv;
 pub mod gemm;
+pub mod micro;
 pub mod pool;
+pub mod runtime;
+pub mod tiling;
 
-pub use gemm::{gemm_cfg, gemm_nn, gemm_nt, gemm_tn, Epilogue, GemmBlocking, Trans};
+pub use gemm::{gemm_cfg, gemm_nn, gemm_nt, gemm_tn, gemm_with_scheme, Epilogue, Trans};
+pub use micro::{MicroKernelId, MicroSelect, ALL_MICRO_KERNELS};
+pub use runtime::{
+    reset_stage_stats, runtime, set_micro_override, set_tiling_override, stage_stats, GemmPlan,
+    Runtime, StageStats,
+};
+pub use tiling::{PartitionSize, Staging, TileSize, TilingOverride, TilingScheme};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

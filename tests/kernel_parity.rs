@@ -11,7 +11,10 @@
 //! kernels, 1×1 images, empty batches, `k = 0` products) get dedicated cases below.
 
 use mergesfl_nn::kernels::conv::{conv_backward, conv_forward, ConvGeom};
-use mergesfl_nn::kernels::{gemm_cfg, Epilogue, GemmBlocking, KernelBackend, Trans};
+use mergesfl_nn::kernels::{
+    gemm_cfg, gemm_with_scheme, runtime, Epilogue, GemmPlan, KernelBackend, MicroSelect,
+    PartitionSize, Staging, TilingScheme, Trans, ALL_MICRO_KERNELS,
+};
 use proptest::prelude::*;
 
 /// Shared random-value pool: properties slice what each shape needs out of this.
@@ -33,18 +36,7 @@ fn run_gemm(
         Some(bias) => Epilogue::BiasRow(&bias[..n]),
         None => Epilogue::None,
     };
-    gemm_cfg(
-        backend,
-        trans,
-        m,
-        n,
-        k,
-        a,
-        b,
-        &mut c,
-        epilogue,
-        &GemmBlocking::default(),
-    );
+    gemm_cfg(backend, trans, m, n, k, a, b, &mut c, epilogue);
     c
 }
 
@@ -253,7 +245,106 @@ fn linear_layer_matches_manual_naive_computation() {
         w.data(),
         &mut manual,
         Epilogue::BiasRow(b.data()),
-        &GemmBlocking::default(),
     );
     assert_eq!(y.data(), manual.as_slice());
+}
+
+/// The full runtime matrix: every micro-kernel × staging mode × layout reachable on this
+/// host is bit-identical to the naive oracle. Cells whose micro-kernel the CPU lacks are
+/// skipped with a message (CI's portable-forced cell still covers their tile via the
+/// generic kernel). Shapes are chosen ragged against both the register tiles and the
+/// shrunk partition so every edge path (partial tiles, multi-stage loops, the packer
+/// hand-off) executes.
+#[test]
+fn parity_matrix_micro_kernel_by_scheme_by_layout() {
+    let pool: Vec<f32> = (0..POOL)
+        .map(|i| ((i as f32) * 0.193).sin() * 2.0)
+        .collect();
+    let bias: Vec<f32> = (0..64).map(|i| (i as f32) * 0.05 - 1.0).collect();
+    // Ragged against every supported tile (mr in {4, 8, 16}, nr in {8, 16}) and
+    // against the partition below (multiple mc/kc/nc stages each).
+    let shapes = [(13usize, 27usize, 33usize), (5, 9, 17), (33, 49, 40)];
+    // Shrunk partition so even these small shapes iterate several packing stages.
+    let partition = PartitionSize {
+        mc: 16,
+        kc: 16,
+        nc: 24,
+    };
+    for micro in ALL_MICRO_KERNELS {
+        if !micro.is_available() {
+            println!(
+                "skipping micro-kernel {}: not available on this host",
+                micro.name()
+            );
+            continue;
+        }
+        for stage in [Staging::Direct, Staging::Single, Staging::Double] {
+            let scheme = TilingScheme {
+                tile: micro.tile(),
+                partition,
+                stage,
+            };
+            scheme.validate();
+            for trans in [Trans::Nn, Trans::Nt, Trans::Tn] {
+                for (m, n, k) in shapes {
+                    let naive = run_gemm(KernelBackend::Naive, trans, m, n, k, &pool, Some(&bias));
+                    let a = &pool[..m * k];
+                    let b = &pool[m * k..m * k + k * n];
+                    let mut c = vec![0.0f32; m * n];
+                    gemm_with_scheme(
+                        trans,
+                        m,
+                        n,
+                        k,
+                        a,
+                        b,
+                        &mut c,
+                        Epilogue::BiasRow(&bias[..n]),
+                        &scheme,
+                        MicroSelect::Force(micro),
+                    );
+                    assert_eq!(
+                        naive,
+                        c,
+                        "micro {} stage {} layout {:?} {m}x{n}x{k} diverged",
+                        micro.name(),
+                        stage.name(),
+                        trans
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Scheme selection is total: any shape — zero extents, k = 1, skinny slivers,
+    /// huge flop counts — yields a plan without panicking, and tiled plans always
+    /// carry a valid (executable) scheme.
+    #[test]
+    fn scheme_selection_never_panics(
+        m in 0usize..4097,
+        n in 0usize..4097,
+        k_raw in 0usize..4097,
+    ) {
+        // Fold the draws through the interesting extremes too: zero extents, k = 1
+        // slivers, and flop counts far past any threshold.
+        let k = match k_raw % 4 {
+            0 => 0,
+            1 => 1,
+            2 => 1usize << 40,
+            _ => k_raw,
+        };
+        let rt = runtime();
+        for trans in [Trans::Nn, Trans::Nt, Trans::Tn] {
+            if let GemmPlan::Tiled(scheme, _) = rt.select(trans, m, n, k) {
+                scheme.validate();
+            }
+            if let GemmPlan::Tiled(scheme, _) = rt.select(trans, k, m, n) {
+                scheme.validate();
+            }
+        }
+    }
 }
