@@ -257,6 +257,8 @@ mod tests {
             participants: 1,
             total_batch: 8,
             cohort_kl: 0.0,
+            fleet_registered: 1,
+            fleet_active: 1,
             shards: Vec::new(),
             topology: Default::default(),
             exchange_bytes: 0.0,

@@ -107,6 +107,30 @@ pub struct RunConfig {
     /// bit-identity and is validated statistically by the `tests/convergence.rs`
     /// harness. Constructors honour the `MERGESFL_STALENESS` environment variable.
     pub staleness: usize,
+    /// Registered fleet size: how many clients the control plane knows about. `None`
+    /// (the default) registers exactly `num_workers` clients — the classic fixed-cohort
+    /// regime, bit-identical to runs from before the fleet axis existed. `Some(F)` with
+    /// `F > num_workers` switches the run onto the event-driven fleet path: `F` clients
+    /// share the `num_workers` data shards (client `c` holds shard `c % num_workers`),
+    /// per-round memory and planning work scale with the active cohort, and cohort
+    /// members are materialised on demand. Constructors honour the `MERGESFL_FLEET`
+    /// environment variable.
+    pub fleet: Option<usize>,
+    /// Client availability churn: when on, each registered client's availability follows
+    /// a deterministic diurnal wave (per-client phase) and selected clients may drop out
+    /// mid-round, feeding the engines' degenerate-cohort handling. Off by default — and
+    /// off is a hard no-op, preserving bit-identity with pre-churn trajectories.
+    /// Constructors honour the `MERGESFL_CHURN` environment variable (`on`/`off`).
+    pub churn: bool,
+    /// Diurnal availability-wave period in rounds. Constructors honour
+    /// `MERGESFL_CHURN_PERIOD`.
+    pub churn_period: usize,
+    /// Floor of the availability probability (the wave's trough), in (0, 1].
+    /// Constructors honour `MERGESFL_CHURN_MIN_AVAIL`.
+    pub churn_min_availability: f64,
+    /// Probability that a selected client drops out mid-round, in [0, 1). Constructors
+    /// honour `MERGESFL_CHURN_DROPOUT`.
+    pub churn_dropout: f64,
 }
 
 /// Reads the pipelined-execution default from the `MERGESFL_PIPELINE` environment
@@ -143,6 +167,42 @@ pub fn sync_every_from_env() -> usize {
 /// unset, empty or unparsable values keep the synchronous default of 0.
 pub fn staleness_from_env() -> usize {
     env::parsed::<usize>("MERGESFL_STALENESS").unwrap_or(0)
+}
+
+/// Reads the registered-fleet size from the `MERGESFL_FLEET` environment variable;
+/// unset, empty, zero or unparsable values keep the classic `None` (fleet == workers).
+pub fn fleet_from_env() -> Option<usize> {
+    env::parsed::<usize>("MERGESFL_FLEET").filter(|&n| n >= 1)
+}
+
+/// Reads the availability-churn toggle from the `MERGESFL_CHURN` environment variable:
+/// `on`/`1`/`true` enable it, anything else (or unset) keeps churn off.
+pub fn churn_from_env() -> bool {
+    env::flag_on("MERGESFL_CHURN")
+}
+
+/// Reads the churn wave period (rounds) from `MERGESFL_CHURN_PERIOD`; unset, empty,
+/// zero or unparsable values keep the default of 48 rounds per cycle.
+pub fn churn_period_from_env() -> usize {
+    env::parsed::<usize>("MERGESFL_CHURN_PERIOD")
+        .filter(|&n| n >= 1)
+        .unwrap_or(48)
+}
+
+/// Reads the availability floor from `MERGESFL_CHURN_MIN_AVAIL`; values outside (0, 1]
+/// (or unset/unparsable) keep the default floor of 0.6.
+pub fn churn_min_availability_from_env() -> f64 {
+    env::parsed::<f64>("MERGESFL_CHURN_MIN_AVAIL")
+        .filter(|&v| v > 0.0 && v <= 1.0)
+        .unwrap_or(0.6)
+}
+
+/// Reads the mid-round dropout probability from `MERGESFL_CHURN_DROPOUT`; values outside
+/// [0, 1) (or unset/unparsable) keep the default of 0.05.
+pub fn churn_dropout_from_env() -> f64 {
+    env::parsed::<f64>("MERGESFL_CHURN_DROPOUT")
+        .filter(|&v| (0.0..1.0).contains(&v))
+        .unwrap_or(0.05)
 }
 
 /// Reads the GEMM micro-kernel override from the `MERGESFL_MICROKERNEL` environment
@@ -203,6 +263,11 @@ impl RunConfig {
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
             staleness: staleness_from_env(),
+            fleet: fleet_from_env(),
+            churn: churn_from_env(),
+            churn_period: churn_period_from_env(),
+            churn_min_availability: churn_min_availability_from_env(),
+            churn_dropout: churn_dropout_from_env(),
         }
     }
 
@@ -236,6 +301,11 @@ impl RunConfig {
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
             staleness: staleness_from_env(),
+            fleet: fleet_from_env(),
+            churn: churn_from_env(),
+            churn_period: churn_period_from_env(),
+            churn_min_availability: churn_min_availability_from_env(),
+            churn_dropout: churn_dropout_from_env(),
         }
     }
 
@@ -268,6 +338,11 @@ impl RunConfig {
             sync_every: sync_every_from_env(),
             topology: topology_from_env(),
             staleness: staleness_from_env(),
+            fleet: fleet_from_env(),
+            churn: churn_from_env(),
+            churn_period: churn_period_from_env(),
+            churn_min_availability: churn_min_availability_from_env(),
+            churn_dropout: churn_dropout_from_env(),
         }
     }
 
@@ -275,6 +350,33 @@ impl RunConfig {
     pub fn tau(&self) -> usize {
         self.local_iterations
             .unwrap_or_else(|| self.dataset.spec().local_iterations)
+    }
+
+    /// Effective registered fleet size: the `fleet` override, or `num_workers`.
+    pub fn fleet_size(&self) -> usize {
+        self.fleet.unwrap_or(self.num_workers)
+    }
+
+    /// Whether this run uses the event-driven fleet path (more registered clients than
+    /// data shards, or availability churn). When false, the engines run the classic
+    /// dense loop, bit-identical to runs from before the fleet axis existed.
+    pub fn fleet_mode(&self) -> bool {
+        self.fleet_size() > self.num_workers || self.churn
+    }
+
+    /// The churn process this run's control plane consults (disabled unless `churn` is
+    /// on). Seed stream 7 of the base seed, alongside the engines' streams 1–6.
+    pub fn churn_model(&self) -> mergesfl_simnet::ChurnModel {
+        if self.churn {
+            mergesfl_simnet::ChurnModel::new(
+                mergesfl_nn::rng::derive_seed(self.seed, 7),
+                self.churn_period,
+                self.churn_min_availability,
+                self.churn_dropout,
+            )
+        } else {
+            mergesfl_simnet::ChurnModel::disabled()
+        }
     }
 
     /// Validates internal consistency; panics with a descriptive message on error.
@@ -313,6 +415,25 @@ impl RunConfig {
         assert!(
             self.sync_every >= 1,
             "RunConfig: sync_every must be positive"
+        );
+        if let Some(fleet) = self.fleet {
+            assert!(
+                fleet >= self.num_workers,
+                "RunConfig: fleet ({fleet}) must be at least num_workers ({})",
+                self.num_workers
+            );
+        }
+        assert!(
+            self.churn_period >= 1,
+            "RunConfig: churn_period must be at least one round"
+        );
+        assert!(
+            self.churn_min_availability > 0.0 && self.churn_min_availability <= 1.0,
+            "RunConfig: churn_min_availability must be in (0, 1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.churn_dropout),
+            "RunConfig: churn_dropout must be in [0, 1)"
         );
     }
 }
@@ -386,6 +507,46 @@ mod tests {
     fn validate_rejects_too_many_participants() {
         let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
         c.participants_per_round = c.num_workers + 1;
+        c.validate();
+    }
+
+    #[test]
+    fn fleet_defaults_are_the_classic_regime() {
+        // The test environment may pin MERGESFL_FLEET/MERGESFL_CHURN (the CI fleet cell
+        // does); assert on explicit settings, not on what the constructor read.
+        let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+        c.fleet = None;
+        c.churn = false;
+        assert_eq!(c.fleet_size(), c.num_workers);
+        assert!(!c.fleet_mode());
+        assert!(!c.churn_model().enabled());
+        c.validate();
+
+        c.fleet = Some(10_000);
+        assert_eq!(c.fleet_size(), 10_000);
+        assert!(c.fleet_mode());
+        c.validate();
+
+        c.fleet = None;
+        c.churn = true;
+        assert!(c.fleet_mode(), "churn alone must select the fleet path");
+        assert!(c.churn_model().enabled());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet")]
+    fn validate_rejects_fleet_smaller_than_workers() {
+        let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+        c.fleet = Some(c.num_workers - 1);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "churn_dropout")]
+    fn validate_rejects_certain_dropout() {
+        let mut c = RunConfig::quick(DatasetKind::Har, 0.0, 1);
+        c.churn_dropout = 1.0;
         c.validate();
     }
 }

@@ -31,11 +31,21 @@ impl WorkerEstimate {
 }
 
 /// Moving-average state estimator for all workers plus the PS ingress bandwidth.
+///
+/// Keeps running totals of the known estimates so the mean-of-known fallback for a
+/// never-observed worker is O(1) — at a 10^5–10^6-client fleet the planner may ask for
+/// hundreds of unknown candidates per round, and the old full scan per query made that
+/// O(candidates · fleet).
 #[derive(Clone, Debug)]
 pub struct StateEstimator {
     alpha: f64,
     workers: Vec<Option<WorkerEstimate>>,
     ingress_estimate: Option<f64>,
+    /// Running sums over the `Some` entries of `workers`, kept in lock-step by
+    /// [`StateEstimator::observe_worker`].
+    sum_compute: f64,
+    sum_transfer: f64,
+    known: usize,
 }
 
 impl StateEstimator {
@@ -52,12 +62,20 @@ impl StateEstimator {
             alpha,
             workers: vec![None; num_workers],
             ingress_estimate: None,
+            sum_compute: 0.0,
+            sum_transfer: 0.0,
+            known: 0,
         }
     }
 
     /// Number of workers tracked.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The moving-average factor this estimator was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
     }
 
     /// Folds a fresh observation `(µ̂_i, β̂_i)` from worker `i` into its estimate.
@@ -78,11 +96,15 @@ impl StateEstimator {
         let entry = &mut self.workers[worker_id];
         match entry {
             Some(est) => {
+                self.sum_compute -= est.compute_per_sample;
+                self.sum_transfer -= est.transfer_per_sample;
                 est.compute_per_sample =
                     self.alpha * est.compute_per_sample + (1.0 - self.alpha) * compute_per_sample;
                 est.transfer_per_sample =
                     self.alpha * est.transfer_per_sample + (1.0 - self.alpha) * transfer_per_sample;
                 est.observations += 1;
+                self.sum_compute += est.compute_per_sample;
+                self.sum_transfer += est.transfer_per_sample;
             }
             None => {
                 *entry = Some(WorkerEstimate {
@@ -90,6 +112,9 @@ impl StateEstimator {
                     transfer_per_sample,
                     observations: 1,
                 });
+                self.sum_compute += compute_per_sample;
+                self.sum_transfer += transfer_per_sample;
+                self.known += 1;
             }
         }
     }
@@ -113,23 +138,23 @@ impl StateEstimator {
 
     /// Current estimate for a worker, falling back to the mean of known workers (or a
     /// conservative default) when the worker has never reported. This lets the control
-    /// module plan a round that includes never-before-selected workers.
+    /// module plan a round that includes never-before-selected workers, and is O(1) via
+    /// the running sums regardless of fleet size.
     pub fn worker_or_default(&self, worker_id: usize) -> WorkerEstimate {
         if let Some(est) = self.worker(worker_id) {
             return est.clone();
         }
-        let known: Vec<&WorkerEstimate> = self.workers.iter().flatten().collect();
-        if known.is_empty() {
+        if self.known == 0 {
             return WorkerEstimate {
                 compute_per_sample: 0.1,
                 transfer_per_sample: 0.05,
                 observations: 0,
             };
         }
-        let n = known.len() as f64;
+        let n = self.known as f64;
         WorkerEstimate {
-            compute_per_sample: known.iter().map(|e| e.compute_per_sample).sum::<f64>() / n,
-            transfer_per_sample: known.iter().map(|e| e.transfer_per_sample).sum::<f64>() / n,
+            compute_per_sample: self.sum_compute / n,
+            transfer_per_sample: self.sum_transfer / n,
             observations: 0,
         }
     }
@@ -176,6 +201,21 @@ mod tests {
         assert!((fallback.compute_per_sample - 0.3).abs() < 1e-9);
         assert!((fallback.transfer_per_sample - 0.2).abs() < 1e-9);
         assert_eq!(fallback.observations(), 0);
+    }
+
+    /// The O(1) running-sum fallback must track estimate *updates*, not just first
+    /// observations — the sums are adjusted by the moving-average delta in place.
+    #[test]
+    fn fallback_mean_stays_in_sync_with_updates() {
+        let mut est = StateEstimator::new(4, 0.5);
+        est.observe_worker(0, 0.2, 0.1);
+        est.observe_worker(1, 0.4, 0.3);
+        // Update worker 0: µ = 0.5·0.2 + 0.5·0.6 = 0.4, β = 0.5·0.1 + 0.5·0.5 = 0.3.
+        est.observe_worker(0, 0.6, 0.5);
+        let f = est.worker_or_default(3);
+        // Means over the current estimates: (0.4 + 0.4)/2 and (0.3 + 0.3)/2.
+        assert!((f.compute_per_sample - 0.4).abs() < 1e-12);
+        assert!((f.transfer_per_sample - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub use priority::ParticipationTracker;
 use crate::sfl::server::ShardTopology;
 use mergesfl_data::LabelDistribution;
 use mergesfl_nn::rng::derive_seed;
+use mergesfl_simnet::ChurnModel;
+use std::collections::BTreeMap;
 
 /// Which parts of the MergeSFL decision pipeline a round plan should use. Baselines and
 /// ablations are expressed by switching parts off.
@@ -83,6 +85,10 @@ pub struct RoundPlan {
     pub cohort_kl: f32,
     /// Predicted average waiting time of the cohort for this round (seconds).
     pub predicted_waiting: f64,
+    /// How many per-client registry records the planner touched to produce this plan —
+    /// the whole fleet on the classic dense path, O(pool) on the event-driven fleet path.
+    /// Surfaced so scalability tests and round records can assert/report the active set.
+    pub records_touched: usize,
 }
 
 /// Balances cohort members across `num_shards` parameter-server shards with the
@@ -188,9 +194,43 @@ impl RoundPlan {
             .retain(|_| *it.next().expect("keep mask aligned"));
         before - self.selected.len()
     }
+
+    /// Removes cohort members the churn process declares mid-round dropouts, returning
+    /// how many departed. A client can be online at planning time and still vanish
+    /// before its round work completes; the engines apply this *before* any training
+    /// state is materialized for the member, so a dropout costs nothing. Alignment is
+    /// maintained exactly as in [`RoundPlan::drop_empty_participants`], and a
+    /// fully-dropped cohort feeds the engines' existing degenerate-round path.
+    pub fn drop_mid_round_departures(&mut self, churn: &ChurnModel, round: usize) -> usize {
+        if !churn.enabled() {
+            return 0;
+        }
+        let before = self.selected.len();
+        let keep: Vec<bool> = self
+            .selected
+            .iter()
+            .map(|&w| !churn.drops_mid_round(w, round))
+            .collect();
+        let mut it = keep.iter();
+        self.selected
+            .retain(|_| *it.next().expect("keep mask aligned"));
+        let mut it = keep.iter();
+        self.shard_of
+            .retain(|_| *it.next().expect("keep mask aligned"));
+        let mut it = keep.iter();
+        self.batch_sizes
+            .retain(|_| *it.next().expect("keep mask aligned"));
+        before - self.selected.len()
+    }
 }
 
 /// The control module state kept by the parameter server across rounds.
+///
+/// By default the registered fleet *is* the worker set: one client per data shard, all
+/// always available. [`ControlModule::with_fleet`] switches the module into fleet mode,
+/// where `fleet >= W` registered clients share the `W` data shards (client `c` holds
+/// shard `c % W`) and a [`ChurnModel`] gates availability. Planning then runs on the
+/// event-driven path: O(cohort · log fleet) instead of O(fleet) per round.
 pub struct ControlModule {
     estimator: StateEstimator,
     tracker: ParticipationTracker,
@@ -202,6 +242,10 @@ pub struct ControlModule {
     tau: usize,
     genetic: GeneticConfig,
     seed: u64,
+    /// Registered clients. Equals `label_dists.len()` outside fleet mode.
+    fleet: usize,
+    /// Availability churn over the registered fleet (disabled outside fleet mode).
+    churn: ChurnModel,
 }
 
 impl ControlModule {
@@ -239,12 +283,47 @@ impl ControlModule {
             tau,
             genetic: GeneticConfig::default(),
             seed,
+            fleet: num_workers,
+            churn: ChurnModel::disabled(),
         }
+    }
+
+    /// Switches the module into fleet mode: `fleet` registered clients (ids
+    /// `0..fleet`) share the existing data shards by `c % W`, the estimator and
+    /// participation tracker are re-created at fleet size (compact per-client records:
+    /// a count plus an optional moving-average estimate each), and `churn` gates which
+    /// clients the planner may consider each round.
+    ///
+    /// With `fleet == num_workers()` and churn disabled this is a no-op: planning stays
+    /// on the classic dense path, bit-identical to a module that never called this.
+    pub fn with_fleet(mut self, fleet: usize, churn: ChurnModel) -> Self {
+        assert!(
+            fleet >= self.label_dists.len(),
+            "ControlModule: fleet ({fleet}) must cover every data shard ({})",
+            self.label_dists.len()
+        );
+        if fleet != self.fleet {
+            self.estimator = StateEstimator::new(fleet, self.estimator.alpha());
+            self.tracker = ParticipationTracker::new(fleet);
+            self.fleet = fleet;
+        }
+        self.churn = churn;
+        self
     }
 
     /// Number of workers known to the control module.
     pub fn num_workers(&self) -> usize {
         self.label_dists.len()
+    }
+
+    /// Number of registered clients (equals [`Self::num_workers`] outside fleet mode).
+    pub fn fleet_size(&self) -> usize {
+        self.fleet
+    }
+
+    /// Label distribution of the data shard a registered client holds.
+    fn dist_of(&self, client: usize) -> &LabelDistribution {
+        &self.label_dists[client % self.label_dists.len()]
     }
 
     /// The IID reference distribution `Φ0`.
@@ -293,7 +372,7 @@ impl ControlModule {
             opts.uniform_batch > 0,
             "plan_round: uniform batch must be positive"
         );
-        let n = self.num_workers();
+        let n = self.fleet;
         // Shard-aware ingress budget: with S parameter-server instances each bringing
         // its own NIC, the bandwidth constraint of Eq. 10 bounds the cohort's
         // per-iteration feature traffic by the aggregate `S · B^h` under both
@@ -311,30 +390,99 @@ impl ControlModule {
         };
         let budget = self.estimator.ingress_or(ingress_budget_fallback) * effective_links as f64;
 
-        // Per-worker cost estimates (µ_i + β_i), falling back to the population mean for
-        // workers that have never reported.
-        let costs: Vec<f64> = (0..n)
-            .map(|i| self.estimator.worker_or_default(i).per_sample_cost())
-            .collect();
-
-        // Line 1–2: batch-size regulation over all workers.
-        let all_batches: Vec<usize> = if opts.batch_regulation {
-            regulate_batch_sizes(&costs, self.max_batch).batch_sizes
+        // Lines 1–4: cost estimation, batch regulation and priority-ranked candidate
+        // pooling. Two regimes:
+        //
+        // * Classic dense path (fleet == worker count, no churn): costs and regulated
+        //   batches are computed for *every* worker and the pool is the top-priority
+        //   N/2 — exactly the paper's Alg. 1, kept byte-for-byte so existing
+        //   trajectories stay bit-identical.
+        // * Event-driven fleet path: the planner walks the priority structure lazily,
+        //   skipping clients the churn model reports offline, and stops once the pool
+        //   is full — touching O(pool / availability) of the registry. Costs and
+        //   regulated batches are computed for the candidate pool only, so per-round
+        //   work scales with the cohort, not the registered fleet.
+        let fleet_mode = self.fleet > self.label_dists.len() || self.churn.enabled();
+        let (candidates, cand_costs, cand_batches, records_touched) = if fleet_mode {
+            let pool_target = (opts.max_participants * 4).max(32).min(n);
+            let mut candidates: Vec<usize> = Vec::with_capacity(pool_target);
+            let mut touched = 0usize;
+            for w in self.tracker.ranked_iter() {
+                touched += 1;
+                if self.churn.is_available(w, round) {
+                    candidates.push(w);
+                    if candidates.len() == pool_target {
+                        break;
+                    }
+                }
+            }
+            let cand_costs: Vec<f64> = candidates
+                .iter()
+                .map(|&i| self.estimator.worker_or_default(i).per_sample_cost())
+                .collect();
+            let cand_batches: Vec<usize> = if candidates.is_empty() {
+                // Availability trough: nobody to regulate; the empty-plan return below
+                // handles it.
+                Vec::new()
+            } else if opts.batch_regulation {
+                regulate_batch_sizes(&cand_costs, self.max_batch).batch_sizes
+            } else {
+                vec![opts.uniform_batch; candidates.len()]
+            };
+            (candidates, cand_costs, cand_batches, touched)
         } else {
-            vec![opts.uniform_batch; n]
+            // Per-worker cost estimates (µ_i + β_i), falling back to the population
+            // mean for workers that have never reported.
+            let costs: Vec<f64> = (0..n)
+                .map(|i| self.estimator.worker_or_default(i).per_sample_cost())
+                .collect();
+            // Batch-size regulation over all workers (Eq. 9 normalises by the fastest
+            // worker of the whole set).
+            let all_batches: Vec<usize> = if opts.batch_regulation {
+                regulate_batch_sizes(&costs, self.max_batch).batch_sizes
+            } else {
+                vec![opts.uniform_batch; n]
+            };
+            // Candidate pool of the top m = N/2 workers (at least enough to fill the
+            // cohort).
+            let ranked = self.tracker.ranked();
+            let pool_size = (n / 2).max(opts.max_participants).min(n);
+            let candidates: Vec<usize> = ranked.into_iter().take(pool_size).collect();
+            let cand_costs: Vec<f64> = candidates.iter().map(|&i| costs[i]).collect();
+            let cand_batches: Vec<usize> = candidates.iter().map(|&i| all_batches[i]).collect();
+            (candidates, cand_costs, cand_batches, n)
         };
 
-        // Line 3–4: priority ranking, candidate pool of the top m = N/2 workers (at least
-        // enough to fill the cohort).
-        let ranked = self.tracker.ranked();
-        let pool_size = (n / 2).max(opts.max_participants).min(n);
-        let candidates: Vec<usize> = ranked.into_iter().take(pool_size).collect();
+        if candidates.is_empty() {
+            // Only reachable in fleet mode, when an availability trough leaves nobody
+            // online. The engines' existing degenerate-cohort handling records an empty
+            // round and moves on.
+            return RoundPlan {
+                selected: Vec::new(),
+                batch_sizes: Vec::new(),
+                shard_of: Vec::new(),
+                num_shards: match opts.topology {
+                    ShardTopology::Replicated => 1,
+                    ShardTopology::OutputPartitioned => opts.num_servers.max(1),
+                },
+                topology: opts.topology,
+                cohort_kl: 0.0,
+                predicted_waiting: 0.0,
+                records_touched,
+            };
+        }
+        // Candidate-local lookups for everything downstream of selection: global client
+        // id → position in the candidate arrays.
+        let index_of: BTreeMap<usize, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| (w, k))
+            .collect();
 
         // Line 5: cohort selection.
         let (mut selected, mut cohort_kl) = if opts.kl_selection {
             let cand_dists: Vec<&LabelDistribution> =
-                candidates.iter().map(|&i| &self.label_dists[i]).collect();
-            let cand_batches: Vec<usize> = candidates.iter().map(|&i| all_batches[i]).collect();
+                candidates.iter().map(|&i| self.dist_of(i)).collect();
             let problem = SelectionProblem {
                 candidates: &candidates,
                 label_dists: &cand_dists,
@@ -356,21 +504,29 @@ impl ControlModule {
                 .copied()
                 .take(opts.max_participants)
                 .collect();
-            let kl = self.cohort_kl(&selected, &all_batches);
+            let batches: Vec<usize> = selected
+                .iter()
+                .map(|&i| cand_batches[index_of[&i]])
+                .collect();
+            let kl = self.cohort_kl_with(&selected, &batches);
             (selected, kl)
         };
         if selected.is_empty() {
             selected.push(candidates[0]);
-            cohort_kl = self.cohort_kl(&selected, &all_batches);
+            let batches = vec![cand_batches[index_of[&candidates[0]]]];
+            cohort_kl = self.cohort_kl_with(&selected, &batches);
         }
 
-        let mut batch_sizes: Vec<usize> = selected.iter().map(|&i| all_batches[i]).collect();
-        let sel_costs: Vec<f64> = selected.iter().map(|&i| costs[i]).collect();
+        let mut batch_sizes: Vec<usize> = selected
+            .iter()
+            .map(|&i| cand_batches[index_of[&i]])
+            .collect();
+        let sel_costs: Vec<f64> = selected.iter().map(|&i| cand_costs[index_of[&i]]).collect();
 
         // Line 6: batch fine-tuning under the KL constraint.
         if opts.finetune && opts.kl_selection && cohort_kl > self.kl_epsilon {
             let sel_dists: Vec<&LabelDistribution> =
-                selected.iter().map(|&i| &self.label_dists[i]).collect();
+                selected.iter().map(|&i| self.dist_of(i)).collect();
             let config = FinetuneConfig::new(self.kl_epsilon, 1, self.max_batch);
             let outcome = finetune_batches(
                 &batch_sizes,
@@ -423,20 +579,15 @@ impl ControlModule {
             topology: opts.topology,
             cohort_kl,
             predicted_waiting,
+            records_touched,
         }
-    }
-
-    fn cohort_kl(&self, selected: &[usize], all_batches: &[usize]) -> f32 {
-        let batches: Vec<usize> = selected.iter().map(|&i| all_batches[i]).collect();
-        self.cohort_kl_with(selected, &batches)
     }
 
     fn cohort_kl_with(&self, selected: &[usize], batches: &[usize]) -> f32 {
         if selected.is_empty() {
             return f32::INFINITY;
         }
-        let dists: Vec<&LabelDistribution> =
-            selected.iter().map(|&i| &self.label_dists[i]).collect();
+        let dists: Vec<&LabelDistribution> = selected.iter().map(|&i| self.dist_of(i)).collect();
         let weights: Vec<f32> = batches.iter().map(|&d| d as f32).collect();
         LabelDistribution::mixture(&dists, &weights).kl_divergence(&self.iid_reference)
     }
@@ -621,6 +772,7 @@ mod tests {
             topology: ShardTopology::Replicated,
             cohort_kl: 0.1,
             predicted_waiting: 0.0,
+            records_touched: 4,
         };
         assert_eq!(plan.drop_empty_participants(), 2);
         assert_eq!(plan.selected, vec![3, 4]);
@@ -636,6 +788,7 @@ mod tests {
             topology: ShardTopology::Replicated,
             cohort_kl: 0.0,
             predicted_waiting: 0.0,
+            records_touched: 2,
         };
         assert_eq!(empty.drop_empty_participants(), 2);
         assert!(empty.selected.is_empty() && empty.batch_sizes.is_empty());
@@ -649,6 +802,7 @@ mod tests {
             topology: ShardTopology::Replicated,
             cohort_kl: 0.0,
             predicted_waiting: 0.0,
+            records_touched: 1,
         };
         assert_eq!(healthy.drop_empty_participants(), 0);
         assert_eq!(healthy.selected, vec![5]);
@@ -744,6 +898,7 @@ mod tests {
             topology: ShardTopology::OutputPartitioned,
             cohort_kl: 0.1,
             predicted_waiting: 0.0,
+            records_touched: 4,
         };
         assert_eq!(plan.drop_empty_participants(), 2);
         assert_eq!(plan.selected, vec![7, 9]);
@@ -805,5 +960,96 @@ mod tests {
         assert_eq!(m.participation_count(0), 1);
         assert_eq!(m.participation_count(1), 0);
         assert_eq!(m.participation_count(2), 1);
+    }
+
+    /// The event-driven fleet path must plan a round by touching O(pool) registry
+    /// records, not the whole registered fleet.
+    #[test]
+    fn fleet_mode_touches_a_sublinear_slice_of_the_registry() {
+        let fleet = 50_000;
+        let mut m = module(16, 4).with_fleet(fleet, ChurnModel::disabled());
+        observe_heterogeneous(&mut m);
+        let plan = m.plan_round(0, 1e9, &default_opts());
+        assert_eq!(m.fleet_size(), fleet);
+        assert!(!plan.selected.is_empty());
+        assert!(plan.selected.len() <= 8);
+        assert!(plan.selected.iter().all(|&w| w < fleet));
+        // With everyone available the lazy walk stops exactly at the pool target
+        // (max(4 · max_participants, 32) = 32), five orders below the fleet.
+        assert_eq!(plan.records_touched, 32);
+
+        // With churn on, offline clients are skipped but the walk still stays far from
+        // exhaustive: at a 0.5 availability floor the expected touch count is ~2× pool.
+        let churn = ChurnModel::new(9, 48, 0.5, 0.0);
+        let mut m = module(16, 4).with_fleet(fleet, churn.clone());
+        let plan = m.plan_round(0, 1e9, &default_opts());
+        assert!(
+            plan.records_touched < 1_000,
+            "touched {} records of a {fleet}-client registry",
+            plan.records_touched
+        );
+        for &w in &plan.selected {
+            assert!(churn.is_available(w, 0), "selected an offline client {w}");
+        }
+    }
+
+    /// `with_fleet(num_workers, disabled)` is the trivial fleet: planning stays on the
+    /// dense path and every plan column matches a module that never entered fleet mode.
+    #[test]
+    fn trivial_fleet_is_bit_identical_to_the_dense_path() {
+        let mut dense = module(16, 4);
+        let mut trivial = module(16, 4).with_fleet(16, ChurnModel::disabled());
+        observe_heterogeneous(&mut dense);
+        observe_heterogeneous(&mut trivial);
+        for round in 0..5 {
+            let a = dense.plan_round(round, 1e9, &default_opts());
+            let b = trivial.plan_round(round, 1e9, &default_opts());
+            assert_eq!(a.selected, b.selected);
+            assert_eq!(a.batch_sizes, b.batch_sizes);
+            assert_eq!(a.shard_of, b.shard_of);
+            assert_eq!(a.cohort_kl.to_bits(), b.cohort_kl.to_bits());
+            assert_eq!(a.predicted_waiting.to_bits(), b.predicted_waiting.to_bits());
+            assert_eq!(a.records_touched, 16);
+            assert_eq!(b.records_touched, 16);
+            dense.record_participation(&a.selected);
+            trivial.record_participation(&b.selected);
+        }
+    }
+
+    /// An availability trough that leaves nobody online must produce an *empty* plan —
+    /// the engines' degenerate-cohort handling takes it from there — never a panic.
+    #[test]
+    fn fleet_plans_only_select_available_clients_and_survive_troughs() {
+        let churn = ChurnModel::new(2, 8, 0.05, 0.0);
+        let mut m = module(4, 4).with_fleet(4, churn.clone());
+        let mut opts = default_opts();
+        opts.kl_selection = false;
+        opts.finetune = false;
+        opts.max_participants = 2;
+        let mut saw_empty = false;
+        for round in 0..64 {
+            let plan = m.plan_round(round, 1e9, &opts);
+            if plan.selected.is_empty() {
+                saw_empty = true;
+                assert!(plan.batch_sizes.is_empty() && plan.shard_of.is_empty());
+                assert_eq!(plan.total_batch(), 0);
+                assert_eq!(plan.records_touched, 4);
+            } else {
+                for &w in &plan.selected {
+                    assert!(churn.is_available(w, round), "offline client {w} selected");
+                }
+                m.record_participation(&plan.selected);
+            }
+        }
+        assert!(
+            saw_empty,
+            "a 0.05 availability floor over 4 clients should empty some round"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet")]
+    fn fleet_smaller_than_the_shard_count_is_rejected() {
+        let _ = module(8, 4).with_fleet(4, ChurnModel::disabled());
     }
 }

@@ -3,13 +3,23 @@
 //! To balance every worker's contribution, MergeSFL tracks how many times each worker has
 //! participated (`K_i`) and gives rarely selected workers a higher priority:
 //! `p_i = Σ_j (K_j + 1) / (K_i + 1)`.
+//!
+//! The numerator is the same for every worker, so the *ranking* induced by `p_i` is simply
+//! ascending participation count with ties broken by id. The tracker therefore maintains a
+//! `BTreeSet<(count, id)>` alongside the raw counts: updates are O(log n) per participant
+//! and ranked extraction walks the set in order — O(cohort · log fleet) per round instead
+//! of the full-fleet sort a million-client registry cannot afford.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Tracks per-worker participation counts and derives selection priorities.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ParticipationTracker {
     counts: Vec<usize>,
+    /// `(count, id)` pairs, one per worker. Ascending order is exactly descending
+    /// priority order (ties by id), since `p_i` is monotone-decreasing in `K_i`.
+    order: BTreeSet<(usize, usize)>,
 }
 
 impl ParticipationTracker {
@@ -21,6 +31,7 @@ impl ParticipationTracker {
         );
         Self {
             counts: vec![0; num_workers],
+            order: (0..num_workers).map(|i| (0, i)).collect(),
         }
     }
 
@@ -34,14 +45,16 @@ impl ParticipationTracker {
         self.counts[worker_id]
     }
 
-    /// Records that the given workers participated in a round.
+    /// Records that the given workers participated in a round — O(log n) per participant.
     pub fn record_participation(&mut self, workers: &[usize]) {
         for &w in workers {
             assert!(
                 w < self.counts.len(),
                 "ParticipationTracker: worker {w} out of range"
             );
+            self.order.remove(&(self.counts[w], w));
             self.counts[w] += 1;
+            self.order.insert((self.counts[w], w));
         }
     }
 
@@ -56,16 +69,19 @@ impl ParticipationTracker {
         (0..self.counts.len()).map(|i| self.priority(i)).collect()
     }
 
-    /// Worker ids sorted by descending priority (ties broken by id for determinism).
+    /// Worker ids in descending priority order (ties broken by id for determinism).
     pub fn ranked(&self) -> Vec<usize> {
-        let mut ids: Vec<usize> = (0..self.counts.len()).collect();
-        ids.sort_by(|&a, &b| {
-            self.priority(b)
-                .partial_cmp(&self.priority(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        ids
+        self.ranked_iter().collect()
+    }
+
+    /// Lazily yields worker ids in descending priority order.
+    ///
+    /// This is the event-driven entry point: a planner that needs a candidate pool of
+    /// `P` available workers walks this iterator, skipping offline clients, and stops
+    /// after `P` hits — touching O(P / availability) records of the registry instead of
+    /// materializing (let alone sorting) the whole fleet.
+    pub fn ranked_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().map(|&(_, id)| id)
     }
 }
 
@@ -109,5 +125,42 @@ mod tests {
         // Σ(K_j+1) = (1+1) + (0+1) = 3; p_0 = 3/2, p_1 = 3/1.
         assert!((t.priority(0) - 1.5).abs() < 1e-9);
         assert!((t.priority(1) - 3.0).abs() < 1e-9);
+    }
+
+    /// The incrementally maintained order must always agree with a from-scratch sort by
+    /// the paper's priority formula — the property that makes `ranked_iter` a drop-in
+    /// replacement for the old full sort.
+    #[test]
+    fn incremental_order_matches_a_full_priority_sort() {
+        let mut t = ParticipationTracker::new(16);
+        let rounds: [&[usize]; 5] = [
+            &[3, 7, 11],
+            &[3, 3, 0, 15],
+            &[1, 2, 3, 4, 5],
+            &[15, 15, 15],
+            &[0, 8],
+        ];
+        for workers in rounds {
+            t.record_participation(workers);
+            let mut expect: Vec<usize> = (0..t.num_workers()).collect();
+            expect.sort_by(|&a, &b| {
+                t.priority(b)
+                    .partial_cmp(&t.priority(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            assert_eq!(t.ranked(), expect);
+            assert_eq!(t.ranked_iter().count(), 16);
+        }
+    }
+
+    #[test]
+    fn ranked_iter_supports_lazy_prefix_extraction() {
+        let mut t = ParticipationTracker::new(8);
+        t.record_participation(&[0, 1, 2, 3]);
+        // An availability filter that knocks out even ids: the pool is the first 3
+        // available workers in priority order, found without touching the tail.
+        let pool: Vec<usize> = t.ranked_iter().filter(|w| w % 2 == 1).take(3).collect();
+        assert_eq!(pool, vec![5, 7, 1]);
     }
 }

@@ -243,6 +243,10 @@ impl FlEngine {
                 participants: 0,
                 total_batch: 0,
                 cohort_kl: 0.0,
+                // The FL baselines always run in the classic dense regime: every
+                // registered worker is observed every round.
+                fleet_registered: self.config.num_workers,
+                fleet_active: self.config.num_workers,
                 shards: Vec::new(),
                 topology: Default::default(),
                 exchange_bytes: 0.0,
@@ -387,6 +391,10 @@ impl FlEngine {
                 let w: Vec<f32> = vec![1.0; selected.len()];
                 LabelDistribution::mixture(&dists, &w).kl_divergence(&self.iid_reference)
             },
+            // The FL baselines always run in the classic dense regime: every registered
+            // worker is observed every round.
+            fleet_registered: self.config.num_workers,
+            fleet_active: self.config.num_workers,
             // Full-model FL has no split server stage: no shard breakdown, no sync, and
             // the uncalibrated aggregation-cost constants for the record.
             shards: Vec::new(),

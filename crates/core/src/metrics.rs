@@ -61,6 +61,13 @@ pub struct RoundRecord {
     pub total_batch: usize,
     /// KL divergence of the selected cohort's label mixture from the IID reference.
     pub cohort_kl: f32,
+    /// Registered fleet size the round planned over (equals the worker count for
+    /// classic fixed-cohort runs; 0 for legacy records).
+    pub fleet_registered: usize,
+    /// Per-client registry records the planner actually touched this round — the active
+    /// set of the event-driven fleet path (the whole fleet on the dense path; 0 for
+    /// legacy records). The scalability contract is `fleet_active ≪ fleet_registered`.
+    pub fleet_active: usize,
     /// Per-shard server-side breakdown of the round (one entry per parameter-server
     /// shard the plan routed uploads to; empty for FL rounds and legacy records).
     pub shards: Vec<ShardBreakdown>,
@@ -113,6 +120,8 @@ impl PartialEq for RoundRecord {
             && self.participants == other.participants
             && self.total_batch == other.total_batch
             && self.cohort_kl == other.cohort_kl
+            && self.fleet_registered == other.fleet_registered
+            && self.fleet_active == other.fleet_active
             && self.shards == other.shards
             && self.topology == other.topology
             && self.cross_sync_seconds == other.cross_sync_seconds
@@ -265,6 +274,11 @@ impl RunResult {
                 r.participants, r.total_batch
             );
             json::write_f64(&mut out, f64::from(r.cohort_kl));
+            let _ = write!(
+                out,
+                ",\"fleet_registered\":{},\"fleet_active\":{}",
+                r.fleet_registered, r.fleet_active
+            );
             out.push_str(",\"server_gflops\":");
             json::write_f64(&mut out, r.server_gflops);
             out.push_str(",\"server_critical_fraction\":");
@@ -395,6 +409,16 @@ impl RunResult {
                 participants: int(r, "participants")?,
                 total_batch: int(r, "total_batch")?,
                 cohort_kl: num(r, "cohort_kl")? as f32,
+                // Records written before the fleet axis planned over exactly the worker
+                // set but did not say so; 0 keeps them distinguishable from real gauges.
+                fleet_registered: match r.get("fleet_registered") {
+                    None => 0,
+                    Some(_) => int(r, "fleet_registered")?,
+                },
+                fleet_active: match r.get("fleet_active") {
+                    None => 0,
+                    Some(_) => int(r, "fleet_active")?,
+                },
                 shards,
                 // Legacy records predate topology accounting: everything written before
                 // output partitioning existed was the replicated layout (or a single
@@ -469,6 +493,8 @@ mod tests {
             participants: 5,
             total_batch: 40,
             cohort_kl: 0.01,
+            fleet_registered: 100_000,
+            fleet_active: 64,
             shards: vec![
                 ShardBreakdown {
                     shard: 0,
@@ -634,6 +660,9 @@ mod tests {
         assert_eq!(r.pool_pages, 0);
         assert_eq!(r.pool_bytes, 0);
         assert_eq!(r.pool_hit_rate, 0.0);
+        // Pre-fleet records carry no fleet gauges.
+        assert_eq!(r.fleet_registered, 0);
+        assert_eq!(r.fleet_active, 0);
         // And a re-serialised legacy record round-trips through the new schema.
         let back = RunResult::from_json(&parsed.to_json()).unwrap();
         assert_eq!(back, parsed);
@@ -676,6 +705,21 @@ mod tests {
         let mut diverged = r.clone();
         diverged.records[0].train_loss += 1.0;
         assert_ne!(diverged, r);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_fleet_gauges() {
+        // Unlike the pool gauges, the fleet gauges are part of the trajectory: a planner
+        // that touched a different number of registry records made different decisions.
+        let r = sample_run();
+        let back = RunResult::from_json(&r.to_json()).unwrap();
+        for rec in &back.records {
+            assert_eq!(rec.fleet_registered, 100_000);
+            assert_eq!(rec.fleet_active, 64);
+        }
+        let mut diverged = r.clone();
+        diverged.records[0].fleet_active += 1;
+        assert_ne!(diverged, r, "fleet gauges must participate in equality");
     }
 
     #[test]

@@ -19,9 +19,17 @@ use mergesfl_nn::rng::derive_seed;
 use mergesfl_nn::zoo;
 use mergesfl_nn::{Sequential, Tensor};
 use mergesfl_simnet::{
-    Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory, TrafficMeter,
+    ChurnModel, Cluster, ClusterConfig, ModelProfile, RoundTiming, SimClock, TrafficCategory,
+    TrafficMeter,
 };
 use rayon::prelude::*;
+
+/// High-bits tag for the fleet-mode per-client loader stream family. Fleet cohorts are
+/// materialized on demand, so a client's loader cannot carry RNG state across rounds the
+/// way the dense path's persistent workers do; instead every (client, round) pair gets a
+/// two-level derived stream — client under this tag, then round — disjoint from the dense
+/// loader families (`seed+100+i` / `seed+200+i`) and from every simnet/churn tag.
+const FLEET_LOADER_TAG: u64 = 0xF1EE_0000_0000_0000;
 
 /// Maximum in-flight iterations between the worker stage and the server stage of the
 /// pipelined round loop. One slot of slack is enough — a worker cannot start iteration
@@ -155,6 +163,7 @@ pub struct SflEngine {
     clock: SimClock,
     traffic: TrafficMeter,
     control: ControlModule,
+    churn: ChurnModel,
     server: ShardedServer,
     cost_model: ServerCostModel,
     workers: Vec<SflWorker>,
@@ -186,9 +195,15 @@ impl SflEngine {
         );
 
         let profile = ModelProfile::for_architecture(spec.architecture);
+        // The cluster is sized to the *registered fleet*, not the data-shard count: its
+        // state is O(1) in the worker count (device/link parameters are derived on
+        // demand from per-worker seed streams), so a million-client registry costs
+        // nothing until a specific client is queried. In the classic regime the fleet
+        // IS the worker set and this line is byte-identical to the old sizing.
+        let fleet = config.fleet_size();
         let cluster = Cluster::new(
             &ClusterConfig {
-                num_workers: config.num_workers,
+                num_workers: fleet,
                 ps_ingress_mean_mbps: config.ps_ingress_mean_mbps,
                 seed: derive_seed(config.seed, 3),
             },
@@ -231,22 +246,32 @@ impl SflEngine {
         server.set_staleness(config.staleness);
         let cost_model = ServerCostModel::for_architecture(spec.architecture);
 
-        let workers = partition
-            .indices
-            .iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                let bottom = zoo::build(spec.architecture, spec.num_classes, model_seed)
-                    .into_split()
-                    .bottom;
-                SflWorker::new(
-                    i,
-                    bottom,
-                    shard.clone(),
-                    derive_seed(config.seed, 100 + i as u64),
-                )
-            })
-            .collect();
+        // Eagerly materializing one SflWorker (a full bottom-model replica plus loader
+        // state) per registered client is exactly what a million-client fleet cannot
+        // afford. In fleet mode the vector stays empty and each round's cohort is built
+        // on demand by `materialize_cohort`; the classic regime keeps the persistent
+        // per-shard workers — and with them the exact loader RNG advancement older
+        // trajectories were blessed against.
+        let workers = if config.fleet_mode() {
+            Vec::new()
+        } else {
+            partition
+                .indices
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    let bottom = zoo::build(spec.architecture, spec.num_classes, model_seed)
+                        .into_split()
+                        .bottom;
+                    SflWorker::new(
+                        i,
+                        bottom,
+                        shard.clone(),
+                        derive_seed(config.seed, 100 + i as u64),
+                    )
+                })
+                .collect()
+        };
         let eval_bottom = zoo::build(spec.architecture, spec.num_classes, model_seed)
             .into_split()
             .bottom;
@@ -255,7 +280,7 @@ impl SflEngine {
         let eval_indices =
             eval_subsample(test.len(), config.eval_samples, derive_seed(config.seed, 6));
 
-        let control = ControlModule::new(
+        let mut control = ControlModule::new(
             partition.label_dists.clone(),
             config.max_batch,
             config.kl_epsilon,
@@ -264,6 +289,9 @@ impl SflEngine {
             config.tau(),
             derive_seed(config.seed, 5),
         );
+        if config.fleet_mode() {
+            control = control.with_fleet(fleet, config.churn_model());
+        }
 
         let lr_schedule = LrSchedule::new(spec.initial_lr, spec.lr_decay);
         let result = RunResult::new(strategy.name, spec.name, config.non_iid_level);
@@ -280,6 +308,7 @@ impl SflEngine {
             clock: SimClock::with_schedule(config.pipeline, config.staleness),
             traffic: TrafficMeter::new(),
             control,
+            churn: config.churn_model(),
             server,
             cost_model,
             workers,
@@ -323,13 +352,19 @@ impl SflEngine {
         // (the pages/bytes gauges are cumulative by design — pages are never freed).
         let pool_mark = mergesfl_nn::pool::stats();
 
-        // --- Control: collect state, plan the round (Alg. 1). ---
-        for state in self.cluster.all_worker_states() {
-            self.control.observe_worker(
-                state.worker_id,
-                state.bottom_compute_per_sample,
-                state.transfer_per_sample,
-            );
+        // --- Control: collect state, plan the round (Alg. 1). The dense path polls the
+        // whole worker set up front (the pre-fleet behaviour, kept bit-identical); fleet
+        // mode defers collection to the selected cohort below — polling 10^6 registered
+        // devices per round is exactly what the event-driven path exists to avoid.
+        let fleet_mode = self.config.fleet_mode();
+        if !fleet_mode {
+            for state in self.cluster.all_worker_states() {
+                self.control.observe_worker(
+                    state.worker_id,
+                    state.bottom_compute_per_sample,
+                    state.transfer_per_sample,
+                );
+            }
         }
         let ingress_budget = self.cluster.ps_ingress_budget();
         self.control.observe_ingress(ingress_budget);
@@ -344,6 +379,15 @@ impl SflEngine {
         if dropped > 0 {
             eprintln!(
                 "[mergesfl] round {round}: dropped {dropped} zero-size participant(s) from the cohort"
+            );
+        }
+        // Clients selected while online may still vanish before the round completes;
+        // they leave the plan before any training state is materialized for them, and a
+        // fully-departed cohort falls through to the degenerate-round path below.
+        let departed = plan.drop_mid_round_departures(&self.churn, round);
+        if departed > 0 {
+            eprintln!(
+                "[mergesfl] round {round}: {departed} selected client(s) dropped out mid-round"
             );
         }
         if plan.selected.is_empty() {
@@ -382,6 +426,8 @@ impl SflEngine {
                 participants: 0,
                 total_batch: 0,
                 cohort_kl: plan.cohort_kl,
+                fleet_registered: self.config.fleet_size(),
+                fleet_active: plan.records_touched,
                 shards: Vec::new(),
                 topology: self.server.topology(),
                 exchange_bytes: 0.0,
@@ -396,6 +442,27 @@ impl SflEngine {
             });
             return;
         }
+
+        // --- Fleet mode: state collection and worker materialization touch only the
+        // cohort. The selected members' device state feeds the estimator for the *next*
+        // round's plan (the classic event-driven trade: estimates lag one round for
+        // never-polled clients), and their training state is built on demand — per-round
+        // memory and compute scale with the cohort, not the registered fleet.
+        if fleet_mode {
+            for &w in &plan.selected {
+                let state = self.cluster.worker_state(w);
+                self.control.observe_worker(
+                    w,
+                    state.bottom_compute_per_sample,
+                    state.transfer_per_sample,
+                );
+            }
+        }
+        let mut fleet_cohort: Vec<SflWorker> = if fleet_mode {
+            self.materialize_cohort(&plan.selected, round)
+        } else {
+            Vec::new()
+        };
 
         // --- Training module. ---
         let lr = self.lr_schedule.at_round(round);
@@ -432,10 +499,14 @@ impl SflEngine {
             let server = &mut self.server;
             let traffic = &mut self.traffic;
             let feature_bytes = self.cluster.profile().feature_bytes_per_sample;
-            // Pull `&mut` references to the selected workers out in plan order, each
-            // borrowed at most once so they can fan out to threads.
-            let mut cohort: Vec<&mut SflWorker> =
-                crate::util::select_disjoint_mut(&mut self.workers, &plan.selected);
+            // Pull `&mut` references to the cohort's workers out in plan order, each
+            // borrowed at most once so they can fan out to threads. Fleet mode trains
+            // the on-demand cohort; the dense path borrows the persistent workers.
+            let mut cohort: Vec<&mut SflWorker> = if fleet_mode {
+                fleet_cohort.iter_mut().collect()
+            } else {
+                crate::util::select_disjoint_mut(&mut self.workers, &plan.selected)
+            };
 
             // Broadcast the latest global bottom model to the selected workers.
             let global = server.global_bottom().to_vec();
@@ -550,6 +621,8 @@ impl SflEngine {
             participants: plan.selected.len(),
             total_batch: plan.total_batch(),
             cohort_kl: plan.cohort_kl,
+            fleet_registered: self.config.fleet_size(),
+            fleet_active: plan.records_touched,
             shards: shard_breakdown,
             topology: self.server.topology(),
             exchange_bytes,
@@ -562,6 +635,35 @@ impl SflEngine {
             pool_bytes: pool.bytes as usize,
             pool_hit_rate: pool.since(&pool_mark).hit_rate(),
         });
+    }
+
+    /// Builds the cohort's training state on demand for a fleet-mode round: one
+    /// [`SflWorker`] per selected client, nothing for the other `fleet - cohort`
+    /// registered clients. Client `c` trains data shard `c % W` (the Dirichlet
+    /// partition stays over `W = num_workers` shards — the fleet axis multiplies
+    /// clients, not data), and its loader stream is derived per (client, round) under
+    /// [`FLEET_LOADER_TAG`] so a client resumes a reproducible sequence no matter which
+    /// rounds it happens to be selected into. The initial bottom replica's weights are
+    /// irrelevant — every cohort member loads the global bottom before training — but
+    /// are built from the shared model seed anyway for uniformity with the dense path.
+    fn materialize_cohort(&self, selected: &[usize], round: usize) -> Vec<SflWorker> {
+        let model_seed = derive_seed(self.config.seed, 4);
+        let shards = self.partition.indices.len();
+        selected
+            .iter()
+            .map(|&c| {
+                let bottom = zoo::build(self.spec.architecture, self.spec.num_classes, model_seed)
+                    .into_split()
+                    .bottom;
+                let client_stream = derive_seed(self.config.seed, FLEET_LOADER_TAG | c as u64);
+                SflWorker::new(
+                    c,
+                    bottom,
+                    self.partition.indices[c % shards].clone(),
+                    derive_seed(client_stream, round as u64),
+                )
+            })
+            .collect()
     }
 
     /// Computes the simulated round timing for the selected cohort, including the

@@ -23,6 +23,11 @@
 //! | `MERGESFL_SYNC_EVERY` | `mergesfl::config` | rounds between full synchronisations |
 //! | `MERGESFL_STALENESS` | `mergesfl::config` | bounded-staleness window (0 = fully synchronous) |
 //! | `MERGESFL_TOPOLOGY` | `mergesfl::config` | shard topology spec, e.g. `ring:4` |
+//! | `MERGESFL_FLEET` | `mergesfl::config` | registered fleet size (integer ≥ num_workers; unset = classic dense regime) |
+//! | `MERGESFL_CHURN` | `mergesfl::config` | `on`/`1`/`true` enables availability churn |
+//! | `MERGESFL_CHURN_PERIOD` | `mergesfl::config` | diurnal availability-wave period in rounds (default 48) |
+//! | `MERGESFL_CHURN_MIN_AVAIL` | `mergesfl::config` | availability floor in (0, 1] (default 0.6) |
+//! | `MERGESFL_CHURN_DROPOUT` | `mergesfl::config` | mid-round dropout probability in [0, 1) (default 0.05) |
 //! | `MERGESFL_BENCH_JSON` | `mergesfl::calibrate` | path to write calibration JSON to |
 //! | `MERGESFL_PERF_FLOOR` | `kernel_bench` | minimum blocked/naive speedup ratio gate |
 //! | `MERGESFL_SCALE` | `mergesfl_bench` | `smoke`/`small`/`full` benchmark scale |

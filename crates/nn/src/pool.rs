@@ -402,18 +402,22 @@ impl<T: Poolable> From<Vec<T>> for PoolBuf<T> {
 // --- allocation probe ----------------------------------------------------------------
 
 static HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Counting wrapper around the system allocator. `kernel_bench` installs it via
 /// `#[global_allocator]` and reads [`heap_allocs`] around a timed region to measure
-/// `allocs_per_iter`; the library never installs it, so training binaries pay nothing.
+/// `allocs_per_iter`; the fleet-scale tests read [`heap_bytes`] the same way to bound
+/// per-registered-client memory. The library never installs it, so training binaries
+/// pay nothing.
 pub struct CountingAlloc;
 
-// SAFETY: delegates every operation to `System` unchanged; the counter is a relaxed
-// atomic increment with no allocation of its own.
+// SAFETY: delegates every operation to `System` unchanged; the counters are relaxed
+// atomic increments with no allocation of their own.
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: same contract as `GlobalAlloc::alloc`; upheld by forwarding to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         // SAFETY: `layout` is passed through unchanged from our own caller, who
         // upholds the `GlobalAlloc` preconditions (non-zero size).
         unsafe { System.alloc(layout) }
@@ -422,6 +426,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: same contract as `GlobalAlloc::alloc_zeroed`; forwarded to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         // SAFETY: `layout` is passed through unchanged from our own caller.
         unsafe { System.alloc_zeroed(layout) }
     }
@@ -429,6 +434,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: same contract as `GlobalAlloc::realloc`; forwarded to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        HEAP_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
         // SAFETY: `ptr` was allocated by this allocator (which *is* `System` plus a
         // counter), with `layout`, and `new_size` is non-zero per the trait contract.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -446,6 +455,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 /// probe as its global allocator.
 pub fn heap_allocs() -> u64 {
     HEAP_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Cumulative bytes requested from [`CountingAlloc`] since process start (reallocs
+/// count their growth). Deallocations are deliberately not subtracted: the probe
+/// measures allocation *work*, which is monotone and so safe to difference around a
+/// measured region from any thread. Always 0 unless the probe is installed.
+pub fn heap_bytes() -> u64 {
+    HEAP_BYTES.load(Ordering::Relaxed)
 }
 
 /// Whether allocation counting is requested (`MERGESFL_COUNT_ALLOCS`; default on —

@@ -47,6 +47,17 @@ pub const MIN_MBPS: f64 = 1.0;
 /// Upper bandwidth bound measured by the paper with iperf3.
 pub const MAX_MBPS: f64 = 30.0;
 
+// Tag namespaces for the three RNG stream families this model derives from its seed.
+// They must stay pairwise disjoint for every (worker, round) pair: the persistent and
+// ingress families tag the low 32 bits, while the jitter family tags the *high* bits and
+// derives a second level for the round, so no worker id or round count can make one
+// family's tag collide with another's. (The old jitter tag `(worker_id << 32) | round`
+// collapsed to bare `round` for worker 0, sharing the low-bits tag space with the other
+// two families.)
+const PERSISTENT_TAG: u64 = 0x5000_0000;
+const JITTER_TAG: u64 = 0x7E77_0000_0000_0000;
+const INGRESS_TAG: u64 = 0xB00F_0000;
+
 /// Per-round, per-worker bandwidth sampler plus the PS ingress budget.
 #[derive(Clone, Debug)]
 pub struct BandwidthModel {
@@ -79,13 +90,16 @@ impl BandwidthModel {
     /// The persistent component dominates, so a moving-average estimator — which is what
     /// MergeSFL's control module uses — can actually track a worker's link speed.
     pub fn worker_mbps(&self, worker_id: usize, group: DistanceGroup, round: usize) -> f64 {
-        let mut worker_rng = seeded(derive_seed(self.seed, 0x5000_0000 | worker_id as u64));
+        let mut worker_rng = seeded(derive_seed(self.seed, PERSISTENT_TAG | worker_id as u64));
         let persistent = LogNormal::new(0.0, self.sigma).expect("valid log-normal");
         let worker_factor: f64 = persistent.sample(&mut worker_rng);
 
+        // Two-level derivation: the per-worker jitter stream gets its own derived seed
+        // (high-bits tag, disjoint from the low-bits families above/below), then the round
+        // indexes into that stream — no (worker, round) pair can alias another family.
         let mut round_rng = seeded(derive_seed(
-            self.seed,
-            (worker_id as u64) << 32 | round as u64,
+            derive_seed(self.seed, JITTER_TAG | worker_id as u64),
+            round as u64,
         ));
         let jitter = LogNormal::new(0.0, self.sigma * 0.3).expect("valid log-normal");
         let round_factor: f64 = jitter.sample(&mut round_rng);
@@ -96,7 +110,7 @@ impl BandwidthModel {
     /// Samples the available PS ingress bandwidth budget `B^h` (bytes per second) for a
     /// round. The budget fluctuates ±20% around its mean due to background traffic.
     pub fn ps_ingress_bytes_per_sec(&self, round: usize) -> f64 {
-        let mut rng = seeded(derive_seed(self.seed, 0xB00F_0000 | round as u64));
+        let mut rng = seeded(derive_seed(self.seed, INGRESS_TAG | round as u64));
         let jitter = 0.8 + 0.4 * rng.gen::<f64>();
         mbps_to_bytes_per_sec(self.ps_ingress_mean_mbps * jitter)
     }
@@ -204,6 +218,48 @@ mod tests {
             let b = model.ps_ingress_bytes_per_sec(round);
             assert!(b >= 0.79 * mean_bytes && b <= 1.21 * mean_bytes);
         }
+    }
+
+    /// Regression for the tag-space degeneracy: worker 0's old jitter seed
+    /// `(0 << 32) | round` collapsed to the bare round, the same low-bits tag space the
+    /// persistent (`0x5000_0000 | worker`) and ingress (`0xB00F_0000 | round`) families
+    /// use. The jitter family now derives through a high-bits tag plus a second level for
+    /// the round, so its effective seeds cannot alias either low-bits family.
+    #[test]
+    fn stream_families_are_namespaced_disjointly() {
+        let seed = 99u64;
+        for round in 0..256usize {
+            let jitter_seed = derive_seed(derive_seed(seed, JITTER_TAG), round as u64);
+            assert_ne!(jitter_seed, derive_seed(seed, round as u64));
+            assert_ne!(jitter_seed, derive_seed(seed, INGRESS_TAG | round as u64));
+            assert_ne!(
+                jitter_seed,
+                derive_seed(seed, PERSISTENT_TAG | round as u64)
+            );
+        }
+    }
+
+    /// Blesses the post-fix bandwidth trajectory explicitly: re-namespacing the jitter
+    /// family changed every per-round draw, and this checksum pins the new
+    /// 80-worker × 50-round draw table (the paper testbed's layout at seed 1) so a future
+    /// stream change is a deliberate re-bless, not an accident.
+    #[test]
+    fn eighty_worker_draw_table_checksum_is_pinned() {
+        let model = BandwidthModel::new(300.0, derive_seed(1, 0xBA4D));
+        let groups = DistanceGroup::all();
+        let mut checksum = 0u64;
+        for w in 0..80usize {
+            let group = groups[(w / groups.len()) % groups.len()];
+            for r in 0..50usize {
+                checksum = checksum
+                    .rotate_left(7)
+                    .wrapping_add(model.worker_mbps(w, group, r).to_bits());
+            }
+        }
+        assert_eq!(
+            checksum, 0x6A62_845D_11C0_AFEB,
+            "new draw-table checksum: {checksum:#x}"
+        );
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Deterministic client availability churn.
+//!
+//! Real cross-device fleets never have every registered client online: devices come and go
+//! with time-of-day usage patterns, and some drop out mid-round after being selected. This
+//! module models both as *pure functions of (seed, client, round)* so churn composes with
+//! the repo's bit-identical determinism contract — the same seed always produces the same
+//! arrival/departure schedule, no matter in what order (or how often) the planner asks.
+//!
+//! The model has two axes:
+//!
+//! * **Diurnal availability waves.** Each client's probability of being online follows a
+//!   sinusoid over rounds with a per-client phase offset (clients live in different
+//!   "time zones"), floored at a configurable minimum so the fleet never empties. Whether
+//!   a specific client is online in a specific round is a Bernoulli draw from a
+//!   per-(client, round) derived stream against that probability.
+//! * **Mid-round dropout.** A client that was online at planning time may still vanish
+//!   before its round work completes. Dropouts feed the engines' existing degenerate-cohort
+//!   handling (a round whose whole cohort dropped records an empty round and moves on).
+//!
+//! Stream families use high-bits tags, two-level derivation (client first, then round), and
+//! are disjoint from each other and from every other seed family in the workspace.
+
+use mergesfl_nn::rng::{derive_seed, seeded};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+// High-bits tag namespaces for the three churn stream families (phase, availability,
+// dropout). Pairwise disjoint, and disjoint from the bandwidth model's families by
+// construction: churn derives from its own base seed.
+const PHASE_TAG: u64 = 0x9A5E_0000_0000_0000;
+const AVAIL_TAG: u64 = 0xA7A1_0000_0000_0000;
+const DROP_TAG: u64 = 0xD409_0000_0000_0000;
+
+/// Deterministic availability/dropout process over a registered fleet.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Whether churn is active at all. Disabled churn reports every client available and
+    /// never drops anyone — the exact behaviour fleets had before churn existed.
+    enabled: bool,
+    seed: u64,
+    /// Diurnal wave period, in rounds (one full online/offline cycle).
+    period: usize,
+    /// Floor of the availability probability (the trough of the wave).
+    min_availability: f64,
+    /// Probability that a selected client drops out mid-round.
+    dropout: f64,
+}
+
+impl ChurnModel {
+    /// Churn switched off: everyone is always available, nobody drops.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            seed: 0,
+            period: 1,
+            min_availability: 1.0,
+            dropout: 0.0,
+        }
+    }
+
+    /// An active churn process.
+    pub fn new(seed: u64, period: usize, min_availability: f64, dropout: f64) -> Self {
+        assert!(period >= 1, "ChurnModel: period must be at least one round");
+        assert!(
+            (0.0..=1.0).contains(&min_availability) && min_availability > 0.0,
+            "ChurnModel: min_availability must be in (0, 1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&dropout),
+            "ChurnModel: dropout must be in [0, 1)"
+        );
+        Self {
+            enabled: true,
+            seed,
+            period,
+            min_availability,
+            dropout,
+        }
+    }
+
+    /// Whether churn is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The probability that `client` is online in `round` (the diurnal wave value).
+    ///
+    /// Pure in (seed, client, round); exposed so tests and reports can compare realized
+    /// availability against the wave.
+    pub fn availability_probability(&self, client: usize, round: usize) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let mut phase_rng = seeded(derive_seed(self.seed, PHASE_TAG | client as u64));
+        let phase: f64 = phase_rng.gen();
+        let t = round as f64 / self.period as f64 + phase;
+        let wave = 0.5 * (1.0 + (std::f64::consts::TAU * t).sin());
+        self.min_availability + (1.0 - self.min_availability) * wave
+    }
+
+    /// Whether `client` is online in `round` — deterministic in (seed, client, round).
+    pub fn is_available(&self, client: usize, round: usize) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let stream = derive_seed(self.seed, AVAIL_TAG | client as u64);
+        let mut rng = seeded(derive_seed(stream, round as u64));
+        let u: f64 = rng.gen();
+        u < self.availability_probability(client, round)
+    }
+
+    /// Whether `client`, selected into `round`'s cohort, drops out before completing the
+    /// round — deterministic in (seed, client, round), independent of the availability
+    /// draw.
+    pub fn drops_mid_round(&self, client: usize, round: usize) -> bool {
+        if !self.enabled || self.dropout == 0.0 {
+            return false;
+        }
+        let stream = derive_seed(self.seed, DROP_TAG | client as u64);
+        let mut rng = seeded(derive_seed(stream, round as u64));
+        let u: f64 = rng.gen();
+        u < self.dropout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_churn_never_interferes() {
+        let churn = ChurnModel::disabled();
+        assert!(!churn.enabled());
+        for c in [0usize, 17, 99_999] {
+            for r in 0..40 {
+                assert!(churn.is_available(c, r));
+                assert!(!churn.drops_mid_round(c, r));
+                assert_eq!(churn.availability_probability(c, r), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_yields_bit_identical_schedules() {
+        let a = ChurnModel::new(7, 48, 0.6, 0.05);
+        let b = ChurnModel::new(7, 48, 0.6, 0.05);
+        for c in 0..64usize {
+            for r in 0..96usize {
+                assert_eq!(a.is_available(c, r), b.is_available(c, r));
+                assert_eq!(a.drops_mid_round(c, r), b.drops_mid_round(c, r));
+                assert_eq!(
+                    a.availability_probability(c, r).to_bits(),
+                    b.availability_probability(c, r).to_bits()
+                );
+            }
+        }
+        let other = ChurnModel::new(8, 48, 0.6, 0.05);
+        let differs = (0..64usize)
+            .flat_map(|c| (0..96usize).map(move |r| (c, r)))
+            .any(|(c, r)| a.is_available(c, r) != other.is_available(c, r));
+        assert!(differs, "different seeds should reshuffle the schedule");
+    }
+
+    #[test]
+    fn availability_follows_a_floored_wave() {
+        let churn = ChurnModel::new(3, 24, 0.6, 0.0);
+        let mut min_p = f64::INFINITY;
+        let mut max_p = 0.0f64;
+        for c in 0..32usize {
+            for r in 0..48usize {
+                let p = churn.availability_probability(c, r);
+                assert!((0.6..=1.0).contains(&p), "wave value {p} out of bounds");
+                min_p = min_p.min(p);
+                max_p = max_p.max(p);
+            }
+        }
+        // The wave actually swings: across clients and rounds both ends are approached.
+        assert!(min_p < 0.65, "trough {min_p} never approached the floor");
+        assert!(
+            max_p > 0.95,
+            "crest {max_p} never approached full availability"
+        );
+    }
+
+    #[test]
+    fn realized_availability_tracks_the_wave_on_average() {
+        let churn = ChurnModel::new(11, 48, 0.6, 0.0);
+        let clients = 2_000usize;
+        let online = (0..clients).filter(|&c| churn.is_available(c, 0)).count();
+        let frac = online as f64 / clients as f64;
+        // Phases are uniform, so the fleet-wide expectation is the wave's mean:
+        // min + (1 - min)/2 = 0.8. Allow a generous sampling band.
+        assert!(
+            (0.72..=0.88).contains(&frac),
+            "realized availability {frac} far from the 0.8 expectation"
+        );
+    }
+
+    #[test]
+    fn dropout_rate_matches_the_configured_probability() {
+        let churn = ChurnModel::new(13, 48, 0.6, 0.1);
+        let trials = 20_000usize;
+        let drops = (0..trials)
+            .filter(|&i| churn.drops_mid_round(i % 500, i / 500))
+            .count();
+        let rate = drops as f64 / trials as f64;
+        assert!(
+            (0.08..=0.12).contains(&rate),
+            "dropout rate {rate} far from the configured 0.1"
+        );
+    }
+
+    #[test]
+    fn queries_are_pure_and_order_independent() {
+        let churn = ChurnModel::new(5, 48, 0.7, 0.05);
+        let forward: Vec<bool> = (0..200).map(|c| churn.is_available(c, 9)).collect();
+        let mut backward: Vec<bool> = (0..200).rev().map(|c| churn.is_available(c, 9)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // Repeated queries of the same cell never change the answer.
+        for _ in 0..3 {
+            assert_eq!(churn.is_available(42, 9), forward[42]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_availability")]
+    fn zero_floor_is_rejected() {
+        let _ = ChurnModel::new(1, 48, 0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn certain_dropout_is_rejected() {
+        let _ = ChurnModel::new(1, 48, 0.6, 1.0);
+    }
+}

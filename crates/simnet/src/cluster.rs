@@ -7,10 +7,23 @@
 //! simulated workers) keeps the same 3:4:1 device-kind mix and round-robin distance groups.
 
 use crate::bandwidth::{mbps_to_bytes_per_sec, BandwidthModel, DistanceGroup};
-use crate::device::{DeviceKind, SimDevice};
+use crate::device::{mode_at_epoch, DeviceKind};
 use crate::profile::ModelProfile;
 use mergesfl_nn::rng::derive_seed;
 use serde::{Deserialize, Serialize};
+
+/// Device kinds assigned round-robin over this pattern: 3 TX2, 4 NX, 1 AGX per block of 8,
+/// i.e. the paper's 30:40:10 mix for any multiple-of-8 fleet.
+const KIND_PATTERN: [DeviceKind; 8] = [
+    DeviceKind::JetsonTx2,
+    DeviceKind::JetsonNx,
+    DeviceKind::JetsonNx,
+    DeviceKind::JetsonTx2,
+    DeviceKind::JetsonNx,
+    DeviceKind::JetsonAgx,
+    DeviceKind::JetsonTx2,
+    DeviceKind::JetsonNx,
+];
 
 /// How often device performance modes are re-drawn (in communication rounds), as in the paper.
 pub const MODE_SWITCH_PERIOD: usize = 20;
@@ -67,9 +80,15 @@ pub struct WorkerState {
 }
 
 /// The simulated cluster.
+///
+/// Stores **no per-worker state**: a worker's device kind and distance group are arithmetic
+/// functions of its id, its performance mode is lazily re-derived from the current round's
+/// mode epoch (see [`mode_at_epoch`]), and its bandwidth is a pure per-(worker, round) draw.
+/// Memory is O(1) in the fleet size, which is what lets a registered fleet of 10^5–10^6
+/// clients coexist with per-round work that only touches the active cohort.
 pub struct Cluster {
-    devices: Vec<SimDevice>,
-    groups: Vec<DistanceGroup>,
+    num_workers: usize,
+    seed: u64,
     bandwidth: BandwidthModel,
     profile: ModelProfile,
     current_round: usize,
@@ -83,33 +102,13 @@ impl Cluster {
     /// cycle through the four placements, giving groups of equal size.
     pub fn new(config: &ClusterConfig, profile: ModelProfile) -> Self {
         assert!(config.num_workers > 0, "Cluster: need at least one worker");
-        let kind_pattern = [
-            DeviceKind::JetsonTx2,
-            DeviceKind::JetsonNx,
-            DeviceKind::JetsonNx,
-            DeviceKind::JetsonTx2,
-            DeviceKind::JetsonNx,
-            DeviceKind::JetsonAgx,
-            DeviceKind::JetsonTx2,
-            DeviceKind::JetsonNx,
-        ];
-        let devices = (0..config.num_workers)
-            .map(|i| {
-                let kind = kind_pattern[i % kind_pattern.len()];
-                SimDevice::new(i, kind, derive_seed(config.seed, i as u64))
-            })
-            .collect();
-        let group_pattern = DistanceGroup::all();
-        let groups = (0..config.num_workers)
-            .map(|i| group_pattern[(i / group_pattern.len().max(1)) % group_pattern.len()])
-            .collect();
         let bandwidth = BandwidthModel::new(
             config.ps_ingress_mean_mbps,
             derive_seed(config.seed, 0xBA4D),
         );
         Self {
-            devices,
-            groups,
+            num_workers: config.num_workers,
+            seed: config.seed,
             bandwidth,
             profile,
             current_round: 0,
@@ -118,7 +117,7 @@ impl Cluster {
 
     /// Number of workers in the cluster.
     pub fn num_workers(&self) -> usize {
-        self.devices.len()
+        self.num_workers
     }
 
     /// The model profile used for timing/traffic accounting.
@@ -126,36 +125,47 @@ impl Cluster {
         &self.profile
     }
 
-    /// Advances the cluster to round `round`: re-draws performance modes every
-    /// [`MODE_SWITCH_PERIOD`] rounds.
+    /// Advances the cluster to round `round`.
+    ///
+    /// Performance modes are re-drawn every [`MODE_SWITCH_PERIOD`] rounds; because the mode
+    /// is derived from the round's epoch (`round / MODE_SWITCH_PERIOD`) rather than
+    /// edge-triggered on the call sequence, skipping rounds lands on exactly the modes a
+    /// contiguous replay would have (19 → 21 still switches once, 5 → 45 switches twice).
     pub fn begin_round(&mut self, round: usize) {
-        if round > 0 && round.is_multiple_of(MODE_SWITCH_PERIOD) && round != self.current_round {
-            for dev in &mut self.devices {
-                dev.switch_mode();
-            }
-        }
         self.current_round = round;
+    }
+
+    /// Which Jetson kit worker `worker_id` is (pure arithmetic on the id).
+    pub fn device_kind(&self, worker_id: usize) -> DeviceKind {
+        KIND_PATTERN[worker_id % KIND_PATTERN.len()]
+    }
+
+    /// The worker's current performance mode, derived lazily from the round's mode epoch.
+    fn mode_of(&self, worker_id: usize) -> usize {
+        mode_at_epoch(
+            self.device_kind(worker_id),
+            derive_seed(self.seed, worker_id as u64),
+            self.current_round / MODE_SWITCH_PERIOD,
+        )
     }
 
     /// Ground-truth state of one worker in the current round.
     pub fn worker_state(&self, worker_id: usize) -> WorkerState {
         assert!(
-            worker_id < self.devices.len(),
+            worker_id < self.num_workers,
             "Cluster: worker {worker_id} out of range"
         );
-        let dev = &self.devices[worker_id];
-        let group = self.groups[worker_id];
-        let bandwidth_mbps = self
-            .bandwidth
-            .worker_mbps(worker_id, group, self.current_round);
+        let kind = self.device_kind(worker_id);
+        let mode = self.mode_of(worker_id);
+        let bandwidth_mbps = self.worker_bandwidth_mbps(worker_id);
         WorkerState {
             worker_id,
-            kind: dev.kind,
-            mode: dev.mode(),
-            bottom_compute_per_sample: dev
-                .compute_time_per_sample(self.profile.bottom_gflop_per_sample),
-            full_compute_per_sample: dev
-                .compute_time_per_sample(self.profile.full_gflop_per_sample),
+            kind,
+            mode,
+            bottom_compute_per_sample: kind
+                .compute_time_for_mode(mode, self.profile.bottom_gflop_per_sample),
+            full_compute_per_sample: kind
+                .compute_time_for_mode(mode, self.profile.full_gflop_per_sample),
             bandwidth_mbps,
             transfer_per_sample: BandwidthModel::transfer_time_per_sample(
                 self.profile.feature_bytes_per_sample,
@@ -176,10 +186,26 @@ impl Cluster {
         self.bandwidth.ps_ingress_bytes_per_sec(self.current_round)
     }
 
+    /// A worker's link bandwidth this round, Mb/s — the bandwidth-only query path.
+    ///
+    /// [`Cluster::worker_state`] reuses this; callers that only need the link speed (e.g.
+    /// model-sync transfer accounting) avoid the mode replay and the two compute-time
+    /// log-normal draws a full state query performs.
+    pub fn worker_bandwidth_mbps(&self, worker_id: usize) -> f64 {
+        assert!(
+            worker_id < self.num_workers,
+            "Cluster: worker {worker_id} out of range"
+        );
+        self.bandwidth.worker_mbps(
+            worker_id,
+            self.distance_group(worker_id),
+            self.current_round,
+        )
+    }
+
     /// Time (seconds) to transfer `bytes` over a worker's current link.
     pub fn transfer_seconds(&self, worker_id: usize, bytes: f64) -> f64 {
-        let state = self.worker_state(worker_id);
-        bytes / mbps_to_bytes_per_sec(state.bandwidth_mbps)
+        bytes / mbps_to_bytes_per_sec(self.worker_bandwidth_mbps(worker_id))
     }
 
     /// Seconds the parameter server spends on one top-model step over a merged batch of
@@ -196,18 +222,22 @@ impl Cluster {
         self.profile.aggregate_seconds_per_state()
     }
 
-    /// Distance group of a worker.
+    /// Distance group of a worker (pure arithmetic on the id: blocks of 4 cycle through
+    /// the four placements, so equal-size groups at any multiple-of-16 fleet).
     pub fn distance_group(&self, worker_id: usize) -> DistanceGroup {
-        self.groups[worker_id]
+        let group_pattern = DistanceGroup::all();
+        group_pattern[(worker_id / group_pattern.len().max(1)) % group_pattern.len()]
     }
 
-    /// Composition of the cluster as (TX2, NX, AGX) counts.
+    /// Composition of the cluster as (TX2, NX, AGX) counts, computed arithmetically from
+    /// the kind pattern (3:4:1 per block of 8) — O(1) in the fleet size.
     pub fn composition(&self) -> (usize, usize, usize) {
-        let mut tx2 = 0;
-        let mut nx = 0;
-        let mut agx = 0;
-        for d in &self.devices {
-            match d.kind {
+        let blocks = self.num_workers / KIND_PATTERN.len();
+        let mut tx2 = 3 * blocks;
+        let mut nx = 4 * blocks;
+        let mut agx = blocks;
+        for kind in &KIND_PATTERN[..self.num_workers % KIND_PATTERN.len()] {
+            match kind {
                 DeviceKind::JetsonTx2 => tx2 += 1,
                 DeviceKind::JetsonNx => nx += 1,
                 DeviceKind::JetsonAgx => agx += 1,
@@ -289,6 +319,56 @@ mod tests {
         cluster.begin_round(20);
         let after: Vec<usize> = cluster.all_worker_states().iter().map(|s| s.mode).collect();
         assert_ne!(before, after, "modes should change at round 20");
+    }
+
+    /// Regression for the edge-triggered mode-switch bug: advancing the cluster over a
+    /// round gap must land on exactly the modes a contiguous round-by-round replay sees.
+    /// The old `begin_round` only switched when called *at* a multiple of 20, so 19 → 21
+    /// never switched and 5 → 45 switched once instead of twice.
+    #[test]
+    fn mode_switches_survive_round_skips() {
+        let mut contiguous = paper_cluster();
+        let modes_at = |cluster: &Cluster| -> Vec<usize> {
+            cluster.all_worker_states().iter().map(|s| s.mode).collect()
+        };
+
+        let mut reference = Vec::new();
+        for r in 0..=45 {
+            contiguous.begin_round(r);
+            reference.push(modes_at(&contiguous));
+        }
+
+        // 19 → 21 crosses the round-20 epoch boundary exactly once.
+        let mut skipper = paper_cluster();
+        skipper.begin_round(19);
+        assert_eq!(modes_at(&skipper), reference[19]);
+        skipper.begin_round(21);
+        assert_eq!(modes_at(&skipper), reference[21]);
+        assert_ne!(reference[19], reference[21]);
+
+        // 5 → 45 crosses two boundaries; the modes must be two switches ahead, not one.
+        let mut jumper = paper_cluster();
+        jumper.begin_round(5);
+        assert_eq!(modes_at(&jumper), reference[5]);
+        jumper.begin_round(45);
+        assert_eq!(modes_at(&jumper), reference[45]);
+        assert_ne!(reference[45], reference[21]);
+    }
+
+    /// The bandwidth-only query must agree bitwise with the bandwidth a full worker-state
+    /// query reports — it is the same draw, minus the compute-side work.
+    #[test]
+    fn bandwidth_only_query_matches_full_state() {
+        let mut cluster = paper_cluster();
+        for round in [0, 7, 20, 41] {
+            cluster.begin_round(round);
+            for w in [0, 1, 39, 79] {
+                assert_eq!(
+                    cluster.worker_bandwidth_mbps(w).to_bits(),
+                    cluster.worker_state(w).bandwidth_mbps.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,33 @@ impl DeviceKind {
         [Self::JetsonTx2, Self::JetsonNx, Self::JetsonAgx]
     }
 
+    /// Effective training throughput (GFLOP/s) of this kind in performance mode `mode`.
+    ///
+    /// Mode 0 is the fastest; the slowest mode is `num_modes - 1`. Intermediate modes are
+    /// geometrically interpolated, matching the roughly multiplicative frequency steps of
+    /// the real nvpmodel presets.
+    pub fn throughput_for_mode(&self, mode: usize) -> f64 {
+        let profile = self.profile();
+        let n = profile.num_modes;
+        if n == 1 {
+            return profile.max_throughput;
+        }
+        let ratio = profile.min_throughput / profile.max_throughput;
+        let t = mode as f64 / (n - 1) as f64;
+        profile.max_throughput * ratio.powf(t)
+    }
+
+    /// Computing time (seconds) for one data sample of a `gflop_per_sample` workload on a
+    /// device of this kind in mode `mode` — the paper's `µ_i^h`, without needing a
+    /// materialized [`SimDevice`].
+    pub fn compute_time_for_mode(&self, mode: usize, gflop_per_sample: f64) -> f64 {
+        assert!(
+            gflop_per_sample > 0.0,
+            "compute_time_for_mode: workload must be positive"
+        );
+        gflop_per_sample / self.throughput_for_mode(mode)
+    }
+
     /// Static profile for this kind. Throughputs are calibrated so that an AGX in its best
     /// mode is ~100× faster than a TX2 in its worst mode, as stated in the paper.
     pub fn profile(&self) -> DeviceProfile {
@@ -129,29 +156,35 @@ impl SimDevice {
 
     /// Effective training throughput (GFLOP/s) in the current mode.
     ///
-    /// Mode 0 is the fastest; the slowest mode is `num_modes - 1`. Intermediate modes are
-    /// geometrically interpolated, which matches the roughly multiplicative frequency steps
-    /// of the real nvpmodel presets.
+    /// See [`DeviceKind::throughput_for_mode`] for the interpolation.
     pub fn throughput_gflops(&self) -> f64 {
-        let profile = self.kind.profile();
-        let n = profile.num_modes;
-        if n == 1 {
-            return profile.max_throughput;
-        }
-        let ratio = profile.min_throughput / profile.max_throughput;
-        let t = self.mode as f64 / (n - 1) as f64;
-        profile.max_throughput * ratio.powf(t)
+        self.kind.throughput_for_mode(self.mode)
     }
 
     /// Computing time (seconds) for one data sample of a workload of `gflop_per_sample`
     /// GFLOPs — the paper's `µ_i^h`.
     pub fn compute_time_per_sample(&self, gflop_per_sample: f64) -> f64 {
-        assert!(
-            gflop_per_sample > 0.0,
-            "compute_time_per_sample: workload must be positive"
-        );
-        gflop_per_sample / self.throughput_gflops()
+        self.kind.compute_time_for_mode(self.mode, gflop_per_sample)
     }
+}
+
+/// The performance mode a device with the given derived seed is in during mode epoch
+/// `epoch` (`epoch = round / MODE_SWITCH_PERIOD`).
+///
+/// Replays the device's mode stream from scratch: the initial draw is epoch 0 and every
+/// epoch boundary re-draws once, so the mode at epoch `e` is the `(e + 1)`-th uniform draw
+/// from the device's seeded stream. This makes the mode a pure function of
+/// `(kind, seed, epoch)` — no per-device state to store, and non-contiguous round
+/// sequences (19 → 21, 5 → 45) land on exactly the mode a contiguous replay would have.
+/// Bit-identical to a [`SimDevice`] that called `switch_mode` once per elapsed epoch.
+pub fn mode_at_epoch(kind: DeviceKind, seed: u64, epoch: usize) -> usize {
+    let num_modes = kind.profile().num_modes;
+    let mut rng = seeded(seed);
+    let mut mode = rng.gen_range(0..num_modes);
+    for _ in 0..epoch {
+        mode = rng.gen_range(0..num_modes);
+    }
+    mode
 }
 
 #[cfg(test)]
@@ -208,6 +241,41 @@ mod tests {
             seen.insert(dev.mode());
         }
         assert!(seen.len() > 1, "mode never changed over 64 switches");
+    }
+
+    #[test]
+    fn mode_at_epoch_replays_the_stateful_switch_sequence() {
+        // The lazy epoch derivation must be bit-identical to a SimDevice that switched
+        // modes once per elapsed epoch — this is what keeps the event-driven cluster on
+        // the exact trajectory of the old eager one.
+        for kind in DeviceKind::all() {
+            for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+                let mut dev = SimDevice::new(7, kind, seed);
+                assert_eq!(mode_at_epoch(kind, seed, 0), dev.mode());
+                for epoch in 1..12 {
+                    dev.switch_mode();
+                    assert_eq!(mode_at_epoch(kind, seed, epoch), dev.mode());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_level_throughput_matches_device_throughput() {
+        for kind in DeviceKind::all() {
+            let mut dev = SimDevice::new(0, kind, 5);
+            for mode in 0..kind.profile().num_modes {
+                dev.mode = mode;
+                assert_eq!(
+                    kind.throughput_for_mode(mode).to_bits(),
+                    dev.throughput_gflops().to_bits()
+                );
+                assert_eq!(
+                    kind.compute_time_for_mode(mode, 2.5).to_bits(),
+                    dev.compute_time_per_sample(2.5).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! * [`bandwidth`] — WiFi bandwidth model: four distance groups, 1–30 Mb/s fluctuation,
 //!   and the parameter-server ingress bandwidth budget `B^h`.
 //! * [`cluster`] — the assembled heterogeneous cluster with per-round state (mode switches
-//!   every 20 rounds, freshly drawn bandwidth each round).
+//!   every 20 rounds, freshly drawn bandwidth each round). Stores no per-worker state:
+//!   every per-(worker, round) quantity is derived on demand, so registered fleets of
+//!   10^5–10^6 clients cost O(1) memory.
+//! * [`churn`] — deterministic client availability churn: diurnal availability waves with
+//!   per-client phases and mid-round dropout, all pure functions of (seed, client, round).
 //! * [`clock`] — round/iteration timing: worker duration `t_i^h = τ d_i (µ_i^h + β_i^h)`,
 //!   completion time, and average waiting time `W^h` (paper Eq. 7–8).
 //! * [`traffic`] — byte-level accounting of model synchronisation, feature uploads and
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bandwidth;
+pub mod churn;
 pub mod clock;
 pub mod cluster;
 pub mod device;
@@ -36,6 +41,7 @@ pub mod profile;
 pub mod traffic;
 
 pub use bandwidth::{BandwidthModel, DistanceGroup};
+pub use churn::ChurnModel;
 pub use clock::{RoundTiming, SimClock, StageModel};
 pub use cluster::{Cluster, ClusterConfig, WorkerState};
 pub use device::{DeviceKind, DeviceProfile, SimDevice};

@@ -581,6 +581,37 @@ fn tensor_pool_is_bit_identical_across_the_execution_matrix() {
 }
 
 #[test]
+fn trivial_fleet_is_bit_identical_to_the_classic_path_across_the_matrix() {
+    // The fleet axis's compatibility contract: registering exactly one client per data
+    // shard (`fleet == Some(num_workers)`) with churn off must BE the classic dense
+    // loop — same cluster, same plans, same loader streams, same records, bit for bit —
+    // in every parallel × pipeline × topology cell. Both sides pin the fleet knobs
+    // explicitly because the CI matrix may export MERGESFL_FLEET for the whole suite.
+    for topology in [ShardTopology::Replicated, ShardTopology::OutputPartitioned] {
+        for (parallel, pipeline) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut without_fleet = tiny(81);
+            without_fleet.num_servers = 2;
+            without_fleet.topology = topology;
+            without_fleet.fleet = None;
+            without_fleet.churn = false;
+            without_fleet.parallel = parallel;
+            without_fleet.pipeline = pipeline;
+            let mut with_fleet = without_fleet.clone();
+            with_fleet.fleet = Some(with_fleet.num_workers);
+            let a = run(Approach::MergeSfl, &without_fleet);
+            let b = run(Approach::MergeSfl, &with_fleet);
+            assert_eq!(
+                b,
+                a,
+                "fleet=Some(W) churn=off topology={} parallel={parallel} pipeline={pipeline} \
+                 diverged from the fleet-less oracle",
+                topology.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn every_engine_is_deterministic_across_modes() {
     // One SFL-family and one FL-family approach beyond the headline pair, so a future
     // strategy-specific code path cannot silently lose determinism.
